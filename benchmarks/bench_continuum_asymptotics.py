@@ -1,0 +1,93 @@
+"""Benchmark T2 — the continuum closed forms and asymptotic limits.
+
+Records the Section 3.2/3.3 table: Delta growth laws per (load,
+utility) case and the conjectured z -> 2+ bounds (gamma -> e,
+Delta/C -> e - 1), including their removal by the Section 5
+extensions.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.continuum import (
+    AdaptiveAlgebraicContinuum,
+    AdaptiveExponentialContinuum,
+    RigidAlgebraicContinuum,
+    RigidExponentialContinuum,
+    adaptive_algebraic_ratio_limit,
+    retrying_rigid_ratio,
+    rigid_algebraic_ratio,
+    sampling_rigid_ratio,
+)
+from repro.experiments.checkpoints import continuum_checkpoints
+from repro.experiments.report import render_checkpoints
+
+
+def test_t2_continuum_checkpoints(benchmark, record):
+    rows = run_once(benchmark, continuum_checkpoints)
+    record("T2_continuum_checkpoints", render_checkpoints(rows))
+    assert all(row.matches for row in rows)
+
+
+def test_t2_growth_law_table(benchmark, config, record):
+    """The per-case Delta(C) growth-law table from Section 3.3."""
+
+    def build():
+        re = RigidExponentialContinuum(1.0)
+        ae = AdaptiveExponentialContinuum(config.ramp_a, 1.0)
+        ra = RigidAlgebraicContinuum(config.z)
+        aa = AdaptiveAlgebraicContinuum(config.z, config.ramp_a)
+        lines = [
+            "case                 Delta(8)    Delta(64)  growth law",
+            f"rigid x exp        {re.bandwidth_gap(8.0):9.4f}  {re.bandwidth_gap(64.0):9.4f}"
+            f"  ~ ln(C)",
+            f"ramp  x exp        {ae.bandwidth_gap(8.0):9.4f}  {ae.bandwidth_gap(64.0):9.4f}"
+            f"  -> {ae.bandwidth_gap_limit():.4f} (constant)",
+            f"rigid x alg (z=3)  {ra.bandwidth_gap(8.0):9.4f}  {ra.bandwidth_gap(64.0):9.4f}"
+            f"  = {ra.gap_ratio() - 1.0:.4f} * C (linear)",
+            f"ramp  x alg (z=3)  {aa.bandwidth_gap(8.0):9.4f}  {aa.bandwidth_gap(64.0):9.4f}"
+            f"  = {aa.gap_ratio() - 1.0:.4f} * C (linear)",
+        ]
+        return "\n".join(lines), re, ae, ra, aa
+
+    text, re, ae, ra, aa = run_once(benchmark, build)
+    record("T2_growth_laws", text)
+    # growth-law shape assertions
+    assert re.bandwidth_gap(64.0) / re.bandwidth_gap(8.0) == pytest.approx(
+        math.log(64.0) / math.log(8.0), rel=0.25
+    )
+    # probe the adaptive-exp limit at C=15: converged to ~1e-6 but the
+    # raw gaps have not yet underflowed past the numerical floor
+    assert ae.bandwidth_gap(15.0) == pytest.approx(ae.bandwidth_gap_limit(), abs=1e-5)
+    assert ra.bandwidth_gap(64.0) / ra.bandwidth_gap(8.0) == pytest.approx(8.0)
+    assert aa.bandwidth_gap(64.0) / aa.bandwidth_gap(8.0) == pytest.approx(8.0)
+
+
+def test_t2_bound_table(benchmark, record):
+    """The e / e-1 bounds and their removal by extensions."""
+
+    def build():
+        rows = []
+        for z in (2.5, 2.1, 2.01, 2.001):
+            rows.append(
+                f"z={z:<6} basic={rigid_algebraic_ratio(z):10.4f} "
+                f"sampling(S=3)={sampling_rigid_ratio(z, 3):14.4g} "
+                f"retrying(a=.1)={retrying_rigid_ratio(z, 0.1):14.4g}"
+            )
+        rows.append(f"limit  basic -> e = {math.e:.5f}; extensions -> unbounded")
+        rows.append(
+            "adaptive z->2+ limits by a: "
+            + ", ".join(
+                f"a={a}: {adaptive_algebraic_ratio_limit(a):.4f}"
+                for a in (0.1, 0.5, 0.9)
+            )
+        )
+        return "\n".join(rows)
+
+    text = run_once(benchmark, build)
+    record("T2_bounds", text)
+    assert rigid_algebraic_ratio(2.001) < math.e
+    assert sampling_rigid_ratio(2.001, 3) > 1e100
+    assert retrying_rigid_ratio(2.001, 0.1) > 1e100

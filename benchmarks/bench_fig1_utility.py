@@ -1,0 +1,35 @@
+"""Benchmark F1 — Figure 1: the adaptive utility curve (Eq. 2).
+
+Regenerates the performance curve ``pi(b) = 1 - exp(-b^2/(kappa+b))``
+with the paper's calibrated ``kappa = 0.62086`` and checks its shape
+markers: convex start, unit asymptote, and the ``k_max(C) = C``
+calibration property.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure1
+from repro.experiments.report import render_series
+from repro.utility import AdaptiveUtility, calibrate_kappa
+
+
+def test_fig1_adaptive_utility_curve(benchmark, config, record):
+    series = run_once(benchmark, figure1, config)
+    record("F1_adaptive_utility", render_series(series))
+    values = series["utility"]
+    # shape: starts at zero, monotone, saturates
+    assert values[0] == 0.0
+    assert np.all(np.diff(values) >= 0.0)
+    assert values[-1] > 0.999
+
+
+def test_fig1_kappa_calibration(benchmark, record):
+    kappa = run_once(benchmark, calibrate_kappa)
+    record("F1_kappa", f"calibrated kappa = {kappa:.6f} (paper: 0.62086)")
+    assert abs(kappa - 0.62086) < 5e-6
+    # calibration property: V(k) = k pi(C/k) peaks at k = C
+    u = AdaptiveUtility(kappa)
+    c = 100.0
+    peak = max(range(80, 121), key=lambda k: u.fixed_load_total(k, c))
+    assert abs(peak - c) <= 1

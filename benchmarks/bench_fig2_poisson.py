@@ -1,0 +1,39 @@
+"""Benchmark F2 — Figure 2: Poisson load, all six panels.
+
+The Poisson story the figure tells: a large rigid gap below C = k_bar
+that vanishes superexponentially once C exceeds k_bar (panels a/b);
+adaptive applications close the gap almost everywhere (d/e); the
+equalizing price ratio sits near 1.1-1.2 for rigid apps and collapses
+to 1 for adaptive ones (c/f).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure2
+from repro.experiments.report import render_series
+
+
+def test_fig2_poisson_panels(benchmark, config, record):
+    series = run_once(benchmark, figure2, config)
+    record("F2_poisson", render_series(series))
+    caps = series["capacity"]
+    kbar = config.kbar
+
+    # panel a: R above B everywhere; both reach ~1 by 2 k_bar
+    assert np.all(series["reservation_rigid"] >= series["best_effort_rigid"] - 1e-12)
+    late = caps >= 2.0 * kbar
+    assert np.all(series["best_effort_rigid"][late] > 0.999)
+
+    # panel b: rigid bandwidth gap dies after k_bar
+    assert np.all(series["bandwidth_gap_rigid"][late] < 1e-6)
+
+    # panels d/e: adaptive curves nearly coincide beyond k_bar
+    mid = caps >= kbar
+    assert np.all(series["performance_gap_adaptive"][mid] < 0.01)
+
+    # panels c/f: rigid gamma meaningfully above 1, adaptive ~ 1
+    rigid_gamma = series["gamma_rigid"][~np.isnan(series["gamma_rigid"])]
+    adaptive_gamma = series["gamma_adaptive"][~np.isnan(series["gamma_adaptive"])]
+    assert np.nanmedian(rigid_gamma) > 1.05
+    assert np.nanmedian(adaptive_gamma) < 1.01

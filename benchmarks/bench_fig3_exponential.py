@@ -1,0 +1,66 @@
+"""Benchmark F3 — Figure 3: exponential load, all six panels.
+
+The exponential story: gentler utility curves than Poisson (a/d), a
+rigid bandwidth gap that keeps *growing* (logarithmically) with
+capacity even as the performance gap shrinks (b), an adaptive gap that
+peaks near 9 and then decays (e), and gamma curves converging to 1 as
+bandwidth gets cheap, slowly for rigid, fast for adaptive (c/f).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure3
+from repro.experiments.report import render_series
+
+
+def test_fig3_exponential_panels(benchmark, config, record):
+    series = run_once(benchmark, figure3, config)
+    record("F3_exponential", render_series(series))
+    caps = series["capacity"]
+    kbar = config.kbar
+
+    # panel b: the paper's headline — Delta(C) monotone increasing for
+    # rigid apps across the whole domain
+    gaps = series["bandwidth_gap_rigid"]
+    assert np.all(np.diff(gaps) > -1e-6)
+    assert gaps[-1] > gaps[0]
+
+    # while the performance gap *decreases* at large C (the paradox the
+    # paper explains via the flattening B curve)
+    late = caps >= 2.0 * kbar
+    deltas = series["performance_gap_rigid"]
+    assert deltas[late][-1] < deltas[late][0] or deltas[late][-1] < 0.1
+
+    # panel e: adaptive gap rises then falls (peak near k_bar/2)
+    adaptive_gap = series["bandwidth_gap_adaptive"]
+    peak_idx = int(np.argmax(adaptive_gap))
+    assert caps[peak_idx] < kbar
+    assert adaptive_gap[-1] < adaptive_gap[peak_idx]
+
+    # panels c/f: both gammas decrease toward 1 as p -> 0
+    for tag in ("rigid", "adaptive"):
+        gamma = series[f"gamma_{tag}"]
+        ok = ~np.isnan(gamma)
+        assert gamma[ok][0] <= gamma[ok][-1] + 1e-9  # increasing in p
+        assert gamma[ok][0] < 2.2
+
+
+def test_fig3_rigid_gap_log_growth(benchmark, config, record):
+    # quantify the log growth: Delta(4k)-Delta(2k) ~ Delta(8k)-Delta(4k)
+    from repro.models import VariableLoadModel
+
+    kbar = config.kbar
+    model = VariableLoadModel(config.load("exponential"), config.utility("rigid"))
+
+    def gaps():
+        return [model.bandwidth_gap(m * kbar) for m in (2.0, 4.0, 8.0)]
+
+    g2, g4, g8 = run_once(benchmark, gaps)
+    record(
+        "F3_log_growth",
+        f"Delta(2k)={g2:.2f} Delta(4k)={g4:.2f} Delta(8k)={g8:.2f} "
+        f"(log growth: equal increments per doubling)",
+    )
+    assert g4 - g2 == pytest.approx(g8 - g4, rel=0.25)

@@ -1,0 +1,74 @@
+"""Benchmark F4 — Figure 4: algebraic load (z = 3), all six panels.
+
+The heavy-tail story — the paper's strongest case for reservations:
+the rigid R-B gap stays substantial across the whole capacity range
+(a), the bandwidth gap grows *linearly* with slope ~1 (b), adaptive
+apps shrink but do not kill the linear growth (d/e, slope reduced more
+than twenty-fold), and gamma(p) does **not** converge to 1 as
+bandwidth gets cheap — rigid gamma tends to (z-1)^{1/(z-2)} = 2 (c),
+adaptive to ~1.02 (f).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import figure4
+from repro.experiments.report import render_series
+
+
+def test_fig4_algebraic_panels(benchmark, config, record):
+    series = run_once(benchmark, figure4, config)
+    record("F4_algebraic", render_series(series))
+    caps = series["capacity"]
+    kbar = config.kbar
+
+    # panel a: the R-B gap persists across the range
+    late = caps >= 2.0 * kbar
+    assert np.all(series["performance_gap_rigid"][late] > 0.05)
+
+    # panel b: linear Delta growth with slope ~ 1 at z = 3
+    gaps = series["bandwidth_gap_rigid"]
+    hi = caps >= 2.0 * kbar
+    slope = np.polyfit(caps[hi], gaps[hi], 1)[0]
+    assert slope == pytest.approx(1.0, abs=0.3)
+
+    # panel e: adaptive gap still increasing but with a far smaller slope
+    agaps = series["bandwidth_gap_adaptive"]
+    aslope = np.polyfit(caps[hi], agaps[hi], 1)[0]
+    assert 0.0 < aslope < slope / 20.0
+
+    # panels c/f: gamma bounded away from 1 at the cheap end
+    rigid_gamma = series["gamma_rigid"]
+    ok = ~np.isnan(rigid_gamma)
+    assert rigid_gamma[ok][0] > 1.8  # smallest price ~ (z-1)^{1/(z-2)} = 2
+    adaptive_gamma = series["gamma_adaptive"]
+    ok = ~np.isnan(adaptive_gamma)
+    assert 1.005 < adaptive_gamma[ok][0] < 1.1  # paper: ~1.02
+
+
+def test_fig4_crossover_against_exponential(benchmark, config, record):
+    """Where the architectures' case flips: heavy tails vs light tails.
+
+    At the same capacity and utility, the algebraic load keeps a large
+    bandwidth gap where the exponential load's has collapsed — the
+    crossover the paper's Section 6 discussion turns on.
+    """
+    from repro.models import VariableLoadModel
+
+    kbar = config.kbar
+    u = config.utility("adaptive")
+
+    def both():
+        alg = VariableLoadModel(config.load("algebraic"), u)
+        exp = VariableLoadModel(config.load("exponential"), u)
+        c = 6.0 * kbar
+        return alg.bandwidth_gap(c), exp.bandwidth_gap(c)
+
+    alg_gap, exp_gap = run_once(benchmark, both)
+    record(
+        "F4_crossover",
+        f"bandwidth gap at C=6k: algebraic={alg_gap:.3f} exponential={exp_gap:.3f} "
+        f"(heavy tails keep the reservation case alive)",
+    )
+    assert alg_gap > 10.0 * max(exp_gap, 1e-9)

@@ -1,0 +1,77 @@
+"""Benchmarks F8/F9 — the paper's footnotes, reproduced.
+
+Footnote 8 (with the end of Section 3.3): for power-law satiation
+``pi(b) = 1 - b^-tau`` under the Pareto(z) census, the bandwidth gap's
+growth obeys a trichotomy in ``tau`` vs ``z``.  Footnote 9: with
+retries, even *elastic* applications can prefer the reservation
+architecture.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.continuum import AlgebraicTailAlgebraicContinuum
+from repro.loads import AlgebraicLoad
+from repro.models import RetryingModel, VariableLoadModel
+from repro.utility import ExponentialElasticUtility
+
+
+def test_f8_satiation_trichotomy(benchmark, record):
+    """Delta ~ C^e with e = 1 (tau > z-2) or e = tau+3-z (else)."""
+
+    cases = [(3.0, 2.0), (3.0, 0.5), (4.5, 1.2), (4.5, 0.9)]
+
+    def sweep():
+        rows = ["z     tau    predicted e   measured e   regime"]
+        out = {}
+        for z, tau in cases:
+            model = AlgebraicTailAlgebraicContinuum(z, tau)
+            predicted = model.gap_growth_exponent()
+            measured = model.measured_growth_exponent(c_lo=500.0, c_hi=50_000.0)
+            if tau > z - 2.0:
+                regime = "linear"
+            elif tau > z - 3.0:
+                regime = "sublinear growth"
+            else:
+                regime = "shrinking gap"
+            out[(z, tau)] = (predicted, measured)
+            rows.append(
+                f"{z:4.1f} {tau:5.1f} {predicted:+12.3f} {measured:+12.3f}   {regime}"
+            )
+        return "\n".join(rows), out
+
+    text, out = run_once(benchmark, sweep)
+    record("F8_trichotomy", text)
+    for (z, tau), (predicted, measured) in out.items():
+        assert measured == pytest.approx(predicted, abs=0.03), (z, tau)
+
+
+def test_f9_elastic_reservations_with_retries(benchmark, record):
+    """Footnote 9: elastic apps + free retries -> reservations win."""
+    load = AlgebraicLoad.from_mean(3.0, 100.0)
+    utility = ExponentialElasticUtility()
+    capacity = 200.0
+
+    def run():
+        base = VariableLoadModel(load, utility)
+        b = base.best_effort(capacity)
+        rows = [f"B(C={capacity:.0f}) = {b:.4f} (elastic pi = 1 - e^-b)"]
+        values = {"best_effort": b}
+        for alpha in (0.0, 0.05, 0.5):
+            retry = RetryingModel(
+                load,
+                utility,
+                alpha=alpha,
+                k_max_override=lambda c: int(0.8 * c),
+            )
+            r = retry.reservation(capacity)
+            values[alpha] = r
+            rows.append(f"R~(alpha={alpha:4.2f}, kmax=0.8C) = {r:.4f}")
+        return "\n".join(rows), values
+
+    text, values = run_once(benchmark, run)
+    record("F9_elastic_retries", text)
+    # free and cheap retries beat best effort; punitive ones do not
+    assert values[0.0] > values["best_effort"]
+    assert values[0.05] > values["best_effort"]
+    assert values[0.5] < values[0.0]

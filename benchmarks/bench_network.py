@@ -1,0 +1,83 @@
+"""Benchmark N1 — the comparison on a multi-link network (our extension).
+
+Runs the parking-lot topology under light- and heavy-tailed cross
+traffic and records the network-level analogue of the paper's headline
+quantities: the normalised utilities, the uniform-overbuild factor
+(network Delta), and the ILP-vs-greedy admission ablation.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.loads import AlgebraicLoad, GeometricLoad
+from repro.network import NetworkComparison, NetworkTopology, Route
+from repro.utility import AdaptiveUtility
+
+
+def parking_lot(cross_load):
+    u = AdaptiveUtility()
+    return NetworkTopology(
+        {"l1": 40.0, "l2": 40.0, "l3": 40.0},
+        [
+            Route("long", ("l1", "l2", "l3"), GeometricLoad.from_mean(12.0), u),
+            Route("x1", ("l1",), cross_load, u),
+            Route("x2", ("l2",), cross_load, u),
+            Route("x3", ("l3",), cross_load, u),
+        ],
+    )
+
+
+def test_n1_network_comparison(benchmark, record):
+    def run():
+        rows = ["case            BE        R       gap   overbuild  ilp-greedy"]
+        out = {}
+        for label, load in (
+            ("geometric", GeometricLoad.from_mean(25.0)),
+            ("algebraic", AlgebraicLoad.from_mean(2.5, 25.0)),
+        ):
+            cmp = NetworkComparison(parking_lot(load), draws=250, seed=17)
+            be = cmp.best_effort().normalised
+            res = cmp.reservation().normalised
+            factor = cmp.bandwidth_gap_factor()
+            ablation = cmp.admission_optimality_gap()
+            out[label] = (be, res, factor)
+            rows.append(
+                f"{label:<12} {be:8.4f} {res:8.4f} {res - be:+8.4f} "
+                f"x{factor:8.4f} {ablation:+10.4f}"
+            )
+        return "\n".join(rows), out
+
+    text, out = run_once(benchmark, run)
+    record("N1_network", text)
+
+    for label, (be, res, factor) in out.items():
+        assert res >= be - 0.01, label
+        assert factor >= 1.0, label
+    # heavy-tailed cross traffic needs the bigger overbuild
+    assert out["algebraic"][2] > out["geometric"][2] - 0.02
+
+
+def test_n1_single_link_network_reduces_to_paper_model(benchmark, record):
+    """A one-link, one-route network must reproduce VariableLoadModel."""
+    from repro.loads import PoissonLoad
+    from repro.models import VariableLoadModel
+
+    load = PoissonLoad(20.0)
+    u = AdaptiveUtility()
+    topo = NetworkTopology(
+        {"l": 22.0}, [Route("r", ("l",), load, u)]
+    )
+    model = VariableLoadModel(load, u)
+
+    def run():
+        cmp = NetworkComparison(topo, draws=4000, seed=23)
+        return cmp.best_effort().normalised, cmp.reservation().normalised
+
+    be, res = run_once(benchmark, run)
+    record(
+        "N1_single_link_reduction",
+        f"network MC: B={be:.4f} R={res:.4f}; "
+        f"analytic: B={model.best_effort(22.0):.4f} R={model.reservation(22.0):.4f}",
+    )
+    assert be == pytest.approx(model.best_effort(22.0), abs=0.02)
+    assert res == pytest.approx(model.reservation(22.0), abs=0.02)

@@ -1,0 +1,41 @@
+"""Benchmark T4/S5.1 — the sampling extension (Section 5.1).
+
+Records the sampling checkpoint table and the basic-vs-sampling sweep
+(exponential load, adaptive apps) whose contrast the paper quotes:
+delta jumps from <.01 to ~.2 and the bandwidth-gap peak from <10 to
+~2 k_bar once performance is scored at the worst of S census samples.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.checkpoints import sampling_checkpoints
+from repro.experiments.figures import sampling_series
+from repro.experiments.report import render_checkpoints, render_series
+
+
+def test_t4_sampling_checkpoints(benchmark, record):
+    rows = run_once(benchmark, sampling_checkpoints)
+    record("T4_sampling_checkpoints", render_checkpoints(rows))
+    assert all(row.matches for row in rows)
+
+
+def test_s51_sampling_sweep(benchmark, config, record):
+    series = run_once(benchmark, sampling_series, "exponential", "adaptive", config)
+    record("S51_sampling_sweep", render_series(series))
+
+    basic = series["performance_gap_basic"]
+    sampled = series["performance_gap_sampling"]
+    # sampling widens the gap at every capacity
+    assert np.all(sampled >= basic - 1e-12)
+    # and by an order of magnitude in the mid range
+    caps = series["capacity"]
+    mid = (caps >= config.kbar) & (caps <= 3.0 * config.kbar)
+    assert np.all(sampled[mid] > 5.0 * np.maximum(basic[mid], 1e-9))
+
+    # the bandwidth-gap peak moves up by more than an order of magnitude
+    assert series["bandwidth_gap_sampling"].max() > 10.0 * series[
+        "bandwidth_gap_basic"
+    ].max()
+    # but still vanishes asymptotically for the exponential load
+    assert series["bandwidth_gap_sampling"][-1] < series["bandwidth_gap_sampling"].max()

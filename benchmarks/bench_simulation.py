@@ -1,0 +1,59 @@
+"""Benchmark S1 — dynamic validation of the static model's premise.
+
+The paper's variable-load model assumes flows experience a stationary
+census.  This benchmark runs the flow-level simulator (exact
+birth-death dynamics for the Poisson census) under both architectures
+and compares the measured flow-average utilities with the analytic
+``B(C)`` and ``R(C)``.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.loads import PoissonLoad
+from repro.models import VariableLoadModel
+from repro.simulation import (
+    AdmitAll,
+    BirthDeathProcess,
+    FlowSimulator,
+    Link,
+    ThresholdAdmission,
+    census_total_variation,
+    mean_utilities,
+)
+from repro.utility import AdaptiveUtility
+
+
+def test_s1_simulator_validates_static_model(benchmark, record):
+    load = PoissonLoad(50.0)
+    utility = AdaptiveUtility()
+    capacity = 55.0
+    model = VariableLoadModel(load, utility)
+
+    def run():
+        proc = BirthDeathProcess(load)
+        be = FlowSimulator(proc, Link(capacity), AdmitAll()).run(
+            500.0, warmup=50.0, seed=101
+        )
+        res = FlowSimulator(
+            proc, Link(capacity), ThresholdAdmission.from_utility(utility)
+        ).run(500.0, warmup=50.0, seed=102)
+        sim_be, _ = mean_utilities(be, utility)
+        _, sim_res = mean_utilities(res, utility)
+        tv = census_total_variation(be, load)
+        return sim_be, sim_res, tv
+
+    sim_be, sim_res, tv = run_once(benchmark, run)
+    analytic_be = model.best_effort(capacity)
+    analytic_res = model.reservation(capacity)
+    record(
+        "S1_simulation_validation",
+        "quantity        simulated   analytic\n"
+        f"B(C={capacity:.0f})      {sim_be:9.4f}  {analytic_be:9.4f}\n"
+        f"R(C={capacity:.0f})      {sim_res:9.4f}  {analytic_res:9.4f}\n"
+        f"census TV distance: {tv:.4f}",
+    )
+    assert tv < 0.06
+    assert sim_be == pytest.approx(analytic_be, abs=0.02)
+    assert sim_res == pytest.approx(analytic_res, abs=0.02)
+    assert sim_res >= sim_be - 0.01

@@ -1,0 +1,16 @@
+"""Benchmark T1 — every Section 3.3 number quoted in the paper's prose.
+
+Runs the discrete-model checkpoint battery at full paper scale
+(k_bar = 100) and records the paper-vs-measured table.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.checkpoints import section3_checkpoints
+from repro.experiments.report import render_checkpoints
+
+
+def test_t1_section3_text_checkpoints(benchmark, record):
+    rows = run_once(benchmark, section3_checkpoints)
+    record("T1_section3_checkpoints", render_checkpoints(rows))
+    failures = [row.row() for row in rows if not row.matches]
+    assert not failures, "\n".join(failures)

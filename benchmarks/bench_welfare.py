@@ -1,0 +1,53 @@
+"""Benchmark T3 — the Section 4 welfare model.
+
+Records the welfare checkpoint table plus a provisioning table (the
+capacity a welfare-maximising provider builds at each price, per
+architecture and load) — the quantity the paper says the provisioning
+debate actually turns on.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.checkpoints import welfare_checkpoints
+from repro.experiments.report import render_checkpoints
+from repro.models import Architecture, VariableLoadModel, WelfareModel
+
+
+def test_t3_welfare_checkpoints(benchmark, record):
+    rows = run_once(benchmark, welfare_checkpoints)
+    record("T3_welfare_checkpoints", render_checkpoints(rows))
+    assert all(row.matches for row in rows)
+
+
+def test_t3_provisioning_table(benchmark, config, record):
+    """C(p) per (load, architecture): who overprovisions, and when."""
+
+    def build():
+        lines = [
+            "load         price     C_best_effort  C_reservation  gamma",
+        ]
+        results = {}
+        for load_name in ("poisson", "exponential", "algebraic"):
+            model = VariableLoadModel(
+                config.load(load_name), config.utility("adaptive")
+            )
+            welfare = WelfareModel(model)
+            for p in (0.1, 0.03, 0.01):
+                cb = welfare.optimal_capacity(p, Architecture.BEST_EFFORT)
+                cr = welfare.optimal_capacity(p, Architecture.RESERVATION)
+                gamma = welfare.equalizing_ratio(p)
+                results[(load_name, p)] = (cb, cr, gamma)
+                lines.append(
+                    f"{load_name:12s} {p:6.3f} {cb:14.1f} {cr:14.1f} {gamma:8.4f}"
+                )
+        return "\n".join(lines), results
+
+    text, results = run_once(benchmark, build)
+    record("T3_provisioning", text)
+
+    for (load_name, p), (cb, cr, gamma) in results.items():
+        # a best-effort provider overprovisions relative to reservations
+        assert cb >= cr - 1.0, (load_name, p)
+        assert gamma >= 1.0 - 1e-9
+    # heavy tails keep gamma bounded away from 1 at cheap bandwidth
+    assert results[("algebraic", 0.01)][2] > 1.01
+    assert results[("poisson", 0.01)][2] < 1.01

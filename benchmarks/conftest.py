@@ -1,0 +1,51 @@
+"""Shared machinery for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures or text-quoted
+tables and records the numeric series/rows to ``benchmarks/results/``
+(plus stdout, visible with ``pytest -s``).  Timing is taken with a
+single round — these are reproduction runs, not micro-benchmarks.
+
+Set ``REPRO_BENCH_FULL=1`` to run at the paper's full grids; the
+default uses the reduced grids so the whole harness finishes in a few
+minutes.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.params import DEFAULT_CONFIG, FAST_CONFIG
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def config():
+    """Paper-scale or reduced grids depending on REPRO_BENCH_FULL."""
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return DEFAULT_CONFIG
+    return FAST_CONFIG
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Persist a rendered experiment output under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    scale = "paper-scale grids" if os.environ.get("REPRO_BENCH_FULL") else "fast grids"
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(f"# {name} ({scale})\n{text}\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _record
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark with a single timed round (reproduction, not micro)."""
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )

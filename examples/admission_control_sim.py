@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Admission control, live: simulate what the paper's model predicts.
+
+The paper's variable-load model is static — flows see one census
+sample.  This example runs the dynamic flow-level simulator (exact
+birth-death dynamics for a Poisson census) under both architectures,
+measures per-flow utilities, and puts the analytic B(C)/R(C) next to
+the simulated values.  It also scores flows at the worst of S census
+samples, showing the Section 5.1 effect live.
+
+Run:
+    python examples/admission_control_sim.py
+"""
+
+from repro.loads import PoissonLoad
+from repro.models import VariableLoadModel
+from repro.simulation import (
+    AdmitAll,
+    BirthDeathProcess,
+    FlowSimulator,
+    Link,
+    ThresholdAdmission,
+    census_total_variation,
+    empirical_mean_census,
+    mean_utilities,
+    sampled_worst_utilities,
+)
+from repro.utility import AdaptiveUtility
+
+
+def main() -> None:
+    load = PoissonLoad(50.0)
+    utility = AdaptiveUtility()
+    capacity = 52.0
+    horizon, warmup = 800.0, 80.0
+
+    model = VariableLoadModel(load, utility)
+    process = BirthDeathProcess(load)
+
+    print("flow-level simulation vs the static model")
+    print(f"load: Poisson(mean={load.mean:.0f}); capacity C={capacity:.0f}; "
+          f"k_max={model.k_max(capacity)}\n")
+
+    best_effort_run = FlowSimulator(process, Link(capacity), AdmitAll()).run(
+        horizon, warmup=warmup, seed=7
+    )
+    reserved_run = FlowSimulator(
+        process, Link(capacity), ThresholdAdmission.from_utility(utility)
+    ).run(horizon, warmup=warmup, seed=8)
+
+    print(
+        f"census check: simulated mean "
+        f"{empirical_mean_census(best_effort_run):.2f} vs target {load.mean:.2f}; "
+        f"TV distance {census_total_variation(best_effort_run, load):.4f}"
+    )
+
+    sim_be, _ = mean_utilities(best_effort_run, utility)
+    _, sim_res = mean_utilities(reserved_run, utility)
+    print("\nmean per-flow utility")
+    print(f"{'architecture':>16} {'simulated':>10} {'analytic':>10}")
+    print(f"{'best-effort':>16} {sim_be:10.4f} {model.best_effort(capacity):10.4f}")
+    print(f"{'reservations':>16} {sim_res:10.4f} {model.reservation(capacity):10.4f}")
+
+    print("\nworst-of-S scoring (Section 5.1, measured on the same runs)")
+    print(f"{'S':>4} {'best-effort':>12} {'reservations':>13}")
+    for samples in (1, 3, 10, 30):
+        be, _ = sampled_worst_utilities(best_effort_run, utility, samples, seed=1)
+        _, res = sampled_worst_utilities(reserved_run, utility, samples, seed=1)
+        print(f"{samples:4d} {be:12.4f} {res:13.4f}")
+    print(
+        "\nbest-effort scores decay with S while admitted flows, whose "
+        "census is capped at k_max, are partly insulated.  Under the "
+        "tightly-peaked Poisson census the effect is mild — exactly the "
+        "paper's Section 5.1 observation ('multiple samplings has little "
+        "effect on the Poisson case'); rerun the analytic SamplingModel "
+        "with the exponential or algebraic load to see it bite."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""The whole debate on one screen: all six cases, Section 6 verdicts.
+
+Sweeps the paper's complete grid — three load distributions times two
+utility classes — and prints, per case, the quantities the paper's
+discussion section keys on: gap persistence, bandwidth-gap trend, and
+the cheap-bandwidth limit of the equalizing ratio.  Ends with the
+paper's (carefully hedged) conclusions, derived live from the numbers.
+
+Run:
+    python examples/architecture_debate.py
+"""
+
+import numpy as np
+
+from repro.experiments.params import PaperConfig
+from repro.models import ArchitectureComparison
+
+
+def verdict(gamma_limit: float, gap_trend: str) -> str:
+    if gamma_limit > 1.05 or gap_trend == "increasing":
+        return "reservations keep a durable edge"
+    if gamma_limit > 1.005:
+        return "weak case for reservations"
+    return "provisioning wins"
+
+
+def main() -> None:
+    config = PaperConfig(kbar=100.0)
+    capacities = list(np.linspace(50.0, 800.0, 9))
+
+    print("Best-Effort versus Reservations — the six cases (k_bar = 100)\n")
+    header = (
+        f"{'load':<12} {'utility':<9} {'delta(2k)':>10} {'Delta(2k)':>10} "
+        f"{'Delta trend':>12} {'gamma(p->0)':>12}  verdict"
+    )
+    print(header)
+    print("-" * len(header))
+
+    results = {}
+    for load_name in ("poisson", "exponential", "algebraic"):
+        for util_name in ("rigid", "adaptive"):
+            cmp = ArchitectureComparison(
+                config.load(load_name), config.utility(util_name)
+            )
+            report = cmp.sweep(capacities)
+            trend = report.bandwidth_gap_trend()
+            delta2k = cmp.variable_load.performance_gap(200.0)
+            gap2k = cmp.variable_load.bandwidth_gap(200.0)
+            gamma = cmp.welfare.equalizing_ratio(0.005)
+            results[(load_name, util_name)] = (delta2k, gap2k, trend, gamma)
+            print(
+                f"{load_name:<12} {util_name:<9} {delta2k:10.5f} {gap2k:10.2f} "
+                f"{trend:>12} {gamma:12.4f}  {verdict(gamma, trend)}"
+            )
+
+    print("\nSection 6, recomputed:")
+    print(
+        "- rigid applications: significant gaps under every load, even "
+        f"Poisson (gamma ~ {results[('poisson', 'rigid')][3]:.2f} — the "
+        "paper's 'reservations worth ~10% extra cost')"
+    )
+    print(
+        "- adaptivity changes the picture: Poisson and exponential gaps "
+        f"collapse (gamma ~ {results[('exponential', 'adaptive')][3]:.3f})"
+    )
+    print(
+        "- the algebraic (heavy-tailed) load is the holdout: the bandwidth "
+        f"gap keeps growing ({results[('algebraic', 'adaptive')][2]}) and "
+        f"gamma stays at {results[('algebraic', 'adaptive')][3]:.3f} > 1 "
+        "no matter how cheap bandwidth gets"
+    )
+    print(
+        "- so the answer turns on future load statistics — exactly the "
+        "paper's closing point about self-similar traffic."
+    )
+
+
+if __name__ == "__main__":
+    main()

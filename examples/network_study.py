@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Beyond one link: the paper's comparison on a small network.
+
+The paper analyses a single bottleneck; real reservation protocols
+(RSVP and friends) are network-wide.  This example builds the classic
+parking-lot topology — one long route crossing three links, with cross
+traffic on each — and replays the comparison with max-min fair sharing
+(the best-effort ideal) versus ILP admission control with unit
+reservations.
+
+Run:
+    python examples/network_study.py
+"""
+
+import networkx as nx
+
+from repro.loads import AlgebraicLoad, GeometricLoad
+from repro.network import NetworkComparison, NetworkTopology
+from repro.utility import AdaptiveUtility
+
+
+def build_parking_lot(cross_load) -> NetworkTopology:
+    graph = nx.path_graph(["a", "b", "c", "d"])
+    nx.set_edge_attributes(graph, 40.0, "capacity")
+    u = AdaptiveUtility()
+    return NetworkTopology.from_graph(
+        graph,
+        paths={
+            "long": ["a", "b", "c", "d"],
+            "x1": ["a", "b"],
+            "x2": ["b", "c"],
+            "x3": ["c", "d"],
+        },
+        loads={
+            "long": GeometricLoad.from_mean(12.0),
+            "x1": cross_load,
+            "x2": cross_load,
+            "x3": cross_load,
+        },
+        utilities={name: u for name in ("long", "x1", "x2", "x3")},
+    )
+
+
+def study(label: str, cross_load) -> None:
+    topo = build_parking_lot(cross_load)
+    cmp = NetworkComparison(topo, draws=400, seed=17)
+    be = cmp.best_effort()
+    res = cmp.reservation()
+
+    print(f"--- {label} cross traffic ---")
+    print(f"{'route':>8} {'offered':>8} {'BE utility':>11} {'R utility':>10}")
+    for name, route in topo.routes.items():
+        print(
+            f"{name:>8} {route.load.mean:8.1f} {be.per_route[name]:11.3f} "
+            f"{res.per_route[name]:10.3f}"
+        )
+    print(
+        f"network normalised: BE={be.normalised:.4f} R={res.normalised:.4f} "
+        f"gap={res.normalised - be.normalised:+.4f}"
+    )
+    factor = cmp.bandwidth_gap_factor()
+    print(
+        f"uniform overbuild for best-effort parity: x{factor:.3f} "
+        f"({100.0 * (factor - 1.0):.1f}% more capacity on every link)"
+    )
+    print(
+        f"ILP-vs-greedy admission utility difference: "
+        f"{cmp.admission_optimality_gap():+.4f}\n"
+    )
+
+
+def main() -> None:
+    print("parking-lot network, 3 links x capacity 40, adaptive apps\n")
+    study("geometric (light-tailed)", GeometricLoad.from_mean(25.0))
+    study("algebraic z=2.5 (heavy-tailed)", AlgebraicLoad.from_mean(2.5, 25.0))
+    print(
+        "the single-link conclusion generalises: light-tailed cross "
+        "traffic needs only a thin overbuild, heavy-tailed cross traffic "
+        "keeps a material reservation advantage on every link."
+    )
+
+
+if __name__ == "__main__":
+    main()

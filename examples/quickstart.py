@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: should your network take reservations?
+
+The one-screen version of the paper: pick a load distribution and an
+application utility, and compare the two architectures — utilities,
+performance gap, bandwidth gap, and the complexity budget reservations
+would have to stay under to be worth it.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import ArchitectureComparison, GeometricLoad
+from repro.utility import AdaptiveUtility
+
+
+def main() -> None:
+    # an "exponential" offered load averaging 100 simultaneous flows,
+    # carrying adaptive audio/video applications (the paper's Eq. 2)
+    load = GeometricLoad.from_mean(100.0)
+    utility = AdaptiveUtility()
+    comparison = ArchitectureComparison(load, utility)
+
+    print("Best-Effort versus Reservations — quickstart")
+    print(f"load: {load!r} (mean {load.mean:.0f} flows)")
+    print(f"utility: {utility!r}\n")
+
+    print(f"{'C':>6} {'k_max':>6} {'B(C)':>8} {'R(C)':>8} "
+          f"{'delta':>9} {'Delta':>8} {'P(overload)':>12}")
+    for capacity in (50.0, 100.0, 150.0, 200.0, 400.0, 800.0):
+        pt = comparison.at(capacity)
+        print(
+            f"{capacity:6.0f} {pt.k_max:6d} {pt.best_effort:8.4f} "
+            f"{pt.reservation:8.4f} {pt.performance_gap:9.5f} "
+            f"{pt.bandwidth_gap:8.3f} {pt.overload_probability:12.4f}"
+        )
+
+    # the Section 4 decision rule: how much extra per-unit bandwidth
+    # cost can the reservation architecture carry before best-effort
+    # becomes the better buy?
+    price = 0.05  # bandwidth price in utility units
+    budget = comparison.break_even_complexity_cost(price)
+    print(
+        f"\nat bandwidth price {price}: reservations are worth up to "
+        f"{100.0 * budget:.1f}% extra per-unit bandwidth cost"
+    )
+    if budget < 0.02:
+        print("verdict: provisioning wins — keep the network best-effort-only")
+    else:
+        print("verdict: admission control earns its complexity here")
+
+
+if __name__ == "__main__":
+    main()

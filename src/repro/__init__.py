@@ -1,0 +1,111 @@
+"""repro — Best-Effort versus Reservations: A Simple Comparative Analysis.
+
+A faithful, fully tested reimplementation of Breslau & Shenker's
+SIGCOMM 1998 analytical comparison of best-effort-only and
+reservation-capable network architectures, plus the dynamic simulation
+substrate the paper abstracts away.
+
+Quick start::
+
+    from repro import ArchitectureComparison, GeometricLoad, AdaptiveUtility
+
+    cmp = ArchitectureComparison(GeometricLoad.from_mean(100.0),
+                                 AdaptiveUtility())
+    point = cmp.at(capacity=200.0)
+    print(point.performance_gap, point.bandwidth_gap)
+
+Subpackages:
+
+- :mod:`repro.utility` — application utility functions ``pi(b)``.
+- :mod:`repro.loads` — offered-load distributions ``P(k)``.
+- :mod:`repro.models` — the paper's Sections 2-5 models.
+- :mod:`repro.continuum` — closed forms and asymptotic laws.
+- :mod:`repro.simulation` — flow-level discrete-event simulator.
+- :mod:`repro.extensions` — heterogeneous / risk-averse / nonstationary.
+- :mod:`repro.inference` — fit census measurements, recommend an
+  architecture (the paper's Section 6 advice as a pipeline).
+- :mod:`repro.network` — the comparison generalised to multi-link
+  topologies (max-min fairness vs ILP admission).
+- :mod:`repro.traces` — flow-trace records and the trace -> census ->
+  verdict pipeline.
+- :mod:`repro.experiments` — regenerate every figure and quoted number.
+"""
+
+from repro.errors import (
+    BracketError,
+    CalibrationError,
+    ConvergenceError,
+    ModelError,
+    ReproError,
+)
+from repro.loads import (
+    KBAR_PAPER,
+    AlgebraicLoad,
+    ExponentialLoad,
+    GeometricLoad,
+    LoadDistribution,
+    MaxOfSLoad,
+    ParetoLoad,
+    PoissonLoad,
+    SizeBiasedLoad,
+    standard_loads,
+)
+from repro.models import (
+    Architecture,
+    ArchitectureComparison,
+    FixedLoadModel,
+    RetryingModel,
+    SamplingModel,
+    VariableLoadModel,
+    WelfareModel,
+)
+from repro.utility import (
+    KAPPA_PAPER,
+    AdaptiveUtility,
+    AlgebraicTailUtility,
+    ExponentialElasticUtility,
+    HyperbolicElasticUtility,
+    PiecewiseLinearUtility,
+    PowerLowUtility,
+    RigidUtility,
+    UtilityFunction,
+    calibrate_kappa,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KAPPA_PAPER",
+    "KBAR_PAPER",
+    "AdaptiveUtility",
+    "AlgebraicLoad",
+    "AlgebraicTailUtility",
+    "Architecture",
+    "ArchitectureComparison",
+    "BracketError",
+    "CalibrationError",
+    "ConvergenceError",
+    "ExponentialElasticUtility",
+    "ExponentialLoad",
+    "FixedLoadModel",
+    "GeometricLoad",
+    "HyperbolicElasticUtility",
+    "LoadDistribution",
+    "MaxOfSLoad",
+    "ModelError",
+    "ParetoLoad",
+    "PiecewiseLinearUtility",
+    "PoissonLoad",
+    "PowerLowUtility",
+    "ReproError",
+    "RetryingModel",
+    "RigidUtility",
+    "SamplingModel",
+    "SizeBiasedLoad",
+    "UtilityFunction",
+    "VariableLoadModel",
+    "WelfareModel",
+    "calibrate_kappa",
+    "standard_loads",
+    "__version__",
+]

@@ -1,0 +1,145 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Usage::
+
+    repro-experiments list                 # show every experiment id
+    repro-experiments run F3               # regenerate Figure 3's series
+    repro-experiments run T1 --json        # Section 3.3 checkpoints, JSON
+    repro-experiments run F4 --fast        # small grids for a quick look
+    repro-experiments checkpoints          # the full paper-vs-measured table
+    repro-experiments export F3 --out fig  # CSV + gnuplot for Figure 3
+    repro-experiments analyze-trace t.csv  # census verdict from a flow trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments import checkpoints, registry, report
+from repro.experiments.params import DEFAULT_CONFIG, FAST_CONFIG
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI definition (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the figures and text-quoted numbers of Breslau & "
+            "Shenker, 'Best-Effort versus Reservations' (SIGCOMM 1998)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list every registered experiment")
+
+    run = sub.add_parser("run", help="run one experiment by id")
+    run.add_argument("experiment", help="experiment id (e.g. F2, T1, S5.1)")
+    run.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    run.add_argument(
+        "--fast", action="store_true", help="use the reduced grids (quick look)"
+    )
+
+    cp = sub.add_parser(
+        "checkpoints", help="run every paper-vs-measured checkpoint"
+    )
+    cp.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    cp.add_argument("--markdown", action="store_true", help="emit a markdown table")
+
+    ex = sub.add_parser(
+        "export", help="write a figure's series as CSV + gnuplot scripts"
+    )
+    ex.add_argument("experiment", help="figure id (F1-F4, S5.1, S5.2)")
+    ex.add_argument("--out", default="figures", help="output directory")
+    ex.add_argument(
+        "--fast", action="store_true", help="use the reduced grids (quick look)"
+    )
+
+    tr = sub.add_parser(
+        "analyze-trace",
+        help="read a flow-trace CSV, identify its census, print the verdict",
+    )
+    tr.add_argument("trace", help="path to a trace written by repro.traces.write_trace")
+    tr.add_argument("--price", type=float, default=0.05, help="bandwidth price")
+    tr.add_argument(
+        "--utility",
+        choices=["adaptive", "rigid"],
+        default="adaptive",
+        help="application utility class",
+    )
+    tr.add_argument(
+        "--samples", type=int, default=4000, help="census samples for the fitters"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI main; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for exp in registry.EXPERIMENTS.values():
+            print(f"{exp.exp_id:6s} {exp.description}")
+        return 0
+
+    if args.command == "run":
+        try:
+            exp = registry.get(args.experiment)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
+        result = exp.run(config)
+        print(report.to_json(result) if args.json else report.render(result))
+        return 0
+
+    if args.command == "export":
+        try:
+            exp = registry.get(args.experiment)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
+        result = exp.run(config)
+        if not isinstance(result, dict):
+            print(
+                f"experiment {args.experiment} is a checkpoint table, not a "
+                "figure; use `run` for it",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.experiments.export import export_figure
+
+        written = export_figure(result, args.out, args.experiment.replace(".", "_"))
+        for path in written:
+            print(path)
+        return 0
+
+    if args.command == "analyze-trace":
+        from repro.traces import analyze_trace, read_trace
+        from repro.utility import AdaptiveUtility, RigidUtility
+
+        trace = read_trace(args.trace)
+        utility = AdaptiveUtility() if args.utility == "adaptive" else RigidUtility(1.0)
+        recommendation = analyze_trace(
+            trace, utility, price=args.price, samples=args.samples
+        )
+        print(recommendation.summary())
+        return 0
+
+    if args.command == "checkpoints":
+        rows = checkpoints.all_checkpoints()
+        if args.json:
+            print(report.to_json(rows))
+        elif args.markdown:
+            print(report.markdown_checkpoint_table(rows))
+        else:
+            print(report.render_checkpoints(rows))
+        return 0 if all(row.matches for row in rows) else 1
+
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Continuum-model closed forms and asymptotics (Sections 3.2-5).
+
+- :class:`ContinuumModel` — generic quadrature engine for any
+  (continuum load, utility) pair; certifies the closed forms.
+- :class:`RigidExponentialContinuum`, :class:`RigidAlgebraicContinuum`,
+  :class:`AdaptiveExponentialContinuum`,
+  :class:`AdaptiveAlgebraicContinuum` — the four worked cases.
+- :class:`AlgebraicTailAlgebraicContinuum` — the power-law-satiation
+  utility under the Pareto census (Section 3.3's Delta-growth
+  trichotomy in ``tau`` vs ``z``).
+- :class:`ContinuumSamplingModel` — continuum Section 5.1 numerics.
+- :mod:`repro.continuum.asymptotics` — the limit laws and the
+  conjectured ``e`` / ``e - 1`` bounds (plus how the Section 5
+  extensions break them).
+"""
+
+from repro.continuum.adaptive_algebraic import (
+    AdaptiveAlgebraicContinuum,
+    best_effort_loss_coefficient,
+    gap_ratio_limit,
+)
+from repro.continuum.adaptive_exponential import AdaptiveExponentialContinuum
+from repro.continuum.algebraic_tail_case import AlgebraicTailAlgebraicContinuum
+from repro.continuum.asymptotics import (
+    DELTA_OVER_C_BOUND,
+    GAMMA_BOUND,
+    adaptive_algebraic_ratio,
+    adaptive_algebraic_ratio_limit,
+    retrying_adaptive_ratio,
+    retrying_rigid_ratio,
+    rigid_algebraic_ratio,
+    sampling_adaptive_ratio,
+    sampling_exponential_gap,
+    sampling_rigid_ratio,
+)
+from repro.continuum.base import ContinuumModel
+from repro.continuum.rigid_algebraic import RigidAlgebraicContinuum
+from repro.continuum.rigid_exponential import RigidExponentialContinuum
+from repro.continuum.sampling import ContinuumSamplingModel
+
+__all__ = [
+    "DELTA_OVER_C_BOUND",
+    "GAMMA_BOUND",
+    "AdaptiveAlgebraicContinuum",
+    "AdaptiveExponentialContinuum",
+    "AlgebraicTailAlgebraicContinuum",
+    "ContinuumModel",
+    "ContinuumSamplingModel",
+    "RigidAlgebraicContinuum",
+    "RigidExponentialContinuum",
+    "adaptive_algebraic_ratio",
+    "adaptive_algebraic_ratio_limit",
+    "best_effort_loss_coefficient",
+    "gap_ratio_limit",
+    "retrying_adaptive_ratio",
+    "retrying_rigid_ratio",
+    "rigid_algebraic_ratio",
+    "sampling_adaptive_ratio",
+    "sampling_exponential_gap",
+    "sampling_rigid_ratio",
+]

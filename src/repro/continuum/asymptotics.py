@@ -1,0 +1,141 @@
+"""Asymptotic laws and the paper's conjectured bounds.
+
+The paper's large-C / small-p story in one module:
+
+==================  =====================  ==============================
+case                Delta(C) growth        gamma(p) limit (p -> 0)
+==================  =====================  ==============================
+rigid x Poisson     -> 0 superexponential  1
+rigid x exponential ~ ln(beta C)/beta      1 (like 1 + lnln/ln)
+rigid x algebraic   C ((z-1)^{1/(z-2)}-1)  (z-1)^{1/(z-2)}
+ramp  x exponential -> -ln(1-a)/beta       1
+ramp  x algebraic   C (ratio(z,a) - 1)     ratio(z,a)
+==================  =====================  ==============================
+
+and the bounds: in the basic model the worst case is ``z -> 2+`` where
+the ratio tends to ``e`` (so ``Delta/C -> e - 1``), conjectured maximal
+over load distributions.  The Section 5 extensions *break* these
+bounds: with ``S`` performance samples the rigid ratio becomes
+``(S (z-1))^{1/(z-2)}`` and with retry penalty ``alpha`` it becomes
+``((z-1)/alpha)^{1/(z-2)}`` — both divergent as ``z -> 2+``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.continuum.adaptive_algebraic import best_effort_loss_coefficient
+
+#: The paper's conjectured asymptotic bound on gamma(p) in the basic model.
+GAMMA_BOUND = math.e
+
+#: The paper's conjectured asymptotic bound on Delta(C)/C in the basic model.
+DELTA_OVER_C_BOUND = math.e - 1.0
+
+
+def _check_z(z: float) -> None:
+    if z <= 2.0:
+        raise ValueError(f"power z must be > 2, got {z!r}")
+
+
+def _power_ratio(base: float, z: float) -> float:
+    """``base ** (1/(z-2))`` in log space; inf instead of overflow.
+
+    The z -> 2+ limits are the whole point of these functions, so they
+    must survive exponents far beyond float range.
+    """
+    exponent = math.log(base) / (z - 2.0)
+    if exponent > 700.0:
+        return math.inf
+    return math.exp(exponent)
+
+
+def rigid_algebraic_ratio(z: float) -> float:
+    """Basic model, rigid apps: ``(C+Delta)/C = (z-1)^{1/(z-2)}``."""
+    _check_z(z)
+    return _power_ratio(z - 1.0, z)
+
+
+def adaptive_algebraic_ratio(z: float, a: float) -> float:
+    """Basic model, ramp(a) apps: ``(c_B/c_R)^{1/(z-2)}``."""
+    _check_z(z)
+    c_b = best_effort_loss_coefficient(z, a)
+    return _power_ratio((z - 2.0) * c_b, z)
+
+
+def adaptive_algebraic_ratio_limit(a: float) -> float:
+    """``z -> 2+`` limit of the ramp ratio: ``a^{-a/(1-a)}`` in [1, e)."""
+    if not 0.0 <= a < 1.0:
+        raise ValueError(f"adaptivity parameter a must be in [0, 1), got {a!r}")
+    if a == 0.0:
+        return 1.0
+    return a ** (-a / (1.0 - a))
+
+
+def sampling_rigid_ratio(z: float, samples: int) -> float:
+    """Sampling extension, rigid apps: ``(S (z-1))^{1/(z-2)}``.
+
+    Derivation: with ``S`` samples the best-effort disutility becomes
+    ``1 - B_S = 1 - (1 - C^{2-z})^S ~ S C^{2-z}``, while the
+    reservation disutility is unchanged at ``C^{2-z}/(z-1)``; equating
+    ``B_S(C + Delta) = R_S(C)`` gives the ratio.  Divergent as
+    ``z -> 2+`` for every ``S > 1`` — sampling removes the ``e`` bound.
+    """
+    _check_z(z)
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples!r}")
+    return _power_ratio(samples * (z - 1.0), z)
+
+
+def sampling_adaptive_ratio(z: float, a: float, samples: int) -> float:
+    """Sampling extension, ramp(a) apps: ``(S c_B (z-2))^{1/(z-2)}``.
+
+    For the ramp, admitted flows never see an effective share below 1
+    (loads are capped at ``k_max = C``), so the reservation disutility
+    is still the pure blocking loss ``C^{2-z}/(z-1)``; the best-effort
+    disutility is ``S`` times the single-sample coefficient.  Also
+    divergent as ``z -> 2+`` whenever ``S > 1`` or ``a > 0``.
+    """
+    _check_z(z)
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples!r}")
+    c_b = best_effort_loss_coefficient(z, a)
+    return _power_ratio(samples * (z - 2.0) * c_b, z)
+
+
+def retrying_rigid_ratio(z: float, alpha: float) -> float:
+    """Retrying extension, rigid apps: ``((z-1)/alpha)^{1/(z-2)}``.
+
+    With retries the reservation disutility at large C is just the
+    retry penalty ``alpha * theta`` with blocking
+    ``theta = C^{2-z}/(z-1)``; best-effort is unchanged at ``C^{2-z}``.
+    Diverges as ``z -> 2+`` for every ``alpha < 1``.
+    """
+    _check_z(z)
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"retry penalty alpha must be in (0, 1], got {alpha!r}")
+    return _power_ratio((z - 1.0) / alpha, z)
+
+
+def retrying_adaptive_ratio(z: float, a: float, alpha: float) -> float:
+    """Retrying extension, ramp(a) apps: ``(c_B (z-2)/alpha)^{1/(z-2)}``."""
+    _check_z(z)
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"retry penalty alpha must be in (0, 1], got {alpha!r}")
+    c_b = best_effort_loss_coefficient(z, a)
+    return _power_ratio((z - 2.0) * c_b / alpha, z)
+
+
+def sampling_exponential_gap(beta: float, capacity: float, samples: int) -> float:
+    """Rigid x exponential with sampling: ``delta ~ e^{-bC}(S(1+bC)-1)``.
+
+    The paper's stated large-C form; the sampling extension does not
+    change the exponential case qualitatively (the gap still vanishes,
+    the bandwidth gap still grows like ``S ln(C)/beta``).
+    """
+    if beta <= 0.0:
+        raise ValueError(f"rate beta must be > 0, got {beta!r}")
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples!r}")
+    bc = beta * capacity
+    return math.exp(-bc) * (samples * (1.0 + bc) - 1.0)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError`, so callers can catch one base class instead of
+guessing which submodule failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConvergenceError(ReproError):
+    """A numerical routine failed to converge.
+
+    Raised by root finders, fixed-point iterations and series summation
+    when the requested tolerance cannot be met within the iteration
+    budget.  The offending inputs are included in the message so the
+    failure can be reproduced.
+    """
+
+
+class BracketError(ConvergenceError):
+    """A root or optimum could not be bracketed.
+
+    Usually means the target value lies outside the function's range
+    (e.g. asking for a bandwidth gap when best-effort utility can never
+    reach the reservation utility within the search limits).
+    """
+
+
+class CalibrationError(ReproError):
+    """A distribution or utility parameter could not be calibrated.
+
+    Raised, for example, when no value of the algebraic-load shift
+    parameter produces the requested mean, or when the adaptive-utility
+    kappa cannot be tuned to place ``k_max(C)`` at ``C``.
+    """
+
+
+class ModelError(ReproError):
+    """A model was constructed or queried with inconsistent inputs."""

@@ -1,0 +1,41 @@
+"""Experiment harness: regenerate every table and figure in the paper.
+
+- :mod:`repro.experiments.params` — the paper's constants and grids.
+- :mod:`repro.experiments.figures` — series generators for Figures 1-4
+  and the Section 5 sweeps.
+- :mod:`repro.experiments.checkpoints` — every number quoted in the
+  paper's prose, recomputed and compared.
+- :mod:`repro.experiments.registry` — id -> generator lookup.
+- :mod:`repro.experiments.report` — text/JSON/markdown rendering.
+"""
+
+from repro.experiments.checkpoints import Checkpoint, all_checkpoints
+from repro.experiments.figures import (
+    continuum_series,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    retrying_series,
+    sampling_series,
+)
+from repro.experiments.params import DEFAULT_CONFIG, FAST_CONFIG, PaperConfig
+from repro.experiments.registry import EXPERIMENTS, Experiment, get
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "EXPERIMENTS",
+    "FAST_CONFIG",
+    "Checkpoint",
+    "Experiment",
+    "PaperConfig",
+    "all_checkpoints",
+    "continuum_series",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "get",
+    "retrying_series",
+    "sampling_series",
+]

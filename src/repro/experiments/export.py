@@ -1,0 +1,155 @@
+"""Exporting experiment series: CSV and gnuplot.
+
+The benchmark harness prints series as text tables; for actually
+redrawing the paper's figures most people want files.  These helpers
+write any ``{name: ndarray}`` series dict as CSV (one file per distinct
+axis length, since figures mix capacity-axis and price-axis panels)
+and emit a ready-to-run gnuplot script per figure.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Dict, List
+
+import numpy as np
+
+
+def _split_blocks(series: Dict[str, np.ndarray]) -> Dict[int, Dict[str, np.ndarray]]:
+    """Group columns by length; scalars (length 1) are dropped here."""
+    blocks: Dict[int, Dict[str, np.ndarray]] = {}
+    for name, values in series.items():
+        arr = np.asarray(values)
+        if arr.size <= 1:
+            continue
+        blocks.setdefault(len(arr), {})[name] = arr
+    if not blocks:
+        raise ValueError("series contains no exportable columns")
+    return blocks
+
+
+def write_csv(series: Dict[str, np.ndarray], stem) -> List[pathlib.Path]:
+    """Write the series to ``<stem>.csv`` (or ``<stem>_N.csv`` per block).
+
+    Returns the written paths.  Scalar entries become a comment line in
+    every file, so the parameters travel with the data.
+    """
+    stem = pathlib.Path(stem)
+    stem.parent.mkdir(parents=True, exist_ok=True)
+    scalars = {
+        name: float(np.asarray(v).reshape(-1)[0])
+        for name, v in series.items()
+        if np.asarray(v).size == 1
+    }
+    blocks = _split_blocks(series)
+    paths: List[pathlib.Path] = []
+    for index, (length, block) in enumerate(sorted(blocks.items(), reverse=True)):
+        suffix = "" if len(blocks) == 1 else f"_{index}"
+        path = stem.with_name(stem.name + suffix).with_suffix(".csv")
+        with path.open("w", newline="") as handle:
+            if scalars:
+                handle.write(
+                    "# " + " ".join(f"{k}={v:g}" for k, v in scalars.items()) + "\n"
+                )
+            writer = csv.writer(handle)
+            names = list(block)
+            writer.writerow(names)
+            for i in range(length):
+                writer.writerow([f"{block[name][i]:.10g}" for name in names])
+        paths.append(path)
+    return paths
+
+
+def write_gnuplot(
+    series: Dict[str, np.ndarray],
+    stem,
+    *,
+    x_column: str,
+    y_columns: List[str],
+    title: str = "",
+    logscale_x: bool = False,
+) -> pathlib.Path:
+    """Write ``<stem>.csv`` + ``<stem>.gp`` plotting the chosen columns.
+
+    The gnuplot script renders to ``<stem>.png`` with
+    ``gnuplot <stem>.gp``.  Only columns sharing ``x_column``'s length
+    are eligible.
+    """
+    stem = pathlib.Path(stem)
+    x = np.asarray(series[x_column])
+    block = {x_column: x}
+    for name in y_columns:
+        arr = np.asarray(series[name])
+        if len(arr) != len(x):
+            raise ValueError(
+                f"column {name!r} has length {len(arr)}, x axis has {len(x)}"
+            )
+        block[name] = arr
+    csv_path = write_csv(block, stem)[0]
+
+    lines = [
+        "set datafile separator ','",
+        f"set output '{stem.name}.png'",
+        "set terminal pngcairo size 900,600",
+        f"set title '{title or stem.name}'",
+        f"set xlabel '{x_column}'",
+        "set key left top",
+    ]
+    if logscale_x:
+        lines.append("set logscale x")
+    plots = [
+        f"'{csv_path.name}' using 1:{i + 2} with linespoints title '{name}'"
+        for i, name in enumerate(y_columns)
+    ]
+    lines.append("plot " + ", \\\n     ".join(plots))
+    gp_path = stem.with_suffix(".gp")
+    gp_path.write_text("\n".join(lines) + "\n")
+    return gp_path
+
+
+def export_figure(series: Dict[str, np.ndarray], directory, name: str) -> List[pathlib.Path]:
+    """One-call export of a figure-generator dict: CSVs + plot scripts.
+
+    Capacity-axis panels (utility curves, gaps) and price-axis panels
+    (gamma) each get a CSV; a gnuplot script is emitted per natural
+    panel grouping found in the column names.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = write_csv(series, directory / name)
+
+    # standard panel groupings from the figure generators
+    groups = []
+    if "capacity" in series:
+        utilities = [
+            c
+            for c in series
+            if c.startswith(("best_effort", "reservation"))
+            and len(np.asarray(series[c])) == len(np.asarray(series["capacity"]))
+        ]
+        if utilities:
+            groups.append(("utility", "capacity", utilities, False))
+        gaps = [c for c in series if c.startswith("bandwidth_gap")]
+        if gaps:
+            groups.append(("bandwidth_gap", "capacity", gaps, False))
+    if "gamma_price_rigid" in series:
+        groups.append(
+            ("gamma_rigid", "gamma_price_rigid", ["gamma_rigid"], True)
+        )
+    if "gamma_price_adaptive" in series:
+        groups.append(
+            ("gamma_adaptive", "gamma_price_adaptive", ["gamma_adaptive"], True)
+        )
+    for label, x_col, y_cols, logx in groups:
+        written.append(
+            write_gnuplot(
+                series,
+                directory / f"{name}_{label}",
+                x_column=x_col,
+                y_columns=y_cols,
+                title=f"{name}: {label}",
+                logscale_x=logx,
+            )
+        )
+    return written

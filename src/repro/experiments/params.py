@@ -1,0 +1,77 @@
+"""Standard parameters for reproducing the paper's figures.
+
+One frozen configuration object holds every constant the paper pins
+down (k_bar = 100, kappa = 0.62086, z = 3, alpha = 0.1) plus the sweep
+grids the figures are evaluated on.  The benchmark harness and the CLI
+both build their runs from here so the "paper run" is defined in
+exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.loads import AlgebraicLoad, GeometricLoad, PoissonLoad
+from repro.loads.base import LoadDistribution
+from repro.utility import KAPPA_PAPER, AdaptiveUtility, RigidUtility
+from repro.utility.base import UtilityFunction
+
+
+def _default_capacities() -> Tuple[float, ...]:
+    """Figure x-axis: 25 points spanning C in [10, 1000] (k_bar = 100)."""
+    return tuple(np.unique(np.concatenate([
+        np.linspace(10.0, 200.0, 14),
+        np.geomspace(200.0, 1000.0, 12),
+    ]).round(0)))
+
+
+def _default_prices() -> Tuple[float, ...]:
+    """Price axis for the gamma(p) panels: log grid over [1e-3, 0.3]."""
+    return tuple(np.geomspace(1e-3, 0.3, 16))
+
+
+@dataclass(frozen=True)
+class PaperConfig:
+    """All constants of the paper's numerical experiments."""
+
+    kbar: float = 100.0
+    kappa: float = KAPPA_PAPER
+    z: float = 3.0
+    alpha: float = 0.1
+    samples: int = 10
+    ramp_a: float = 0.5
+    capacities: Tuple[float, ...] = field(default_factory=_default_capacities)
+    prices: Tuple[float, ...] = field(default_factory=_default_prices)
+
+    def load(self, name: str) -> LoadDistribution:
+        """The paper's load distribution by name (mean ``kbar``)."""
+        if name == "poisson":
+            return PoissonLoad(self.kbar)
+        if name == "exponential":
+            return GeometricLoad.from_mean(self.kbar)
+        if name == "algebraic":
+            return AlgebraicLoad.from_mean(self.z, self.kbar)
+        raise ValueError(
+            f"unknown load {name!r}; expected poisson/exponential/algebraic"
+        )
+
+    def utility(self, name: str) -> UtilityFunction:
+        """The paper's utility function by name."""
+        if name == "rigid":
+            return RigidUtility(1.0)
+        if name == "adaptive":
+            return AdaptiveUtility(self.kappa)
+        raise ValueError(f"unknown utility {name!r}; expected rigid/adaptive")
+
+
+#: The configuration every benchmark and report uses by default.
+DEFAULT_CONFIG = PaperConfig()
+
+#: A smaller configuration for quick smoke runs and CI.
+FAST_CONFIG = PaperConfig(
+    capacities=tuple(np.linspace(20.0, 500.0, 8).round(0)),
+    prices=tuple(np.geomspace(3e-3, 0.2, 6)),
+)

@@ -1,0 +1,80 @@
+"""Experiment registry: id -> (description, generator).
+
+Single lookup table mapping the DESIGN.md experiment ids to the code
+that regenerates them, used by the CLI and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, NamedTuple, Optional
+
+from repro.experiments import checkpoints, figures
+from repro.experiments.params import PaperConfig
+
+
+class Experiment(NamedTuple):
+    """A registered experiment."""
+
+    exp_id: str
+    description: str
+    run: Callable[[Optional[PaperConfig]], object]
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    exp.exp_id: exp
+    for exp in [
+        Experiment("F1", "Figure 1: adaptive utility curve", figures.figure1),
+        Experiment(
+            "F2", "Figure 2: Poisson load, all six panels", figures.figure2
+        ),
+        Experiment(
+            "F3", "Figure 3: exponential load, all six panels", figures.figure3
+        ),
+        Experiment(
+            "F4", "Figure 4: algebraic load, all six panels", figures.figure4
+        ),
+        Experiment(
+            "T1",
+            "Section 3.3 text checkpoints (discrete model)",
+            checkpoints.section3_checkpoints,
+        ),
+        Experiment(
+            "T2",
+            "Section 3.2/3.3 continuum closed-form checkpoints",
+            checkpoints.continuum_checkpoints,
+        ),
+        Experiment(
+            "T3", "Section 4 welfare checkpoints", checkpoints.welfare_checkpoints
+        ),
+        Experiment(
+            "T4", "Section 5.1 sampling checkpoints", checkpoints.sampling_checkpoints
+        ),
+        Experiment(
+            "T5", "Section 5.2 retrying checkpoints", checkpoints.retrying_checkpoints
+        ),
+        Experiment(
+            "C1",
+            "Continuum closed-form overlays (all four worked cases)",
+            figures.continuum_series,
+        ),
+        Experiment(
+            "S5.1",
+            "Section 5.1 sampling sweep (exponential/adaptive)",
+            figures.sampling_series,
+        ),
+        Experiment(
+            "S5.2",
+            "Section 5.2 retrying sweep (algebraic/adaptive)",
+            figures.retrying_series,
+        ),
+    ]
+}
+
+
+def get(exp_id: str) -> Experiment:
+    """Look up an experiment, with a helpful error on typos."""
+    try:
+        return EXPERIMENTS[exp_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {exp_id!r}; known ids: {known}") from None

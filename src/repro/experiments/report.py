@@ -1,0 +1,108 @@
+"""Plain-text rendering of experiment output.
+
+Figures become aligned numeric tables (one row per capacity/price),
+checkpoint lists become paper-vs-measured lines — the same content the
+paper presents graphically, in a form that diffs and greps well.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.experiments.checkpoints import Checkpoint
+
+
+def render_series(series: dict, *, max_rows: int = 40) -> str:
+    """Render a ``{name: ndarray}`` dict as an aligned text table.
+
+    Scalars (length-1 arrays) are printed as a header; equal-length
+    arrays become columns.
+    """
+    header_items: List[str] = []
+    columns: dict = {}
+    for name, values in series.items():
+        arr = np.asarray(values)
+        if arr.size == 1:
+            header_items.append(f"{name}={arr.reshape(-1)[0]:g}")
+        else:
+            columns[name] = arr
+    lines: List[str] = []
+    if header_items:
+        lines.append("# " + "  ".join(header_items))
+    # columns of different lengths (e.g. capacity-axis vs price-axis
+    # panels of one figure) render as separate tables
+    by_length: dict = {}
+    for name, arr in columns.items():
+        by_length.setdefault(len(arr), {})[name] = arr
+    for block_index, (n, block) in enumerate(sorted(by_length.items(), reverse=True)):
+        if block_index > 0:
+            lines.append("")
+        names = list(block)
+        widths = [max(14, len(name) + 2) for name in names]
+        lines.append("  ".join(f"{name:>{w}}" for name, w in zip(names, widths)))
+        step = max(1, n // max_rows)
+        for i in range(0, n, step):
+            row = []
+            for name, w in zip(names, widths):
+                value = block[name][i]
+                if isinstance(value, (float, np.floating)) and np.isnan(value):
+                    row.append(f"{'nan':>{w}}")
+                else:
+                    row.append(f"{value:>{w}.6g}")
+            lines.append("  ".join(row))
+    return "\n".join(lines)
+
+
+def render_checkpoints(rows: Sequence[Checkpoint]) -> str:
+    """Render checkpoint rows, ending with a pass/total summary."""
+    lines = [row.row() for row in rows]
+    passed = sum(1 for row in rows if row.matches)
+    lines.append(f"-- {passed}/{len(rows)} checkpoints match the paper")
+    return "\n".join(lines)
+
+
+def render(result: object) -> str:
+    """Render whatever an experiment generator returned."""
+    if isinstance(result, dict):
+        return render_series(result)
+    if isinstance(result, (list, tuple)) and result and isinstance(result[0], Checkpoint):
+        return render_checkpoints(result)
+    return repr(result)
+
+
+def to_json(result: object) -> str:
+    """JSON form of an experiment result (for machine consumption)."""
+    if isinstance(result, dict):
+        payload = {k: np.asarray(v).tolist() for k, v in result.items()}
+    elif isinstance(result, (list, tuple)) and result and isinstance(result[0], Checkpoint):
+        payload = [
+            {
+                "id": row.exp_id,
+                "description": row.description,
+                "paper": row.paper_value,
+                "measured": row.measured,
+                "matches": row.matches,
+            }
+            for row in result
+        ]
+    else:
+        payload = repr(result)
+    return json.dumps(payload, indent=2)
+
+
+def markdown_checkpoint_table(rows: Iterable[Checkpoint]) -> str:
+    """Markdown table of checkpoints (used to regenerate EXPERIMENTS.md)."""
+    lines = [
+        "| id | quantity | paper | measured | match |",
+        "|---|---|---|---|---|",
+    ]
+    for row in rows:
+        flag = "yes" if row.matches else "**no**"
+        lines.append(
+            f"| {row.exp_id} | {row.description} | {row.paper_value} "
+            f"| {row.measured:.6g} | {flag} |"
+        )
+    return "\n".join(lines)

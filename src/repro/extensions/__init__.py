@@ -1,0 +1,25 @@
+"""The Section 5 "other extensions" the paper examined.
+
+- heterogeneous flows: :class:`MixtureUtility` and
+  :class:`ScaledUtility` compose directly into every model.
+- nonstationary loads: :class:`MixtureLoad` is a first-class census
+  distribution built from time-shared regimes.
+- risk aversion: :class:`RiskAverseModel` blends mean and worst-of-S
+  scoring between the basic and sampling models.
+- exact two-class analysis: :class:`TwoClassModel` convolves two
+  independent censuses with their own utilities and demands — no
+  Monte Carlo, no fixed-composition assumption.
+"""
+
+from repro.extensions.heterogeneous import MixtureUtility, ScaledUtility
+from repro.extensions.nonstationary import MixtureLoad
+from repro.extensions.risk_averse import RiskAverseModel
+from repro.extensions.two_class import TwoClassModel
+
+__all__ = [
+    "MixtureLoad",
+    "MixtureUtility",
+    "RiskAverseModel",
+    "ScaledUtility",
+    "TwoClassModel",
+]

@@ -1,0 +1,41 @@
+"""Census inference: from measurements to an architecture verdict.
+
+The paper closes by saying the best-effort-vs-reservations answer
+"unambiguously point[s] to the need to more fully understand the load
+distributions future networks are likely to face".  This subpackage is
+that understanding as code:
+
+- :func:`fit_poisson` / :func:`fit_geometric` / :func:`fit_algebraic`
+  — per-family maximum likelihood,
+- :func:`fit_all` — AIC model selection, :func:`chi_square_gof`,
+- :func:`hill_estimate` — nonparametric tail-index (the critical ``z``),
+- :func:`recommend_architecture` — the full measure -> identify ->
+  compare pipeline, ending in the Section 4/6 verdict.
+"""
+
+from repro.inference.bootstrap import BootstrapVerdict, bootstrap_verdict
+from repro.inference.fitters import (
+    FitResult,
+    fit_algebraic,
+    fit_geometric,
+    fit_poisson,
+)
+from repro.inference.recommend import Recommendation, recommend_architecture
+from repro.inference.selection import SelectionResult, chi_square_gof, fit_all
+from repro.inference.tail import TailEstimate, hill_estimate
+
+__all__ = [
+    "BootstrapVerdict",
+    "FitResult",
+    "bootstrap_verdict",
+    "Recommendation",
+    "SelectionResult",
+    "TailEstimate",
+    "chi_square_gof",
+    "fit_algebraic",
+    "fit_all",
+    "fit_geometric",
+    "fit_poisson",
+    "hill_estimate",
+    "recommend_architecture",
+]

@@ -1,0 +1,117 @@
+"""Bootstrap confidence for the architecture verdict.
+
+A census sample is noisy; a verdict derived from it inherits that
+noise — especially near the decision boundary, and especially for
+heavy tails where a handful of extreme observations carry the fit.
+:func:`bootstrap_verdict` resamples the census with replacement,
+reruns the identify-and-compare pipeline per resample, and reports how
+often each side wins, plus percentile intervals for the two numbers
+the verdict keys on (the complexity budget and the fitted tail power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.inference.recommend import recommend_architecture
+from repro.utility.base import UtilityFunction
+
+
+@dataclass(frozen=True)
+class BootstrapVerdict:
+    """Resampling summary of the architecture recommendation."""
+
+    n_resamples: int
+    reservation_fraction: float
+    budget_interval: Tuple[float, float]
+    z_interval: Optional[Tuple[float, float]]
+
+    @property
+    def decisive(self) -> bool:
+        """True when at least 90% of resamples agree."""
+        return (
+            self.reservation_fraction >= 0.9 or self.reservation_fraction <= 0.1
+        )
+
+    def summary(self) -> str:
+        """One-paragraph human-readable report."""
+        lines = [
+            f"bootstrap over {self.n_resamples} resamples: "
+            f"{100.0 * self.reservation_fraction:.0f}% recommend reservations",
+            f"complexity budget 90% interval: "
+            f"[{100.0 * self.budget_interval[0]:.2f}%, "
+            f"{100.0 * self.budget_interval[1]:.2f}%]",
+        ]
+        if self.z_interval is not None:
+            lines.append(
+                f"fitted tail power z 90% interval: "
+                f"[{self.z_interval[0]:.2f}, {self.z_interval[1]:.2f}]"
+            )
+        lines.append(
+            "verdict is "
+            + ("decisive" if self.decisive else "NOT decisive — measure longer")
+        )
+        return "\n".join(lines)
+
+
+def bootstrap_verdict(
+    census_samples,
+    utility: UtilityFunction,
+    *,
+    price: float = 0.05,
+    n_resamples: int = 20,
+    seed: Optional[int] = 0,
+    capacity_sweep: Optional[tuple] = None,
+) -> BootstrapVerdict:
+    """Resample the census and re-run the recommendation pipeline.
+
+    Each bootstrap pipeline run fits all families and sweeps the gap
+    trend, so keep ``n_resamples`` modest (the default 20 gives a
+    coarse but honest agreement fraction).  Heavy-tailed fits make
+    each pipeline run expensive; pass a shorter ``capacity_sweep`` to
+    trade trend resolution for speed.
+    """
+    arr = np.asarray(census_samples)
+    if arr.size < 20:
+        raise ModelError(
+            f"need at least 20 census samples to bootstrap, got {arr.size}"
+        )
+    if n_resamples < 2:
+        raise ModelError(f"need at least 2 resamples, got {n_resamples!r}")
+    rng = np.random.default_rng(seed)
+
+    votes = 0
+    budgets = []
+    z_values = []
+    for _ in range(n_resamples):
+        resample = rng.choice(arr, size=arr.size, replace=True)
+        rec = recommend_architecture(
+            resample, utility, price=price, capacity_sweep=capacity_sweep
+        )
+        votes += int(rec.reservations_recommended)
+        budgets.append(rec.complexity_budget)
+        fitted = rec.selection.best.load
+        z = getattr(fitted, "z", None)
+        if z is not None:
+            z_values.append(float(z))
+
+    budget_interval = (
+        float(np.percentile(budgets, 5)),
+        float(np.percentile(budgets, 95)),
+    )
+    z_interval = None
+    if len(z_values) >= max(2, n_resamples // 2):
+        z_interval = (
+            float(np.percentile(z_values, 5)),
+            float(np.percentile(z_values, 95)),
+        )
+    return BootstrapVerdict(
+        n_resamples=n_resamples,
+        reservation_fraction=votes / n_resamples,
+        budget_interval=budget_interval,
+        z_interval=z_interval,
+    )

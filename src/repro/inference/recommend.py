@@ -1,0 +1,119 @@
+"""From census measurements to an architecture recommendation.
+
+The end-to-end pipeline the paper's discussion section implies: measure
+the offered load, identify its distribution (body fit + tail check),
+run the comparative analysis on the identified law, and report which
+architecture the numbers favour at the operator's bandwidth price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.inference.selection import SelectionResult, fit_all
+from repro.inference.tail import TailEstimate, hill_estimate
+from repro.models import ArchitectureComparison
+from repro.utility.base import UtilityFunction
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The pipeline's full output for one census sample."""
+
+    selection: SelectionResult
+    tail: Optional[TailEstimate]
+    comparison: ArchitectureComparison
+    price: float
+    complexity_budget: float
+    bandwidth_gap_trend: str
+
+    @property
+    def load_family(self) -> str:
+        """Name of the identified census family."""
+        return self.selection.best_name
+
+    @property
+    def reservations_recommended(self) -> bool:
+        """The Section 4/6 verdict at this price.
+
+        Reservations are recommended when either the welfare analysis
+        leaves a material complexity budget (> 2% extra per-unit cost)
+        or the bandwidth gap is still growing at the top of the sweep —
+        the regime where no amount of overprovisioning settles it.
+        """
+        return self.complexity_budget > 0.02 or self.bandwidth_gap_trend == "increasing"
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"identified census family: {self.load_family} "
+            f"(mean {self.selection.best.load.mean:.1f})",
+        ]
+        if self.tail is not None:
+            lines.append(
+                f"Hill tail estimate: z ~ {self.tail.z_hat:.2f} "
+                f"({'heavy' if self.tail.heavy_tailed else 'light'}-tailed)"
+            )
+        lines.append(
+            f"complexity budget at price {self.price}: "
+            f"{100.0 * self.complexity_budget:.2f}% extra per-unit cost"
+        )
+        lines.append(f"bandwidth-gap trend: {self.bandwidth_gap_trend}")
+        lines.append(
+            "verdict: "
+            + (
+                "reservation-capable architecture earns its complexity"
+                if self.reservations_recommended
+                else "best-effort-only with provisioning is sufficient"
+            )
+        )
+        return "\n".join(lines)
+
+
+def recommend_architecture(
+    census_samples,
+    utility: UtilityFunction,
+    *,
+    price: float = 0.05,
+    capacity_sweep: Optional[Tuple[float, ...]] = None,
+) -> Recommendation:
+    """Run the full measure -> identify -> compare pipeline.
+
+    Parameters
+    ----------
+    census_samples:
+        Observed simultaneous-flow counts (nonnegative integers).
+    utility:
+        The application utility the network serves.
+    price:
+        Bandwidth price for the welfare verdict.
+    capacity_sweep:
+        Capacities for the gap-trend check; defaults to
+        ``(0.5 .. 8) * fitted mean``.
+    """
+    selection = fit_all(census_samples)
+    arr = np.asarray(census_samples)
+    tail: Optional[TailEstimate] = None
+    if arr.size >= 10 and np.count_nonzero(arr) >= 10:
+        tail = hill_estimate(arr)
+
+    load = selection.best.load
+    comparison = ArchitectureComparison(load, utility)
+    if capacity_sweep is None:
+        mean = load.mean
+        capacity_sweep = tuple(
+            mean * m for m in (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0)
+        )
+    report = comparison.sweep(capacity_sweep)
+    budget = comparison.break_even_complexity_cost(price)
+    return Recommendation(
+        selection=selection,
+        tail=tail,
+        comparison=comparison,
+        price=price,
+        complexity_budget=budget,
+        bandwidth_gap_trend=report.bandwidth_gap_trend(),
+    )

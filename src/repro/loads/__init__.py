@@ -1,0 +1,53 @@
+"""Load distributions ``P(k)`` from the paper.
+
+Discrete (Section 3.1, all with ``k_bar = 100`` in the paper's runs):
+
+- :class:`PoissonLoad` — tightly peaked around the mean,
+- :class:`GeometricLoad` — the paper's "exponential" law,
+- :class:`AlgebraicLoad` — heavy power-law tail (shifted, so the mean
+  can be calibrated independently of the power ``z``).
+
+Continuum (Section 3.2): :class:`ExponentialLoad`, :class:`ParetoLoad`.
+
+Derived views for the sampling extension (Section 5.1):
+:class:`SizeBiasedLoad` (what a tagged flow sees) and
+:class:`MaxOfSLoad` (worst of ``S`` independent samples).
+"""
+
+from repro.loads.algebraic import AlgebraicLoad
+from repro.loads.base import LoadDistribution
+from repro.loads.continuum import ContinuumLoad, ExponentialLoad, ParetoLoad
+from repro.loads.geometric import GeometricLoad
+from repro.loads.poisson import PoissonLoad
+from repro.loads.weighted import MaxOfSLoad, SizeBiasedLoad
+
+#: The paper's standard mean load for all discrete computations.
+KBAR_PAPER = 100.0
+
+
+def standard_loads(kbar: float = KBAR_PAPER, z: float = 3.0) -> dict:
+    """The paper's three discrete load distributions at mean ``kbar``.
+
+    Returns a dict keyed ``"poisson"``, ``"exponential"``, ``"algebraic"``
+    — handy for sweeping all six (load x utility) cases.
+    """
+    return {
+        "poisson": PoissonLoad(kbar),
+        "exponential": GeometricLoad.from_mean(kbar),
+        "algebraic": AlgebraicLoad.from_mean(z, kbar),
+    }
+
+
+__all__ = [
+    "KBAR_PAPER",
+    "AlgebraicLoad",
+    "ContinuumLoad",
+    "ExponentialLoad",
+    "GeometricLoad",
+    "LoadDistribution",
+    "MaxOfSLoad",
+    "ParetoLoad",
+    "PoissonLoad",
+    "SizeBiasedLoad",
+    "standard_loads",
+]

@@ -1,0 +1,126 @@
+"""Base class for discrete load distributions ``P(k)``.
+
+Section 3.1 describes the network load not by arrival dynamics but by a
+stationary probability distribution over the number of simultaneously
+active flows.  Models need four things from a distribution beyond its
+pmf: the mean (paper fixes ``k_bar = 100``), the survival function
+(the reservation model's overload mass), the *partial first moment
+tail* ``sum_{k >= n} k P(k)`` (for truncating infinite sums with a hard
+bound), and the ability to rescale to a different mean within the same
+family (the retry fixed point inflates the offered load).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class LoadDistribution(abc.ABC):
+    """A stationary distribution over the number of active flows."""
+
+    #: Family name, overridden per subclass.
+    name: str = "load"
+
+    #: Smallest k with nonzero probability (0 or 1 in this package).
+    support_min: int = 0
+
+    @abc.abstractmethod
+    def pmf(self, k: int) -> float:
+        """Probability that exactly ``k`` flows request service."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Average number of flows requesting service (``k_bar``)."""
+
+    @abc.abstractmethod
+    def sf(self, k: int) -> float:
+        """Survival function ``P(K > k)`` (strictly greater).
+
+        Implemented directly (not as ``1 - cdf``) so the deep tail keeps
+        full relative precision — the Poisson-case results hinge on tail
+        masses around 1e-15.
+        """
+
+    @abc.abstractmethod
+    def mean_tail(self, n: int) -> float:
+        """Partial first moment ``sum_{k >= n} k * P(k)``.
+
+        Used as the analytic tail bound when truncating sums of
+        ``P(k) * k * f(k)`` with ``|f| <= 1``.
+        """
+
+    @abc.abstractmethod
+    def rescaled(self, new_mean: float) -> "LoadDistribution":
+        """Same family and shape, rescaled to ``new_mean``.
+
+        The retrying model (Section 5.2) needs the offered-load family
+        ``P_L`` parametrised by its average ``L``: retries inflate the
+        average while the family stays fixed.
+        """
+
+    def cdf(self, k: int) -> float:
+        """Cumulative probability ``P(K <= k)``."""
+        return 1.0 - self.sf(k)
+
+    def sample(self, rng: "np.random.Generator", size: int) -> np.ndarray:
+        """Draw ``size`` iid census values.
+
+        Generic inverse-cdf sampling over a truncated support (the cut
+        is pushed until the survival mass is below 1e-12 of the draw
+        resolution); families with native samplers override this.
+        """
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size!r}")
+        cut = max(64, int(16 * self.mean))
+        while self.sf(cut) > 1e-12 and cut < (1 << 26):
+            cut *= 2
+        ks = np.arange(cut + 1, dtype=float)
+        pmf = np.asarray(self.pmf_array(ks), dtype=float)
+        if self.support_min > 0:
+            pmf[: self.support_min] = 0.0
+        pmf = np.maximum(pmf, 0.0)
+        pmf /= pmf.sum()
+        return rng.choice(ks.astype(int), size=size, p=pmf)
+
+    def continuous_pmf(self, x: float) -> float:
+        """Smooth extension of the pmf to real ``x``.
+
+        Used by the variable-load model's Euler-Maclaurin tail
+        correction, which replaces the far tail of ``sum P(k) k f(k)``
+        by an integral when the distribution is heavy-tailed and the
+        brute-force truncation point would be astronomically large.
+        Families for which the correction is never needed may leave the
+        default, which raises.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not provide a smooth pmf extension"
+        )
+
+    def pmf_array(self, ks: np.ndarray) -> np.ndarray:
+        """Vectorised pmf over an integer array.
+
+        The default delegates to :meth:`pmf` per element; the concrete
+        families override it with closed-form numpy expressions because
+        the variable-load sums can run over millions of terms under
+        heavy-tailed loads.
+        """
+        return np.array([self.pmf(int(k)) for k in np.asarray(ks).ravel()]).reshape(
+            np.asarray(ks).shape
+        )
+
+    def validate_k(self, k: int) -> None:
+        """Raise if ``k`` is not a nonnegative integer."""
+        if k != int(k) or k < 0:
+            raise ValueError(f"flow count must be a nonnegative integer, got {k!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - overridden by subclasses
+        return f"{type(self).__name__}(mean={self.mean!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and repr(self) == repr(other)
+
+    def __hash__(self) -> int:
+        return hash((type(self), repr(self)))

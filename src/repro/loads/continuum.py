@@ -1,0 +1,131 @@
+"""Continuum load densities for the analytically tractable model (§3.2).
+
+The continuum model replaces the integer flow count by a density
+``P(k)`` on ``(0, inf)``.  Only two families are used by the paper —
+exponential and algebraic (Pareto) — because they make the integrals
+for ``V_B`` and ``V_R`` closed-form.  Beyond the pdf, the models need
+the *partial first moments* below and above a point, so those are
+provided exactly.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+
+class ContinuumLoad(abc.ABC):
+    """A load density over a continuous flow count ``k > 0``."""
+
+    #: Family name, overridden per subclass.
+    name: str = "continuum-load"
+
+    #: Left end of the support.
+    support_min: float = 0.0
+
+    @abc.abstractmethod
+    def pdf(self, k: float) -> float:
+        """Density at ``k``."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Average flow count."""
+
+    @abc.abstractmethod
+    def sf(self, k: float) -> float:
+        """Survival ``P(K > k)``."""
+
+    @abc.abstractmethod
+    def mean_tail(self, x: float) -> float:
+        """Upper partial first moment ``int_x^inf k P(k) dk``."""
+
+    def cdf(self, k: float) -> float:
+        """Cumulative ``P(K <= k)``."""
+        return 1.0 - self.sf(k)
+
+    def partial_mean(self, x: float) -> float:
+        """Lower partial first moment ``int_0^x k P(k) dk``."""
+        return self.mean - self.mean_tail(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - overridden
+        return f"{type(self).__name__}(mean={self.mean!r})"
+
+
+class ExponentialLoad(ContinuumLoad):
+    """``P(k) = beta * exp(-beta k)`` on ``k > 0``; mean ``1/beta``."""
+
+    name = "exponential-continuum"
+    support_min = 0.0
+
+    def __init__(self, beta: float):
+        if beta <= 0.0:
+            raise ValueError(f"rate beta must be > 0, got {beta!r}")
+        self._beta = float(beta)
+
+    @property
+    def beta(self) -> float:
+        """Exponential rate; the mean is ``1/beta``."""
+        return self._beta
+
+    @property
+    def mean(self) -> float:
+        return 1.0 / self._beta
+
+    def pdf(self, k: float) -> float:
+        if k < 0.0:
+            return 0.0
+        return self._beta * math.exp(-self._beta * k)
+
+    def sf(self, k: float) -> float:
+        if k <= 0.0:
+            return 1.0
+        return math.exp(-self._beta * k)
+
+    def mean_tail(self, x: float) -> float:
+        """``int_x^inf beta k e^{-beta k} dk = e^{-beta x} (x + 1/beta)``."""
+        if x <= 0.0:
+            return self.mean
+        return math.exp(-self._beta * x) * (x + 1.0 / self._beta)
+
+
+class ParetoLoad(ContinuumLoad):
+    """``P(k) = (z-1) k**-z`` on ``k >= 1``; mean ``(z-1)/(z-2)``.
+
+    The continuum counterpart of :class:`~repro.loads.algebraic.AlgebraicLoad`
+    with the shift dropped for tractability (the paper does exactly
+    this, noting it only perturbs the small-``C`` region).
+    """
+
+    name = "algebraic-continuum"
+    support_min = 1.0
+
+    def __init__(self, z: float):
+        if z <= 2.0:
+            raise ValueError(f"power z must be > 2 so the mean is finite, got {z!r}")
+        self._z = float(z)
+
+    @property
+    def z(self) -> float:
+        """Tail power."""
+        return self._z
+
+    @property
+    def mean(self) -> float:
+        return (self._z - 1.0) / (self._z - 2.0)
+
+    def pdf(self, k: float) -> float:
+        if k < 1.0:
+            return 0.0
+        return (self._z - 1.0) * k ** (-self._z)
+
+    def sf(self, k: float) -> float:
+        if k <= 1.0:
+            return 1.0
+        return k ** (1.0 - self._z)
+
+    def mean_tail(self, x: float) -> float:
+        """``int_x^inf (z-1) k^{1-z} dk = (z-1)/(z-2) * x^{2-z}`` for x >= 1."""
+        if x <= 1.0:
+            return self.mean
+        return self.mean * x ** (2.0 - self._z)

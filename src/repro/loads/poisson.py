@@ -1,0 +1,78 @@
+"""Poisson load distribution (paper Section 3.1).
+
+``P(k) = e**-nu * nu**k / k!`` describes a tightly controlled load:
+excursions far from the mean are exceedingly rare (it is the census of
+an M/M/infinity system — Poisson arrivals, independent departures).
+Of the paper's three load models it is the closest to the fixed-load
+case, and the one where provisioning most easily erases the difference
+between architectures.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import special, stats
+
+from repro.loads.base import LoadDistribution
+
+
+class PoissonLoad(LoadDistribution):
+    """Poisson distribution over the number of active flows."""
+
+    name = "poisson"
+    support_min = 0
+
+    def __init__(self, nu: float):
+        if nu <= 0.0:
+            raise ValueError(f"Poisson rate nu must be > 0, got {nu!r}")
+        self._nu = float(nu)
+        self._dist = stats.poisson(self._nu)
+
+    @property
+    def nu(self) -> float:
+        """Poisson rate; equals the mean."""
+        return self._nu
+
+    @property
+    def mean(self) -> float:
+        return self._nu
+
+    def pmf(self, k: int) -> float:
+        self.validate_k(k)
+        return float(self._dist.pmf(k))
+
+    def sf(self, k: int) -> float:
+        self.validate_k(k)
+        return float(self._dist.sf(k))
+
+    def pmf_array(self, ks: np.ndarray) -> np.ndarray:
+        return self._dist.pmf(np.asarray(ks))
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size!r}")
+        return rng.poisson(self._nu, size=size)
+
+    def continuous_pmf(self, x: float) -> float:
+        """``exp(-nu + x ln nu - lnGamma(x+1))`` — smooth in ``x``."""
+        if x < 0.0:
+            return 0.0
+        return math.exp(-self._nu + x * math.log(self._nu) - float(special.gammaln(x + 1.0)))
+
+    def mean_tail(self, n: int) -> float:
+        """``sum_{k>=n} k P(k) = nu * P(K >= n - 1)``.
+
+        Follows from ``k * pmf(k; nu) = nu * pmf(k - 1; nu)``.
+        """
+        if n <= self.support_min:
+            return self._nu
+        # P(K >= n - 1) = P(K > n - 2) = sf(n - 2)
+        return self._nu * float(self._dist.sf(n - 2))
+
+    def rescaled(self, new_mean: float) -> "PoissonLoad":
+        return PoissonLoad(new_mean)
+
+    def __repr__(self) -> str:
+        return f"PoissonLoad(nu={self._nu!r})"

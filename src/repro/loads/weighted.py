@@ -1,0 +1,133 @@
+"""Flow-weighted (size-biased) census and max-of-S order statistics.
+
+Section 5.1's sampling extension evaluates utility from a *tagged
+flow's* point of view: the probability that a flow finds itself sharing
+the link with ``k - 1`` others is not ``P(k)`` but the size-biased
+
+    Q(k) = k * P(k) / k_bar,
+
+because states with more flows contain proportionally more flows to
+tag.  A flow that samples the load ``S`` times and suffers the worst of
+them sees the maximum of ``S`` iid draws from ``Q``, whose pmf follows
+from powers of the cdf.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.loads.base import LoadDistribution
+
+
+class SizeBiasedLoad(LoadDistribution):
+    """The census seen by a randomly tagged flow: ``Q(k) = k P(k)/k_bar``.
+
+    Note ``Q`` may have infinite mean even when ``P`` does not (it needs
+    the second moment of ``P``); :attr:`mean` raises in that case rather
+    than silently returning junk — the sampling model never needs it.
+    """
+
+    name = "size-biased"
+
+    def __init__(self, base: LoadDistribution):
+        self._base = base
+        self.support_min = max(base.support_min, 1)
+        self._kbar = base.mean
+
+    @property
+    def base(self) -> LoadDistribution:
+        """The underlying census distribution ``P``."""
+        return self._base
+
+    def pmf(self, k: int) -> float:
+        self.validate_k(k)
+        if k < 1:
+            return 0.0
+        return k * self._base.pmf(k) / self._kbar
+
+    def sf(self, k: int) -> float:
+        """``P_Q(K > k) = mean_tail(k+1) / k_bar`` — exact via the base tail."""
+        self.validate_k(k)
+        if k < self.support_min:
+            return 1.0
+        return self._base.mean_tail(k + 1) / self._kbar
+
+    @property
+    def mean(self) -> float:
+        raise ModelError(
+            "the size-biased census needs the base distribution's second "
+            "moment; compute it explicitly if you really need it"
+        )
+
+    def mean_tail(self, n: int) -> float:
+        raise ModelError(
+            "mean_tail of a size-biased census requires the base second "
+            "moment tail; the sampling model bounds its sums via sf instead"
+        )
+
+    def rescaled(self, new_mean: float) -> "SizeBiasedLoad":
+        return SizeBiasedLoad(self._base.rescaled(new_mean))
+
+    def __repr__(self) -> str:
+        return f"SizeBiasedLoad({self._base!r})"
+
+
+class MaxOfSLoad(LoadDistribution):
+    """Distribution of the maximum of ``S`` iid draws from ``base``.
+
+    ``cdf_S(k) = cdf(k)**S``, so ``pmf_S(k) = cdf(k)**S - cdf(k-1)**S``.
+    With ``S = 1`` this is the base distribution.
+    """
+
+    name = "max-of-s"
+
+    def __init__(self, base: LoadDistribution, samples: int):
+        if samples < 1 or samples != int(samples):
+            raise ValueError(f"sample count must be a positive integer, got {samples!r}")
+        self._base = base
+        self._samples = int(samples)
+        self.support_min = base.support_min
+
+    @property
+    def base(self) -> LoadDistribution:
+        """The per-sample distribution."""
+        return self._base
+
+    @property
+    def samples(self) -> int:
+        """Number of iid samples whose maximum is taken."""
+        return self._samples
+
+    def pmf(self, k: int) -> float:
+        self.validate_k(k)
+        if k < self.support_min:
+            return 0.0
+        hi = self._base.cdf(k) ** self._samples
+        lo = self._base.cdf(k - 1) ** self._samples if k > 0 else 0.0
+        return max(hi - lo, 0.0)
+
+    def sf(self, k: int) -> float:
+        """``1 - cdf(k)**S``, computed stably for tiny base tails.
+
+        For ``sf_base -> 0``, ``1 - (1 - sf)**S ~ S * sf``; the direct
+        expression loses all precision there, so we switch forms.
+        """
+        self.validate_k(k)
+        sf1 = self._base.sf(k)
+        if sf1 > 1e-8:
+            return 1.0 - (1.0 - sf1) ** self._samples
+        s = float(self._samples)
+        # binomial expansion; two terms are plenty at sf1 <= 1e-8
+        return s * sf1 - 0.5 * s * (s - 1.0) * sf1**2
+
+    @property
+    def mean(self) -> float:
+        raise ModelError("mean of a max-of-S census is not used by the models")
+
+    def mean_tail(self, n: int) -> float:
+        raise ModelError("mean_tail of a max-of-S census is not used by the models")
+
+    def rescaled(self, new_mean: float) -> "MaxOfSLoad":
+        return MaxOfSLoad(self._base.rescaled(new_mean), self._samples)
+
+    def __repr__(self) -> str:
+        return f"MaxOfSLoad({self._base!r}, samples={self._samples!r})"

@@ -1,0 +1,174 @@
+"""Welfare analysis over the Section 5 extension models.
+
+Section 5 reports how sampling and retrying change the *welfare*
+comparison, not just the fixed-capacity gaps — most strikingly that
+with retries "the price ratio curve gamma(p), which in all previous
+cases was monotonically increasing, now decreases for very small p":
+cheaper bandwidth can make reservations *more* attractive.
+
+:class:`ExtensionWelfare` runs the Section 4 machinery over any model
+exposing per-flow ``best_effort(C)`` / ``reservation(C)`` (the
+sampling, retrying and risk-averse models).  Unlike the basic model's
+``V`` curves, the extensions' can be *non-concave* in capacity (the
+sampling ``V_R`` is S-shaped), so optima come from the discrete
+Legendre transform ``W(p) = max_i (V(C_i) - p C_i)`` over a capacity
+grid — exact up to grid resolution, no smoothness assumed.  This also
+sidesteps the retry model's low-capacity validity floor.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.numerics.solvers import invert_monotone
+
+
+class ExtensionWelfare:
+    """Grid-Legendre welfare curves for extension models.
+
+    Parameters
+    ----------
+    model:
+        Anything with ``best_effort(C)`` and ``reservation(C)``
+        returning per-flow utilities (SamplingModel, RetryingModel,
+        RiskAverseModel).
+    mean_load:
+        The mean offered load ``k_bar`` scaling per-flow utility to
+        total utility.
+    c_min, c_max, points:
+        Capacity grid.  ``c_min`` must respect the model's validity
+        floor (the retry fixed point diverges under heavy blocking, so
+        ~2 * k_bar is a safe floor there).
+    """
+
+    def __init__(
+        self,
+        model,
+        mean_load: float,
+        *,
+        c_min: Optional[float] = None,
+        c_max: Optional[float] = None,
+        points: int = 160,
+    ):
+        if mean_load <= 0.0:
+            raise ModelError(f"mean_load must be > 0, got {mean_load!r}")
+        self._model = model
+        self._kbar = float(mean_load)
+        self._c_min = c_min if c_min is not None else 2.0 * self._kbar
+        self._c_max = c_max if c_max is not None else 64.0 * self._kbar
+        if not 0.0 < self._c_min < self._c_max:
+            raise ModelError(
+                f"need 0 < c_min < c_max, got [{self._c_min}, {self._c_max}]"
+            )
+        self._points = int(points)
+        self._caps = np.geomspace(self._c_min, self._c_max, self._points)
+        self._totals: dict = {}
+
+    def _table(self, which: str) -> np.ndarray:
+        """Total utility ``k_bar * per_flow(C)`` along the grid."""
+        cached = self._totals.get(which)
+        if cached is None:
+            per_flow = getattr(self._model, which)
+            cached = np.array(
+                [self._kbar * per_flow(float(c)) for c in self._caps]
+            )
+            self._totals[which] = cached
+        return cached
+
+    def _welfare(self, which: str, price: float) -> float:
+        """Discrete Legendre transform ``max_i (V_i - p C_i)``.
+
+        Raises when the argmax sits on the grid boundary — the true
+        optimum then lies outside the grid and the caller should widen
+        it (interior optima are exact up to grid resolution).
+        """
+        if price <= 0.0:
+            raise ModelError(f"price must be > 0, got {price!r}")
+        values = self._table(which) - price * self._caps
+        best = int(np.argmax(values))
+        if best == 0:
+            raise ModelError(
+                f"welfare optimum for {which!r} at price {price} sits at "
+                f"c_min={self._c_min}; price too high for this grid"
+            )
+        if best == self._points - 1:
+            raise ModelError(
+                f"welfare optimum for {which!r} at price {price} sits at "
+                f"c_max={self._c_max}; extend the grid for prices this low"
+            )
+        return float(values[best])
+
+    def optimal_capacity(self, which: str, price: float) -> float:
+        """Grid argmax capacity for one architecture at ``price``."""
+        values = self._table(which) - price * self._caps
+        return float(self._caps[int(np.argmax(values))])
+
+    def price_range(self) -> tuple:
+        """Price interval where both optima stay interior on the grid.
+
+        Bounded by the secant slopes at the grid ends: prices above the
+        first-segment slope push the optimum to c_min, prices below the
+        last-segment slope push it to c_max.
+        """
+        lo = 0.0
+        hi = math.inf
+        for which in ("best_effort", "reservation"):
+            totals = self._table(which)
+            first_slope = (totals[1] - totals[0]) / (self._caps[1] - self._caps[0])
+            last_slope = (totals[-1] - totals[-2]) / (
+                self._caps[-1] - self._caps[-2]
+            )
+            lo = max(lo, last_slope)
+            hi = min(hi, first_slope)
+        if not 0.0 < lo < hi:
+            raise ModelError(
+                "the capacity grid yields no common interior price range; "
+                "widen [c_min, c_max]"
+            )
+        return lo, hi
+
+    def welfare_best_effort(self, price: float) -> float:
+        """``W_B(p)``."""
+        return self._welfare("best_effort", price)
+
+    def welfare_reservation(self, price: float) -> float:
+        """``W_R(p)``."""
+        return self._welfare("reservation", price)
+
+    def equalizing_ratio(self, price: float) -> float:
+        """``gamma(p)`` with ``W_R(gamma p) = W_B(p)``.
+
+        ``W_R`` from the Legendre transform is convex and strictly
+        decreasing in price, so the inversion is a clean monotone
+        root-find.
+        """
+        target = self.welfare_best_effort(price)
+        _, hi = self.price_range()
+        p_hat = invert_monotone(
+            self.welfare_reservation,
+            target,
+            price,
+            min(2.0 * price, hi),
+            increasing=False,
+            upper_limit=hi,
+            label=f"extension equalizing price at p={price}",
+            clip="lo",
+        )
+        return p_hat / price
+
+    def ratio_curve(self, prices) -> dict:
+        """``gamma(p)`` over a price grid (NaN outside the valid range)."""
+        out_p = np.asarray(list(prices), dtype=float)
+        gamma = np.full(len(out_p), math.nan)
+        lo, hi = self.price_range()
+        for i, p in enumerate(out_p):
+            if lo < p < hi:
+                try:
+                    gamma[i] = self.equalizing_ratio(float(p))
+                except ModelError:
+                    pass
+        return {"price": out_p, "gamma": gamma}

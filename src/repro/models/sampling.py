@@ -1,0 +1,225 @@
+"""The sampling extension — Section 5.1 of the paper.
+
+The basic model scores a flow at a single load level.  In reality the
+load fluctuates during a flow's lifetime, and perceived quality tracks
+the *worst* episode more than the average.  The extension: a flow
+samples the census ``S`` times, each draw iid from the tagged-flow
+(size-biased) view ``Q(k) = k P(k) / k_bar``, and its performance is
+evaluated at the **maximum** of those samples.
+
+Best-effort: utility is ``E[pi(C / max of S draws from Q)]``.
+
+Reservations: the admission decision uses the *first* sample ``k1`` —
+a flow arriving into census ``k1 > k_max`` is admitted with probability
+``k_max / k1`` (only ``k_max`` of the ``k1`` contending flows hold
+reservations).  Once admitted, every subsequent census the flow sees is
+capped at ``k_max``, so its effective worst load is
+``max(k1, min(k_max, k_2), ..., min(k_max, k_S)) <= k_max``.
+
+Collapsing the order statistics gives a single pass over ``j``:
+
+    R_S(C) = sum_{j < k_max} pi(C/j) [F(j)^S - F(j-1)^S]
+           + pi(C/k_max) [F(k_max) - F(k_max - 1)^S]
+           + pi(C/k_max) k_max P(K > k_max) / k_bar
+
+with ``F`` the cdf of ``Q``.  Setting ``S = 1`` recovers the basic
+model exactly (a property the tests exercise).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.loads.base import LoadDistribution
+from repro.loads.weighted import SizeBiasedLoad
+from repro.models.variable_load import GAP_FLOOR, VariableLoadModel
+from repro.numerics.solvers import invert_monotone
+from repro.utility.base import UtilityFunction
+
+
+class SamplingModel:
+    """Worst-of-``S``-samples performance model (paper Section 5.1).
+
+    Parameters
+    ----------
+    load:
+        Census distribution ``P(k)``.
+    utility:
+        Application utility ``pi(b)``.
+    samples:
+        Number of independent census samples per flow (``S >= 1``).
+    tol:
+        Absolute truncation tolerance for the best-effort sum.
+    """
+
+    def __init__(
+        self,
+        load: LoadDistribution,
+        utility: UtilityFunction,
+        samples: int,
+        *,
+        tol: float = 1e-10,
+        k_max_limit: Optional[int] = None,
+    ):
+        if samples < 1 or samples != int(samples):
+            raise ValueError(f"samples must be a positive integer, got {samples!r}")
+        self._load = load
+        self._utility = utility
+        self._samples = int(samples)
+        self._tol = float(tol)
+        self._base = VariableLoadModel(load, utility, k_max_limit=k_max_limit)
+        self._biased = SizeBiasedLoad(load)
+        self._kbar = load.mean
+        # cached cdf of Q on 0..n (grown on demand)
+        self._cdf = np.empty(0)
+
+    @property
+    def samples(self) -> int:
+        """Number of census samples per flow."""
+        return self._samples
+
+    @property
+    def base_model(self) -> VariableLoadModel:
+        """The single-sample model this extends."""
+        return self._base
+
+    def k_max(self, capacity: float) -> int:
+        """Admission threshold (same fixed-load optimum as the base)."""
+        return self._base.k_max(capacity)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _ensure_cdf(self, n: int) -> None:
+        """Grow the cached cdf of the size-biased census to cover <= n."""
+        if len(self._cdf) >= n + 1:
+            return
+        size = 1 << max(10, (n + 1).bit_length())
+        ks = np.arange(size, dtype=float)
+        qk = ks * np.asarray(self._load.pmf_array(ks), dtype=float) / self._kbar
+        if self._load.support_min > 0:
+            qk[: self._load.support_min] = 0.0
+        cdf = np.cumsum(qk)
+        # guard against cumsum drift above 1
+        np.clip(cdf, 0.0, 1.0, out=cdf)
+        self._cdf = cdf
+
+    def _sf_q_pow(self, n: int) -> float:
+        """``P(max of S draws > n)`` with full tail precision."""
+        sf1 = self._biased.sf(n)
+        if sf1 > 1e-8:
+            return 1.0 - (1.0 - sf1) ** self._samples
+        s = float(self._samples)
+        return s * sf1 - 0.5 * s * (s - 1.0) * sf1 * sf1
+
+    def _truncation_point(self, capacity: float) -> int:
+        """N with ``pi(C/N) * P(max > N) < tol`` (max-of-S tail bound)."""
+        n = 1024
+        while True:
+            bound = min(1.0, self._utility.value(capacity / n)) * self._sf_q_pow(n)
+            if bound < self._tol:
+                return n
+            if n > 1 << 26:
+                raise RuntimeError(
+                    f"sampling-model truncation exceeded 2^26 terms at C={capacity}; "
+                    "loosen tol or reduce the capacity range"
+                )
+            n <<= 1
+
+    # ------------------------------------------------------------------
+    # the model's quantities
+    # ------------------------------------------------------------------
+
+    def best_effort(self, capacity: float) -> float:
+        """``B_S(C) = E[pi(C / max_S)]`` under best-effort-only.
+
+        Already a per-flow average (the size-biased census *is* the
+        tagged-flow view), so no ``k_bar`` normalisation is applied.
+        """
+        if capacity < 0.0:
+            raise ValueError(f"capacity must be >= 0, got {capacity!r}")
+        if capacity == 0.0:
+            return 0.0
+        n = self._truncation_point(capacity)
+        self._ensure_cdf(n)
+        cdf_pow = self._cdf[: n + 1] ** self._samples
+        weights = np.diff(cdf_pow)  # pmf of the max at k = 1..n
+        shares = capacity / np.arange(1, n + 1, dtype=float)
+        return float(np.dot(weights, self._utility(shares)))
+
+    def reservation(self, capacity: float) -> float:
+        """``R_S(C)``: admit on first sample, cap subsequent censuses."""
+        if capacity < 0.0:
+            raise ValueError(f"capacity must be >= 0, got {capacity!r}")
+        if capacity == 0.0:
+            return 0.0
+        kmax = self.k_max(capacity)
+        if kmax < max(1, self._load.support_min):
+            return 0.0
+        self._ensure_cdf(kmax)
+        s = self._samples
+        # below-threshold worst loads: H(j) = F(j)^S for j < kmax
+        cdf = self._cdf[: kmax + 1]
+        cdf_pow = cdf**s
+        inner = 0.0
+        if kmax >= 2:
+            weights = np.diff(cdf_pow[:-1])  # j = 1 .. kmax-1
+            shares = capacity / np.arange(1, kmax, dtype=float)
+            inner = float(np.dot(weights, self._utility(shares)))
+        # worst load exactly kmax (admitted with first sample <= kmax)
+        at_cap = float(cdf[kmax] - cdf_pow[kmax - 1])
+        # overload-admitted flows (first sample k1 > kmax, prob kmax/k1):
+        # sum_{k>kmax} Q(k) kmax / k = kmax * P(K > kmax) / k_bar
+        over = kmax * self._load.sf(kmax) / self._kbar
+        return inner + (at_cap + over) * self._utility.value(capacity / kmax)
+
+    def performance_gap(self, capacity: float) -> float:
+        """``delta_S(C) = R_S(C) - B_S(C)`` (clipped at zero)."""
+        return max(0.0, self.reservation(capacity) - self.best_effort(capacity))
+
+    def bandwidth_gap(
+        self,
+        capacity: float,
+        *,
+        gap_floor: float = GAP_FLOOR,
+        upper_limit: float = 1e9,
+    ) -> float:
+        """``Delta_S(C)`` solving ``B_S(C + Delta) = R_S(C)``."""
+        target = self.reservation(capacity)
+        if target - self.best_effort(capacity) <= gap_floor:
+            return 0.0
+        solution = invert_monotone(
+            self.best_effort,
+            target,
+            capacity,
+            capacity + max(1.0, capacity),
+            increasing=True,
+            upper_limit=upper_limit,
+            label=f"sampling bandwidth gap at C={capacity}",
+        )
+        return max(0.0, solution - capacity)
+
+    def sweep(self, capacities, *, include_gaps: bool = True) -> dict:
+        """Figure-series sweep mirroring :meth:`VariableLoadModel.sweep`."""
+        caps = np.asarray(list(capacities), dtype=float)
+        n = len(caps)
+        b = np.empty(n)
+        r = np.empty(n)
+        bw = np.empty(n) if include_gaps else None
+        for i, c in enumerate(caps):
+            b[i] = self.best_effort(float(c))
+            r[i] = self.reservation(float(c))
+            if include_gaps:
+                bw[i] = self.bandwidth_gap(float(c))
+        out = {
+            "capacity": caps,
+            "best_effort": b,
+            "reservation": r,
+            "performance_gap": np.maximum(0.0, r - b),
+        }
+        if include_gaps:
+            out["bandwidth_gap"] = bw
+        return out

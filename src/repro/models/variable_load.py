@@ -1,0 +1,460 @@
+"""The discrete variable load model — Section 3.1 of the paper.
+
+The load is a probability distribution ``P(k)`` over the number of
+flows requesting service.  With link capacity ``C``:
+
+- **Best-effort-only** admits everyone; each of ``k`` flows receives
+  ``C/k``, so the total utility is ``V_B(C) = sum_k P(k) k pi(C/k)``.
+- **Reservation-capable** admits at most ``k_max(C)`` flows (the
+  fixed-load optimum); each admitted flow receives
+  ``C/min(k, k_max)`` and each rejected flow receives nothing:
+  ``V_R(C) = sum_{k<=k_max} P(k) k pi(C/k)
+           + k_max pi(C/k_max) P(K > k_max)``.
+
+Both are reported normalised by the mean load, ``B(C) = V_B(C)/k_bar``
+and ``R(C) = V_R(C)/k_bar``, exactly as in the paper's figures.  The
+two headline quantities are the *performance gap*
+``delta(C) = R(C) - B(C)`` and the *bandwidth gap* ``Delta(C)``
+defined implicitly by ``B(C + Delta(C)) = R(C)`` — how much extra
+capacity buys best-effort the reservation architecture's utility.
+
+Numerics
+--------
+The infinite sum for ``V_B`` is truncated where an analytic bound on
+the remainder (``pi(C/N) * sum_{k>=N} k P(k)``, both closed-form)
+drops below tolerance.  Under heavy-tailed loads at large ``C`` that
+truncation point can exceed any reasonable array size, so beyond a cap
+the far tail is replaced by an Euler-Maclaurin integral of the smooth
+pmf extension — exact integrand, no model-specific approximation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.loads.base import LoadDistribution
+from repro.models.fixed_load import FixedLoadModel
+from repro.numerics.quadrature import integrate
+from repro.numerics.solvers import invert_monotone
+from repro.utility.base import UtilityFunction
+
+#: Default absolute tolerance on the (unnormalised) total utilities.
+DEFAULT_TOL = 1e-9
+
+#: Largest array length brute-force summation will allocate.
+BRUTE_FORCE_CAP = 1 << 22
+
+#: Normalised performance gaps below this are treated as exactly zero
+#: when solving for the bandwidth gap (they are below the numerical
+#: noise floor of the truncated sums).
+GAP_FLOOR = 1e-12
+
+
+class VariableLoadModel:
+    """Compare architectures under a distribution of offered loads.
+
+    Parameters
+    ----------
+    load:
+        The stationary flow-count distribution ``P(k)``.
+    utility:
+        The per-application utility ``pi(b)``.
+    tol:
+        Absolute truncation tolerance for the total-utility sums
+        (unnormalised units, i.e. flows' worth of utility).
+    k_max_limit:
+        Passed through to :class:`FixedLoadModel` for the ``k_max``
+        search; only needed for exotic utilities.
+    k_max_override:
+        Optional ``capacity -> threshold`` replacing the ``k_max``
+        optimisation (required for elastic utilities, footnote 9).
+    """
+
+    def __init__(
+        self,
+        load: LoadDistribution,
+        utility: UtilityFunction,
+        *,
+        tol: float = DEFAULT_TOL,
+        k_max_limit: Optional[int] = None,
+        k_max_override=None,
+    ):
+        if tol <= 0.0:
+            raise ValueError(f"tol must be > 0, got {tol!r}")
+        self._load = load
+        self._utility = utility
+        self._tol = float(tol)
+        self._fixed = FixedLoadModel(
+            utility, k_max_limit=k_max_limit, k_max_override=k_max_override
+        )
+        self._kbar = load.mean
+        # grown-on-demand cache of k, P(k) and k*P(k) arrays
+        self._ks = np.empty(0)
+        self._pk = np.empty(0)
+        self._kpk = np.empty(0)
+        self._b_cache: dict = {}
+        self._r_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def load(self) -> LoadDistribution:
+        """The offered-load distribution."""
+        return self._load
+
+    @property
+    def utility(self) -> UtilityFunction:
+        """The application utility function."""
+        return self._utility
+
+    @property
+    def mean_load(self) -> float:
+        """``k_bar``, the average number of flows requesting service."""
+        return self._kbar
+
+    def k_max(self, capacity: float) -> int:
+        """Admission threshold used by the reservation architecture."""
+        return self._fixed.k_max(capacity)
+
+    # ------------------------------------------------------------------
+    # internal summation machinery
+    # ------------------------------------------------------------------
+
+    def _ensure_terms(self, n: int) -> None:
+        """Grow the cached ``k``/``P(k)``/``k P(k)`` arrays to cover k <= n."""
+        if len(self._ks) >= n + 1:
+            return
+        size = 1 << max(10, (n + 1).bit_length())
+        ks = np.arange(size, dtype=float)
+        pk = np.asarray(self._load.pmf_array(ks), dtype=float)
+        if self._load.support_min > 0:
+            pk[: self._load.support_min] = 0.0
+        self._ks, self._pk, self._kpk = ks, pk, ks * pk
+
+    def _tail_bound(self, n: int, capacity: float) -> float:
+        """Bound on ``sum_{k>=n} P(k) k pi(C/k)``.
+
+        ``pi(C/k)`` is nonincreasing in ``k``, so the tail is at most
+        ``pi(C/n) * mean_tail(n)`` — and trivially at most
+        ``mean_tail(n)``.
+        """
+        mt = self._load.mean_tail(n)
+        if mt <= 0.0:
+            return 0.0
+        return min(1.0, self._utility.value(capacity / n)) * mt
+
+    def _truncation_point(self, capacity: float) -> Optional[int]:
+        """Smallest power-of-two N with tail bound < tol, or None if > cap."""
+        n = 1024
+        while n <= BRUTE_FORCE_CAP:
+            if self._tail_bound(n, capacity) < self._tol:
+                return n
+            n <<= 1
+        return None
+
+    def _euler_maclaurin_tail(self, n0: int, capacity: float) -> float:
+        """``sum_{k>=n0} P(k) k pi(C/k)`` via integral + EM correction.
+
+        ``sum_{k>=n0} f(k) ~ int_{n0}^inf f + f(n0)/2 - f'(n0)/12`` for a
+        smooth, decaying ``f``.  The integrand uses the load's smooth
+        pmf extension and the *exact* utility; quadrature is split at
+        the utility's breakpoints mapped into flow counts.
+        """
+
+        def f(x: float) -> float:
+            return self._load.continuous_pmf(x) * x * self._utility.value(capacity / x)
+
+        # substitute x = n0/u so the semi-infinite integral becomes a
+        # finite one (u in (0, 1]); quad to infinity hits roundoff at
+        # tight tolerances on slowly decaying integrands
+        def g(u: float) -> float:
+            if u <= 0.0:
+                return 0.0
+            x = n0 / u
+            return f(x) * n0 / (u * u)
+
+        points = sorted(
+            n0 * b / capacity
+            for b in self._utility.breakpoints()
+            if 0.0 < n0 * b / capacity < 1.0
+        )
+        tail = integrate(
+            g,
+            0.0,
+            1.0,
+            points=points,
+            tol=min(1e-11, 0.01 * self._tol),
+            label=f"EM tail (C={capacity}, n0={n0})",
+        )
+        h = max(1e-4 * n0, 1e-3)
+        f_prime = (f(n0 + h) - f(n0 - h)) / (2.0 * h)
+        return tail + 0.5 * f(float(n0)) - f_prime / 12.0
+
+    def total_best_effort(self, capacity: float) -> float:
+        """Unnormalised ``V_B(C) = sum_k P(k) k pi(C/k)``."""
+        if capacity < 0.0:
+            raise ValueError(f"capacity must be >= 0, got {capacity!r}")
+        if capacity == 0.0:
+            return 0.0
+        cached = self._b_cache.get(capacity)
+        if cached is not None:
+            return cached
+
+        n = self._truncation_point(capacity)
+        if n is not None:
+            self._ensure_terms(n)
+            shares = np.empty(n)
+            shares[0] = 0.0  # k = 0 contributes nothing (kpk = 0)
+            shares[1:] = capacity / self._ks[1:n]
+            total = float(np.dot(self._kpk[:n], self._utility(shares)))
+        else:
+            n0 = min(BRUTE_FORCE_CAP, 1 << max(12, int(32 * capacity).bit_length()))
+            try:
+                em = self._euler_maclaurin_tail(n0, capacity)
+            except NotImplementedError as exc:
+                raise ConvergenceError(
+                    f"V_B(C={capacity}) needs a tail correction but the load "
+                    f"has no smooth pmf extension: {exc}"
+                ) from exc
+            self._ensure_terms(n0)
+            shares = np.empty(n0)
+            shares[0] = 0.0
+            shares[1:] = capacity / self._ks[1:n0]
+            total = float(np.dot(self._kpk[:n0], self._utility(shares))) + em
+
+        self._b_cache[capacity] = total
+        return total
+
+    def total_reservation(self, capacity: float) -> float:
+        """Unnormalised ``V_R(C)`` with admission threshold ``k_max(C)``."""
+        if capacity < 0.0:
+            raise ValueError(f"capacity must be >= 0, got {capacity!r}")
+        if capacity == 0.0:
+            return 0.0
+        cached = self._r_cache.get(capacity)
+        if cached is not None:
+            return cached
+
+        kmax = self.k_max(capacity)
+        if kmax < max(1, self._load.support_min):
+            self._r_cache[capacity] = 0.0
+            return 0.0
+        self._ensure_terms(kmax)
+        shares = np.empty(kmax + 1)
+        shares[0] = 0.0
+        shares[1:] = capacity / self._ks[1 : kmax + 1]
+        admitted = float(np.dot(self._kpk[: kmax + 1], self._utility(shares)))
+        overload = (
+            kmax * self._utility.value(capacity / kmax) * self._load.sf(kmax)
+        )
+        total = admitted + overload
+        self._r_cache[capacity] = total
+        return total
+
+    def total_reservation_at_threshold(self, capacity: float, threshold: int) -> float:
+        """``V_R(C)`` with an *arbitrary* admission threshold.
+
+        The paper's architecture uses the utility-maximising
+        ``k_max(C)``; real admission controllers get the threshold
+        wrong (measurement error, trunk-reservation margins).  This
+        evaluates the reservation total at any threshold so that
+        sensitivity can be quantified — by construction it is maximised
+        at ``threshold = k_max(C)``.
+        """
+        if capacity < 0.0:
+            raise ValueError(f"capacity must be >= 0, got {capacity!r}")
+        if threshold < 0 or threshold != int(threshold):
+            raise ValueError(f"threshold must be a nonneg integer, got {threshold!r}")
+        if capacity == 0.0 or threshold == 0:
+            return 0.0
+        kmax = int(threshold)
+        if kmax < self._load.support_min:
+            return 0.0
+        self._ensure_terms(kmax)
+        shares = np.empty(kmax + 1)
+        shares[0] = 0.0
+        shares[1:] = capacity / self._ks[1 : kmax + 1]
+        admitted = float(np.dot(self._kpk[: kmax + 1], self._utility(shares)))
+        overload = kmax * self._utility.value(capacity / kmax) * self._load.sf(kmax)
+        return admitted + overload
+
+    def reservation_at_threshold(self, capacity: float, threshold: int) -> float:
+        """Normalised reservation utility at an arbitrary threshold."""
+        return self.total_reservation_at_threshold(capacity, threshold) / self._kbar
+
+    # ------------------------------------------------------------------
+    # the paper's reported quantities
+    # ------------------------------------------------------------------
+
+    def best_effort(self, capacity: float) -> float:
+        """Normalised best-effort utility ``B(C) = V_B(C)/k_bar``."""
+        return self.total_best_effort(capacity) / self._kbar
+
+    def reservation(self, capacity: float) -> float:
+        """Normalised reservation utility ``R(C) = V_R(C)/k_bar``."""
+        return self.total_reservation(capacity) / self._kbar
+
+    def performance_gap(self, capacity: float) -> float:
+        """``delta(C) = R(C) - B(C)`` (clipped at zero).
+
+        Strictly positive in all the paper's cases; clipping only
+        absorbs truncation noise when both sides are ~1.
+        """
+        return max(0.0, self.reservation(capacity) - self.best_effort(capacity))
+
+    def overload_probability(self, capacity: float) -> float:
+        """Probability the offered load exceeds the admission threshold."""
+        kmax = self.k_max(capacity)
+        if kmax < 1:
+            return 1.0
+        return self._load.sf(kmax)
+
+    def blocking_fraction(self, capacity: float) -> float:
+        """Expected fraction of flows denied a reservation.
+
+        ``theta(C) = sum_{k>k_max} P(k) (k - k_max) / k_bar`` — the
+        flow-weighted blocking rate, used by the retrying extension.
+        """
+        kmax = self.k_max(capacity)
+        if kmax < 1:
+            return 1.0
+        # sum_{k>kmax} P(k) k = mean_tail(kmax+1); sum_{k>kmax} P(k) = sf(kmax)
+        blocked = self._load.mean_tail(kmax + 1) - kmax * self._load.sf(kmax)
+        return max(0.0, blocked) / self._kbar
+
+    def bandwidth_gap(
+        self,
+        capacity: float,
+        *,
+        gap_floor: float = GAP_FLOOR,
+        upper_limit: float = 1e9,
+    ) -> float:
+        """``Delta(C)`` solving ``B(C + Delta) = R(C)``.
+
+        Gaps whose normalised performance difference is below
+        ``gap_floor`` return exactly 0.0 — they are beneath the noise
+        floor of the truncated sums (and the paper describes them as
+        vanishing superexponentially in those regimes).
+        """
+        target = self.reservation(capacity)
+        if target - self.best_effort(capacity) <= gap_floor:
+            return 0.0
+        solution = invert_monotone(
+            self.best_effort,
+            target,
+            capacity,
+            capacity + max(1.0, capacity),
+            increasing=True,
+            upper_limit=upper_limit,
+            label=f"bandwidth gap at C={capacity}",
+        )
+        return max(0.0, solution - capacity)
+
+    def capacity_for_best_effort(
+        self, target: float, *, upper_limit: float = 1e9
+    ) -> float:
+        """Smallest capacity with ``B(C) >= target`` (inverse planning).
+
+        The operator's question in the provisioning debate: how much
+        bandwidth buys a given service level *without* reservations?
+        ``target`` must be in ``(0, 1)``.
+        """
+        if not 0.0 < target < 1.0:
+            raise ValueError(f"target utility must be in (0, 1), got {target!r}")
+        return invert_monotone(
+            self.best_effort,
+            target,
+            0.0,
+            max(2.0 * self._kbar, 1.0),
+            increasing=True,
+            upper_limit=upper_limit,
+            label=f"capacity for B = {target}",
+        )
+
+    def capacity_for_reservation(
+        self, target: float, *, upper_limit: float = 1e9
+    ) -> float:
+        """Smallest capacity with ``R(C) >= target``."""
+        if not 0.0 < target < 1.0:
+            raise ValueError(f"target utility must be in (0, 1), got {target!r}")
+        return invert_monotone(
+            self.reservation,
+            target,
+            0.0,
+            max(2.0 * self._kbar, 1.0),
+            increasing=True,
+            upper_limit=upper_limit,
+            label=f"capacity for R = {target}",
+        )
+
+    # ------------------------------------------------------------------
+    # derivative (used by the welfare model's first-order conditions)
+    # ------------------------------------------------------------------
+
+    def best_effort_marginal(self, capacity: float, *, step: Optional[float] = None) -> float:
+        """``dV_B/dC`` by central difference (V_B is smooth in C).
+
+        For rigid utilities V_B is piecewise-constant and this is not
+        meaningful; the welfare model uses the exact jump structure
+        instead.
+        """
+        h = step if step is not None else 1e-5 * max(1.0, capacity)
+        lo = max(0.0, capacity - h)
+        return (self.total_best_effort(capacity + h) - self.total_best_effort(lo)) / (
+            capacity + h - lo
+        )
+
+    def reservation_marginal(self, capacity: float, *, step: Optional[float] = None) -> float:
+        """``dV_R/dC`` by central difference (smooth utilities only)."""
+        h = step if step is not None else 1e-5 * max(1.0, capacity)
+        lo = max(0.0, capacity - h)
+        return (self.total_reservation(capacity + h) - self.total_reservation(lo)) / (
+            capacity + h - lo
+        )
+
+    # ------------------------------------------------------------------
+    # sweeps
+    # ------------------------------------------------------------------
+
+    def sweep(
+        self,
+        capacities,
+        *,
+        include_gaps: bool = True,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> dict:
+        """Evaluate the figure-panel series over a capacity grid.
+
+        Returns a dict of numpy arrays keyed ``capacity``, ``best_effort``,
+        ``reservation``, ``performance_gap`` and (optionally)
+        ``bandwidth_gap`` — one point per requested capacity.
+        """
+        caps = np.asarray(list(capacities), dtype=float)
+        n = len(caps)
+        b = np.empty(n)
+        r = np.empty(n)
+        gap = np.empty(n)
+        bw = np.empty(n) if include_gaps else None
+        for i, c in enumerate(caps):
+            b[i] = self.best_effort(float(c))
+            r[i] = self.reservation(float(c))
+            gap[i] = max(0.0, r[i] - b[i])
+            if include_gaps:
+                bw[i] = self.bandwidth_gap(float(c))
+            if progress is not None:
+                progress(i + 1, n)
+        out = {
+            "capacity": caps,
+            "best_effort": b,
+            "reservation": r,
+            "performance_gap": gap,
+        }
+        if include_gaps:
+            out["bandwidth_gap"] = bw
+        return out

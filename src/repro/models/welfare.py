@@ -1,0 +1,354 @@
+"""The variable capacity (welfare) model — Section 4 of the paper.
+
+What capacity will a provider actually build?  The paper's answer: the
+one maximising total welfare ``W = V(C) - p*C`` where ``p`` is the
+price per unit of bandwidth and ``V`` the total utility the provider
+can recover from customers.  Each architecture then gets its own
+welfare-optimal capacity ``C(p)`` and welfare ``W(p)``, and instead of
+comparing utilities at equal capacity we compare welfares at equal
+price.
+
+The headline quantity is the *equalizing price ratio*
+
+    gamma(p) = p_hat / p   where   W_R(p_hat) = W_B(p),
+
+i.e. how much more expensive per-unit bandwidth could be in the
+reservation-capable architecture before best-effort-only becomes the
+more cost-effective choice.  ``gamma -> 1`` as ``p -> 0`` means cheap
+bandwidth erases the case for reservations; a ``gamma`` bounded away
+from 1 (the algebraic load) means it never does.
+
+Implementation notes
+--------------------
+For smooth utilities the optimum satisfies the first-order condition
+``V'(C) = p`` (largest root, as in the paper's continuum treatment);
+we find it by bracketing on the decreasing branch of ``V'``.  For the
+rigid utility ``V_B`` and ``V_R`` are step functions of ``C`` with
+jumps at multiples of ``b_hat``; the optima then have exact discrete
+characterisations (the ``V_R`` increments are survival probabilities,
+the ``V_B`` increments are ``P(k) k``), which we use directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import BracketError, ModelError
+from repro.models.fixed_load import Architecture
+from repro.models.variable_load import VariableLoadModel
+from repro.numerics.optimize import maximize_scalar
+from repro.numerics.solvers import find_root, invert_monotone
+from repro.utility.rigid import RigidUtility
+
+
+@dataclass(frozen=True)
+class ProvisioningDecision:
+    """A provider's welfare-maximising choice at one bandwidth price."""
+
+    architecture: Architecture
+    price: float
+    capacity: float
+    total_utility: float
+
+    @property
+    def welfare(self) -> float:
+        """``V(C) - p*C`` at the chosen capacity."""
+        return self.total_utility - self.price * self.capacity
+
+
+class WelfareModel:
+    """Welfare-optimal provisioning and the equalizing price ratio.
+
+    Parameters
+    ----------
+    model:
+        The variable-load model supplying ``V_B`` and ``V_R``.
+    price_floor:
+        Smallest price the solvers will touch; guards against the
+        optimal capacity diverging in degenerate sweeps.
+    """
+
+    def __init__(self, model: VariableLoadModel, *, price_floor: float = 1e-12):
+        self._model = model
+        self._rigid = isinstance(model.utility, RigidUtility)
+        self._price_floor = price_floor
+        # rigid-case cumulative tables, built lazily
+        self._rigid_tables: dict = {}
+
+    @property
+    def model(self) -> VariableLoadModel:
+        """The underlying variable-load model."""
+        return self._model
+
+    # ------------------------------------------------------------------
+    # rigid utility: exact discrete optimisation
+    # ------------------------------------------------------------------
+
+    def _rigid_arrays(self, n: int):
+        """Cumulative ``V_B``/``V_R`` tables at capacities ``k * b_hat``."""
+        cached = self._rigid_tables.get("arrays")
+        if cached is not None and len(cached[0]) > n:
+            return cached
+        size = max(2 * n, 4096)
+        load = self._model.load
+        ks = np.arange(size, dtype=float)
+        pk = np.asarray(load.pmf_array(ks), dtype=float)
+        if load.support_min > 0:
+            pk[: load.support_min] = 0.0
+        kpk = ks * pk
+        vb = np.cumsum(kpk)  # V_B at C = k * b_hat
+        sf = np.array([load.sf(int(k)) for k in range(size)])
+        # V_R at C = k*b_hat: V_B(k) + k * P(K > k)
+        vr = vb + ks * sf
+        tables = (ks, kpk, vb, vr, sf)
+        self._rigid_tables["arrays"] = tables
+        return tables
+
+    def _rigid_optimum(self, price: float, architecture: Architecture):
+        """Exact welfare optimum for the rigid utility.
+
+        ``V_R`` increments per step of ``b_hat`` are ``sf(k-1)``
+        (monotone decreasing): optimal ``k*`` is the last k with
+        ``sf(k-1) >= p * b_hat``.  ``V_B`` increments are ``P(k) k``
+        (unimodal): optimal ``k*`` is the argmax of the cumulative
+        net welfare, located by direct scan.
+        """
+        b_hat = self._model.utility.b_hat
+        unit_cost = price * b_hat
+        # grow the table until increments are safely below the price
+        n = 4096
+        while True:
+            ks, kpk, vb, vr, sf = self._rigid_arrays(n)
+            size = len(ks)
+            if architecture is Architecture.RESERVATION:
+                increments = np.concatenate(([1.0], sf[:-1]))
+            else:
+                increments = kpk
+            below = np.nonzero(increments < unit_cost)[0]
+            # need the increments to have fallen below cost for good at
+            # the end of the table, else extend it
+            if len(below) > 0 and below[-1] == size - 1 and sf[-1] < unit_cost:
+                break
+            if size > 1 << 26:  # pragma: no cover - absurd prices only
+                raise ModelError(
+                    f"rigid welfare table exceeded {size} entries at price {price}"
+                )
+            n = size  # force table growth (arrays builder doubles)
+            self._rigid_tables.pop("arrays", None)
+            n *= 2
+        values = vr if architecture is Architecture.RESERVATION else vb
+        welfare = values - price * b_hat * ks
+        k_star = int(np.argmax(welfare))
+        return k_star * b_hat, float(values[k_star])
+
+    # ------------------------------------------------------------------
+    # smooth utilities: first-order condition on the decreasing branch
+    # ------------------------------------------------------------------
+
+    def _smooth_optimum(self, price: float, architecture: Architecture):
+        """Largest root of ``V'(C) = p``; falls back to C = 0."""
+        model = self._model
+        if architecture is Architecture.RESERVATION:
+            total, marginal = model.total_reservation, model.reservation_marginal
+        else:
+            total, marginal = model.total_best_effort, model.best_effort_marginal
+
+        kbar = model.mean_load
+        # locate (approximately) the peak of V' so we can bracket the
+        # decreasing branch that contains the largest root
+        c_peak, vprime_peak = maximize_scalar(
+            marginal, 1e-6 * kbar, 8.0 * kbar, grid=48, label="V' peak"
+        )
+        if vprime_peak <= price:
+            # bandwidth too expensive to be worth provisioning at all
+            return 0.0, 0.0
+        c_star = find_root(
+            lambda c: marginal(c) - price,
+            c_peak,
+            max(2.0 * c_peak, 2.0 * kbar),
+            expand=True,
+            upper_limit=1e9,
+            label=f"welfare FOC ({architecture.value}, p={price})",
+        )
+        value = total(c_star)
+        if value - price * c_star < 0.0:
+            return 0.0, 0.0
+        return c_star, value
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def provision(self, price: float, architecture: Architecture) -> ProvisioningDecision:
+        """Welfare-maximising capacity and utility at a bandwidth price."""
+        if price <= 0.0:
+            raise ValueError(f"price must be > 0, got {price!r}")
+        if self._rigid:
+            capacity, total = self._rigid_optimum(price, architecture)
+        else:
+            capacity, total = self._smooth_optimum(price, architecture)
+        return ProvisioningDecision(
+            architecture=architecture,
+            price=price,
+            capacity=capacity,
+            total_utility=total,
+        )
+
+    def optimal_capacity(self, price: float, architecture: Architecture) -> float:
+        """``C(p)`` for one architecture."""
+        return self.provision(price, architecture).capacity
+
+    def welfare(self, price: float, architecture: Architecture) -> float:
+        """``W(p) = V(C(p)) - p C(p)`` for one architecture."""
+        return self.provision(price, architecture).welfare
+
+    def welfare_best_effort(self, price: float) -> float:
+        """``W_B(p)``."""
+        return self.welfare(price, Architecture.BEST_EFFORT)
+
+    def welfare_reservation(self, price: float) -> float:
+        """``W_R(p)``."""
+        return self.welfare(price, Architecture.RESERVATION)
+
+    def equalizing_price(self, price: float) -> float:
+        """``p_hat`` with ``W_R(p_hat) = W_B(p)`` (``p_hat >= p``).
+
+        ``W_R`` is nonincreasing in price, so this is a monotone
+        inversion starting from ``p``.
+        """
+        target = self.welfare_best_effort(price)
+        if target <= 0.0:
+            raise ModelError(
+                f"best-effort welfare is zero at price {price}; the "
+                "equalizing price is unbounded there"
+            )
+        try:
+            return invert_monotone(
+                self.welfare_reservation,
+                target,
+                price,
+                2.0 * price,
+                increasing=False,
+                upper_limit=1e6,
+                label=f"equalizing price at p={price}",
+            )
+        except BracketError:
+            # W_R(p) can be below target only through numerical noise
+            # when the two architectures are indistinguishable
+            return price
+
+    def equalizing_ratio(self, price: float) -> float:
+        """``gamma(p) = p_hat / p`` — the paper's complexity-cost bound."""
+        return self.equalizing_price(price) / price
+
+    # ------------------------------------------------------------------
+    # fast sweep via the capacity-parametrised envelope
+    # ------------------------------------------------------------------
+
+    def envelope(
+        self,
+        architecture: Architecture,
+        *,
+        c_min: Optional[float] = None,
+        c_max: Optional[float] = None,
+        points: int = 160,
+    ) -> dict:
+        """Parametric ``(p, C, W)`` table swept over capacity.
+
+        On the concave branch the first-order condition inverts
+        exactly: every capacity ``C`` is optimal at price
+        ``p = V'(C)``, with welfare ``W = V(C) - V'(C) * C``.  Sweeping
+        a log grid of capacities yields whole ``C(p)``/``W(p)`` curves
+        at two function evaluations per point — far cheaper than
+        root-finding per price.  Only the decreasing-marginal suffix is
+        kept, so the table is monotone in ``p`` and safe to
+        interpolate.
+
+        For the rigid utility the table enumerates the exact discrete
+        jump structure instead.
+        """
+        kbar = self._model.mean_load
+        if self._rigid:
+            b_hat = self._model.utility.b_hat
+            hi = int((c_max if c_max is not None else 96.0 * kbar) / b_hat)
+            ks, kpk, vb, vr, sf = self._rigid_arrays(hi)
+            ks = ks[: hi + 1]
+            if architecture is Architecture.RESERVATION:
+                values = vr[: hi + 1]
+                increments = np.concatenate(([1.0], sf[:hi]))
+            else:
+                values = vb[: hi + 1]
+                increments = kpk[: hi + 1]
+            caps = ks * b_hat
+            prices = increments / b_hat
+        else:
+            lo = c_min if c_min is not None else kbar / 16.0
+            hi = c_max if c_max is not None else 96.0 * kbar
+            caps = np.geomspace(lo, hi, points)
+            if architecture is Architecture.RESERVATION:
+                total, marginal = (
+                    self._model.total_reservation,
+                    self._model.reservation_marginal,
+                )
+            else:
+                total, marginal = (
+                    self._model.total_best_effort,
+                    self._model.best_effort_marginal,
+                )
+            values = np.array([total(float(c)) for c in caps])
+            prices = np.array([marginal(float(c)) for c in caps])
+
+        welfare = values - prices * caps
+        # keep the decreasing-price (concave) branch: from the argmax of
+        # price onward, enforcing strict monotonicity for interpolation
+        start = int(np.argmax(prices))
+        keep_c, keep_p, keep_w = [], [], []
+        last_p = math.inf
+        for i in range(start, len(caps)):
+            if prices[i] <= 0.0:
+                continue
+            if prices[i] < last_p:
+                keep_c.append(caps[i])
+                keep_p.append(prices[i])
+                keep_w.append(welfare[i])
+                last_p = prices[i]
+        return {
+            "capacity": np.array(keep_c),
+            "price": np.array(keep_p),
+            "welfare": np.array(keep_w),
+        }
+
+    def ratio_curve(self, prices, **envelope_kwargs) -> dict:
+        """``gamma(p)`` over a price grid via envelope interpolation.
+
+        Builds one envelope per architecture, then for each requested
+        price interpolates ``W_B(p)`` and inverts the ``W_R`` table.
+        Prices outside the envelopes' common range yield NaN.
+        """
+        env_b = self.envelope(Architecture.BEST_EFFORT, **envelope_kwargs)
+        env_r = self.envelope(Architecture.RESERVATION, **envelope_kwargs)
+        # tables are sorted by decreasing price; flip for np.interp
+        pb = env_b["price"][::-1]
+        wb = env_b["welfare"][::-1]
+        pr = env_r["price"][::-1]
+        wr = env_r["welfare"][::-1]
+        out_p = np.asarray(list(prices), dtype=float)
+        gamma = np.full(len(out_p), math.nan)
+        for i, p in enumerate(out_p):
+            if not (pb[0] <= p <= pb[-1]):
+                continue
+            target = float(np.interp(math.log(p), np.log(pb), wb))
+            # W_R decreasing in price: invert by interpolating price on
+            # the (decreasing) welfare axis
+            if not (wr[0] >= target >= wr[-1]):
+                if target > wr[0]:
+                    continue
+                gamma[i] = pr[-1] / p  # ratio beyond table: clip
+                continue
+            log_phat = float(np.interp(-target, -wr, np.log(pr)))
+            gamma[i] = math.exp(log_phat) / p
+        return {"price": out_p, "gamma": gamma}

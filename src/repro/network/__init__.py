@@ -1,0 +1,28 @@
+"""Multi-link generalisation of the paper's single-link comparison.
+
+- :class:`NetworkTopology` / :class:`Route` — capacitated links and the
+  traffic classes crossing them (buildable from a networkx graph).
+- :func:`max_min_allocation` — progressive-filling max-min fairness,
+  the network analogue of the single link's equal split.
+- :func:`admit_flows` — network-wide admission as an exact integer
+  program (unit reservations per flow); :func:`greedy_admit_flows` as
+  the naive baseline.
+- :class:`NetworkComparison` — Monte Carlo best-effort vs reservations
+  over census vectors, with a uniform-overbuild bandwidth-gap factor.
+"""
+
+from repro.network.admission import admit_flows, greedy_admit_flows
+from repro.network.fairness import allocation_is_feasible, max_min_allocation
+from repro.network.model import NetworkComparison, NetworkEstimate
+from repro.network.topology import NetworkTopology, Route
+
+__all__ = [
+    "NetworkComparison",
+    "NetworkEstimate",
+    "NetworkTopology",
+    "Route",
+    "admit_flows",
+    "allocation_is_feasible",
+    "greedy_admit_flows",
+    "max_min_allocation",
+]

@@ -1,0 +1,105 @@
+"""Max-min fair bandwidth allocation (progressive filling).
+
+The single-link model splits capacity equally; its network analogue is
+max-min fairness, the allocation TCP-style congestion control
+approximates and the fairness literature treats as the best-effort
+ideal.  Progressive filling computes it exactly: raise every flow's
+share uniformly until some link saturates, freeze the flows through
+it, recurse on the rest.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping
+
+from repro.errors import ModelError
+from repro.network.topology import NetworkTopology
+
+
+def max_min_allocation(
+    counts: Mapping[str, int], topology: NetworkTopology
+) -> Dict[str, float]:
+    """Per-flow max-min fair shares given per-route flow counts.
+
+    Parameters
+    ----------
+    counts:
+        Route name -> number of active flows (>= 0).  Routes absent
+        from the mapping count as zero.
+
+    Returns
+    -------
+    dict
+        Route name -> bandwidth per flow on that route (0.0 for routes
+        with no flows).  With heterogeneous demands this is *weighted*
+        max-min: per-flow bandwidth is ``demand * level`` with a common
+        level raised until each route hits a bottleneck.
+    """
+    for name, k in counts.items():
+        if name not in topology.routes:
+            raise ModelError(f"unknown route {name!r} in counts")
+        if k < 0 or k != int(k):
+            raise ModelError(f"flow count for {name!r} must be a nonneg integer")
+
+    routes = topology.routes
+    shares: Dict[str, float] = {name: 0.0 for name in topology.route_names}
+    active = {name for name in topology.route_names if counts.get(name, 0) > 0}
+    remaining = topology.capacities
+
+    while active:
+        # bottleneck: the link whose remaining capacity per unit of
+        # active *demand* is smallest (weighted max-min: each flow's
+        # bandwidth is its demand times the common level)
+        bottleneck = None
+        level = math.inf
+        for link, capacity in remaining.items():
+            demand = sum(
+                counts.get(name, 0) * routes[name].demand
+                for name in active
+                if link in routes[name].links
+            )
+            if demand > 0:
+                candidate = capacity / demand
+                if candidate < level:
+                    level = candidate
+                    bottleneck = link
+        if bottleneck is None:
+            # no active route touches a remaining link (cannot happen
+            # with validated topologies, but fail loudly if it does)
+            raise ModelError("max-min filling found active flows on no link")
+
+        frozen = {
+            name for name in active if bottleneck in routes[name].links
+        }
+        for name in frozen:
+            shares[name] = routes[name].demand * level
+        # charge the frozen flows against every link they traverse
+        for link in list(remaining):
+            usage = sum(
+                counts.get(name, 0) * shares[name]
+                for name in frozen
+                if link in routes[name].links
+            )
+            remaining[link] = max(0.0, remaining[link] - usage)
+        remaining.pop(bottleneck, None)
+        active -= frozen
+    return shares
+
+
+def allocation_is_feasible(
+    counts: Mapping[str, int],
+    shares: Mapping[str, float],
+    topology: NetworkTopology,
+    *,
+    tol: float = 1e-9,
+) -> bool:
+    """Check that per-flow shares respect every link capacity."""
+    for link, capacity in topology.capacities.items():
+        usage = sum(
+            counts.get(name, 0) * shares.get(name, 0.0)
+            for name in topology.routes_through(link)
+        )
+        if usage > capacity * (1.0 + tol) + tol:
+            return False
+    return True

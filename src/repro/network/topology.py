@@ -1,0 +1,164 @@
+"""Multi-link topologies: the paper's single link, generalised.
+
+The paper analyses one bottleneck link; real questions about
+reservation protocols (RSVP et al.) are network-wide.  A
+:class:`NetworkTopology` is a set of capacitated links plus a set of
+*routes* — fixed link sequences flows travel — each carrying its own
+offered-load distribution and application utility.  The network models
+in :mod:`repro.network.model` then replay the paper's comparison with
+max-min fair sharing in place of the single link's equal split, and a
+network-wide admission problem in place of the scalar ``k_max``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ModelError
+from repro.loads.base import LoadDistribution
+from repro.utility.base import UtilityFunction
+
+
+@dataclass(frozen=True)
+class Route:
+    """A fixed path of links carrying one traffic class.
+
+    ``demand`` is the per-flow bandwidth appetite (Section 5's
+    heterogeneous *sizes*): a demand-2 flow reserves 2 units per link
+    under admission control and receives twice the weighted max-min
+    level under best effort.  Pair it with
+    :class:`~repro.extensions.heterogeneous.ScaledUtility` so the
+    utility is judged at the right satiation scale.
+    """
+
+    name: str
+    links: Tuple[str, ...]
+    load: LoadDistribution
+    utility: UtilityFunction
+    demand: float = 1.0
+
+    def __post_init__(self):
+        if not self.links:
+            raise ModelError(f"route {self.name!r} must traverse at least one link")
+        if len(set(self.links)) != len(self.links):
+            raise ModelError(f"route {self.name!r} traverses a link twice")
+        if self.demand <= 0.0:
+            raise ModelError(
+                f"route {self.name!r} demand must be > 0, got {self.demand!r}"
+            )
+
+
+class NetworkTopology:
+    """Capacitated links plus the routes that cross them.
+
+    Parameters
+    ----------
+    capacities:
+        Mapping of link name to capacity (> 0).
+    routes:
+        The traffic classes; every link a route names must exist.
+    """
+
+    def __init__(self, capacities: Mapping[str, float], routes: Sequence[Route]):
+        if not capacities:
+            raise ModelError("topology needs at least one link")
+        for link, capacity in capacities.items():
+            if capacity <= 0.0:
+                raise ModelError(f"link {link!r} capacity must be > 0, got {capacity!r}")
+        if not routes:
+            raise ModelError("topology needs at least one route")
+        names = [route.name for route in routes]
+        if len(set(names)) != len(names):
+            raise ModelError(f"duplicate route names: {names!r}")
+        for route in routes:
+            missing = [l for l in route.links if l not in capacities]
+            if missing:
+                raise ModelError(
+                    f"route {route.name!r} names unknown links {missing!r}"
+                )
+        self._capacities = dict(capacities)
+        self._routes = {route.name: route for route in routes}
+
+    @property
+    def capacities(self) -> Dict[str, float]:
+        """Link name -> capacity."""
+        return dict(self._capacities)
+
+    @property
+    def routes(self) -> Dict[str, Route]:
+        """Route name -> route."""
+        return dict(self._routes)
+
+    @property
+    def link_names(self) -> Tuple[str, ...]:
+        """Stable ordering of link names."""
+        return tuple(self._capacities)
+
+    @property
+    def route_names(self) -> Tuple[str, ...]:
+        """Stable ordering of route names."""
+        return tuple(self._routes)
+
+    def routes_through(self, link: str) -> Tuple[str, ...]:
+        """Route names traversing ``link``."""
+        if link not in self._capacities:
+            raise ModelError(f"unknown link {link!r}")
+        return tuple(
+            name for name, route in self._routes.items() if link in route.links
+        )
+
+    def scaled(self, factor: float) -> "NetworkTopology":
+        """Uniformly scale every link capacity (for bandwidth gaps)."""
+        if factor <= 0.0:
+            raise ModelError(f"scale factor must be > 0, got {factor!r}")
+        return NetworkTopology(
+            {link: factor * cap for link, cap in self._capacities.items()},
+            tuple(self._routes.values()),
+        )
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph,
+        paths: Mapping[str, Sequence],
+        loads: Mapping[str, LoadDistribution],
+        utilities: Mapping[str, UtilityFunction],
+        *,
+        capacity_attr: str = "capacity",
+        demands: Optional[Mapping[str, float]] = None,
+    ) -> "NetworkTopology":
+        """Build from a networkx graph and node paths.
+
+        ``paths`` maps route names to node sequences in ``graph``; each
+        consecutive node pair must be an edge carrying
+        ``capacity_attr``.  Link names are ``"u-v"`` with endpoints in
+        sorted order (undirected semantics).
+        """
+        capacities: Dict[str, float] = {}
+        routes = []
+        for name, path in paths.items():
+            if len(path) < 2:
+                raise ModelError(f"path for route {name!r} needs >= 2 nodes")
+            links = []
+            for u, v in zip(path[:-1], path[1:]):
+                if not graph.has_edge(u, v):
+                    raise ModelError(f"route {name!r} uses missing edge {(u, v)!r}")
+                data = graph.get_edge_data(u, v)
+                if capacity_attr not in data:
+                    raise ModelError(
+                        f"edge {(u, v)!r} lacks the {capacity_attr!r} attribute"
+                    )
+                link = "-".join(str(x) for x in sorted((u, v), key=str))
+                capacities[link] = float(data[capacity_attr])
+                links.append(link)
+            routes.append(
+                Route(
+                    name=name,
+                    links=tuple(links),
+                    load=loads[name],
+                    utility=utilities[name],
+                    demand=(demands or {}).get(name, 1.0),
+                )
+            )
+        return cls(capacities, routes)

@@ -1,0 +1,37 @@
+"""Numerical substrate used by every model in the package.
+
+The paper's quantities are defined implicitly far more often than
+explicitly: the bandwidth gap ``Delta(C)`` is the solution of
+``B(C + Delta) = R(C)``, the welfare-optimal capacity ``C(p)`` is an
+argmax, the equalizing price ratio ``gamma(p)`` is the solution of
+``W_R(gamma * p) = W_B(p)``, and the discrete sums run over infinite
+supports.  This subpackage provides the small set of robust primitives
+those definitions need:
+
+- :func:`find_root` / :func:`invert_monotone` — bracketed root finding
+  with automatic bracket expansion,
+- :func:`maximize_scalar` / :func:`argmax_int` — scalar maximisation for
+  smooth and integer-domain objectives,
+- :func:`sum_series` — adaptive truncation of infinite series with an
+  optional analytic tail bound,
+- :func:`integrate` — quadrature over finite or semi-infinite intervals,
+- :func:`fixed_point` — damped fixed-point iteration (retry model).
+"""
+
+from repro.numerics.brackets import expand_bracket_downward, expand_bracket_upward
+from repro.numerics.optimize import argmax_int, maximize_scalar
+from repro.numerics.quadrature import integrate
+from repro.numerics.series import fixed_point, sum_series
+from repro.numerics.solvers import find_root, invert_monotone
+
+__all__ = [
+    "argmax_int",
+    "expand_bracket_downward",
+    "expand_bracket_upward",
+    "find_root",
+    "fixed_point",
+    "integrate",
+    "invert_monotone",
+    "maximize_scalar",
+    "sum_series",
+]

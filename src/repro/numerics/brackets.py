@@ -1,0 +1,111 @@
+"""Bracket expansion helpers for root finding.
+
+Every implicit quantity in the paper (bandwidth gap, equalizing price,
+retry fixed point) is the root of a monotone function whose scale is not
+known in advance: the gap can be 0.3 units of bandwidth or 500.  These
+helpers grow a bracket geometrically until the function changes sign,
+so the caller never has to guess the scale.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from repro.errors import BracketError
+
+#: Default geometric growth factor for bracket expansion.
+GROWTH = 2.0
+
+#: Default cap on the number of expansion steps (2**60 of initial span).
+MAX_STEPS = 200
+
+
+def expand_bracket_upward(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    growth: float = GROWTH,
+    max_steps: int = MAX_STEPS,
+    upper_limit: float = float("inf"),
+) -> Tuple[float, float]:
+    """Grow ``[lo, hi]`` to the right until ``func`` changes sign.
+
+    Parameters
+    ----------
+    func:
+        Continuous function whose sign change we want to bracket.
+        ``func(lo)`` fixes the reference sign.
+    lo, hi:
+        Initial bracket; ``hi`` moves right geometrically.
+    growth:
+        Multiplier applied to the bracket span each step.
+    max_steps:
+        Give up (raise :class:`BracketError`) after this many steps.
+    upper_limit:
+        Never move ``hi`` beyond this value; reaching it without a sign
+        change raises :class:`BracketError`.
+
+    Returns
+    -------
+    (a, b):
+        Bracket with ``func(a)`` and ``func(b)`` of opposite signs
+        (zero counts as a sign change).
+    """
+    if hi <= lo:
+        raise ValueError(f"need hi > lo, got lo={lo!r} hi={hi!r}")
+    f_lo = func(lo)
+    if f_lo == 0.0:
+        return lo, lo
+    span = hi - lo
+    a = lo
+    for _ in range(max_steps):
+        b = min(a + span, upper_limit)
+        f_b = func(b)
+        if f_b == 0.0 or (f_lo < 0.0) != (f_b < 0.0):
+            return lo, b
+        if b >= upper_limit:
+            break
+        a = b
+        span *= growth
+    raise BracketError(
+        f"no sign change found expanding upward from [{lo}, {hi}] "
+        f"(limit {upper_limit}, f(lo)={f_lo!r})"
+    )
+
+
+def expand_bracket_downward(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    growth: float = GROWTH,
+    max_steps: int = MAX_STEPS,
+    lower_limit: float = 0.0,
+) -> Tuple[float, float]:
+    """Grow ``[lo, hi]`` to the left until ``func`` changes sign.
+
+    The mirror image of :func:`expand_bracket_upward`; ``lo`` moves left
+    geometrically, never below ``lower_limit``.  Useful for price-domain
+    quantities that live on ``(0, p0]``.
+    """
+    if hi <= lo:
+        raise ValueError(f"need hi > lo, got lo={lo!r} hi={hi!r}")
+    f_hi = func(hi)
+    if f_hi == 0.0:
+        return hi, hi
+    span = hi - lo
+    b = hi
+    for _ in range(max_steps):
+        a = max(b - span, lower_limit)
+        f_a = func(a)
+        if f_a == 0.0 or (f_hi < 0.0) != (f_a < 0.0):
+            return a, hi
+        if a <= lower_limit:
+            break
+        b = a
+        span *= growth
+    raise BracketError(
+        f"no sign change found expanding downward from [{lo}, {hi}] "
+        f"(limit {lower_limit}, f(hi)={f_hi!r})"
+    )

@@ -1,0 +1,117 @@
+"""Scalar maximisation over continuous and integer domains.
+
+Two maximisers cover everything the models need:
+
+- :func:`maximize_scalar` for smooth objectives such as the welfare
+  ``V(C) - p*C`` over capacity, using a coarse grid scan to locate the
+  basin followed by a bounded Brent polish.  The grid stage matters
+  because rigid utilities make ``V_B`` piecewise-constant, so a purely
+  local method can stall on a flat.
+- :func:`argmax_int` for integer objectives such as ``V(k) = k*pi(C/k)``
+  over the number of admitted flows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from repro.errors import ConvergenceError
+
+
+def maximize_scalar(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    grid: int = 256,
+    polish: bool = True,
+    xtol: float = 1e-10,
+    label: str = "maximum",
+) -> Tuple[float, float]:
+    """Maximise ``func`` on ``[lo, hi]``.
+
+    Returns ``(x_star, f_star)``.  The interval is scanned on a uniform
+    grid of ``grid + 1`` points to locate the best basin, then the
+    bracketing neighbourhood is polished with bounded Brent (unless
+    ``polish`` is false, e.g. for piecewise-constant objectives where
+    the grid value is already exact up to grid resolution).
+    """
+    if hi < lo:
+        raise ValueError(f"{label}: need hi >= lo, got [{lo}, {hi}]")
+    if hi == lo:
+        return lo, func(lo)
+    xs = np.linspace(lo, hi, grid + 1)
+    values = np.array([func(float(x)) for x in xs], dtype=float)
+    if not np.all(np.isfinite(values)):
+        raise ConvergenceError(f"{label}: objective non-finite on grid over [{lo}, {hi}]")
+    best = int(np.argmax(values))
+    x_best, f_best = float(xs[best]), float(values[best])
+    if not polish:
+        return x_best, f_best
+    left = float(xs[max(best - 1, 0)])
+    right = float(xs[min(best + 1, grid)])
+    if right > left:
+        result = optimize.minimize_scalar(
+            lambda x: -func(x),
+            bounds=(left, right),
+            method="bounded",
+            options={"xatol": xtol},
+        )
+        if result.success:
+            x_polished = float(result.x)
+            f_polished = float(-result.fun)
+            if f_polished > f_best:
+                x_best, f_best = x_polished, f_polished
+    return x_best, f_best
+
+
+def argmax_int(
+    func: Callable[[int], float],
+    lo: int,
+    hi: int,
+    *,
+    unimodal_window: int = 64,
+    label: str = "integer maximum",
+) -> Tuple[int, float]:
+    """Maximise ``func`` over integers in ``[lo, hi]``.
+
+    The objectives we face (``k * pi(C/k)``) are unimodal in ``k``, so a
+    full scan is wasteful at large ``hi``.  We scan geometrically spaced
+    probes to find the best coarse region, then scan exhaustively within
+    ``unimodal_window`` of it, and finally walk outward while the value
+    keeps improving so a slightly-off window cannot clip the peak.
+    """
+    if hi < lo:
+        raise ValueError(f"{label}: need hi >= lo, got [{lo}, {hi}]")
+    if hi - lo <= 4 * unimodal_window:
+        ks = range(lo, hi + 1)
+        best_k = max(ks, key=func)
+        return best_k, func(best_k)
+
+    # geometric probe points (always including the endpoints)
+    probes = sorted(
+        {lo, hi}
+        | {int(round(lo + (hi - lo) * (2.0**-i))) for i in range(1, 40)}
+        | {int(round(lo * (hi / max(lo, 1)) ** (i / 32.0))) for i in range(33)}
+    )
+    probes = [k for k in probes if lo <= k <= hi]
+    best_probe = max(probes, key=func)
+
+    window_lo = max(lo, best_probe - unimodal_window)
+    window_hi = min(hi, best_probe + unimodal_window)
+    best_k = max(range(window_lo, window_hi + 1), key=func)
+    best_v = func(best_k)
+
+    # walk outward in case the window clipped the peak
+    k = best_k
+    while k > lo and func(k - 1) > best_v:
+        k -= 1
+        best_v = func(k)
+    if k == best_k:
+        while k < hi and func(k + 1) > best_v:
+            k += 1
+            best_v = func(k)
+    return k, best_v

@@ -1,0 +1,112 @@
+"""Infinite-series summation and fixed-point iteration.
+
+The discrete variable-load model sums ``P(k) * k * pi(C/k)`` over all
+``k >= 0``.  For Poisson and geometric loads the terms die fast; for the
+algebraic load they die like ``k**-(z+1)`` and a naive truncation at a
+fixed K either wastes work or silently loses tail mass.
+:func:`sum_series` truncates adaptively and can account for the missing
+tail with an analytic bound supplied by the caller (the load classes
+supply Hurwitz-zeta tails).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ConvergenceError
+
+#: Default absolute tolerance for series truncation.
+SERIES_TOL = 1e-12
+
+#: Default hard cap on summed terms.
+MAX_TERMS = 5_000_000
+
+#: Number of consecutive negligible terms required before stopping when
+#: no analytic tail bound is available.  Protects against premature
+#: truncation on terms that dip (e.g. a utility that is zero for a
+#: stretch of k before the distribution mass arrives).
+QUIET_RUN = 64
+
+
+def sum_series(
+    term: Callable[[int], float],
+    start: int = 0,
+    *,
+    tol: float = SERIES_TOL,
+    max_terms: int = MAX_TERMS,
+    tail_bound: Optional[Callable[[int], float]] = None,
+    label: str = "series",
+) -> float:
+    """Sum ``term(k)`` for ``k = start, start+1, ...`` adaptively.
+
+    Parameters
+    ----------
+    term:
+        Non-negative series term (negative terms are allowed but the
+        stopping rule assumes the magnitude eventually decays).
+    tail_bound:
+        Optional function giving an upper bound on ``sum_{j>=k} |term(j)|``.
+        When provided, summation stops as soon as the bound drops below
+        ``tol`` and the bound's midpoint is *not* added (bounds from the
+        load classes are tight enough that adding half the bound buys
+        nothing but complicates testing).
+    label:
+        Name used in error messages.
+
+    Raises
+    ------
+    ConvergenceError
+        If ``max_terms`` terms are summed without meeting the tolerance.
+    """
+    total = 0.0
+    quiet = 0
+    k = start
+    for _ in range(max_terms):
+        value = term(k)
+        total += value
+        k += 1
+        if tail_bound is not None:
+            if tail_bound(k) < tol:
+                return total
+        else:
+            if abs(value) < tol:
+                quiet += 1
+                if quiet >= QUIET_RUN:
+                    return total
+            else:
+                quiet = 0
+    raise ConvergenceError(
+        f"{label}: series did not converge within {max_terms} terms "
+        f"(last term at k={k - 1} was {value!r})"
+    )
+
+
+def fixed_point(
+    func: Callable[[float], float],
+    x0: float,
+    *,
+    tol: float = 1e-10,
+    max_iter: int = 500,
+    damping: float = 1.0,
+    label: str = "fixed point",
+) -> float:
+    """Solve ``x = func(x)`` by damped iteration.
+
+    Used by the retrying model to find the self-consistent offered load
+    ``L~ = L * (1 + D(L~))``.  ``damping`` in ``(0, 1]`` mixes the new
+    iterate with the old one; the retry map is a contraction at sane
+    blocking rates, so the default undamped iteration converges fast,
+    but heavy blocking benefits from damping < 1.
+    """
+    if not 0.0 < damping <= 1.0:
+        raise ValueError(f"{label}: damping must be in (0, 1], got {damping!r}")
+    x = x0
+    for _ in range(max_iter):
+        x_next = func(x)
+        x_next = damping * x_next + (1.0 - damping) * x
+        if abs(x_next - x) <= tol * max(1.0, abs(x_next)):
+            return x_next
+        x = x_next
+    raise ConvergenceError(
+        f"{label}: no convergence after {max_iter} iterations (last x={x!r})"
+    )

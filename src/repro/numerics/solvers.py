@@ -1,0 +1,146 @@
+"""Root finding and monotone-function inversion.
+
+Thin, defensive wrappers around :func:`scipy.optimize.brentq` that
+(1) expand brackets automatically and (2) give errors that name the
+quantity being solved for, which matters because these solvers sit at
+the bottom of every gap/welfare computation in the package.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from scipy import optimize
+
+from repro.errors import BracketError, ConvergenceError
+from repro.numerics.brackets import expand_bracket_upward
+
+#: Default absolute tolerance on the root location.
+XTOL = 1e-12
+
+#: Default relative tolerance on the root location.
+RTOL = 1e-12
+
+
+def find_root(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    expand: bool = False,
+    upper_limit: float = float("inf"),
+    xtol: float = XTOL,
+    rtol: float = RTOL,
+    label: str = "root",
+) -> float:
+    """Find a root of ``func`` in ``[lo, hi]``.
+
+    Parameters
+    ----------
+    func:
+        Continuous scalar function.
+    lo, hi:
+        Search interval.  If ``expand`` is true and ``func`` does not
+        change sign on the interval, ``hi`` is grown geometrically
+        (up to ``upper_limit``) until it does.
+    label:
+        Human-readable name of the quantity, used in error messages.
+
+    Returns
+    -------
+    float
+        The root location.
+
+    Raises
+    ------
+    BracketError
+        If no sign change exists in the (possibly expanded) interval.
+    ConvergenceError
+        If brentq fails to converge.
+    """
+    f_lo = func(lo)
+    if f_lo == 0.0:
+        return lo
+    f_hi = func(hi)
+    if f_hi == 0.0:
+        return hi
+    if (f_lo < 0.0) == (f_hi < 0.0):
+        if not expand:
+            raise BracketError(
+                f"{label}: no sign change on [{lo}, {hi}] "
+                f"(f(lo)={f_lo!r}, f(hi)={f_hi!r})"
+            )
+        lo, hi = expand_bracket_upward(func, lo, hi, upper_limit=upper_limit)
+        if lo == hi:
+            return lo
+    try:
+        root, results = optimize.brentq(
+            func, lo, hi, xtol=xtol, rtol=max(rtol, 4e-16), full_output=True
+        )
+    except (ValueError, RuntimeError) as exc:  # pragma: no cover - scipy detail
+        raise ConvergenceError(f"{label}: brentq failed on [{lo}, {hi}]: {exc}") from exc
+    if not results.converged:  # pragma: no cover - brentq rarely reports this
+        raise ConvergenceError(f"{label}: brentq did not converge on [{lo}, {hi}]")
+    return float(root)
+
+
+def invert_monotone(
+    func: Callable[[float], float],
+    target: float,
+    lo: float,
+    hi: float,
+    *,
+    increasing: bool = True,
+    upper_limit: float = float("inf"),
+    xtol: float = XTOL,
+    rtol: float = RTOL,
+    label: str = "inverse",
+    clip: Optional[str] = None,
+) -> float:
+    """Solve ``func(x) = target`` for a monotone ``func``.
+
+    This is the workhorse behind the bandwidth gap (invert ``B`` at the
+    reservation utility) and the equalizing price ratio (invert ``W_R``
+    at the best-effort welfare).
+
+    Parameters
+    ----------
+    increasing:
+        Direction of monotonicity; used only to orient the residual so
+        bracket expansion knows which way to grow.
+    clip:
+        ``"lo"`` or ``"hi"`` return the corresponding endpoint instead
+        of raising when the target is unreachable on that side (e.g.
+        a bandwidth gap of exactly zero when ``R(C) <= B(C)`` due to
+        floating-point rounding).  ``None`` raises.
+    """
+    if increasing:
+        residual = lambda x: func(x) - target  # noqa: E731 - tiny adapters
+    else:
+        residual = lambda x: target - func(x)  # noqa: E731
+
+    r_lo = residual(lo)
+    if r_lo >= 0.0:
+        # target already met (or overshot) at the left endpoint
+        if r_lo == 0.0 or clip == "lo":
+            return lo
+        raise BracketError(
+            f"{label}: target {target!r} already exceeded at lo={lo!r}"
+        )
+    try:
+        return find_root(
+            residual,
+            lo,
+            hi,
+            expand=True,
+            upper_limit=upper_limit,
+            xtol=xtol,
+            rtol=rtol,
+            label=label,
+        )
+    except BracketError:
+        if clip == "hi":
+            # target unreachable within the expansion limit: clip there
+            return upper_limit if math.isfinite(upper_limit) else hi
+        raise

@@ -1,0 +1,90 @@
+"""Admission-control policies for the simulator.
+
+The reservation-capable architecture is, mechanically, an admission
+decision at flow arrival.  A policy sees the current number of
+*admitted* flows and the link capacity and answers accept/reject; the
+paper's architecture corresponds to :class:`ThresholdAdmission` with
+the fixed-load optimum ``k_max(C)`` as the threshold, and
+best-effort-only to :class:`AdmitAll`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+from repro.models.fixed_load import FixedLoadModel
+from repro.utility.base import UtilityFunction
+
+
+class AdmissionPolicy(abc.ABC):
+    """Accept/reject decision at flow-arrival instants."""
+
+    #: Whether a freed reservation slot is handed to a waiting
+    #: (previously rejected, still present) flow.  The paper's basic
+    #: model never readmits; its retrying extension effectively does.
+    readmit_waiting: bool = False
+
+    @abc.abstractmethod
+    def admits(self, admitted: int, capacity: float) -> bool:
+        """True if a flow arriving now receives a reservation."""
+
+    def threshold(self, capacity: float) -> float:
+        """Admission threshold at this capacity (inf = none)."""
+        return float("inf")
+
+
+class AdmitAll(AdmissionPolicy):
+    """Best-effort-only: every flow is always admitted."""
+
+    def admits(self, admitted: int, capacity: float) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "AdmitAll()"
+
+
+class ThresholdAdmission(AdmissionPolicy):
+    """Admit while the admitted count is below ``k_max(capacity)``.
+
+    Parameters
+    ----------
+    k_max:
+        Either an integer/float threshold, or a callable
+        ``capacity -> threshold``.
+    readmit_waiting:
+        Hand freed slots to waiting rejected flows (default False,
+        matching the paper's basic model).
+    """
+
+    def __init__(self, k_max, *, readmit_waiting: bool = False):
+        if callable(k_max):
+            self._k_max_fn: Callable[[float], float] = k_max
+        else:
+            value = float(k_max)
+            if value < 0:
+                raise ValueError(f"k_max must be >= 0, got {k_max!r}")
+            self._k_max_fn = lambda capacity: value
+        self.readmit_waiting = bool(readmit_waiting)
+
+    @classmethod
+    def from_utility(
+        cls, utility: UtilityFunction, *, readmit_waiting: bool = False
+    ) -> "ThresholdAdmission":
+        """The paper's policy: threshold at the fixed-load optimum.
+
+        Builds a :class:`FixedLoadModel` over ``utility`` and uses its
+        ``k_max(C)`` — the utility-maximising admitted count — as the
+        capacity-dependent threshold.
+        """
+        model = FixedLoadModel(utility)
+        return cls(lambda capacity: model.k_max(capacity), readmit_waiting=readmit_waiting)
+
+    def threshold(self, capacity: float) -> float:
+        return float(self._k_max_fn(capacity))
+
+    def admits(self, admitted: int, capacity: float) -> bool:
+        return admitted < self.threshold(capacity)
+
+    def __repr__(self) -> str:
+        return f"ThresholdAdmission(readmit_waiting={self.readmit_waiting!r})"

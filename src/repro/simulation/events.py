@@ -1,0 +1,67 @@
+"""Event queue for the flow-level simulator.
+
+A small binary-heap calendar: events carry a time, a monotonically
+increasing sequence number (stable FIFO order for simultaneous events)
+and an opaque payload.  The general-holding-time engines schedule each
+flow's departure here; the birth-death engine does not need a calendar
+(competing exponentials are memoryless) but shares the event types for
+uniform tracing.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class EventKind(enum.Enum):
+    """What happened at an event instant."""
+
+    ARRIVAL = "arrival"
+    DEPARTURE = "departure"
+    SESSION = "session"
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """A scheduled simulation event, ordered by (time, seq)."""
+
+    time: float
+    seq: int
+    kind: EventKind = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Binary-heap event calendar with stable ordering."""
+
+    def __init__(self):
+        self._heap: list = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        """Schedule an event; returns it (useful for cancellation sets)."""
+        if time < 0.0:
+            raise ValueError(f"event time must be >= 0, got {time!r}")
+        event = Event(time=time, seq=next(self._counter), kind=kind, payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Optional[Event]:
+        """Earliest event without removing it, or None when empty."""
+        return self._heap[0] if self._heap else None

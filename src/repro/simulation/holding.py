@@ -1,0 +1,125 @@
+"""Holding-time (flow duration) distributions for the M/G/inf engine.
+
+The Gillespie engine assumes exponential holding times (memorylessness
+lets departures pick a uniformly random flow).  Real session lengths
+are famously not exponential — they are heavy-tailed.  The calendar
+engine in :class:`~repro.simulation.general.GeneralHoldingSimulator`
+accepts any of these distributions and demonstrates the classical
+*insensitivity* result: with Poisson arrivals the stationary census is
+Poisson(rate x mean holding) no matter which of them you pick — solid
+ground under the paper's Poisson load case.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+
+class HoldingTime(abc.ABC):
+    """A positive flow-duration distribution."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected duration."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` iid durations."""
+
+
+class ExponentialHolding(HoldingTime):
+    """Exponential durations — the memoryless baseline."""
+
+    def __init__(self, mean: float = 1.0):
+        if mean <= 0.0:
+            raise ValueError(f"mean duration must be > 0, got {mean!r}")
+        self._mean = float(mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.exponential(self._mean, size=size)
+
+    def __repr__(self) -> str:
+        return f"ExponentialHolding(mean={self._mean!r})"
+
+
+class DeterministicHolding(HoldingTime):
+    """Fixed durations — the opposite extreme from heavy tails."""
+
+    def __init__(self, duration: float = 1.0):
+        if duration <= 0.0:
+            raise ValueError(f"duration must be > 0, got {duration!r}")
+        self._duration = float(duration)
+
+    @property
+    def mean(self) -> float:
+        return self._duration
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.full(size, self._duration)
+
+    def __repr__(self) -> str:
+        return f"DeterministicHolding(duration={self._duration!r})"
+
+
+class ParetoHolding(HoldingTime):
+    """Pareto durations — heavy-tailed session lengths.
+
+    ``P(T > t) = (t_min/t)^shape`` for ``t >= t_min``; needs
+    ``shape > 1`` for a finite mean ``t_min shape/(shape-1)``.
+    """
+
+    def __init__(self, shape: float = 1.5, t_min: float = 1.0):
+        if shape <= 1.0:
+            raise ValueError(f"shape must be > 1 for a finite mean, got {shape!r}")
+        if t_min <= 0.0:
+            raise ValueError(f"t_min must be > 0, got {t_min!r}")
+        self._shape = float(shape)
+        self._t_min = float(t_min)
+
+    @property
+    def shape(self) -> float:
+        """Tail exponent of the survival function."""
+        return self._shape
+
+    @property
+    def mean(self) -> float:
+        return self._t_min * self._shape / (self._shape - 1.0)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        u = rng.random(size)
+        return self._t_min * (1.0 - u) ** (-1.0 / self._shape)
+
+    def __repr__(self) -> str:
+        return f"ParetoHolding(shape={self._shape!r}, t_min={self._t_min!r})"
+
+
+class LogNormalHolding(HoldingTime):
+    """Log-normal durations — the classic telephony/session-length fit."""
+
+    def __init__(self, mean: float = 1.0, sigma: float = 1.0):
+        if mean <= 0.0:
+            raise ValueError(f"mean duration must be > 0, got {mean!r}")
+        if sigma <= 0.0:
+            raise ValueError(f"sigma must be > 0, got {sigma!r}")
+        self._mean = float(mean)
+        self._sigma = float(sigma)
+        # choose mu so that E[T] = exp(mu + sigma^2/2) equals mean
+        self._mu = math.log(self._mean) - 0.5 * self._sigma**2
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.lognormal(self._mu, self._sigma, size=size)
+
+    def __repr__(self) -> str:
+        return f"LogNormalHolding(mean={self._mean!r}, sigma={self._sigma!r})"

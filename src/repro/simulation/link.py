@@ -1,0 +1,49 @@
+"""The shared link: equal-share bandwidth allocation.
+
+The paper's single-link model splits capacity evenly among whichever
+flows are transmitting: all requesting flows under best-effort, the
+admitted subset under reservations.  This class keeps that arithmetic
+(and its edge cases) in one place so both the simulator and ad-hoc
+analyses agree on it.
+"""
+
+from __future__ import annotations
+
+from repro.utility.base import UtilityFunction
+
+
+class Link:
+    """A single bottleneck link of fixed capacity."""
+
+    def __init__(self, capacity: float):
+        if capacity < 0.0:
+            raise ValueError(f"capacity must be >= 0, got {capacity!r}")
+        self._capacity = float(capacity)
+
+    @property
+    def capacity(self) -> float:
+        """Total link bandwidth ``C``."""
+        return self._capacity
+
+    def share(self, transmitting: int) -> float:
+        """Equal bandwidth share with ``transmitting`` active flows.
+
+        Zero flows get the whole link "each" by convention — the value
+        is never used because there is no flow to score.
+        """
+        if transmitting < 0:
+            raise ValueError(f"flow count must be >= 0, got {transmitting!r}")
+        if transmitting == 0:
+            return self._capacity
+        return self._capacity / transmitting
+
+    def instantaneous_utility(
+        self, utility: UtilityFunction, transmitting: int
+    ) -> float:
+        """``pi(C / k)`` for each of ``k`` equal-share flows."""
+        if transmitting <= 0:
+            return 0.0
+        return utility.value(self.share(transmitting))
+
+    def __repr__(self) -> str:
+        return f"Link(capacity={self._capacity!r})"

@@ -1,0 +1,277 @@
+"""Flow demand processes for the simulator.
+
+The paper deliberately refuses to commit to arrival dynamics — it
+models only the stationary census ``P(k)``.  The simulator closes that
+gap from both ends:
+
+- :class:`BirthDeathProcess` *engineers* dynamics whose stationary
+  census is **exactly** a requested ``P(k)``: flows depart individually
+  at rate ``mu`` and arrive at the state-dependent rate
+  ``lambda_k = mu (k+1) P(k+1) / P(k)`` (detailed balance).  For the
+  Poisson census this reduces to the familiar M/M/inf constant arrival
+  rate; for the algebraic census the births are self-exciting — crowds
+  attract crowds — which is exactly the flavour of correlation the
+  self-similarity literature cited by the paper reports.
+- :class:`PoissonProcess` and :class:`ParetoBatchProcess` go the other
+  way: plausible traffic generators whose *measured* census can then be
+  fed back into the analytic model.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.loads.base import LoadDistribution
+
+
+class DemandProcess(abc.ABC):
+    """Interface the simulation engines drive demand through."""
+
+    @abc.abstractmethod
+    def arrival_rate(self, census: int) -> float:
+        """Instantaneous flow arrival rate given the current census."""
+
+    @abc.abstractmethod
+    def departure_rate(self, census: int) -> float:
+        """Aggregate flow departure rate given the current census."""
+
+    @abc.abstractmethod
+    def batch_size(self, rng: np.random.Generator) -> int:
+        """Number of flows arriving together at an arrival instant."""
+
+    def advance_to(self, t: float) -> None:
+        """Advance internal (wall-clock) state to simulation time ``t``.
+
+        No-op for time-homogeneous processes; regime-switching demand
+        overrides it to move its modulator.  The engine calls this once
+        per event before querying rates, so modulator dynamics are
+        resolved at event granularity (exact when regime dwell times
+        are long against the event spacing).
+        """
+
+
+class BirthDeathProcess(DemandProcess):
+    """Census dynamics with an exact target stationary distribution.
+
+    Parameters
+    ----------
+    load:
+        Target census ``P(k)``.
+    mu:
+        Per-flow departure rate (sets the time scale only; the
+        stationary census is ``P`` for every ``mu > 0``).
+    census_cap:
+        Reflecting upper boundary for the chain (the arrival rate is
+        zeroed there).  Defaults to a point with negligible tail mass;
+        raise it for heavy-tailed loads if extreme excursions matter.
+    """
+
+    def __init__(
+        self,
+        load: LoadDistribution,
+        *,
+        mu: float = 1.0,
+        census_cap: Optional[int] = None,
+    ):
+        if mu <= 0.0:
+            raise ValueError(f"departure rate mu must be > 0, got {mu!r}")
+        self._load = load
+        self._mu = float(mu)
+        if census_cap is None:
+            cap = int(16 * load.mean)
+            while load.sf(cap) > 1e-6 and cap < 1 << 22:
+                cap *= 2
+            census_cap = cap
+        self._cap = int(census_cap)
+        # precompute birth rates lambda_k = mu (k+1) P(k+1)/P(k)
+        ks = np.arange(self._cap + 2, dtype=float)
+        pk = np.asarray(load.pmf_array(ks), dtype=float)
+        rates = np.zeros(self._cap + 1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = pk[1:] / pk[:-1]
+        for k in range(self._cap + 1):
+            if pk[k] > 0.0 and np.isfinite(ratio[k]):
+                rates[k] = self._mu * (k + 1) * float(ratio[k])
+            elif pk[k] == 0.0 and k < load.support_min:
+                # below the support: push the chain up into it
+                rates[k] = self._mu * max(1.0, load.mean)
+        self._birth_rates = rates
+
+    @property
+    def load(self) -> LoadDistribution:
+        """The target stationary census."""
+        return self._load
+
+    @property
+    def mu(self) -> float:
+        """Per-flow departure rate."""
+        return self._mu
+
+    @property
+    def census_cap(self) -> int:
+        """Reflecting boundary of the chain."""
+        return self._cap
+
+    def arrival_rate(self, census: int) -> float:
+        if census >= self._cap:
+            return 0.0
+        return float(self._birth_rates[census])
+
+    def departure_rate(self, census: int) -> float:
+        # the chain is confined to k >= support_min by zeroing the death
+        # rate at the floor; detailed balance on k > support_min still
+        # requires the full rate mu*k there (each flow departs at mu)
+        if census <= self._load.support_min:
+            return 0.0
+        return self._mu * census
+
+    def batch_size(self, rng: np.random.Generator) -> int:
+        return 1
+
+
+class PoissonProcess(DemandProcess):
+    """Plain M/M/inf demand: Poisson arrivals, exponential holding.
+
+    Stationary census is Poisson with mean ``rate/mu`` regardless of
+    the holding-time distribution (insensitivity), making this the
+    canonical generator for the paper's Poisson load case.
+    """
+
+    def __init__(self, rate: float, *, mu: float = 1.0):
+        if rate <= 0.0:
+            raise ValueError(f"arrival rate must be > 0, got {rate!r}")
+        if mu <= 0.0:
+            raise ValueError(f"departure rate mu must be > 0, got {mu!r}")
+        self._rate = float(rate)
+        self._mu = float(mu)
+
+    @property
+    def mean_census(self) -> float:
+        """``rate/mu`` — the stationary mean number of flows."""
+        return self._rate / self._mu
+
+    def arrival_rate(self, census: int) -> float:
+        return self._rate
+
+    def departure_rate(self, census: int) -> float:
+        return self._mu * census
+
+    def batch_size(self, rng: np.random.Generator) -> int:
+        return 1
+
+
+class RegimeSwitchingProcess(DemandProcess):
+    """Demand alternating between regimes (nonstationary loads, live).
+
+    The analytic nonstationary extension models time-shared regimes as
+    a :class:`~repro.extensions.nonstationary.MixtureLoad`; this process
+    realises the dynamics: a hidden modulator jumps between component
+    :class:`BirthDeathProcess` parameter sets at rate ``switch_rate``,
+    spending time in regime ``i`` proportional to its mixture weight.
+
+    When regime dwell times are long relative to the census relaxation
+    time, the time-average census converges to the mixture — giving the
+    simulator a way to *test* the mixture abstraction rather than
+    assume it.  The modulator runs on the engine's wall clock via
+    :meth:`advance_to`; switches landing between events take effect at
+    the next event, a negligible lag at the slow switch rates the
+    mixture abstraction needs anyway.
+    """
+
+    def __init__(
+        self,
+        components,
+        *,
+        switch_rate: float = 0.01,
+        mu: float = 1.0,
+        seed: int = 0,
+    ):
+        if not components:
+            raise ValueError("need at least one (weight, load) regime")
+        weights = np.array([w for w, _ in components], dtype=float)
+        if np.any(weights <= 0.0):
+            raise ValueError(f"regime weights must be > 0, got {list(weights)!r}")
+        if switch_rate <= 0.0:
+            raise ValueError(f"switch_rate must be > 0, got {switch_rate!r}")
+        self._weights = weights / weights.sum()
+        self._processes = [
+            BirthDeathProcess(load, mu=mu) for _, load in components
+        ]
+        self._loads = [load for _, load in components]
+        self._switch_rate = float(switch_rate)
+        self._rng = np.random.default_rng(seed)
+        self._regime = int(self._rng.choice(len(self._weights), p=self._weights))
+        self._next_switch = self._rng.exponential(1.0 / self._switch_rate)
+
+    @property
+    def regime(self) -> int:
+        """Index of the currently active regime."""
+        return self._regime
+
+    @property
+    def mean_census(self) -> float:
+        """Mixture mean (used to seed the initial census)."""
+        return float(
+            sum(w * load.mean for w, load in zip(self._weights, self._loads))
+        )
+
+    def advance_to(self, t: float) -> None:
+        """Move the modulator to wall-clock time ``t``."""
+        while t >= self._next_switch:
+            self._regime = int(
+                self._rng.choice(len(self._weights), p=self._weights)
+            )
+            self._next_switch += self._rng.exponential(1.0 / self._switch_rate)
+
+    def arrival_rate(self, census: int) -> float:
+        return self._processes[self._regime].arrival_rate(census)
+
+    def departure_rate(self, census: int) -> float:
+        return self._processes[self._regime].departure_rate(census)
+
+    def batch_size(self, rng: np.random.Generator) -> int:
+        return 1
+
+
+class ParetoBatchProcess(DemandProcess):
+    """Bursty demand: Poisson sessions, Pareto-sized flow batches.
+
+    Each session brings ``ceil(X)`` flows at once with
+    ``X ~ Pareto(shape)``; holding times remain exponential.  The
+    resulting census is over-dispersed with a polynomially heavy tail —
+    a traffic-generator route to loads resembling the paper's algebraic
+    case (cf. the self-similar traffic measurements it cites).
+    """
+
+    def __init__(self, session_rate: float, *, shape: float = 1.5, mu: float = 1.0):
+        if session_rate <= 0.0:
+            raise ValueError(f"session rate must be > 0, got {session_rate!r}")
+        if shape <= 1.0:
+            raise ValueError(
+                f"Pareto shape must be > 1 so batches have finite mean, got {shape!r}"
+            )
+        if mu <= 0.0:
+            raise ValueError(f"departure rate mu must be > 0, got {mu!r}")
+        self._session_rate = float(session_rate)
+        self._shape = float(shape)
+        self._mu = float(mu)
+
+    @property
+    def mean_census(self) -> float:
+        """``session_rate * E[batch] / mu`` (E[batch] ~ shape/(shape-1))."""
+        mean_batch = self._shape / (self._shape - 1.0)
+        return self._session_rate * mean_batch / self._mu
+
+    def arrival_rate(self, census: int) -> float:
+        return self._session_rate
+
+    def departure_rate(self, census: int) -> float:
+        return self._mu * census
+
+    def batch_size(self, rng: np.random.Generator) -> int:
+        u = rng.random()
+        return max(1, math.ceil((1.0 - u) ** (-1.0 / self._shape) - 0.5))

@@ -1,0 +1,344 @@
+"""The flow-level discrete-event simulator.
+
+A continuous-time Markov simulation (Gillespie-style competing
+exponentials) of flows arriving to and departing from a single shared
+link, under a pluggable demand process and admission policy.  The
+engine records the full census trajectory and per-flow lifecycle
+events; scoring against a utility function happens *after* the run
+(see :mod:`repro.simulation.measure`), so one trajectory can be
+evaluated under many utilities, sample counts and architectures.
+
+The paper's static variable-load model assumes flows see the
+stationary census; this simulator is the dynamic ground truth those
+assumptions are tested against (Section 3's premise, Section 5.1's
+sampling picture).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.simulation.admission import AdmissionPolicy, AdmitAll
+from repro.simulation.link import Link
+from repro.simulation.processes import DemandProcess
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """Piecewise-constant census history.
+
+    ``census[i]`` and ``admitted[i]`` hold on ``[times[i], times[i+1])``
+    (the final segment extends to the horizon).
+    """
+
+    times: np.ndarray
+    census: np.ndarray
+    admitted: np.ndarray
+    horizon: float
+
+    def __post_init__(self):
+        if not (len(self.times) == len(self.census) == len(self.admitted)):
+            raise ValueError("trajectory arrays must have equal length")
+
+    def value_at(self, t: np.ndarray, which: str = "census") -> np.ndarray:
+        """Census (or admitted count) at arbitrary time points."""
+        source = self.census if which == "census" else self.admitted
+        idx = np.searchsorted(self.times, np.asarray(t, dtype=float), side="right") - 1
+        idx = np.clip(idx, 0, len(source) - 1)
+        return source[idx]
+
+    def segment_durations(self) -> np.ndarray:
+        """Length of each constant segment (last one ends at horizon)."""
+        ends = np.append(self.times[1:], self.horizon)
+        return np.maximum(0.0, ends - self.times)
+
+
+@dataclass(frozen=True)
+class FlowLog:
+    """Per-flow lifecycle facts (scoring comes later).
+
+    ``admit_time`` is NaN for never-admitted flows; for flows admitted
+    on arrival it equals ``arrival``; for flows admitted on a retry (or
+    promoted from the waiting list) it is the admission instant.
+    ``failed_attempts`` counts rejected admission attempts — the
+    initial rejection plus every failed retry (Section 5.2's ``D``).
+    """
+
+    arrival: np.ndarray
+    departure: np.ndarray
+    admit_time: np.ndarray
+    census_at_arrival: np.ndarray
+    failed_attempts: np.ndarray = None
+
+    def __post_init__(self):
+        if self.failed_attempts is None:
+            object.__setattr__(
+                self, "failed_attempts", np.zeros(len(self.arrival))
+            )
+
+    def __len__(self) -> int:
+        return len(self.arrival)
+
+    @property
+    def admitted(self) -> np.ndarray:
+        """Boolean mask of flows that ever held a reservation."""
+        return ~np.isnan(self.admit_time)
+
+    @property
+    def duration(self) -> np.ndarray:
+        """Flow lifetimes."""
+        return self.departure - self.arrival
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything a run produced: trajectory, flow log, run metadata."""
+
+    trajectory: Trajectory
+    flows: FlowLog
+    capacity: float
+    warmup: float
+    horizon: float
+
+    def completed_mask(self) -> np.ndarray:
+        """Flows that both arrived after warmup and departed in-run."""
+        return (self.flows.arrival >= self.warmup) & (
+            self.flows.departure <= self.horizon
+        )
+
+
+class FlowSimulator:
+    """Gillespie-style simulator of the shared-link flow population.
+
+    Parameters
+    ----------
+    process:
+        Demand dynamics (arrival/departure rates, batch sizes).
+    link:
+        The shared link (capacity).
+    admission:
+        Accept/reject policy at arrival (default: admit all).
+    retry_rate:
+        Rate at which each waiting (rejected-but-present) flow
+        re-attempts admission (Section 5.2's dynamics, made explicit).
+        0 disables retries; rejected flows then stay unserved until
+        they depart, exactly as in the paper's basic model.
+    lost_calls_cleared:
+        Classic teletraffic semantics: a rejected flow leaves the
+        system immediately instead of lingering unserved.  With
+        :class:`~repro.simulation.processes.PoissonProcess` demand and
+        a threshold of ``c`` this is exactly the M/M/c/c loss system,
+        whose blocking is the Erlang-B formula
+        (:func:`repro.models.erlang.erlang_b`) — the cross-check the
+        tests run.  Mutually exclusive with retries/readmission.
+    """
+
+    def __init__(
+        self,
+        process: DemandProcess,
+        link: Link,
+        admission: Optional[AdmissionPolicy] = None,
+        *,
+        retry_rate: float = 0.0,
+        lost_calls_cleared: bool = False,
+    ):
+        if retry_rate < 0.0:
+            raise ValueError(f"retry_rate must be >= 0, got {retry_rate!r}")
+        self._process = process
+        self._link = link
+        self._admission = admission if admission is not None else AdmitAll()
+        self._retry_rate = float(retry_rate)
+        self._lost_calls_cleared = bool(lost_calls_cleared)
+        if self._lost_calls_cleared and (
+            retry_rate > 0.0 or self._admission.readmit_waiting
+        ):
+            raise ModelError(
+                "lost_calls_cleared is mutually exclusive with retries "
+                "and readmission — a cleared call is gone"
+            )
+
+    @property
+    def link(self) -> Link:
+        """The shared link."""
+        return self._link
+
+    @property
+    def admission(self) -> AdmissionPolicy:
+        """The admission policy in force."""
+        return self._admission
+
+    def run(
+        self,
+        horizon: float,
+        *,
+        warmup: float = 0.0,
+        seed: Optional[int] = None,
+        initial_census: Optional[int] = None,
+        max_events: int = 20_000_000,
+    ) -> SimulationResult:
+        """Simulate until ``horizon`` and return the recorded history.
+
+        ``warmup`` marks the transient to exclude from measurements
+        (recorded in the result; the measurement helpers honour it).
+        ``initial_census`` seeds the starting population (default: the
+        demand process's mean, rounded — shortens the transient).
+        """
+        if horizon <= 0.0:
+            raise ValueError(f"horizon must be > 0, got {horizon!r}")
+        if not 0.0 <= warmup < horizon:
+            raise ValueError(
+                f"warmup must be in [0, horizon), got {warmup!r} vs {horizon!r}"
+            )
+        rng = np.random.default_rng(seed)
+        capacity = self._link.capacity
+
+        if initial_census is None:
+            mean = getattr(self._process, "mean_census", None)
+            if mean is None:
+                load = getattr(self._process, "load", None)
+                mean = load.mean if load is not None else 0.0
+            initial_census = int(round(float(mean)))
+
+        # flow bookkeeping: parallel lists indexed by flow id
+        arrivals: list = []
+        departures: list = []
+        admit_times: list = []
+        census_at_arrival: list = []
+        failed_attempts: list = []
+
+        def new_flow(t: float, census_now: int, admitted_now: int) -> int:
+            flow_id = len(arrivals)
+            arrivals.append(t)
+            departures.append(np.nan)
+            if self._admission.admits(admitted_now, capacity):
+                admit_times.append(t)
+                failed_attempts.append(0)
+            else:
+                admit_times.append(np.nan)
+                failed_attempts.append(1)
+            census_at_arrival.append(census_now)
+            return flow_id
+
+        active_admitted: list = []
+        active_waiting: list = []
+        t = 0.0
+        for _ in range(int(initial_census)):
+            fid = new_flow(0.0, len(active_admitted) + len(active_waiting),
+                           len(active_admitted))
+            if np.isnan(admit_times[fid]):
+                if self._lost_calls_cleared:
+                    departures[fid] = 0.0  # cleared before the run starts
+                else:
+                    active_waiting.append(fid)
+            else:
+                active_admitted.append(fid)
+
+        traj_t: list = [0.0]
+        traj_n: list = [len(active_admitted) + len(active_waiting)]
+        traj_m: list = [len(active_admitted)]
+
+        def record_state() -> None:
+            traj_t.append(t)
+            traj_n.append(len(active_admitted) + len(active_waiting))
+            traj_m.append(len(active_admitted))
+
+        events = 0
+        while t < horizon:
+            self._process.advance_to(t)
+            census = len(active_admitted) + len(active_waiting)
+            birth = self._process.arrival_rate(census)
+            death = self._process.departure_rate(census)
+            retry = self._retry_rate * len(active_waiting)
+            total = birth + death + retry
+            if total <= 0.0:
+                raise ModelError(
+                    f"demand process is absorbed at census {census} "
+                    f"(zero total rate) — check the process parameters"
+                )
+            t += rng.exponential(1.0 / total)
+            if t >= horizon:
+                break
+            events += 1
+            if events > max_events:
+                raise ModelError(
+                    f"exceeded {max_events} events before the horizon; "
+                    "reduce horizon or raise max_events"
+                )
+            draw = rng.random() * total
+            if draw >= birth + death:
+                # a waiting flow re-attempts admission
+                pick = int(rng.integers(len(active_waiting)))
+                fid = active_waiting[pick]
+                if self._admission.admits(len(active_admitted), capacity):
+                    active_waiting.pop(pick)
+                    admit_times[fid] = t
+                    active_admitted.append(fid)
+                else:
+                    failed_attempts[fid] += 1
+                record_state()
+                continue
+            if draw < birth:
+                batch = self._process.batch_size(rng)
+                for _ in range(batch):
+                    fid = new_flow(
+                        t,
+                        len(active_admitted) + len(active_waiting),
+                        len(active_admitted),
+                    )
+                    if np.isnan(admit_times[fid]):
+                        if self._lost_calls_cleared:
+                            departures[fid] = t  # cleared on the spot
+                        else:
+                            active_waiting.append(fid)
+                    else:
+                        active_admitted.append(fid)
+            else:
+                # uniformly random active flow departs (memorylessness)
+                n_adm, n_wait = len(active_admitted), len(active_waiting)
+                pick = int(rng.integers(n_adm + n_wait))
+                if pick < n_adm:
+                    fid = active_admitted.pop(pick)
+                    freed_reservation = True
+                else:
+                    fid = active_waiting.pop(pick - n_adm)
+                    freed_reservation = False
+                departures[fid] = t
+                if (
+                    freed_reservation
+                    and self._admission.readmit_waiting
+                    and active_waiting
+                ):
+                    promoted = active_waiting.pop(int(rng.integers(len(active_waiting))))
+                    admit_times[promoted] = t
+                    active_admitted.append(promoted)
+            record_state()
+
+        # close out still-active flows at the horizon (marked incomplete
+        # by departure = +inf so completed_mask excludes them)
+        for fid in active_admitted + active_waiting:
+            departures[fid] = np.inf
+
+        trajectory = Trajectory(
+            times=np.asarray(traj_t, dtype=float),
+            census=np.asarray(traj_n, dtype=float),
+            admitted=np.asarray(traj_m, dtype=float),
+            horizon=horizon,
+        )
+        flows = FlowLog(
+            arrival=np.asarray(arrivals, dtype=float),
+            departure=np.asarray(departures, dtype=float),
+            admit_time=np.asarray(admit_times, dtype=float),
+            census_at_arrival=np.asarray(census_at_arrival, dtype=float),
+            failed_attempts=np.asarray(failed_attempts, dtype=float),
+        )
+        return SimulationResult(
+            trajectory=trajectory,
+            flows=flows,
+            capacity=capacity,
+            warmup=warmup,
+            horizon=horizon,
+        )

@@ -1,0 +1,30 @@
+"""Flow traces: record, persist, and analyse what operators observe.
+
+- :class:`FlowTrace` — per-flow arrival/departure records, extractable
+  from any simulation run; CSV persistence via :func:`write_trace` /
+  :func:`read_trace`.
+- census derivation — exact trajectory, point queries, time-uniform
+  samples (:mod:`repro.traces.census`).
+- :func:`analyze_trace` — trace -> census identification ->
+  architecture verdict, the full paper as a pipeline.
+"""
+
+from repro.traces.census import (
+    census_at,
+    census_samples,
+    census_trajectory,
+    mean_census,
+)
+from repro.traces.format import FlowTrace, read_trace, write_trace
+from repro.traces.pipeline import analyze_trace
+
+__all__ = [
+    "FlowTrace",
+    "analyze_trace",
+    "census_at",
+    "census_samples",
+    "census_trajectory",
+    "mean_census",
+    "read_trace",
+    "write_trace",
+]

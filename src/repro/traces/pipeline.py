@@ -1,0 +1,46 @@
+"""Trace-to-verdict pipeline: the whole book in one function.
+
+``analyze_trace`` takes what an operator has (a flow trace and the
+application's utility function) and returns what the paper computes
+(the identified census law, the tail check, and the architecture
+verdict at the operator's bandwidth price).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.inference import Recommendation, recommend_architecture
+from repro.traces.census import census_samples
+from repro.traces.format import FlowTrace
+from repro.utility.base import UtilityFunction
+
+
+def analyze_trace(
+    trace: FlowTrace,
+    utility: UtilityFunction,
+    *,
+    price: float = 0.05,
+    samples: int = 4000,
+    warmup: Optional[float] = None,
+    seed: Optional[int] = 0,
+) -> Recommendation:
+    """Identify the census behind a trace and recommend an architecture.
+
+    Parameters
+    ----------
+    trace:
+        Observed flow arrivals/departures.
+    utility:
+        The application utility the network serves.
+    price:
+        Bandwidth price for the welfare verdict.
+    samples:
+        Number of time-uniform census samples fed to the fitters.
+    warmup:
+        Transient to exclude; defaults to 10% of the horizon.
+    """
+    if warmup is None:
+        warmup = 0.1 * trace.horizon
+    census = census_samples(trace, samples, warmup=warmup, seed=seed)
+    return recommend_architecture(census, utility, price=price)

@@ -1,0 +1,45 @@
+"""Application utility functions ``pi(b)`` from the paper.
+
+Concrete families:
+
+- :class:`RigidUtility` — hard threshold (Eq. 1); telephony-style.
+- :class:`AdaptiveUtility` — smooth sigmoid (Eq. 2); Internet audio/video.
+- :class:`PiecewiseLinearUtility` — the continuum model's ramp (§3.2).
+- :class:`ExponentialElasticUtility`, :class:`HyperbolicElasticUtility`
+  — everywhere-concave data-application utilities (§2, footnote 9).
+- :class:`AlgebraicTailUtility`, :class:`PowerLowUtility` — power-law
+  satiation variants (§3.3, footnote 8).
+
+Plus the Section 2 classification probes (:func:`classify`) and the
+paper's kappa calibration (:func:`calibrate_kappa`).
+"""
+
+from repro.utility.adaptive import KAPPA_PAPER, AdaptiveUtility, calibrate_kappa
+from repro.utility.algebraic_tail import AlgebraicTailUtility, PowerLowUtility
+from repro.utility.base import UtilityFunction
+from repro.utility.elastic import ExponentialElasticUtility, HyperbolicElasticUtility
+from repro.utility.piecewise import PiecewiseLinearUtility
+from repro.utility.probes import (
+    UtilityClass,
+    classify,
+    is_convex_near_origin,
+    is_strictly_concave_on,
+)
+from repro.utility.rigid import RigidUtility
+
+__all__ = [
+    "KAPPA_PAPER",
+    "AdaptiveUtility",
+    "AlgebraicTailUtility",
+    "ExponentialElasticUtility",
+    "HyperbolicElasticUtility",
+    "PiecewiseLinearUtility",
+    "PowerLowUtility",
+    "RigidUtility",
+    "UtilityClass",
+    "UtilityFunction",
+    "calibrate_kappa",
+    "classify",
+    "is_convex_near_origin",
+    "is_strictly_concave_on",
+]

@@ -1,0 +1,100 @@
+"""Adaptive (rate- and delay-adaptive) utility — Equation 2 of the paper.
+
+Internet audio/video applications adapt to the bandwidth they get, but
+human perception makes very low rates nearly worthless and very high
+rates barely better than merely good ones.  The paper models this with
+
+    pi(b) = 1 - exp(-b**2 / (kappa + b))
+
+which is convex near the origin (``pi(b) ~ b**2 / kappa`` for small
+``b``) and approaches 1 like ``1 - exp(-b)`` for large ``b``.  The
+constant ``kappa = 0.62086`` is chosen so that the fixed-load optimum
+sits at one unit of bandwidth per flow, ``k_max(C) = C``, matching the
+rigid case and making the two utility classes directly comparable.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import CalibrationError
+from repro.numerics.solvers import find_root
+from repro.utility.base import UtilityFunction
+
+#: The paper's calibrated constant (footnote 4).
+KAPPA_PAPER = 0.62086
+
+
+class AdaptiveUtility(UtilityFunction):
+    """Smooth sigmoid-like utility ``1 - exp(-b^2/(kappa+b))`` (Eq. 2)."""
+
+    name = "adaptive"
+
+    def __init__(self, kappa: float = KAPPA_PAPER):
+        if kappa <= 0.0:
+            raise ValueError(f"kappa must be > 0, got {kappa!r}")
+        self._kappa = float(kappa)
+
+    @property
+    def kappa(self) -> float:
+        """Shape constant; larger kappa widens the low-value region."""
+        return self._kappa
+
+    def value(self, b: float) -> float:
+        if b < 0.0:
+            raise ValueError(f"bandwidth must be >= 0, got {b!r}")
+        return 1.0 - math.exp(-b * b / (self._kappa + b))
+
+    def _values(self, b: np.ndarray) -> np.ndarray:
+        if np.any(b < 0.0):
+            raise ValueError("bandwidth must be >= 0")
+        return 1.0 - np.exp(-b * b / (self._kappa + b))
+
+    def derivative(self, b: float) -> float:
+        """Exact marginal utility.
+
+        d/db [b^2/(kappa+b)] = (b^2 + 2*kappa*b) / (kappa+b)^2, so
+        pi'(b) = exp(-b^2/(kappa+b)) * (b^2 + 2*kappa*b) / (kappa+b)^2.
+        """
+        if b < 0.0:
+            raise ValueError(f"bandwidth must be >= 0, got {b!r}")
+        k = self._kappa
+        exponent = math.exp(-b * b / (k + b))
+        return exponent * (b * b + 2.0 * k * b) / ((k + b) ** 2)
+
+    def __repr__(self) -> str:
+        return f"AdaptiveUtility(kappa={self._kappa!r})"
+
+
+def _stationarity_residual(kappa: float) -> float:
+    """Residual of the condition placing the fixed-load optimum at b = 1.
+
+    ``V(k) = k * pi(C/k)`` is stationary in ``k`` where
+    ``pi(b) - b * pi'(b) = 0`` with ``b = C/k``; requiring that root at
+    ``b = 1`` (so ``k_max(C) = C``) gives ``pi(1) = pi'(1)``.
+    """
+    u = AdaptiveUtility(kappa)
+    return u.value(1.0) - u.derivative(1.0)
+
+
+def calibrate_kappa(*, tol: float = 1e-12) -> float:
+    """Solve for the kappa that puts ``k_max(C)`` exactly at ``C``.
+
+    Reproduces the paper's footnote-4 constant 0.62086.  Raises
+    :class:`CalibrationError` if the root is not where expected (which
+    would indicate a broken utility implementation, not bad luck).
+    """
+    try:
+        kappa = find_root(
+            _stationarity_residual, 0.05, 5.0, xtol=tol, label="kappa calibration"
+        )
+    except Exception as exc:
+        raise CalibrationError(f"kappa calibration failed: {exc}") from exc
+    if not 0.5 < kappa < 0.8:  # paper value is 0.62086
+        raise CalibrationError(
+            f"kappa calibration landed at {kappa!r}, outside the expected "
+            "neighbourhood of the paper's 0.62086"
+        )
+    return kappa

@@ -1,0 +1,87 @@
+"""Shape probes: is a utility elastic or inelastic?
+
+Section 2's dichotomy: if ``pi`` has a convex (non-linear) neighbourhood
+of the origin then the fixed-load total ``V(k) = k * pi(C/k)`` peaks at
+a finite ``k_max`` and admission control helps (*inelastic*); if ``pi``
+is strictly concave everywhere, ``V(k)`` increases forever and
+best-effort-only is optimal (*elastic*).  These probes apply that test
+numerically so arbitrary user-supplied utilities can be classified.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.utility.base import UtilityFunction
+
+
+class UtilityClass(enum.Enum):
+    """Paper Section 2 taxonomy of utility functions."""
+
+    ELASTIC = "elastic"
+    INELASTIC = "inelastic"
+    INDETERMINATE = "indeterminate"
+
+
+def second_difference(utility: UtilityFunction, b: float, h: float) -> float:
+    """Symmetric second difference of ``pi`` at ``b`` with step ``h``."""
+    if b - h < 0.0:
+        raise ValueError(f"need b - h >= 0, got b={b!r}, h={h!r}")
+    return utility.value(b + h) - 2.0 * utility.value(b) + utility.value(b - h)
+
+
+def is_convex_near_origin(
+    utility: UtilityFunction,
+    *,
+    span: float = 0.25,
+    samples: int = 64,
+    tol: float = 1e-9,
+) -> bool:
+    """True if ``pi`` is convex but not linear on ``(0, span]``.
+
+    This is the paper's sufficient condition for a finite ``k_max``.
+    We check non-negative second differences at ``samples`` interior
+    points, with at least one strictly positive.
+    """
+    h = span / (2.0 * samples)
+    points = np.linspace(2.0 * h, span - h, samples)
+    diffs = np.array([second_difference(utility, float(b), h) for b in points])
+    return bool(np.all(diffs >= -tol) and np.any(diffs > tol))
+
+
+def is_strictly_concave_on(
+    utility: UtilityFunction,
+    lo: float,
+    hi: float,
+    *,
+    samples: int = 64,
+    tol: float = 1e-9,
+) -> bool:
+    """True if ``pi`` is strictly concave throughout ``[lo, hi]``."""
+    if not 0.0 <= lo < hi:
+        raise ValueError(f"need 0 <= lo < hi, got [{lo}, {hi}]")
+    h = (hi - lo) / (4.0 * samples)
+    points = np.linspace(lo + 2.0 * h, hi - 2.0 * h, samples)
+    diffs = np.array([second_difference(utility, float(b), h) for b in points])
+    return bool(np.all(diffs < tol) and np.any(diffs < -tol))
+
+
+def classify(utility: UtilityFunction, *, horizon: float = 8.0) -> UtilityClass:
+    """Classify a utility as elastic or inelastic per Section 2.
+
+    Rigid and ramp utilities have a flat (hence weakly convex) dead
+    zone, which :func:`is_convex_near_origin` does not flag as
+    "strictly convex"; we treat a dead zone (``pi`` identically 0 on an
+    initial interval while not globally 0) as inelastic too, since it
+    forces a finite ``k_max`` the same way.
+    """
+    probe = utility.value(0.25)
+    if probe == 0.0 and utility.value(horizon) > 0.0:
+        return UtilityClass.INELASTIC
+    if is_convex_near_origin(utility):
+        return UtilityClass.INELASTIC
+    if is_strictly_concave_on(utility, 0.0, horizon):
+        return UtilityClass.ELASTIC
+    return UtilityClass.INDETERMINATE

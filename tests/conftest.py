@@ -1,0 +1,84 @@
+"""Shared fixtures for the test suite.
+
+Most model tests run at a small mean load (k_bar = 12) so the infinite
+sums and root finds are instant; the paper-scale (k_bar = 100) runs
+live in the dedicated ``test_paper_*`` modules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loads import AlgebraicLoad, GeometricLoad, PoissonLoad
+from repro.utility import (
+    AdaptiveUtility,
+    AlgebraicTailUtility,
+    ExponentialElasticUtility,
+    HyperbolicElasticUtility,
+    PiecewiseLinearUtility,
+    PowerLowUtility,
+    RigidUtility,
+)
+
+#: Small mean used by the fast model tests.
+SMALL_MEAN = 12.0
+
+
+@pytest.fixture
+def poisson_load():
+    return PoissonLoad(SMALL_MEAN)
+
+
+@pytest.fixture
+def geometric_load():
+    return GeometricLoad.from_mean(SMALL_MEAN)
+
+
+@pytest.fixture
+def algebraic_load():
+    return AlgebraicLoad.from_mean(3.0, SMALL_MEAN)
+
+
+@pytest.fixture(params=["poisson", "exponential", "algebraic"])
+def any_load(request):
+    if request.param == "poisson":
+        return PoissonLoad(SMALL_MEAN)
+    if request.param == "exponential":
+        return GeometricLoad.from_mean(SMALL_MEAN)
+    return AlgebraicLoad.from_mean(3.0, SMALL_MEAN)
+
+
+@pytest.fixture
+def rigid():
+    return RigidUtility(1.0)
+
+
+@pytest.fixture
+def adaptive():
+    return AdaptiveUtility()
+
+
+@pytest.fixture(params=["rigid", "adaptive"])
+def inelastic_utility(request):
+    return RigidUtility(1.0) if request.param == "rigid" else AdaptiveUtility()
+
+
+def all_utilities():
+    """Every concrete utility family at representative parameters."""
+    return [
+        RigidUtility(1.0),
+        RigidUtility(2.5),
+        AdaptiveUtility(),
+        AdaptiveUtility(kappa=1.5),
+        PiecewiseLinearUtility(0.0),
+        PiecewiseLinearUtility(0.5),
+        PiecewiseLinearUtility(0.9),
+        ExponentialElasticUtility(),
+        ExponentialElasticUtility(rate=3.0),
+        HyperbolicElasticUtility(),
+        HyperbolicElasticUtility(half=0.25),
+        AlgebraicTailUtility(1.0),
+        AlgebraicTailUtility(2.5),
+        PowerLowUtility(2.0),
+        PowerLowUtility(4.0),
+    ]

@@ -1,0 +1,155 @@
+"""Tests for the ramp (adaptive) continuum closed forms, both loads."""
+
+import math
+
+import pytest
+
+from repro.continuum import (
+    AdaptiveAlgebraicContinuum,
+    AdaptiveExponentialContinuum,
+    ContinuumModel,
+    RigidAlgebraicContinuum,
+    RigidExponentialContinuum,
+    best_effort_loss_coefficient,
+    gap_ratio_limit,
+)
+from repro.loads import ExponentialLoad, ParetoLoad
+from repro.utility import PiecewiseLinearUtility
+
+
+class TestAdaptiveExponential:
+    @pytest.mark.parametrize("a", [0.0, 0.3, 0.5, 0.9])
+    def test_best_effort_matches_quadrature(self, a):
+        closed = AdaptiveExponentialContinuum(a, beta=1.0)
+        numeric = ContinuumModel(
+            ExponentialLoad(1.0), PiecewiseLinearUtility(a), k_max_override=lambda c: c
+        )
+        for c in (0.4, 1.0, 3.0, 9.0):
+            assert closed.total_best_effort(c) == pytest.approx(
+                numeric.total_best_effort(c), abs=1e-9
+            )
+
+    def test_reservation_same_as_rigid(self):
+        ae = AdaptiveExponentialContinuum(0.5, beta=1.0)
+        re = RigidExponentialContinuum(1.0)
+        for c in (0.5, 2.0, 8.0):
+            assert ae.total_reservation(c) == re.total_reservation(c)
+
+    def test_a_zero_collapses_architectures(self):
+        ae = AdaptiveExponentialContinuum(0.0, beta=1.0)
+        for c in (0.5, 2.0, 8.0):
+            assert ae.performance_gap(c) == pytest.approx(0.0, abs=1e-12)
+        assert ae.bandwidth_gap_limit() == 0.0
+
+    def test_delta_converges_to_minus_log(self):
+        # the approach to the limit is governed by e^{-C(1-a)/a}, so
+        # each a gets its own capacity and tolerance
+        for a, c, tol in ((0.25, 10.0, 1e-8), (0.5, 15.0, 1e-6), (0.75, 22.0, 2e-3)):
+            m = AdaptiveExponentialContinuum(a, beta=1.0)
+            assert m.bandwidth_gap(c) == pytest.approx(
+                -math.log(1.0 - a), abs=tol
+            )
+
+    def test_delta_limit_scales_with_beta(self):
+        m = AdaptiveExponentialContinuum(0.5, beta=2.0)
+        assert m.bandwidth_gap_limit() == pytest.approx(-math.log(0.5) / 2.0)
+
+    def test_marginal_matches_derivative(self):
+        m = AdaptiveExponentialContinuum(0.5, beta=1.0)
+        c, h = 2.0, 1e-6
+        fd = (m.total_best_effort(c + h) - m.total_best_effort(c - h)) / (2 * h)
+        assert m.marginal_best_effort(c) == pytest.approx(fd, rel=1e-5)
+
+    def test_welfare_optimum_is_largest_root(self):
+        m = AdaptiveExponentialContinuum(0.5, beta=1.0)
+        p = 0.05
+        c_star = m.optimal_capacity_best_effort(p)
+        assert m.marginal_best_effort(c_star) == pytest.approx(p, rel=1e-8)
+        # beyond the peak: marginal decreasing there
+        assert m.marginal_best_effort(c_star + 0.5) < p
+
+    def test_equalizing_ratio_equalises(self):
+        m = AdaptiveExponentialContinuum(0.5, beta=1.0)
+        for p in (0.1, 0.01):
+            gamma = m.equalizing_ratio(p)
+            assert gamma >= 1.0
+            assert m.welfare_reservation(gamma * p) == pytest.approx(
+                m.welfare_best_effort(p), rel=1e-8
+            )
+
+    def test_gamma_below_rigid_case(self):
+        # adaptivity weakens the case for reservations
+        adaptive = AdaptiveExponentialContinuum(0.5, beta=1.0)
+        rigid = RigidExponentialContinuum(1.0)
+        p = 0.05
+        assert adaptive.equalizing_ratio(p) < rigid.equalizing_ratio(p)
+
+
+class TestAdaptiveAlgebraic:
+    @pytest.mark.parametrize("a", [0.0, 0.3, 0.5, 0.9])
+    @pytest.mark.parametrize("z", [2.5, 3.0, 4.0])
+    def test_best_effort_matches_quadrature(self, z, a):
+        closed = AdaptiveAlgebraicContinuum(z, a)
+        numeric = ContinuumModel(
+            ParetoLoad(z), PiecewiseLinearUtility(a), k_max_override=lambda c: c
+        )
+        for c in (1.5, 3.0, 12.0):
+            assert closed.best_effort(c) == pytest.approx(
+                numeric.best_effort(c), abs=1e-9
+            )
+
+    def test_loss_coefficient_limits(self):
+        # a -> 0: equals the reservation coefficient; a -> 1: rigid k_bar
+        z = 3.0
+        assert best_effort_loss_coefficient(z, 0.0) == pytest.approx(1.0 / (z - 2.0))
+        assert best_effort_loss_coefficient(z, 0.9999) == pytest.approx(
+            (z - 1.0) / (z - 2.0), rel=1e-3
+        )
+
+    def test_loss_coefficient_increasing_in_a(self):
+        values = [best_effort_loss_coefficient(3.0, a) for a in (0.1, 0.4, 0.7, 0.95)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_delta_linear_with_adaptive_slope(self):
+        m = AdaptiveAlgebraicContinuum(3.0, 0.5)
+        ratios = [m.bandwidth_gap(c) / c for c in (1.5, 15.0, 1500.0)]
+        assert max(ratios) - min(ratios) < 1e-12
+        # the slope is below the rigid slope (1.0 at z=3)
+        assert 0.0 < ratios[0] < RigidAlgebraicContinuum(3.0).gap_ratio() - 1.0
+
+    def test_known_ratio_at_z3_a_half(self):
+        # c_B = 1.5, c_R = 1 at z=3 -> ratio 1.5
+        assert AdaptiveAlgebraicContinuum(3.0, 0.5).gap_ratio() == pytest.approx(1.5)
+
+    def test_gap_ratio_limit_formula(self):
+        # a^{-a/(1-a)}: 1 at a=0, e as a->1
+        assert gap_ratio_limit(0.0) == 1.0
+        assert gap_ratio_limit(0.5) == pytest.approx(2.0)
+        assert gap_ratio_limit(0.9999) == pytest.approx(math.e, rel=1e-3)
+
+    def test_ratio_approaches_limit_as_z_to_two(self):
+        for a in (0.3, 0.7):
+            near = AdaptiveAlgebraicContinuum(2.0005, a).gap_ratio()
+            assert near == pytest.approx(gap_ratio_limit(a), rel=0.01)
+
+    def test_equalizing_ratio_constant_and_equal_to_gap_ratio(self):
+        # the paper's asymptotic identity: lim gamma(p) = lim (C+Delta)/C
+        m = AdaptiveAlgebraicContinuum(3.0, 0.5)
+        g1 = m.equalizing_ratio(0.1)
+        g2 = m.equalizing_ratio(0.001)
+        assert g1 == pytest.approx(g2, rel=1e-6)
+        assert g1 == pytest.approx(m.gap_ratio(), rel=1e-6)
+
+    def test_welfare_identity(self):
+        m = AdaptiveAlgebraicContinuum(3.0, 0.5)
+        for p in (0.2, 0.02):
+            gamma = m.equalizing_ratio(p)
+            assert m.welfare_reservation(gamma * p) == pytest.approx(
+                m.welfare_best_effort(p), abs=1e-10
+            )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptiveAlgebraicContinuum(2.0, 0.5)
+        with pytest.raises(ValueError):
+            AdaptiveAlgebraicContinuum(3.0, 1.0)

@@ -1,0 +1,98 @@
+"""Tests for the power-law-satiation case and its Delta trichotomy."""
+
+import pytest
+
+from repro.continuum import AlgebraicTailAlgebraicContinuum, ContinuumModel
+from repro.errors import ModelError
+from repro.loads import ParetoLoad
+from repro.utility import AlgebraicTailUtility
+
+
+def quadrature_twin(model: AlgebraicTailAlgebraicContinuum) -> ContinuumModel:
+    return ContinuumModel(
+        ParetoLoad(model.z),
+        AlgebraicTailUtility(model.tau),
+        k_max_override=model.k_max,
+    )
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize(
+        "z,tau", [(3.0, 2.0), (3.0, 0.5), (4.0, 0.6), (4.5, 1.2)]
+    )
+    def test_totals_match_quadrature(self, z, tau):
+        closed = AlgebraicTailAlgebraicContinuum(z, tau)
+        numeric = quadrature_twin(closed)
+        c_min = (tau + 1.0) ** (1.0 / tau) + 0.5
+        for c in (c_min, 2.0 * c_min, 20.0):
+            assert closed.total_best_effort(c) == pytest.approx(
+                numeric.total_best_effort(c), abs=1e-9
+            )
+            assert closed.total_reservation(c) == pytest.approx(
+                numeric.total_reservation(c), abs=1e-9
+            )
+
+    def test_k_max_below_capacity(self):
+        m = AlgebraicTailAlgebraicContinuum(3.5, 1.0)
+        assert m.k_max(100.0) == pytest.approx(50.0)
+
+    def test_reservation_dominates(self):
+        m = AlgebraicTailAlgebraicContinuum(3.5, 1.0)
+        for c in (3.0, 10.0, 100.0):
+            assert m.reservation(c) >= m.best_effort(c) - 1e-12
+
+    def test_resonant_case_rejected(self):
+        with pytest.raises(ModelError, match="resonant"):
+            AlgebraicTailAlgebraicContinuum(3.0, 1.0)
+
+    def test_domain_guards(self):
+        m = AlgebraicTailAlgebraicContinuum(3.0, 2.0)
+        with pytest.raises(ModelError):
+            m.best_effort(0.5)
+        with pytest.raises(ModelError):
+            m.total_reservation(1.2)  # k_max < 1 there
+        with pytest.raises(ValueError):
+            AlgebraicTailAlgebraicContinuum(2.0, 1.0)
+        with pytest.raises(ValueError):
+            AlgebraicTailAlgebraicContinuum(3.0, -1.0)
+
+
+class TestGapTrichotomy:
+    """The paper: Delta ~ C if tau > z-2; ~ C^{tau+3-z} otherwise."""
+
+    @pytest.mark.parametrize(
+        "z,tau,expected",
+        [
+            (3.0, 2.0, 1.0),  # tau > z-2: linear
+            (3.0, 0.5, 0.5),  # z-3 < tau < z-2: sublinear increase
+            (4.5, 1.2, -0.3),  # tau < z-3: the gap *shrinks*
+            (4.5, 0.9, -0.6),
+        ],
+    )
+    def test_growth_exponent(self, z, tau, expected):
+        m = AlgebraicTailAlgebraicContinuum(z, tau)
+        assert m.gap_growth_exponent() == pytest.approx(expected)
+        assert m.measured_growth_exponent(c_lo=500.0, c_hi=50_000.0) == pytest.approx(
+            expected, abs=0.03
+        )
+
+    def test_shared_tail_coefficient_cancels(self):
+        # D_B - D_R must be a pure C^{2-z} power: the C^-tau parts are
+        # identical between architectures
+        m = AlgebraicTailAlgebraicContinuum(4.5, 0.9)
+        z = m.z
+        g10 = m.total_reservation(10.0) - m.total_best_effort(10.0)
+        g40 = m.total_reservation(40.0) - m.total_best_effort(40.0)
+        assert g10 / g40 == pytest.approx(4.0 ** (z - 2.0), rel=1e-9)
+
+    def test_decreasing_gap_case_really_decreases(self):
+        m = AlgebraicTailAlgebraicContinuum(4.5, 0.9)
+        assert m.bandwidth_gap(2000.0) < m.bandwidth_gap(200.0)
+
+    def test_linear_case_approaches_constant_ratio(self):
+        # Delta/C converges (with a slowly decaying C^-tau correction,
+        # unlike the ramp case where it is constant exactly)
+        m = AlgebraicTailAlgebraicContinuum(3.0, 2.0)
+        ratios = [m.bandwidth_gap(c) / c for c in (1e3, 1e4, 1e5)]
+        assert abs(ratios[2] - ratios[1]) < abs(ratios[1] - ratios[0])
+        assert max(ratios) - min(ratios) < 0.01 * ratios[0]

@@ -1,0 +1,137 @@
+"""Tests for the asymptotic laws and the extension limit formulas."""
+
+import math
+
+import pytest
+
+from repro.continuum import (
+    DELTA_OVER_C_BOUND,
+    GAMMA_BOUND,
+    ContinuumSamplingModel,
+    adaptive_algebraic_ratio,
+    adaptive_algebraic_ratio_limit,
+    retrying_adaptive_ratio,
+    retrying_rigid_ratio,
+    rigid_algebraic_ratio,
+    sampling_adaptive_ratio,
+    sampling_exponential_gap,
+    sampling_rigid_ratio,
+)
+from repro.loads import ParetoLoad
+from repro.utility import PiecewiseLinearUtility, RigidUtility
+
+
+class TestBasicModelBounds:
+    def test_constants(self):
+        assert GAMMA_BOUND == math.e
+        assert DELTA_OVER_C_BOUND == math.e - 1.0
+
+    def test_rigid_ratio_below_e_everywhere(self):
+        for z in (2.01, 2.5, 3.0, 5.0, 10.0):
+            assert 1.0 < rigid_algebraic_ratio(z) < math.e
+
+    def test_rigid_ratio_decreasing_in_z(self):
+        values = [rigid_algebraic_ratio(z) for z in (2.1, 2.5, 3.0, 4.0, 8.0)]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_adaptive_ratio_below_rigid(self):
+        for z in (2.5, 3.0, 4.0):
+            for a in (0.2, 0.5, 0.8):
+                assert adaptive_algebraic_ratio(z, a) < rigid_algebraic_ratio(z)
+
+    def test_adaptive_limit_range(self):
+        # spans [1, e) over a in [0, 1)
+        assert adaptive_algebraic_ratio_limit(0.0) == 1.0
+        assert adaptive_algebraic_ratio_limit(0.99999) == pytest.approx(
+            math.e, rel=1e-4
+        )
+
+    def test_invalid_z_rejected(self):
+        with pytest.raises(ValueError):
+            rigid_algebraic_ratio(2.0)
+
+
+class TestSamplingBreaksTheBound:
+    def test_s1_recovers_basic_model(self):
+        for z in (2.5, 3.0):
+            assert sampling_rigid_ratio(z, 1) == rigid_algebraic_ratio(z)
+
+    def test_ratio_grows_with_s(self):
+        values = [sampling_rigid_ratio(3.0, s) for s in (1, 2, 5, 20)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_divergence_as_z_to_two(self):
+        # for S > 1 the ratio blows past e (the paper's bound removal)
+        assert sampling_rigid_ratio(2.05, 3) > 100.0
+        assert sampling_rigid_ratio(2.01, 2) > 1e10
+
+    def test_adaptive_version_also_diverges(self):
+        assert sampling_adaptive_ratio(2.05, 0.5, 3) > 10.0
+
+    def test_adaptive_s1_recovers_basic(self):
+        for a in (0.3, 0.7):
+            assert sampling_adaptive_ratio(3.0, a, 1) == pytest.approx(
+                adaptive_algebraic_ratio(3.0, a)
+            )
+
+    def test_measured_against_continuum_quadrature(self):
+        # the headline identity: measured (C+Delta)/C -> (S(z-1))^{1/(z-2)}
+        z, s = 3.0, 4
+        model = ContinuumSamplingModel(ParetoLoad(z), RigidUtility(1.0), s)
+        c = 300.0
+        measured = (c + model.bandwidth_gap(c)) / c
+        assert measured == pytest.approx(sampling_rigid_ratio(z, s), rel=0.01)
+
+    def test_adaptive_measured_against_quadrature(self):
+        z, a, s = 3.0, 0.5, 3
+        model = ContinuumSamplingModel(ParetoLoad(z), PiecewiseLinearUtility(a), s)
+        c = 300.0
+        measured = (c + model.bandwidth_gap(c)) / c
+        assert measured == pytest.approx(sampling_adaptive_ratio(z, a, s), rel=0.02)
+
+    def test_exponential_gap_form(self):
+        # delta_S(C) ~ e^{-bC}(S(1+bC)-1); S=1 recovers the basic
+        # model's delta = bC e^{-bC}
+        c = 3.0
+        assert sampling_exponential_gap(1.0, c, 1) == pytest.approx(
+            c * math.exp(-c), abs=1e-12
+        )
+        # and grows linearly in S at fixed C
+        g2 = sampling_exponential_gap(1.0, c, 2)
+        g4 = sampling_exponential_gap(1.0, c, 4)
+        assert g4 > g2 > sampling_exponential_gap(1.0, c, 1)
+
+    def test_invalid_samples(self):
+        with pytest.raises(ValueError):
+            sampling_rigid_ratio(3.0, 0)
+
+
+class TestRetryingBreaksTheBound:
+    def test_rigid_formula(self):
+        assert retrying_rigid_ratio(3.0, 0.1) == pytest.approx(20.0)
+
+    def test_alpha_one_recovers_basic_model(self):
+        # a full-utility penalty per retry reproduces the reject-forever
+        # disutility, hence the basic ratio
+        for z in (2.5, 3.0):
+            assert retrying_rigid_ratio(z, 1.0) == pytest.approx(
+                rigid_algebraic_ratio(z)
+            )
+
+    def test_smaller_alpha_larger_advantage(self):
+        values = [retrying_rigid_ratio(3.0, a) for a in (1.0, 0.5, 0.1, 0.01)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_divergence_as_z_to_two(self):
+        assert retrying_rigid_ratio(2.05, 0.1) > 1e10
+
+    def test_adaptive_version(self):
+        # adaptive ratio below rigid at the same alpha
+        assert retrying_adaptive_ratio(3.0, 0.5, 0.1) < retrying_rigid_ratio(3.0, 0.1)
+        assert retrying_adaptive_ratio(2.05, 0.5, 0.1) > 1e3
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            retrying_rigid_ratio(3.0, 0.0)
+        with pytest.raises(ValueError):
+            retrying_rigid_ratio(3.0, 1.5)

@@ -1,0 +1,115 @@
+"""Tests for the rigid x algebraic continuum closed forms."""
+
+import math
+
+import pytest
+
+from repro.continuum import ContinuumModel, RigidAlgebraicContinuum
+from repro.errors import ModelError
+from repro.loads import ParetoLoad
+from repro.utility import RigidUtility
+
+
+@pytest.fixture(params=[2.3, 3.0, 4.0])
+def case(request):
+    z = request.param
+    closed = RigidAlgebraicContinuum(z)
+    numeric = ContinuumModel(
+        ParetoLoad(z), RigidUtility(1.0), k_max_override=lambda c: c
+    )
+    return closed, numeric
+
+
+class TestClosedFormsAgainstQuadrature:
+    def test_best_effort(self, case):
+        closed, numeric = case
+        for c in (1.2, 2.0, 6.0, 20.0):
+            assert closed.best_effort(c) == pytest.approx(
+                numeric.best_effort(c), abs=1e-9
+            )
+
+    def test_reservation(self, case):
+        closed, numeric = case
+        for c in (1.2, 2.0, 6.0, 20.0):
+            assert closed.reservation(c) == pytest.approx(
+                numeric.reservation(c), abs=1e-9
+            )
+
+    def test_bandwidth_gap(self, case):
+        closed, numeric = case
+        for c in (2.0, 6.0, 20.0):
+            assert closed.bandwidth_gap(c) == pytest.approx(
+                numeric.bandwidth_gap(c), rel=1e-5
+            )
+
+
+class TestPaperFormulas:
+    def test_mean_load(self):
+        assert RigidAlgebraicContinuum(3.0).mean_load == pytest.approx(2.0)
+
+    def test_delta_exactly_linear(self):
+        m = RigidAlgebraicContinuum(3.0)
+        # Delta(C)/C constant for all C >= 1
+        ratios = [m.bandwidth_gap(c) / c for c in (1.5, 4.0, 40.0, 4000.0)]
+        assert max(ratios) - min(ratios) < 1e-12
+
+    def test_gap_ratio_formula(self):
+        # (z-1)^{1/(z-2)}: 2 at z=3, sqrt(3)... at z=4 -> 3^(1/2)
+        assert RigidAlgebraicContinuum(3.0).gap_ratio() == pytest.approx(2.0)
+        assert RigidAlgebraicContinuum(4.0).gap_ratio() == pytest.approx(
+            math.sqrt(3.0)
+        )
+
+    def test_worst_case_limits(self):
+        assert RigidAlgebraicContinuum.worst_case_gap_ratio() == math.e
+        assert RigidAlgebraicContinuum.worst_case_delta_over_c() == math.e - 1.0
+        # the ratio approaches e from below as z -> 2+
+        near = RigidAlgebraicContinuum(2.001).gap_ratio()
+        assert near == pytest.approx(math.e, abs=0.01)
+        assert near < math.e
+
+    def test_performance_gap_decays_as_power(self):
+        m = RigidAlgebraicContinuum(3.0)
+        assert m.performance_gap(10.0) / m.performance_gap(20.0) == pytest.approx(
+            2.0 ** (3.0 - 2.0), rel=1e-10
+        )
+
+    def test_capacity_domain_guard(self):
+        with pytest.raises(ModelError):
+            RigidAlgebraicContinuum(3.0).best_effort(0.5)
+
+
+class TestWelfare:
+    def test_welfare_formulas_are_maxima(self):
+        m = RigidAlgebraicContinuum(3.0)
+        p = 0.1
+        c_star = m.optimal_capacity_best_effort(p)
+        w_star = m.welfare_best_effort(p)
+        for c in (0.6 * c_star, 0.95 * c_star, 1.05 * c_star, 1.8 * c_star):
+            assert m.total_best_effort(c) - p * c <= w_star + 1e-12
+
+    def test_reservation_welfare_closed_form(self):
+        # W_R(p) = k_bar (1 - p^{(z-2)/(z-1)})
+        m = RigidAlgebraicContinuum(3.0)
+        for p in (0.5, 0.1, 0.01):
+            c = m.optimal_capacity_reservation(p)
+            direct = m.total_reservation(c) - p * c
+            assert m.welfare_reservation(p) == pytest.approx(direct, rel=1e-10)
+
+    def test_gamma_is_constant_and_exact(self):
+        m = RigidAlgebraicContinuum(3.0)
+        for p in (0.3, 0.03, 0.003):
+            gamma = m.equalizing_ratio(p)
+            assert gamma == pytest.approx(2.0)
+            assert m.welfare_reservation(gamma * p) == pytest.approx(
+                m.welfare_best_effort(p), abs=1e-10
+            )
+
+    def test_gamma_approaches_e(self):
+        assert RigidAlgebraicContinuum(2.0005).equalizing_ratio() == pytest.approx(
+            math.e, abs=0.002
+        )
+
+    def test_price_domain_guard(self):
+        with pytest.raises(ModelError):
+            RigidAlgebraicContinuum(3.0).welfare_best_effort(1.5)

@@ -1,0 +1,132 @@
+"""Tests for the rigid x exponential continuum closed forms."""
+
+import math
+
+import pytest
+
+from repro.continuum import ContinuumModel, RigidExponentialContinuum
+from repro.errors import ModelError
+from repro.loads import ExponentialLoad
+from repro.utility import RigidUtility
+
+
+@pytest.fixture(params=[0.5, 1.0, 2.0])
+def case(request):
+    beta = request.param
+    closed = RigidExponentialContinuum(beta)
+    numeric = ContinuumModel(
+        ExponentialLoad(beta), RigidUtility(1.0), k_max_override=lambda c: c
+    )
+    return closed, numeric
+
+
+class TestClosedFormsAgainstQuadrature:
+    def test_best_effort(self, case):
+        closed, numeric = case
+        for c in (0.3, 1.0, 3.0, 8.0):
+            assert closed.total_best_effort(c) == pytest.approx(
+                numeric.total_best_effort(c), abs=1e-9
+            )
+
+    def test_reservation(self, case):
+        closed, numeric = case
+        for c in (0.3, 1.0, 3.0, 8.0):
+            assert closed.total_reservation(c) == pytest.approx(
+                numeric.total_reservation(c), abs=1e-9
+            )
+
+    def test_performance_gap(self, case):
+        closed, numeric = case
+        for c in (0.5, 2.0, 5.0):
+            assert closed.performance_gap(c) == pytest.approx(
+                numeric.performance_gap(c), abs=1e-8
+            )
+
+    def test_bandwidth_gap(self, case):
+        closed, numeric = case
+        for c in (0.5, 2.0, 5.0):
+            assert closed.bandwidth_gap(c) == pytest.approx(
+                numeric.bandwidth_gap(c), rel=1e-5
+            )
+
+
+class TestPaperFormulas:
+    def test_delta_equation(self):
+        # beta*Delta = ln(1 + beta(C + Delta)) — the paper's implicit form
+        m = RigidExponentialContinuum(1.0)
+        for c in (1.0, 5.0, 50.0):
+            delta = m.bandwidth_gap(c)
+            assert delta == pytest.approx(math.log1p(c + delta), abs=1e-9)
+
+    def test_delta_grows_logarithmically(self):
+        m = RigidExponentialContinuum(1.0)
+        # Delta(C^2) ~ 2 Delta(C) asymptotically
+        d1 = m.bandwidth_gap(1e4)
+        d2 = m.bandwidth_gap(1e8)
+        assert d2 / d1 == pytest.approx(2.0, rel=0.05)
+
+    def test_gap_is_bc_exp_minus_bc(self):
+        m = RigidExponentialContinuum(2.0)
+        c = 1.7
+        assert m.performance_gap(c) == pytest.approx(
+            2.0 * c * math.exp(-2.0 * c)
+        )
+
+    def test_asymptotic_gap_formula(self):
+        m = RigidExponentialContinuum(1.0)
+        c = 1e4
+        assert m.bandwidth_gap_asymptotic(c) == pytest.approx(
+            m.bandwidth_gap(c), rel=0.15
+        )
+
+
+class TestWelfare:
+    def test_h_solves_its_equation_on_the_upper_branch(self):
+        m = RigidExponentialContinuum(1.0)
+        for p in (0.3, 0.1, 0.01):
+            h = m.h(p)
+            assert h * math.exp(-h) == pytest.approx(p, rel=1e-10)
+            assert h >= 1.0  # the largest root
+
+    def test_welfare_formulas_are_maxima(self):
+        m = RigidExponentialContinuum(1.0)
+        p = 0.05
+        c_star = m.optimal_capacity_best_effort(p)
+        w_star = m.welfare_best_effort(p)
+        for c in (0.5 * c_star, 0.9 * c_star, 1.1 * c_star, 2.0 * c_star):
+            assert m.total_best_effort(c) - p * c <= w_star + 1e-12
+
+    def test_reservation_welfare_formula(self):
+        m = RigidExponentialContinuum(1.0)
+        p = 0.05
+        c = m.optimal_capacity_reservation(p)
+        direct = m.total_reservation(c) - p * c
+        assert m.welfare_reservation(p) == pytest.approx(direct, rel=1e-10)
+
+    def test_equalizing_ratio_equalises(self):
+        m = RigidExponentialContinuum(1.0)
+        for p in (0.2, 0.05, 0.005):
+            gamma = m.equalizing_ratio(p)
+            assert m.welfare_reservation(gamma * p) == pytest.approx(
+                m.welfare_best_effort(p), abs=1e-10
+            )
+
+    def test_gamma_converges_to_one(self):
+        m = RigidExponentialContinuum(1.0)
+        gammas = [m.equalizing_ratio(p) for p in (0.1, 1e-3, 1e-6, 1e-10)]
+        assert all(b < a for a, b in zip(gammas, gammas[1:]))
+        assert gammas[-1] < 1.15
+
+    def test_gamma_asymptotic_tracks_exact(self):
+        m = RigidExponentialContinuum(1.0)
+        for p in (1e-6, 1e-10):
+            assert m.equalizing_ratio_asymptotic(p) == pytest.approx(
+                m.equalizing_ratio(p), rel=0.03
+            )
+
+    def test_price_domain_guard(self):
+        m = RigidExponentialContinuum(1.0)
+        with pytest.raises(ModelError):
+            m.welfare_best_effort(0.5)  # above 1/e
+        with pytest.raises(ModelError):
+            m.welfare_reservation(0.0)

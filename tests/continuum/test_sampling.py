@@ -1,0 +1,69 @@
+"""Tests for the continuum sampling model."""
+
+import pytest
+
+from repro.continuum import ContinuumModel, ContinuumSamplingModel
+from repro.loads import ExponentialLoad, ParetoLoad
+from repro.utility import PiecewiseLinearUtility, RigidUtility
+
+
+class TestReduction:
+    @pytest.mark.parametrize(
+        "load", [ExponentialLoad(1.0), ParetoLoad(3.0)], ids=["exp", "pareto"]
+    )
+    def test_s1_best_effort_equals_base_model(self, load):
+        # E_Q[pi(C/k)] == V_B/k_bar: the size-biased identity
+        u = PiecewiseLinearUtility(0.5)
+        s1 = ContinuumSamplingModel(load, u, 1)
+        base = ContinuumModel(load, u, k_max_override=lambda c: c)
+        for c in (1.5, 3.0, 8.0):
+            assert s1.best_effort(c) == pytest.approx(base.best_effort(c), abs=1e-8)
+
+    @pytest.mark.parametrize(
+        "load", [ExponentialLoad(1.0), ParetoLoad(3.0)], ids=["exp", "pareto"]
+    )
+    def test_s1_reservation_equals_base_model(self, load):
+        u = RigidUtility(1.0)
+        s1 = ContinuumSamplingModel(load, u, 1)
+        base = ContinuumModel(load, u, k_max_override=lambda c: c)
+        for c in (1.5, 3.0, 8.0):
+            assert s1.reservation(c) == pytest.approx(base.reservation(c), abs=1e-8)
+
+
+class TestShape:
+    def test_best_effort_decreasing_in_s(self):
+        u = PiecewiseLinearUtility(0.5)
+        load = ExponentialLoad(1.0)
+        c = 2.0
+        values = [
+            ContinuumSamplingModel(load, u, s).best_effort(c) for s in (1, 3, 9)
+        ]
+        assert values[0] > values[1] > values[2]
+
+    def test_reservation_insensitive_to_s_for_ramp(self):
+        # admitted ramp flows always see capped loads (b >= 1 -> pi = 1),
+        # so S does not change the reservation utility
+        u = PiecewiseLinearUtility(0.5)
+        load = ParetoLoad(3.0)
+        c = 4.0
+        r1 = ContinuumSamplingModel(load, u, 1).reservation(c)
+        r9 = ContinuumSamplingModel(load, u, 9).reservation(c)
+        assert r1 == pytest.approx(r9, abs=1e-9)
+
+    def test_gap_widens_with_s(self):
+        u = RigidUtility(1.0)
+        load = ExponentialLoad(1.0)
+        c = 3.0
+        gaps = [
+            ContinuumSamplingModel(load, u, s).performance_gap(c) for s in (1, 4, 16)
+        ]
+        assert gaps[0] < gaps[1] < gaps[2]
+
+    def test_invalid_samples(self):
+        with pytest.raises(ValueError):
+            ContinuumSamplingModel(ExponentialLoad(1.0), RigidUtility(1.0), 0)
+
+    def test_zero_capacity(self):
+        m = ContinuumSamplingModel(ExponentialLoad(1.0), RigidUtility(1.0), 3)
+        assert m.best_effort(0.0) == 0.0
+        assert m.reservation(0.0) == 0.0

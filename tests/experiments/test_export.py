@@ -1,0 +1,96 @@
+"""Tests for CSV/gnuplot export."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.export import export_figure, write_csv, write_gnuplot
+
+
+@pytest.fixture
+def series():
+    return {
+        "capacity": np.array([10.0, 20.0, 30.0]),
+        "best_effort_rigid": np.array([0.1, 0.4, 0.7]),
+        "bandwidth_gap_rigid": np.array([5.0, 6.0, 7.0]),
+        "gamma_price_rigid": np.array([0.01, 0.1]),
+        "gamma_rigid": np.array([1.5, 1.8]),
+        "alpha": np.array([0.1]),
+    }
+
+
+class TestWriteCsv:
+    def test_blocks_split_by_length(self, series, tmp_path):
+        paths = write_csv(series, tmp_path / "fig")
+        assert len(paths) == 2
+        assert all(p.exists() for p in paths)
+
+    def test_scalar_becomes_comment(self, series, tmp_path):
+        paths = write_csv(series, tmp_path / "fig")
+        content = paths[0].read_text()
+        assert content.startswith("# alpha=0.1")
+
+    def test_round_trips_through_numpy(self, series, tmp_path):
+        paths = write_csv(series, tmp_path / "fig")
+        big = next(p for p in paths if "capacity" in p.read_text())
+        # skip_header jumps the parameter-comment line; genfromtxt would
+        # otherwise eat it as the (commented) header row
+        data = np.genfromtxt(big, delimiter=",", names=True, skip_header=1)
+        np.testing.assert_allclose(data["capacity"], series["capacity"])
+        np.testing.assert_allclose(
+            data["best_effort_rigid"], series["best_effort_rigid"]
+        )
+
+    def test_empty_series_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv({"alpha": np.array([0.1])}, tmp_path / "x")
+
+
+class TestWriteGnuplot:
+    def test_script_references_csv_and_columns(self, series, tmp_path):
+        gp = write_gnuplot(
+            series,
+            tmp_path / "panel",
+            x_column="capacity",
+            y_columns=["best_effort_rigid"],
+            title="Panel A",
+        )
+        text = gp.read_text()
+        assert "panel.csv" in text
+        assert "Panel A" in text
+        assert "using 1:2" in text
+        assert (tmp_path / "panel.csv").exists()
+
+    def test_mismatched_lengths_rejected(self, series, tmp_path):
+        with pytest.raises(ValueError):
+            write_gnuplot(
+                series,
+                tmp_path / "bad",
+                x_column="capacity",
+                y_columns=["gamma_rigid"],
+            )
+
+    def test_logscale_flag(self, series, tmp_path):
+        gp = write_gnuplot(
+            series,
+            tmp_path / "log",
+            x_column="gamma_price_rigid",
+            y_columns=["gamma_rigid"],
+            logscale_x=True,
+        )
+        assert "set logscale x" in gp.read_text()
+
+
+class TestExportFigure:
+    def test_full_figure_export(self, series, tmp_path):
+        written = export_figure(series, tmp_path, "fig_test")
+        names = {p.name for p in written}
+        assert any(n.endswith(".csv") for n in names)
+        assert any(n.endswith(".gp") for n in names)
+        # the gamma panel gets its own script
+        assert "fig_test_gamma_rigid.gp" in names
+
+    def test_real_figure_series(self, tmp_path):
+        from repro.experiments import FAST_CONFIG, figure1
+
+        written = export_figure(figure1(FAST_CONFIG), tmp_path, "figure1")
+        assert any(p.suffix == ".csv" for p in written)

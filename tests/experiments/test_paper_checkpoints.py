@@ -1,0 +1,33 @@
+"""The paper's quoted numbers as a test suite (k_bar = 100 scale).
+
+These are the headline reproduction tests: each asserts that one value
+quoted in the paper's prose comes out of our models inside its matching
+band.  They run at full paper scale and take a few seconds each.
+"""
+
+import pytest
+
+from repro.experiments.checkpoints import (
+    continuum_checkpoints,
+    retrying_checkpoints,
+    sampling_checkpoints,
+    section3_checkpoints,
+    welfare_checkpoints,
+)
+
+
+@pytest.mark.parametrize(
+    "suite",
+    [
+        section3_checkpoints,
+        continuum_checkpoints,
+        welfare_checkpoints,
+        sampling_checkpoints,
+        retrying_checkpoints,
+    ],
+    ids=["section3", "continuum", "welfare", "sampling", "retrying"],
+)
+def test_every_checkpoint_matches_the_paper(suite):
+    rows = suite()
+    failures = [row.row() for row in rows if not row.matches]
+    assert not failures, "paper checkpoints diverged:\n" + "\n".join(failures)

@@ -1,0 +1,108 @@
+"""Tests for the heterogeneous-flows extension."""
+
+import numpy as np
+import pytest
+
+from repro.extensions import MixtureUtility, ScaledUtility
+from repro.models import VariableLoadModel
+from repro.utility import (
+    AdaptiveUtility,
+    ExponentialElasticUtility,
+    PiecewiseLinearUtility,
+    RigidUtility,
+)
+
+
+class TestScaledUtility:
+    def test_rescaling_identity(self):
+        base = AdaptiveUtility()
+        scaled = ScaledUtility(base, 2.0)
+        for b in (0.5, 1.0, 4.0):
+            assert scaled.value(b) == base.value(b / 2.0)
+
+    def test_rigid_threshold_scales(self):
+        scaled = ScaledUtility(RigidUtility(1.0), 3.0)
+        assert scaled.value(2.9) == 0.0
+        assert scaled.value(3.0) == 1.0
+
+    def test_breakpoints_scale(self):
+        scaled = ScaledUtility(PiecewiseLinearUtility(0.5), 2.0)
+        assert scaled.breakpoints() == (1.0, 2.0)
+
+    def test_derivative_chain_rule(self):
+        base = AdaptiveUtility()
+        scaled = ScaledUtility(base, 4.0)
+        b = 2.0
+        assert scaled.derivative(b) == pytest.approx(base.derivative(0.5) / 4.0)
+
+    def test_vectorised_matches_scalar(self):
+        scaled = ScaledUtility(AdaptiveUtility(), 1.7)
+        bs = np.array([0.0, 0.5, 1.7, 5.0])
+        np.testing.assert_allclose(
+            scaled(bs), [scaled.value(float(b)) for b in bs], atol=1e-15
+        )
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            ScaledUtility(AdaptiveUtility(), 0.0)
+
+    def test_scaled_population_needs_more_capacity(self, geometric_load):
+        # doubling every flow's demand halves effective capacity
+        unit = VariableLoadModel(geometric_load, RigidUtility(1.0))
+        double = VariableLoadModel(geometric_load, ScaledUtility(RigidUtility(1.0), 2.0))
+        assert double.best_effort(20.0) == pytest.approx(unit.best_effort(10.0))
+
+
+class TestMixtureUtility:
+    def test_weighted_average(self):
+        mix = MixtureUtility([(1.0, RigidUtility(1.0)), (3.0, AdaptiveUtility())])
+        b = 0.8
+        expected = 0.25 * RigidUtility(1.0).value(b) + 0.75 * AdaptiveUtility().value(b)
+        assert mix.value(b) == pytest.approx(expected)
+
+    def test_weights_normalised(self):
+        mix = MixtureUtility([(2.0, AdaptiveUtility()), (2.0, RigidUtility(1.0))])
+        assert mix.weights == (0.5, 0.5)
+
+    def test_still_a_valid_utility(self):
+        mix = MixtureUtility([(1.0, RigidUtility(1.0)), (1.0, AdaptiveUtility())])
+        assert mix.value(0.0) == 0.0
+        assert mix.value(1e6) == pytest.approx(1.0, abs=1e-4)
+        bs = np.linspace(0.0, 10.0, 200)
+        assert np.all(np.diff(mix(bs)) >= -1e-12)
+
+    def test_breakpoints_union(self):
+        mix = MixtureUtility(
+            [(1.0, RigidUtility(2.0)), (1.0, PiecewiseLinearUtility(0.5))]
+        )
+        assert mix.breakpoints() == (0.5, 1.0, 2.0)
+
+    def test_empty_and_bad_weights(self):
+        with pytest.raises(ValueError):
+            MixtureUtility([])
+        with pytest.raises(ValueError):
+            MixtureUtility([(0.0, AdaptiveUtility())])
+
+    def test_heterogeneous_population_in_model(self, geometric_load):
+        # a rigid/elastic mixture behaves between its components
+        rigid_only = VariableLoadModel(geometric_load, RigidUtility(1.0))
+        mix = VariableLoadModel(
+            geometric_load,
+            MixtureUtility(
+                [(0.5, RigidUtility(1.0)), (0.5, ExponentialElasticUtility())]
+            ),
+        )
+        c = geometric_load.mean
+        assert mix.best_effort(c) > rigid_only.best_effort(c)
+
+    def test_mixture_gap_between_component_gaps(self, geometric_load):
+        c = geometric_load.mean
+        rigid_gap = VariableLoadModel(geometric_load, RigidUtility(1.0)).bandwidth_gap(c)
+        adaptive_gap = VariableLoadModel(
+            geometric_load, AdaptiveUtility()
+        ).bandwidth_gap(c)
+        mix_gap = VariableLoadModel(
+            geometric_load,
+            MixtureUtility([(0.5, RigidUtility(1.0)), (0.5, AdaptiveUtility())]),
+        ).bandwidth_gap(c)
+        assert adaptive_gap < mix_gap < rigid_gap

@@ -1,0 +1,102 @@
+"""Tests for the nonstationary (mixture) load extension."""
+
+import numpy as np
+import pytest
+
+from repro.extensions import MixtureLoad
+from repro.loads import AlgebraicLoad, GeometricLoad, PoissonLoad
+from repro.models import RetryingModel, VariableLoadModel
+from repro.utility import AdaptiveUtility
+
+
+@pytest.fixture
+def day_night():
+    """A diurnal pattern: busy mean-20 regime 1/3 of the time."""
+    return MixtureLoad(
+        [(2.0, PoissonLoad(8.0)), (1.0, PoissonLoad(20.0))]
+    )
+
+
+class TestMixtureLoad:
+    def test_pmf_is_weighted_sum(self, day_night):
+        for k in (0, 5, 12, 25):
+            expected = (2 / 3) * PoissonLoad(8.0).pmf(k) + (1 / 3) * PoissonLoad(
+                20.0
+            ).pmf(k)
+            assert day_night.pmf(k) == pytest.approx(expected)
+
+    def test_mean_is_weighted(self, day_night):
+        assert day_night.mean == pytest.approx((2 / 3) * 8.0 + (1 / 3) * 20.0)
+
+    def test_sf_and_mean_tail_weighted(self, day_night):
+        for k in (3, 10, 22):
+            assert day_night.sf(k) == pytest.approx(
+                (2 / 3) * PoissonLoad(8.0).sf(k) + (1 / 3) * PoissonLoad(20.0).sf(k)
+            )
+        assert day_night.mean_tail(10) == pytest.approx(
+            (2 / 3) * PoissonLoad(8.0).mean_tail(10)
+            + (1 / 3) * PoissonLoad(20.0).mean_tail(10)
+        )
+
+    def test_pmf_array_matches_scalar(self, day_night):
+        ks = np.arange(0, 40, dtype=float)
+        np.testing.assert_allclose(
+            day_night.pmf_array(ks), [day_night.pmf(int(k)) for k in ks], rtol=1e-12
+        )
+
+    def test_support_min_is_minimum(self):
+        mix = MixtureLoad(
+            [(1.0, AlgebraicLoad.from_mean(3.0, 10.0)), (1.0, PoissonLoad(5.0))]
+        )
+        assert mix.support_min == 0
+
+    def test_rescaled_preserves_shape(self, day_night):
+        scaled = day_night.rescaled(2.0 * day_night.mean)
+        assert scaled.mean == pytest.approx(2.0 * day_night.mean)
+        # regime ratio preserved
+        m1, m2 = (load.mean for load in scaled.components)
+        assert m2 / m1 == pytest.approx(20.0 / 8.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            MixtureLoad([])
+        with pytest.raises(ValueError):
+            MixtureLoad([(-1.0, PoissonLoad(5.0))])
+
+
+class TestMixtureInModels:
+    def test_variable_load_model_runs(self, day_night):
+        m = VariableLoadModel(day_night, AdaptiveUtility())
+        c = day_night.mean
+        assert 0.0 < m.best_effort(c) <= m.reservation(c) <= 1.0
+        assert m.bandwidth_gap(c) >= 0.0
+
+    def test_variance_hurts_best_effort(self):
+        # same mean, more regime variance -> lower best-effort utility
+        steady = PoissonLoad(12.0)
+        mixed = MixtureLoad([(1.0, PoissonLoad(4.0)), (1.0, PoissonLoad(20.0))])
+        u = AdaptiveUtility()
+        c = 12.0
+        assert VariableLoadModel(mixed, u).best_effort(c) < VariableLoadModel(
+            steady, u
+        ).best_effort(c)
+
+    def test_variance_widens_the_gap(self):
+        steady = PoissonLoad(12.0)
+        mixed = MixtureLoad([(1.0, PoissonLoad(4.0)), (1.0, PoissonLoad(20.0))])
+        u = AdaptiveUtility()
+        c = 12.0
+        assert VariableLoadModel(mixed, u).performance_gap(c) > VariableLoadModel(
+            steady, u
+        ).performance_gap(c)
+
+    def test_retrying_model_accepts_mixture(self, day_night):
+        m = RetryingModel(day_night, AdaptiveUtility(), alpha=0.1)
+        c = 2.5 * day_night.mean
+        assert m.reservation(c) > 0.0
+
+    def test_geometric_mixture_continuous_pmf(self):
+        mix = MixtureLoad(
+            [(1.0, GeometricLoad.from_mean(5.0)), (1.0, GeometricLoad.from_mean(15.0))]
+        )
+        assert mix.continuous_pmf(7.0) > 0.0

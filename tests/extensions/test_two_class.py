@@ -1,0 +1,127 @@
+"""Tests for the exact two-class model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.extensions import ScaledUtility, TwoClassModel
+from repro.loads import AlgebraicLoad, GeometricLoad, PoissonLoad
+from repro.models import VariableLoadModel
+from repro.utility import AdaptiveUtility, RigidUtility
+
+
+@pytest.fixture
+def mixed_model():
+    """Video (unit demand) sharing a link with fat transfers (demand 3)."""
+    return TwoClassModel(
+        (PoissonLoad(8.0), PoissonLoad(3.0)),
+        (AdaptiveUtility(), ScaledUtility(AdaptiveUtility(), 3.0)),
+        demands=(1.0, 3.0),
+    )
+
+
+class TestPoissonReduction:
+    """Poisson(a) + Poisson(b) census = Poisson(a+b): exact reduction."""
+
+    def test_best_effort_matches_single_class(self):
+        u = AdaptiveUtility()
+        two = TwoClassModel((PoissonLoad(6.0), PoissonLoad(6.0)), (u, u))
+        single = VariableLoadModel(PoissonLoad(12.0), u)
+        for c in (8.0, 12.0, 20.0):
+            assert two.best_effort(c) == pytest.approx(
+                single.best_effort(c), abs=1e-9
+            )
+
+    def test_reservation_matches_single_class(self):
+        u = AdaptiveUtility()
+        two = TwoClassModel((PoissonLoad(6.0), PoissonLoad(6.0)), (u, u))
+        single = VariableLoadModel(PoissonLoad(12.0), u)
+        for c in (8.0, 12.0, 20.0):
+            assert two.reservation(c) == pytest.approx(
+                single.reservation(c), abs=1e-6
+            )
+
+    def test_rigid_classes_too(self):
+        u = RigidUtility(1.0)
+        two = TwoClassModel((PoissonLoad(5.0), PoissonLoad(7.0)), (u, u))
+        single = VariableLoadModel(PoissonLoad(12.0), u)
+        for c in (8.0, 14.0):
+            assert two.best_effort(c) == pytest.approx(
+                single.best_effort(c), abs=1e-9
+            )
+
+
+class TestHeterogeneousClasses:
+    def test_reservation_dominates(self, mixed_model):
+        for c in (8.0, 14.0, 25.0, 40.0):
+            assert mixed_model.reservation(c) >= mixed_model.best_effort(c) - 1e-9
+
+    def test_underload_states_tie(self, mixed_model):
+        # with capacity far above total demand, everyone is admitted and
+        # the redistribution equals the best-effort split
+        c = 400.0
+        assert mixed_model.reservation(c) == pytest.approx(
+            mixed_model.best_effort(c), abs=1e-6
+        )
+
+    def test_bandwidth_gap_solves_equation(self, mixed_model):
+        c = 12.0
+        gap = mixed_model.bandwidth_gap(c)
+        assert gap > 0.0
+        assert mixed_model.best_effort(c + gap) == pytest.approx(
+            mixed_model.reservation(c), abs=1e-6
+        )
+
+    def test_per_class_utilities_bounded(self, mixed_model):
+        u1, u2 = mixed_model.per_class_best_effort(14.0)
+        assert 0.0 < u1 < 1.0
+        assert 0.0 < u2 < 1.0
+
+    def test_fat_class_suffers_its_own_congestion(self, mixed_model):
+        # per state the two classes see the same fairness level (their
+        # utilities are demand-scaled twins), but class 2's size-biased
+        # average is dragged down by the states *it* congests: a fat
+        # flow is disproportionately present exactly when total demand
+        # is high
+        u1, u2 = mixed_model.per_class_best_effort(8.0)
+        assert u2 < u1
+
+    def test_agrees_with_network_monte_carlo(self):
+        from repro.network import NetworkComparison, NetworkTopology, Route
+
+        u = AdaptiveUtility()
+        loads = (GeometricLoad.from_mean(8.0), GeometricLoad.from_mean(4.0))
+        exact = TwoClassModel(loads, (u, ScaledUtility(u, 2.0)), demands=(1.0, 2.0))
+        topo = NetworkTopology(
+            {"l": 14.0},
+            [
+                Route("a", ("l",), loads[0], u, demand=1.0),
+                Route("b", ("l",), loads[1], ScaledUtility(u, 2.0), demand=2.0),
+            ],
+        )
+        mc = NetworkComparison(topo, draws=4000, seed=3)
+        assert mc.best_effort().normalised == pytest.approx(
+            exact.best_effort(14.0), abs=0.02
+        )
+
+
+class TestValidation:
+    def test_bad_demands(self):
+        with pytest.raises(ModelError):
+            TwoClassModel(
+                (PoissonLoad(3.0), PoissonLoad(3.0)),
+                (AdaptiveUtility(), AdaptiveUtility()),
+                demands=(1.0, 0.0),
+            )
+
+    def test_heavy_tail_grid_guard(self):
+        with pytest.raises(ModelError, match="too heavy"):
+            TwoClassModel(
+                (AlgebraicLoad.from_mean(2.1, 50.0), PoissonLoad(3.0)),
+                (AdaptiveUtility(), AdaptiveUtility()),
+                grid_cap=256,
+            )
+
+    def test_zero_capacity(self, mixed_model):
+        assert mixed_model.best_effort(0.0) == 0.0
+        assert mixed_model.reservation(0.0) == 0.0

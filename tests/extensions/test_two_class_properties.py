@@ -1,0 +1,74 @@
+"""Property-based tests for the exact two-class model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extensions import ScaledUtility, TwoClassModel
+from repro.loads import GeometricLoad, PoissonLoad
+from repro.utility import AdaptiveUtility, PiecewiseLinearUtility
+
+_UTILITY = AdaptiveUtility()
+
+
+@st.composite
+def two_class_case(draw):
+    mean1 = draw(st.floats(min_value=2.0, max_value=15.0))
+    mean2 = draw(st.floats(min_value=2.0, max_value=15.0))
+    demand2 = draw(st.sampled_from([1.0, 2.0, 3.0]))
+    family = draw(st.sampled_from(["poisson", "geometric"]))
+    if family == "poisson":
+        loads = (PoissonLoad(mean1), PoissonLoad(mean2))
+    else:
+        loads = (GeometricLoad.from_mean(mean1), GeometricLoad.from_mean(mean2))
+    model = TwoClassModel(
+        loads,
+        (_UTILITY, ScaledUtility(_UTILITY, demand2)),
+        demands=(1.0, demand2),
+    )
+    capacity = draw(st.floats(min_value=2.0, max_value=60.0))
+    return model, capacity
+
+
+class TestTwoClassProperties:
+    @given(case=two_class_case())
+    @settings(max_examples=40, deadline=None)
+    def test_reservation_dominates(self, case):
+        model, capacity = case
+        assert model.reservation(capacity) >= model.best_effort(capacity) - 1e-9
+
+    @given(case=two_class_case())
+    @settings(max_examples=40, deadline=None)
+    def test_utilities_in_unit_interval(self, case):
+        model, capacity = case
+        for value in (model.best_effort(capacity), model.reservation(capacity)):
+            assert -1e-12 <= value <= 1.0 + 1e-9
+
+    @given(case=two_class_case())
+    @settings(max_examples=30, deadline=None)
+    def test_best_effort_monotone_in_capacity(self, case):
+        model, capacity = case
+        assert model.best_effort(capacity) <= model.best_effort(1.5 * capacity) + 1e-10
+
+    @given(case=two_class_case())
+    @settings(max_examples=20, deadline=None)
+    def test_bandwidth_gap_nonnegative(self, case):
+        model, capacity = case
+        assert model.bandwidth_gap(capacity) >= 0.0
+
+
+class TestRampTwoClass:
+    def test_ramp_classes_also_supported(self):
+        model = TwoClassModel(
+            (PoissonLoad(6.0), PoissonLoad(6.0)),
+            (PiecewiseLinearUtility(0.3), PiecewiseLinearUtility(0.7)),
+        )
+        c = 10.0
+        assert model.reservation(c) >= model.best_effort(c) - 1e-9
+        # the less adaptive class (a = 0.7) drags the blend below an
+        # all-a=0.3 population
+        uniform = TwoClassModel(
+            (PoissonLoad(6.0), PoissonLoad(6.0)),
+            (PiecewiseLinearUtility(0.3), PiecewiseLinearUtility(0.3)),
+        )
+        assert model.best_effort(c) < uniform.best_effort(c)

@@ -1,0 +1,79 @@
+"""Tests for the bootstrap verdict."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.inference import bootstrap_verdict
+from repro.loads import PoissonLoad
+from repro.utility import AdaptiveUtility
+
+SHORT_SWEEP = tuple(30.0 * m for m in (1.0, 1.5, 2.0, 3.0, 4.0, 6.0))
+
+
+class TestBootstrapVerdict:
+    def test_poisson_decisively_best_effort(self):
+        samples = PoissonLoad(30.0).sample(np.random.default_rng(1), 1500)
+        verdict = bootstrap_verdict(
+            samples,
+            AdaptiveUtility(),
+            price=0.01,
+            n_resamples=6,
+            capacity_sweep=SHORT_SWEEP,
+        )
+        assert verdict.reservation_fraction == 0.0
+        assert verdict.decisive
+        assert verdict.budget_interval[1] < 0.01
+
+    def test_summary_mentions_decisiveness(self):
+        samples = PoissonLoad(30.0).sample(np.random.default_rng(2), 1000)
+        verdict = bootstrap_verdict(
+            samples,
+            AdaptiveUtility(),
+            n_resamples=4,
+            capacity_sweep=SHORT_SWEEP,
+        )
+        text = verdict.summary()
+        assert "resamples" in text
+        assert "decisive" in text
+
+    def test_z_interval_absent_for_poisson(self):
+        samples = PoissonLoad(30.0).sample(np.random.default_rng(3), 1000)
+        verdict = bootstrap_verdict(
+            samples,
+            AdaptiveUtility(),
+            n_resamples=4,
+            capacity_sweep=SHORT_SWEEP,
+        )
+        # Poisson wins every fit, so no z values accumulate
+        assert verdict.z_interval is None
+
+    def test_budget_interval_ordered(self):
+        samples = PoissonLoad(30.0).sample(np.random.default_rng(4), 1000)
+        verdict = bootstrap_verdict(
+            samples,
+            AdaptiveUtility(),
+            n_resamples=5,
+            capacity_sweep=SHORT_SWEEP,
+        )
+        lo, hi = verdict.budget_interval
+        assert lo <= hi
+
+    def test_input_validation(self):
+        with pytest.raises(ModelError):
+            bootstrap_verdict([1, 2, 3], AdaptiveUtility())
+        samples = PoissonLoad(10.0).sample(np.random.default_rng(5), 100)
+        with pytest.raises(ModelError):
+            bootstrap_verdict(samples, AdaptiveUtility(), n_resamples=1)
+
+    def test_reproducible_with_seed(self):
+        samples = PoissonLoad(30.0).sample(np.random.default_rng(6), 800)
+        a = bootstrap_verdict(
+            samples, AdaptiveUtility(), n_resamples=3, seed=9,
+            capacity_sweep=SHORT_SWEEP,
+        )
+        b = bootstrap_verdict(
+            samples, AdaptiveUtility(), n_resamples=3, seed=9,
+            capacity_sweep=SHORT_SWEEP,
+        )
+        assert a.budget_interval == b.budget_interval

@@ -1,0 +1,84 @@
+"""Tests for the census-family MLE fitters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.inference import fit_algebraic, fit_geometric, fit_poisson
+from repro.loads import AlgebraicLoad, GeometricLoad, PoissonLoad
+
+
+class TestPoissonFit:
+    def test_recovers_parameter(self):
+        true = PoissonLoad(25.0)
+        samples = true.sample(np.random.default_rng(1), 20_000)
+        fit = fit_poisson(samples)
+        assert fit.load.nu == pytest.approx(25.0, abs=0.3)
+        assert fit.n_parameters == 1
+
+    def test_mle_is_sample_mean(self):
+        samples = np.array([3, 5, 7, 9])
+        assert fit_poisson(samples).load.nu == 6.0
+
+    def test_loglik_peaks_at_mle(self):
+        samples = PoissonLoad(10.0).sample(np.random.default_rng(2), 2000)
+        mle = fit_poisson(samples)
+        from repro.inference.fitters import _log_likelihood
+
+        for off in (0.8, 1.2):
+            assert _log_likelihood(PoissonLoad(10.0 * off), samples) < mle.log_likelihood
+
+    def test_rejects_bad_samples(self):
+        with pytest.raises(ValueError):
+            fit_poisson([1.5, 2.0])
+        with pytest.raises(ValueError):
+            fit_poisson([3])
+        with pytest.raises(CalibrationError):
+            fit_poisson([0, 0, 0])
+
+
+class TestGeometricFit:
+    def test_recovers_mean(self):
+        true = GeometricLoad.from_mean(15.0)
+        samples = true.sample(np.random.default_rng(3), 20_000)
+        fit = fit_geometric(samples)
+        assert fit.load.mean == pytest.approx(15.0, abs=0.5)
+
+    def test_mle_formula(self):
+        samples = np.array([0, 2, 4])
+        fit = fit_geometric(samples)
+        assert fit.load.ratio == pytest.approx(2.0 / 3.0)  # q = m/(1+m)
+
+
+class TestAlgebraicFit:
+    def test_recovers_parameters(self):
+        true = AlgebraicLoad.from_mean(3.0, 30.0)
+        samples = true.sample(np.random.default_rng(4), 20_000)
+        fit = fit_algebraic(samples)
+        assert fit.load.z == pytest.approx(3.0, abs=0.25)
+        assert fit.load.mean == pytest.approx(30.0, rel=0.2)
+        assert fit.n_parameters == 2
+
+    def test_beats_wrong_parameters(self):
+        true = AlgebraicLoad.from_mean(2.5, 20.0)
+        samples = true.sample(np.random.default_rng(5), 10_000)
+        fit = fit_algebraic(samples)
+        from repro.inference.fitters import _log_likelihood
+
+        assert fit.log_likelihood >= _log_likelihood(
+            AlgebraicLoad.from_mean(4.0, 20.0), samples
+        )
+
+    def test_rejects_zero_support(self):
+        with pytest.raises(ValueError):
+            fit_algebraic([0, 1, 2, 3])
+
+
+class TestInformationCriteria:
+    def test_aic_and_bic_formulas(self):
+        samples = PoissonLoad(10.0).sample(np.random.default_rng(6), 500)
+        fit = fit_poisson(samples)
+        assert fit.aic == pytest.approx(2.0 - 2.0 * fit.log_likelihood)
+        assert fit.bic == pytest.approx(
+            np.log(500) - 2.0 * fit.log_likelihood
+        )

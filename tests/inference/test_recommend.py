@@ -1,0 +1,56 @@
+"""Tests for the end-to-end architecture recommendation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.inference import recommend_architecture
+from repro.loads import AlgebraicLoad, PoissonLoad
+from repro.utility import AdaptiveUtility, RigidUtility
+
+
+class TestRecommendation:
+    def test_heavy_tailed_census_recommends_reservations(self):
+        samples = AlgebraicLoad.from_mean(3.0, 50.0).sample(
+            np.random.default_rng(21), 5_000
+        )
+        rec = recommend_architecture(samples, AdaptiveUtility(), price=0.01)
+        assert rec.load_family == "algebraic"
+        assert rec.bandwidth_gap_trend == "increasing"
+        assert rec.reservations_recommended
+
+    def test_poisson_adaptive_recommends_best_effort(self):
+        samples = PoissonLoad(50.0).sample(np.random.default_rng(22), 5_000)
+        rec = recommend_architecture(samples, AdaptiveUtility(), price=0.01)
+        assert rec.load_family == "poisson"
+        assert not rec.reservations_recommended
+
+    def test_rigid_apps_strengthen_the_case(self):
+        samples = PoissonLoad(50.0).sample(np.random.default_rng(23), 5_000)
+        adaptive = recommend_architecture(samples, AdaptiveUtility(), price=0.05)
+        rigid = recommend_architecture(samples, RigidUtility(1.0), price=0.05)
+        assert rigid.complexity_budget > adaptive.complexity_budget
+
+    def test_summary_contains_verdict(self):
+        samples = PoissonLoad(40.0).sample(np.random.default_rng(24), 2_000)
+        rec = recommend_architecture(samples, AdaptiveUtility(), price=0.05)
+        text = rec.summary()
+        assert "identified census family" in text
+        assert "verdict" in text
+
+    def test_custom_capacity_sweep(self):
+        samples = PoissonLoad(40.0).sample(np.random.default_rng(25), 2_000)
+        rec = recommend_architecture(
+            samples,
+            AdaptiveUtility(),
+            price=0.05,
+            capacity_sweep=tuple(40.0 * m for m in (1.0, 1.5, 2.0, 3.0, 4.0, 6.0)),
+        )
+        assert rec.bandwidth_gap_trend in {"increasing", "decreasing", "flat"}
+
+    def test_tail_estimate_attached_when_possible(self):
+        samples = AlgebraicLoad.from_mean(3.0, 40.0).sample(
+            np.random.default_rng(26), 3_000
+        )
+        rec = recommend_architecture(samples, AdaptiveUtility())
+        assert rec.tail is not None
+        assert rec.tail.heavy_tailed

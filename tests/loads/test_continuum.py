@@ -1,0 +1,71 @@
+"""Tests for the continuum load densities."""
+
+import math
+
+import pytest
+from scipy import integrate as spi
+
+from repro.loads import ExponentialLoad, ParetoLoad
+
+
+class TestExponentialLoad:
+    def test_normalised(self):
+        load = ExponentialLoad(0.7)
+        total, _ = spi.quad(load.pdf, 0.0, 200.0)
+        assert total == pytest.approx(1.0, abs=1e-8)
+
+    def test_mean(self):
+        assert ExponentialLoad(0.25).mean == 4.0
+
+    def test_sf(self):
+        load = ExponentialLoad(2.0)
+        assert load.sf(1.5) == pytest.approx(math.exp(-3.0))
+        assert load.sf(0.0) == 1.0
+
+    def test_mean_tail_closed_form(self):
+        load = ExponentialLoad(1.3)
+        for x in (0.5, 2.0, 6.0):
+            brute, _ = spi.quad(lambda k: k * load.pdf(k), x, 100.0)
+            assert load.mean_tail(x) == pytest.approx(brute, rel=1e-8)
+
+    def test_partial_mean_complements_tail(self):
+        load = ExponentialLoad(1.0)
+        assert load.partial_mean(2.0) + load.mean_tail(2.0) == pytest.approx(
+            load.mean
+        )
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            ExponentialLoad(0.0)
+
+
+class TestParetoLoad:
+    def test_normalised(self):
+        load = ParetoLoad(3.0)
+        total, _ = spi.quad(load.pdf, 1.0, math.inf)
+        assert total == pytest.approx(1.0, abs=1e-8)
+
+    def test_paper_mean(self):
+        # k_bar = (z-1)/(z-2)
+        assert ParetoLoad(3.0).mean == pytest.approx(2.0)
+        assert ParetoLoad(2.5).mean == pytest.approx(3.0)
+
+    def test_sf_power_law(self):
+        load = ParetoLoad(3.0)
+        assert load.sf(4.0) == pytest.approx(4.0**-2)
+        assert load.sf(0.5) == 1.0
+
+    def test_mean_tail_closed_form(self):
+        load = ParetoLoad(3.5)
+        for x in (1.5, 3.0, 10.0):
+            brute, _ = spi.quad(lambda k: k * load.pdf(k), x, math.inf)
+            assert load.mean_tail(x) == pytest.approx(brute, rel=1e-8)
+
+    def test_support_starts_at_one(self):
+        load = ParetoLoad(3.0)
+        assert load.pdf(0.99) == 0.0
+        assert load.pdf(1.01) > 0.0
+
+    def test_requires_finite_mean(self):
+        with pytest.raises(ValueError):
+            ParetoLoad(2.0)

@@ -1,0 +1,64 @@
+"""Tests for the load distributions' random samplers."""
+
+import numpy as np
+import pytest
+
+from repro.loads import AlgebraicLoad, GeometricLoad, PoissonLoad
+
+LOADS = [
+    PoissonLoad(20.0),
+    GeometricLoad.from_mean(20.0),
+    AlgebraicLoad.from_mean(3.0, 20.0),
+]
+IDS = ["poisson", "geometric", "algebraic"]
+
+
+@pytest.mark.parametrize("load", LOADS, ids=IDS)
+class TestSamplers:
+    def test_sample_mean_near_target(self, load):
+        rng = np.random.default_rng(3)
+        draws = load.sample(rng, 50_000)
+        tol = 2.0 if load.name == "algebraic" else 0.5  # heavy-tail variance
+        assert float(draws.mean()) == pytest.approx(load.mean, abs=tol)
+
+    def test_respects_support(self, load):
+        rng = np.random.default_rng(4)
+        draws = load.sample(rng, 5_000)
+        assert draws.min() >= load.support_min
+
+    def test_pmf_frequencies_match(self, load):
+        rng = np.random.default_rng(5)
+        draws = load.sample(rng, 80_000)
+        for k in (int(load.mean) - 2, int(load.mean), int(load.mean) + 5):
+            empirical = float(np.mean(draws == k))
+            assert empirical == pytest.approx(load.pmf(k), abs=0.005)
+
+    def test_reproducible_with_seed(self, load):
+        d1 = load.sample(np.random.default_rng(7), 100)
+        d2 = load.sample(np.random.default_rng(7), 100)
+        np.testing.assert_array_equal(d1, d2)
+
+    def test_zero_size(self, load):
+        assert len(load.sample(np.random.default_rng(0), 0)) == 0
+
+    def test_negative_size_rejected(self, load):
+        with pytest.raises(ValueError):
+            load.sample(np.random.default_rng(0), -1)
+
+
+class TestAlgebraicTailSampling:
+    def test_deep_tail_frequency(self):
+        # the hybrid sampler's bisection branch must hit the right rate
+        load = AlgebraicLoad.from_mean(3.0, 20.0)
+        rng = np.random.default_rng(11)
+        draws = load.sample(rng, 400_000)
+        threshold = 400
+        assert float(np.mean(draws > threshold)) == pytest.approx(
+            load.sf(threshold), rel=0.25
+        )
+
+    def test_invert_sf_consistency(self):
+        load = AlgebraicLoad.from_mean(3.0, 20.0)
+        for target in (1e-3, 1e-5, 1e-7):
+            k = load._invert_sf(target, 10)
+            assert load.sf(k) <= target < load.sf(k - 1)

@@ -1,0 +1,113 @@
+"""Tests for the size-biased census and max-of-S order statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.loads import (
+    AlgebraicLoad,
+    GeometricLoad,
+    MaxOfSLoad,
+    PoissonLoad,
+    SizeBiasedLoad,
+)
+
+BASES = [
+    PoissonLoad(8.0),
+    GeometricLoad.from_mean(8.0),
+    AlgebraicLoad.from_mean(3.0, 8.0),
+]
+IDS = ["poisson", "geometric", "algebraic"]
+
+
+@pytest.mark.parametrize("base", BASES, ids=IDS)
+class TestSizeBiasedLoad:
+    def test_pmf_is_k_weighted(self, base):
+        q = SizeBiasedLoad(base)
+        for k in (1, 3, 8, 20):
+            assert q.pmf(k) == pytest.approx(k * base.pmf(k) / base.mean)
+
+    def test_zero_at_zero(self, base):
+        assert SizeBiasedLoad(base).pmf(0) == 0.0
+
+    def test_normalised(self, base):
+        # the size-biased tail decays one power slower than the base,
+        # so close the sum with the exact sf at the cut
+        q = SizeBiasedLoad(base)
+        cut = 4000
+        total = sum(q.pmf(k) for k in range(1, cut + 1))
+        assert total + q.sf(cut) == pytest.approx(1.0, abs=1e-9)
+
+    def test_sf_matches_brute_sum(self, base):
+        q = SizeBiasedLoad(base)
+        for k in (1, 5, 12):
+            brute = sum(q.pmf(j) for j in range(k + 1, 40_000))
+            assert q.sf(k) == pytest.approx(brute, rel=1e-3)
+
+    def test_stochastically_larger_than_base(self, base):
+        # size biasing shifts mass upward: sf_Q(k) >= sf_P(k)
+        q = SizeBiasedLoad(base)
+        for k in (1, 4, 8, 16, 32):
+            assert q.sf(k) >= base.sf(k) - 1e-12
+
+    def test_mean_not_available(self, base):
+        with pytest.raises(ModelError):
+            _ = SizeBiasedLoad(base).mean
+
+
+@pytest.mark.parametrize("base", BASES, ids=IDS)
+class TestMaxOfSLoad:
+    def test_s_equal_one_is_identity(self, base):
+        m = MaxOfSLoad(base, 1)
+        for k in (0, 1, 5, 12):
+            assert m.pmf(k) == pytest.approx(base.pmf(k), abs=1e-12)
+
+    def test_cdf_power_identity(self, base):
+        m = MaxOfSLoad(base, 4)
+        for k in (2, 6, 15):
+            assert m.cdf(k) == pytest.approx(base.cdf(k) ** 4, abs=1e-9)
+
+    def test_pmf_normalised(self, base):
+        m = MaxOfSLoad(base, 3)
+        total = sum(m.pmf(k) for k in range(0, 3000))
+        assert total == pytest.approx(1.0, abs=1e-3)
+
+    def test_max_stochastically_larger(self, base):
+        m = MaxOfSLoad(base, 5)
+        for k in (1, 4, 8, 16):
+            assert m.sf(k) >= base.sf(k) - 1e-12
+
+    def test_deep_tail_linearisation(self, base):
+        # for tiny base tails, P(max > k) ~ S * sf(k)
+        m = MaxOfSLoad(base, 6)
+        k = 400 if base.sf(400) > 0 else 50
+        sf1 = base.sf(k)
+        if sf1 < 1e-9 and sf1 > 0.0:
+            assert m.sf(k) == pytest.approx(6.0 * sf1, rel=1e-6)
+
+    def test_invalid_samples(self, base):
+        with pytest.raises(ValueError):
+            MaxOfSLoad(base, 0)
+
+
+class TestMonteCarloAgreement:
+    def test_max_of_s_against_simulation(self):
+        rng = np.random.default_rng(42)
+        base = PoissonLoad(6.0)
+        s = 3
+        m = MaxOfSLoad(base, s)
+        draws = rng.poisson(6.0, size=(20_000, s)).max(axis=1)
+        for k in (4, 6, 8, 10):
+            empirical = float(np.mean(draws <= k))
+            assert m.cdf(k) == pytest.approx(empirical, abs=0.02)
+
+    def test_size_biased_against_weighted_simulation(self):
+        rng = np.random.default_rng(7)
+        base = GeometricLoad.from_mean(5.0)
+        q = SizeBiasedLoad(base)
+        # sample base, weight by k (importance weighting)
+        ks = rng.geometric(1.0 - base.ratio, size=100_000) - 1
+        weights = ks / ks.mean()
+        for k in (2, 5, 10):
+            empirical = float(np.mean(weights * (ks == k)))
+            assert q.pmf(k) == pytest.approx(empirical, abs=0.01)

@@ -1,0 +1,94 @@
+"""Tests for the ArchitectureComparison orchestrator."""
+
+import pytest
+
+from repro.models import (
+    Architecture,
+    ArchitectureComparison,
+    RetryingModel,
+    SamplingModel,
+)
+from repro.utility import AdaptiveUtility
+
+
+@pytest.fixture
+def comparison(geometric_load, adaptive):
+    return ArchitectureComparison(geometric_load, adaptive)
+
+
+class TestAt:
+    def test_point_fields_consistent(self, comparison):
+        pt = comparison.at(15.0)
+        assert pt.capacity == 15.0
+        assert pt.reservation >= pt.best_effort
+        assert pt.performance_gap == pytest.approx(
+            pt.reservation - pt.best_effort, abs=1e-12
+        )
+        assert pt.bandwidth_gap >= 0.0
+        assert 0.0 <= pt.overload_probability <= 1.0
+
+    def test_point_matches_underlying_model(self, comparison):
+        pt = comparison.at(12.0)
+        m = comparison.variable_load
+        assert pt.best_effort == m.best_effort(12.0)
+        assert pt.k_max == m.k_max(12.0)
+
+    def test_as_dict_round_trips(self, comparison):
+        d = comparison.at(10.0).as_dict()
+        assert set(d) == {
+            "capacity",
+            "k_max",
+            "best_effort",
+            "reservation",
+            "performance_gap",
+            "bandwidth_gap",
+            "overload_probability",
+        }
+
+
+class TestSweep:
+    def test_report_aggregates(self, comparison):
+        report = comparison.sweep([6.0, 9.0, 12.0, 18.0, 24.0, 36.0])
+        assert len(report.points) == 6
+        assert report.max_performance_gap > 0.0
+        assert report.max_bandwidth_gap > 0.0
+        assert report.bandwidth_gap_trend() in {"increasing", "decreasing", "flat"}
+
+    def test_trend_needs_enough_points(self, comparison):
+        report = comparison.sweep([6.0, 12.0])
+        with pytest.raises(ValueError):
+            report.bandwidth_gap_trend()
+
+    def test_sweep_with_prices_produces_gamma(self, comparison):
+        report = comparison.sweep([6.0, 12.0], prices=[0.05, 0.1])
+        assert len(report.gamma_values) == 2
+
+    def test_geometric_adaptive_gap_eventually_decreases(self, comparison):
+        # the paper: exponential + adaptive -> Delta vanishes at large C
+        report = comparison.sweep([24.0, 36.0, 48.0, 72.0, 96.0, 144.0])
+        assert report.bandwidth_gap_trend() == "decreasing"
+
+
+class TestExtensionFactories:
+    def test_with_sampling(self, comparison):
+        m = comparison.with_sampling(5)
+        assert isinstance(m, SamplingModel)
+        assert m.samples == 5
+
+    def test_with_retries(self, comparison):
+        m = comparison.with_retries(alpha=0.2)
+        assert isinstance(m, RetryingModel)
+        assert m.alpha == 0.2
+
+    def test_welfare_lazy_and_cached(self, comparison):
+        assert comparison.welfare is comparison.welfare
+
+    def test_break_even_complexity_cost(self, comparison):
+        cost = comparison.break_even_complexity_cost(0.05)
+        assert cost >= 0.0
+        assert cost == pytest.approx(
+            comparison.welfare.equalizing_ratio(0.05) - 1.0
+        )
+
+    def test_fixed_load_shares_utility(self, comparison):
+        assert comparison.fixed_load.utility is comparison.utility

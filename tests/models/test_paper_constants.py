@@ -1,0 +1,70 @@
+"""Pinning the paper's exact constants and identities.
+
+Small, surgical tests that would catch any silent drift in the
+quantities the whole reproduction hangs on.
+"""
+
+import math
+
+import pytest
+
+from repro.continuum import (
+    DELTA_OVER_C_BOUND,
+    GAMMA_BOUND,
+    RigidAlgebraicContinuum,
+    adaptive_algebraic_ratio_limit,
+    gap_ratio_limit,
+    retrying_rigid_ratio,
+    rigid_algebraic_ratio,
+    sampling_rigid_ratio,
+)
+from repro.loads import KBAR_PAPER
+from repro.models import ALPHA_PAPER
+from repro.utility import KAPPA_PAPER
+
+
+class TestPaperConstants:
+    def test_kbar(self):
+        assert KBAR_PAPER == 100.0
+
+    def test_kappa(self):
+        assert KAPPA_PAPER == 0.62086
+
+    def test_alpha(self):
+        assert ALPHA_PAPER == 0.1
+
+    def test_conjectured_bounds(self):
+        assert GAMMA_BOUND == math.e
+        assert DELTA_OVER_C_BOUND == math.e - 1.0
+
+
+class TestExactIdentities:
+    def test_z3_rigid_ratio_is_exactly_two(self):
+        # (z-1)^{1/(z-2)} = 2 at z = 3: the paper's gamma -> 2 quote
+        assert rigid_algebraic_ratio(3.0) == pytest.approx(2.0, abs=1e-12)
+
+    def test_z4_rigid_ratio_is_sqrt_three(self):
+        assert rigid_algebraic_ratio(4.0) == pytest.approx(math.sqrt(3.0))
+
+    def test_a_half_limit_is_exactly_two(self):
+        # a^{-a/(1-a)} at a = 1/2: (1/2)^{-1} = 2
+        assert gap_ratio_limit(0.5) == pytest.approx(2.0, abs=1e-12)
+        assert adaptive_algebraic_ratio_limit(0.5) == pytest.approx(2.0, abs=1e-12)
+
+    def test_sampling_ratio_s3_z3(self):
+        # (S(z-1))^{1/(z-2)} = 6 exactly
+        assert sampling_rigid_ratio(3.0, 3) == pytest.approx(6.0, abs=1e-12)
+
+    def test_retrying_ratio_alpha_tenth_z3(self):
+        # ((z-1)/alpha)^{1/(z-2)} = 20 exactly
+        assert retrying_rigid_ratio(3.0, 0.1) == pytest.approx(20.0, abs=1e-12)
+
+    def test_mean_load_z3(self):
+        # k_bar = (z-1)/(z-2) = 2 at z = 3
+        assert RigidAlgebraicContinuum(3.0).mean_load == pytest.approx(2.0)
+
+    def test_bounds_approached_from_below(self):
+        values = [rigid_algebraic_ratio(z) for z in (2.1, 2.01, 2.001, 2.0001)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+        assert values[-1] < math.e
+        assert math.e - values[-1] < 2e-4

@@ -1,0 +1,127 @@
+"""Tests for the Section 5.1 sampling extension."""
+
+import numpy as np
+import pytest
+
+from repro.loads import GeometricLoad, MaxOfSLoad, PoissonLoad, SizeBiasedLoad
+from repro.models import SamplingModel, VariableLoadModel
+from repro.utility import AdaptiveUtility, RigidUtility
+
+
+class TestReductionToBasicModel:
+    def test_s1_best_effort_equals_basic(self, any_load, inelastic_utility):
+        s1 = SamplingModel(any_load, inelastic_utility, 1)
+        base = VariableLoadModel(any_load, inelastic_utility)
+        for c in (4.0, 12.0, 30.0):
+            assert s1.best_effort(c) == pytest.approx(base.best_effort(c), abs=1e-8)
+
+    def test_s1_reservation_equals_basic(self, any_load, inelastic_utility):
+        s1 = SamplingModel(any_load, inelastic_utility, 1)
+        base = VariableLoadModel(any_load, inelastic_utility)
+        for c in (4.0, 12.0, 30.0):
+            assert s1.reservation(c) == pytest.approx(base.reservation(c), abs=1e-8)
+
+
+class TestMonotonicityInS:
+    def test_best_effort_decreasing_in_s(self, geometric_load, adaptive):
+        # more samples -> worse maximum -> lower utility
+        c = 15.0
+        values = [
+            SamplingModel(geometric_load, adaptive, s).best_effort(c)
+            for s in (1, 2, 5, 15)
+        ]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_reservation_bounded_below_by_cap_utility(self, geometric_load, adaptive):
+        # admitted flows never see loads beyond k_max, so even S -> inf
+        # keeps reservation utility near pi(C/kmax) times admit prob
+        c = 15.0
+        m = SamplingModel(geometric_load, adaptive, 50)
+        kmax = m.k_max(c)
+        floor = (
+            adaptive.value(c / kmax)
+            * SizeBiasedLoad(geometric_load).cdf(kmax)
+        )
+        assert m.reservation(c) >= floor - 1e-9
+
+    def test_gap_widens_with_s(self, geometric_load, adaptive):
+        c = 15.0
+        gaps = [
+            SamplingModel(geometric_load, adaptive, s).performance_gap(c)
+            for s in (1, 5, 20)
+        ]
+        assert gaps[0] < gaps[1] < gaps[2]
+
+
+class TestAgainstMonteCarlo:
+    def _simulate(self, load, utility, capacity, samples, n=60_000, seed=3):
+        rng = np.random.default_rng(seed)
+        q = SizeBiasedLoad(load)
+        # inverse-cdf sampling of Q over a truncated support
+        support = np.arange(1, 600)
+        pmf = np.array([q.pmf(int(k)) for k in support])
+        pmf = pmf / pmf.sum()
+        kmax = VariableLoadModel(load, utility).k_max(capacity)
+        draws = rng.choice(support, size=(n, samples), p=pmf)
+
+        # best-effort: utility at the max of S draws
+        worst = draws.max(axis=1)
+        be = float(np.mean(utility(capacity / worst)))
+
+        # reservations: first draw decides admission, later draws capped
+        first = draws[:, 0]
+        admit_prob = np.where(first <= kmax, 1.0, kmax / first)
+        admitted = rng.random(n) < admit_prob
+        capped = np.minimum(draws, kmax)
+        capped[:, 0] = np.where(first <= kmax, first, kmax)
+        worst_adm = capped.max(axis=1)
+        scores = np.where(admitted, utility(capacity / worst_adm), 0.0)
+        res = float(np.mean(scores))
+        return be, res
+
+    def test_best_effort_matches_simulation(self):
+        load = PoissonLoad(12.0)
+        u = AdaptiveUtility()
+        m = SamplingModel(load, u, 4)
+        c = 14.0
+        be_sim, _ = self._simulate(load, u, c, 4)
+        assert m.best_effort(c) == pytest.approx(be_sim, abs=0.01)
+
+    def test_reservation_matches_simulation(self):
+        load = GeometricLoad.from_mean(12.0)
+        u = RigidUtility(1.0)
+        m = SamplingModel(load, u, 3)
+        c = 10.0
+        _, res_sim = self._simulate(load, u, c, 3)
+        assert m.reservation(c) == pytest.approx(res_sim, abs=0.01)
+
+    def test_adaptive_reservation_matches_simulation(self):
+        load = GeometricLoad.from_mean(12.0)
+        u = AdaptiveUtility()
+        m = SamplingModel(load, u, 5)
+        c = 16.0
+        _, res_sim = self._simulate(load, u, c, 5)
+        assert m.reservation(c) == pytest.approx(res_sim, abs=0.01)
+
+
+class TestGapSolver:
+    def test_bandwidth_gap_solves_equation(self, geometric_load, adaptive):
+        m = SamplingModel(geometric_load, adaptive, 8)
+        c = 12.0
+        gap = m.bandwidth_gap(c)
+        assert gap > 0.0
+        assert m.best_effort(c + gap) == pytest.approx(m.reservation(c), abs=1e-6)
+
+    def test_sweep_shape(self, geometric_load, adaptive):
+        out = SamplingModel(geometric_load, adaptive, 4).sweep([6.0, 12.0, 24.0])
+        assert len(out["bandwidth_gap"]) == 3
+        assert np.all(out["performance_gap"] >= 0.0)
+
+    def test_invalid_samples(self, geometric_load, adaptive):
+        with pytest.raises(ValueError):
+            SamplingModel(geometric_load, adaptive, 0)
+
+    def test_zero_capacity(self, geometric_load, adaptive):
+        m = SamplingModel(geometric_load, adaptive, 3)
+        assert m.best_effort(0.0) == 0.0
+        assert m.reservation(0.0) == 0.0

@@ -1,0 +1,141 @@
+"""Tests for the Section 4 welfare model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.models import Architecture, VariableLoadModel, WelfareModel
+from repro.utility import AdaptiveUtility, RigidUtility
+
+
+@pytest.fixture
+def rigid_welfare(geometric_load):
+    return WelfareModel(VariableLoadModel(geometric_load, RigidUtility(1.0)))
+
+
+@pytest.fixture
+def adaptive_welfare(geometric_load):
+    return WelfareModel(VariableLoadModel(geometric_load, AdaptiveUtility()))
+
+
+class TestProvisioning:
+    def test_reservation_capacity_decreases_with_price(self, rigid_welfare):
+        caps = [
+            rigid_welfare.optimal_capacity(p, Architecture.RESERVATION)
+            for p in (0.02, 0.05, 0.15)
+        ]
+        assert caps[0] >= caps[1] >= caps[2]
+
+    def test_rigid_best_effort_optimum_is_a_welfare_max(self, rigid_welfare):
+        p = 0.05
+        c_star = rigid_welfare.optimal_capacity(p, Architecture.BEST_EFFORT)
+        w_star = rigid_welfare.welfare_best_effort(p)
+        model = rigid_welfare.model
+        for c in np.arange(0.0, 4.0 * model.mean_load, 1.0):
+            w = model.total_best_effort(float(c)) - p * float(c)
+            assert w <= w_star + 1e-9
+
+    def test_rigid_reservation_optimum_is_a_welfare_max(self, rigid_welfare):
+        p = 0.05
+        w_star = rigid_welfare.welfare_reservation(p)
+        model = rigid_welfare.model
+        for c in np.arange(0.0, 6.0 * model.mean_load, 1.0):
+            w = model.total_reservation(float(c)) - p * float(c)
+            assert w <= w_star + 1e-9
+
+    def test_smooth_optimum_satisfies_foc(self, adaptive_welfare):
+        p = 0.05
+        c_star = adaptive_welfare.optimal_capacity(p, Architecture.BEST_EFFORT)
+        marginal = adaptive_welfare.model.best_effort_marginal(c_star)
+        assert marginal == pytest.approx(p, rel=1e-3)
+
+    def test_smooth_optimum_beats_neighbours(self, adaptive_welfare):
+        p = 0.05
+        c_star = adaptive_welfare.optimal_capacity(p, Architecture.BEST_EFFORT)
+        w_star = adaptive_welfare.welfare_best_effort(p)
+        model = adaptive_welfare.model
+        for c in (0.5 * c_star, 0.9 * c_star, 1.1 * c_star, 2.0 * c_star):
+            assert model.total_best_effort(c) - p * c <= w_star + 1e-9
+
+    def test_exorbitant_price_builds_nothing(self, adaptive_welfare):
+        decision = adaptive_welfare.provision(5.0, Architecture.BEST_EFFORT)
+        assert decision.capacity == 0.0
+        assert decision.welfare == 0.0
+
+    def test_invalid_price_rejected(self, adaptive_welfare):
+        with pytest.raises(ValueError):
+            adaptive_welfare.provision(0.0, Architecture.BEST_EFFORT)
+
+
+class TestWelfareOrdering:
+    @pytest.mark.parametrize("price", [0.02, 0.05, 0.1])
+    def test_reservation_welfare_dominates(
+        self, rigid_welfare, adaptive_welfare, price
+    ):
+        # W_R(p) >= W_B(p) always (the paper's inequality)
+        for w in (rigid_welfare, adaptive_welfare):
+            assert w.welfare_reservation(price) >= w.welfare_best_effort(price) - 1e-9
+
+    def test_welfare_decreasing_in_price(self, adaptive_welfare):
+        values = [
+            adaptive_welfare.welfare_reservation(p) for p in (0.01, 0.05, 0.2)
+        ]
+        assert values[0] > values[1] > values[2]
+
+
+class TestEqualizingRatio:
+    def test_at_least_one(self, rigid_welfare, adaptive_welfare):
+        for w in (rigid_welfare, adaptive_welfare):
+            assert w.equalizing_ratio(0.05) >= 1.0 - 1e-9
+
+    def test_equalizing_price_equalises(self, rigid_welfare):
+        p = 0.05
+        p_hat = rigid_welfare.equalizing_price(p)
+        assert rigid_welfare.welfare_reservation(p_hat) == pytest.approx(
+            rigid_welfare.welfare_best_effort(p), rel=1e-6
+        )
+
+    def test_adaptive_ratio_smaller_than_rigid(
+        self, rigid_welfare, adaptive_welfare
+    ):
+        # adaptivity shrinks the case for reservations
+        p = 0.05
+        assert adaptive_welfare.equalizing_ratio(p) < rigid_welfare.equalizing_ratio(p)
+
+    def test_zero_welfare_price_raises(self, rigid_welfare):
+        # price above the largest best-effort increment: W_B = 0
+        with pytest.raises(ModelError):
+            rigid_welfare.equalizing_price(0.9)
+
+
+class TestEnvelope:
+    def test_envelope_monotone(self, adaptive_welfare):
+        env = adaptive_welfare.envelope(Architecture.BEST_EFFORT)
+        assert np.all(np.diff(env["price"]) < 0.0)
+        assert np.all(np.diff(env["welfare"]) > 0.0)
+        assert np.all(np.diff(env["capacity"]) > 0.0)
+
+    def test_envelope_welfare_matches_exact(self, adaptive_welfare):
+        env = adaptive_welfare.envelope(Architecture.BEST_EFFORT)
+        # pick an interior tabulated price and compare with the exact optimiser
+        idx = len(env["price"]) // 2
+        p = float(env["price"][idx])
+        exact = adaptive_welfare.welfare_best_effort(p)
+        assert env["welfare"][idx] == pytest.approx(exact, rel=1e-3)
+
+    def test_rigid_envelope_tabulates_steps(self, rigid_welfare):
+        env = rigid_welfare.envelope(Architecture.RESERVATION)
+        assert np.all(np.diff(env["price"]) < 0.0)
+        # reservation increments are survival probabilities <= 1
+        assert np.all(env["price"] <= 1.0)
+
+    def test_ratio_curve_matches_exact(self, rigid_welfare):
+        prices = [0.03, 0.08]
+        curve = rigid_welfare.ratio_curve(prices)
+        for p, gamma in zip(curve["price"], curve["gamma"]):
+            exact = rigid_welfare.equalizing_ratio(float(p))
+            assert gamma == pytest.approx(exact, rel=0.05)
+
+    def test_ratio_curve_nan_outside_range(self, adaptive_welfare):
+        curve = adaptive_welfare.ratio_curve([1e9])
+        assert np.isnan(curve["gamma"][0])

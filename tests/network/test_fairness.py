@@ -1,0 +1,86 @@
+"""Tests for max-min fair allocation."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.loads import PoissonLoad
+from repro.network import (
+    NetworkTopology,
+    Route,
+    allocation_is_feasible,
+    max_min_allocation,
+)
+from repro.utility import AdaptiveUtility
+
+
+def make_topology(capacities, route_links):
+    routes = [
+        Route(name, tuple(links), PoissonLoad(5.0), AdaptiveUtility())
+        for name, links in route_links.items()
+    ]
+    return NetworkTopology(capacities, routes)
+
+
+class TestSingleLink:
+    def test_equal_split_reduces_to_paper_model(self):
+        topo = make_topology({"l": 12.0}, {"r": ("l",)})
+        shares = max_min_allocation({"r": 4}, topo)
+        assert shares["r"] == pytest.approx(3.0)
+
+    def test_zero_flows_zero_share(self):
+        topo = make_topology({"l": 12.0}, {"r": ("l",)})
+        assert max_min_allocation({"r": 0}, topo)["r"] == 0.0
+
+    def test_two_classes_share_equally(self):
+        topo = make_topology({"l": 12.0}, {"a": ("l",), "b": ("l",)})
+        shares = max_min_allocation({"a": 2, "b": 4}, topo)
+        assert shares["a"] == shares["b"] == pytest.approx(2.0)
+
+
+class TestParkingLot:
+    """The classic multi-link fairness example."""
+
+    def setup_method(self):
+        self.topo = make_topology(
+            {"l1": 10.0, "l2": 10.0},
+            {"long": ("l1", "l2"), "x1": ("l1",), "x2": ("l2",)},
+        )
+
+    def test_long_route_gets_bottleneck_share(self):
+        shares = max_min_allocation({"long": 5, "x1": 5, "x2": 5}, self.topo)
+        # every link carries 10 flows over capacity 10 -> all shares 1
+        assert shares["long"] == pytest.approx(1.0)
+        assert shares["x1"] == pytest.approx(1.0)
+
+    def test_cross_traffic_takes_the_slack(self):
+        shares = max_min_allocation({"long": 5, "x1": 15, "x2": 1}, self.topo)
+        # l1 is the bottleneck: 20 flows over 10 -> level 0.5 for long+x1
+        assert shares["long"] == pytest.approx(0.5)
+        assert shares["x1"] == pytest.approx(0.5)
+        # x2 then fills l2's slack: (10 - 5*0.5)/1 = 7.5
+        assert shares["x2"] == pytest.approx(7.5)
+
+    def test_feasibility_always(self):
+        for counts in ({"long": 7, "x1": 3, "x2": 12}, {"long": 1, "x1": 0, "x2": 40}):
+            shares = max_min_allocation(counts, self.topo)
+            assert allocation_is_feasible(counts, shares, self.topo)
+
+    def test_max_min_property(self):
+        # no route's share can be raised without lowering a route with
+        # an equal-or-smaller share: check the bottleneck link is full
+        counts = {"long": 5, "x1": 15, "x2": 1}
+        shares = max_min_allocation(counts, self.topo)
+        usage_l1 = 5 * shares["long"] + 15 * shares["x1"]
+        assert usage_l1 == pytest.approx(10.0)
+
+
+class TestValidation:
+    def test_unknown_route_rejected(self):
+        topo = make_topology({"l": 10.0}, {"r": ("l",)})
+        with pytest.raises(ModelError):
+            max_min_allocation({"ghost": 3}, topo)
+
+    def test_negative_count_rejected(self):
+        topo = make_topology({"l": 10.0}, {"r": ("l",)})
+        with pytest.raises(ModelError):
+            max_min_allocation({"r": -1}, topo)

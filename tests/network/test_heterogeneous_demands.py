@@ -1,0 +1,105 @@
+"""Tests for heterogeneous per-flow demands on the network."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.extensions import ScaledUtility
+from repro.loads import PoissonLoad
+from repro.network import (
+    NetworkComparison,
+    NetworkTopology,
+    Route,
+    admit_flows,
+    allocation_is_feasible,
+    greedy_admit_flows,
+    max_min_allocation,
+)
+from repro.utility import AdaptiveUtility
+
+
+def two_class_link(capacity=30.0):
+    return NetworkTopology(
+        {"l": capacity},
+        [
+            Route("thin", ("l",), PoissonLoad(10.0), AdaptiveUtility(), demand=1.0),
+            Route(
+                "fat",
+                ("l",),
+                PoissonLoad(5.0),
+                ScaledUtility(AdaptiveUtility(), 2.0),
+                demand=2.0,
+            ),
+        ],
+    )
+
+
+class TestWeightedMaxMin:
+    def test_shares_proportional_to_demand(self):
+        topo = two_class_link(30.0)
+        shares = max_min_allocation({"thin": 10, "fat": 5}, topo)
+        # common level 30/(10*1 + 5*2) = 1.5
+        assert shares["thin"] == pytest.approx(1.5)
+        assert shares["fat"] == pytest.approx(3.0)
+
+    def test_feasible_with_demands(self):
+        topo = two_class_link(30.0)
+        counts = {"thin": 17, "fat": 9}
+        shares = max_min_allocation(counts, topo)
+        assert allocation_is_feasible(counts, shares, topo)
+
+    def test_unit_demands_unchanged(self):
+        # demand = 1 everywhere reduces to the unweighted allocation
+        topo = NetworkTopology(
+            {"l": 12.0},
+            [Route("r", ("l",), PoissonLoad(5.0), AdaptiveUtility())],
+        )
+        assert max_min_allocation({"r": 4}, topo)["r"] == pytest.approx(3.0)
+
+
+class TestDemandAwareAdmission:
+    def test_ilp_charges_demand_units(self):
+        topo = two_class_link(30.0)
+        admitted = admit_flows({"thin": 40, "fat": 40}, topo)
+        usage = admitted["thin"] * 1.0 + admitted["fat"] * 2.0
+        assert usage <= 30.0 + 1e-9
+        # utilitarian count-max admits thin flows preferentially
+        assert admitted["thin"] > admitted["fat"]
+
+    def test_greedy_charges_demand_units(self):
+        topo = two_class_link(30.0)
+        admitted = greedy_admit_flows({"thin": 40, "fat": 40}, topo)
+        usage = admitted["thin"] * 1.0 + admitted["fat"] * 2.0
+        assert usage <= 30.0 + 1e-9
+
+    def test_admitted_get_their_reservation(self):
+        topo = two_class_link(30.0)
+        admitted = admit_flows({"thin": 25, "fat": 10}, topo)
+        shares = max_min_allocation(admitted, topo)
+        if admitted["thin"] > 0:
+            assert shares["thin"] >= 1.0 - 1e-9
+        if admitted["fat"] > 0:
+            assert shares["fat"] >= 2.0 - 1e-9
+
+    def test_comparison_still_ordered(self):
+        cmp = NetworkComparison(two_class_link(30.0), draws=120, seed=21)
+        assert cmp.performance_gap() >= -0.01
+
+
+class TestValidation:
+    def test_nonpositive_demand_rejected(self):
+        with pytest.raises(ModelError):
+            Route("r", ("l",), PoissonLoad(5.0), AdaptiveUtility(), demand=0.0)
+
+    def test_from_graph_demands(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_edge("a", "b", capacity=10.0)
+        topo = NetworkTopology.from_graph(
+            g,
+            paths={"r": ["a", "b"]},
+            loads={"r": PoissonLoad(3.0)},
+            utilities={"r": AdaptiveUtility()},
+            demands={"r": 2.5},
+        )
+        assert topo.routes["r"].demand == 2.5

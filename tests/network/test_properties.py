@@ -1,0 +1,132 @@
+"""Property-based tests: max-min fairness on random topologies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.loads import PoissonLoad
+from repro.network import (
+    NetworkTopology,
+    Route,
+    admit_flows,
+    allocation_is_feasible,
+    max_min_allocation,
+)
+from repro.utility import AdaptiveUtility
+
+N_LINKS = 4
+
+
+@st.composite
+def random_network_case(draw):
+    """A random topology over N_LINKS links plus a random census."""
+    capacities = {
+        f"l{i}": draw(st.floats(min_value=2.0, max_value=50.0))
+        for i in range(N_LINKS)
+    }
+    n_routes = draw(st.integers(min_value=1, max_value=5))
+    routes = []
+    counts = {}
+    for r in range(n_routes):
+        size = draw(st.integers(min_value=1, max_value=N_LINKS))
+        links = draw(
+            st.permutations([f"l{i}" for i in range(N_LINKS)]).map(
+                lambda p, s=size: tuple(p[:s])
+            )
+        )
+        name = f"r{r}"
+        routes.append(Route(name, links, PoissonLoad(5.0), AdaptiveUtility()))
+        counts[name] = draw(st.integers(min_value=0, max_value=30))
+    return NetworkTopology(capacities, routes), counts
+
+
+class TestMaxMinProperties:
+    @given(case=random_network_case())
+    @settings(max_examples=120, deadline=None)
+    def test_always_feasible(self, case):
+        topology, counts = case
+        shares = max_min_allocation(counts, topology)
+        assert allocation_is_feasible(counts, shares, topology)
+
+    @given(case=random_network_case())
+    @settings(max_examples=120, deadline=None)
+    def test_shares_positive_for_active_routes(self, case):
+        topology, counts = case
+        shares = max_min_allocation(counts, topology)
+        for name, k in counts.items():
+            if k > 0:
+                assert shares[name] > 0.0
+            else:
+                assert shares[name] == 0.0
+
+    @given(case=random_network_case())
+    @settings(max_examples=80, deadline=None)
+    def test_every_active_route_hits_a_saturated_link(self, case):
+        # max-min optimality certificate: each route's share is pinned
+        # by some fully-used link it traverses
+        topology, counts = case
+        shares = max_min_allocation(counts, topology)
+        usage = {
+            link: sum(
+                counts.get(name, 0) * shares[name]
+                for name in topology.routes_through(link)
+            )
+            for link in topology.link_names
+        }
+        for name, k in counts.items():
+            if k == 0:
+                continue
+            saturated = any(
+                usage[link] >= topology.capacities[link] * (1.0 - 1e-6)
+                for link in topology.routes[name].links
+            )
+            assert saturated, (name, shares, usage)
+
+    @given(case=random_network_case())
+    @settings(max_examples=60, deadline=None)
+    def test_adding_flows_never_raises_own_share(self, case):
+        topology, counts = case
+        target = next((n for n, k in counts.items() if k > 0), None)
+        if target is None:
+            return
+        before = max_min_allocation(counts, topology)[target]
+        heavier = dict(counts)
+        heavier[target] += 5
+        after = max_min_allocation(heavier, topology)[target]
+        assert after <= before + 1e-9
+
+    @given(case=random_network_case(), factor=st.floats(min_value=1.1, max_value=4.0))
+    @settings(max_examples=60, deadline=None)
+    def test_scaling_capacity_scales_shares(self, case, factor):
+        # max-min allocation is positively homogeneous in capacities
+        topology, counts = case
+        base = max_min_allocation(counts, topology)
+        scaled = max_min_allocation(counts, topology.scaled(factor))
+        for name in topology.route_names:
+            assert scaled[name] == pytest.approx(factor * base[name], rel=1e-9)
+
+
+class TestAdmissionProperties:
+    @given(case=random_network_case())
+    @settings(max_examples=40, deadline=None)
+    def test_ilp_respects_capacity_and_bounds(self, case):
+        topology, counts = case
+        admitted = admit_flows(counts, topology)
+        for name, n in admitted.items():
+            assert 0 <= n <= counts.get(name, 0)
+        for link in topology.link_names:
+            usage = sum(admitted[name] for name in topology.routes_through(link))
+            assert usage <= topology.capacities[link] + 1e-6
+
+    @given(case=random_network_case())
+    @settings(max_examples=40, deadline=None)
+    def test_admitted_flows_get_unit_share(self, case):
+        topology, counts = case
+        admitted = admit_flows(counts, topology)
+        if sum(admitted.values()) == 0:
+            return
+        shares = max_min_allocation(admitted, topology)
+        for name, n in admitted.items():
+            if n > 0:
+                assert shares[name] >= 1.0 - 1e-6

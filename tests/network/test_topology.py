@@ -1,0 +1,99 @@
+"""Tests for network topologies."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import ModelError
+from repro.loads import PoissonLoad
+from repro.network import NetworkTopology, Route
+from repro.utility import AdaptiveUtility
+
+
+def simple_route(name="r", links=("l1",), mean=5.0):
+    return Route(name, tuple(links), PoissonLoad(mean), AdaptiveUtility())
+
+
+class TestRoute:
+    def test_requires_links(self):
+        with pytest.raises(ModelError):
+            Route("r", (), PoissonLoad(5.0), AdaptiveUtility())
+
+    def test_rejects_repeated_link(self):
+        with pytest.raises(ModelError):
+            Route("r", ("l1", "l1"), PoissonLoad(5.0), AdaptiveUtility())
+
+
+class TestNetworkTopology:
+    def test_basic_accessors(self):
+        topo = NetworkTopology(
+            {"l1": 10.0, "l2": 20.0},
+            [simple_route("a", ("l1",)), simple_route("b", ("l1", "l2"))],
+        )
+        assert topo.link_names == ("l1", "l2")
+        assert topo.route_names == ("a", "b")
+        assert topo.routes_through("l1") == ("a", "b")
+        assert topo.routes_through("l2") == ("b",)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            NetworkTopology({}, [simple_route()])
+        with pytest.raises(ModelError):
+            NetworkTopology({"l1": 0.0}, [simple_route()])
+        with pytest.raises(ModelError):
+            NetworkTopology({"l1": 10.0}, [])
+        with pytest.raises(ModelError):
+            NetworkTopology({"l1": 10.0}, [simple_route(links=("missing",))])
+        with pytest.raises(ModelError):
+            NetworkTopology(
+                {"l1": 10.0}, [simple_route("same"), simple_route("same")]
+            )
+
+    def test_scaled(self):
+        topo = NetworkTopology({"l1": 10.0}, [simple_route()])
+        bigger = topo.scaled(2.5)
+        assert bigger.capacities["l1"] == 25.0
+        with pytest.raises(ModelError):
+            topo.scaled(0.0)
+
+    def test_unknown_link_query(self):
+        topo = NetworkTopology({"l1": 10.0}, [simple_route()])
+        with pytest.raises(ModelError):
+            topo.routes_through("nope")
+
+
+class TestFromGraph:
+    def test_builds_links_from_edges(self):
+        g = nx.Graph()
+        g.add_edge("a", "b", capacity=10.0)
+        g.add_edge("b", "c", capacity=20.0)
+        topo = NetworkTopology.from_graph(
+            g,
+            paths={"r1": ["a", "b", "c"], "r2": ["b", "c"]},
+            loads={"r1": PoissonLoad(3.0), "r2": PoissonLoad(4.0)},
+            utilities={"r1": AdaptiveUtility(), "r2": AdaptiveUtility()},
+        )
+        assert set(topo.capacities) == {"a-b", "b-c"}
+        assert topo.routes["r1"].links == ("a-b", "b-c")
+        assert topo.routes["r2"].links == ("b-c",)
+
+    def test_missing_edge_rejected(self):
+        g = nx.Graph()
+        g.add_edge("a", "b", capacity=10.0)
+        with pytest.raises(ModelError):
+            NetworkTopology.from_graph(
+                g,
+                paths={"r": ["a", "c"]},
+                loads={"r": PoissonLoad(3.0)},
+                utilities={"r": AdaptiveUtility()},
+            )
+
+    def test_missing_capacity_attr_rejected(self):
+        g = nx.Graph()
+        g.add_edge("a", "b")
+        with pytest.raises(ModelError):
+            NetworkTopology.from_graph(
+                g,
+                paths={"r": ["a", "b"]},
+                loads={"r": PoissonLoad(3.0)},
+                utilities={"r": AdaptiveUtility()},
+            )

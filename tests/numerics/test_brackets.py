@@ -1,0 +1,66 @@
+"""Tests for bracket expansion."""
+
+import math
+
+import pytest
+
+from repro.errors import BracketError
+from repro.numerics.brackets import expand_bracket_downward, expand_bracket_upward
+
+
+class TestExpandUpward:
+    def test_finds_sign_change_beyond_initial_interval(self):
+        f = lambda x: x - 100.0  # noqa: E731
+        lo, hi = expand_bracket_upward(f, 0.0, 1.0)
+        assert f(lo) < 0.0 < f(hi)
+
+    def test_immediate_sign_change_kept(self):
+        f = lambda x: x - 0.5  # noqa: E731
+        lo, hi = expand_bracket_upward(f, 0.0, 1.0)
+        assert lo == 0.0 and hi == 1.0
+
+    def test_root_at_lo_returns_degenerate_bracket(self):
+        f = lambda x: x  # noqa: E731
+        lo, hi = expand_bracket_upward(f, 0.0, 1.0)
+        assert lo == hi == 0.0
+
+    def test_respects_upper_limit(self):
+        f = lambda x: x - 1e6  # noqa: E731
+        with pytest.raises(BracketError):
+            expand_bracket_upward(f, 0.0, 1.0, upper_limit=100.0)
+
+    def test_no_sign_change_raises(self):
+        f = lambda x: 1.0 + x * 0  # noqa: E731
+        with pytest.raises(BracketError):
+            expand_bracket_upward(f, 0.0, 1.0, max_steps=20)
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            expand_bracket_upward(lambda x: x, 2.0, 1.0)
+
+    def test_exponential_scale_target(self):
+        # root near 2^40: geometric growth must reach it in few steps
+        f = lambda x: x - 2.0**40  # noqa: E731
+        lo, hi = expand_bracket_upward(f, 0.0, 1.0)
+        assert f(hi) >= 0.0
+
+
+class TestExpandDownward:
+    def test_finds_sign_change_below(self):
+        f = lambda x: math.log(x + 1e-12) + 5.0  # noqa: E731
+        lo, hi = expand_bracket_downward(f, 0.5, 1.0)
+        assert (f(lo) < 0.0) != (f(hi) < 0.0)
+
+    def test_respects_lower_limit(self):
+        f = lambda x: x + 1.0  # noqa: E731  (never negative above 0)
+        with pytest.raises(BracketError):
+            expand_bracket_downward(f, 0.5, 1.0, lower_limit=0.0)
+
+    def test_root_at_hi_returns_degenerate_bracket(self):
+        f = lambda x: x - 1.0  # noqa: E731
+        lo, hi = expand_bracket_downward(f, 0.5, 1.0)
+        assert lo == hi == 1.0
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            expand_bracket_downward(lambda x: x, 2.0, 1.0)

@@ -1,0 +1,40 @@
+"""Tests for kink-aware quadrature."""
+
+import math
+
+import pytest
+
+from repro.numerics.quadrature import integrate
+
+
+class TestIntegrate:
+    def test_polynomial(self):
+        assert integrate(lambda x: 3.0 * x * x, 0.0, 2.0) == pytest.approx(8.0)
+
+    def test_empty_interval(self):
+        assert integrate(lambda x: x, 1.0, 1.0) == 0.0
+
+    def test_semi_infinite_exponential(self):
+        assert integrate(lambda x: math.exp(-x), 0.0, math.inf) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_step_function_with_breakpoint(self):
+        f = lambda x: 1.0 if x >= 1.0 else 0.0  # noqa: E731
+        value = integrate(f, 0.0, 3.0, points=[1.0])
+        assert value == pytest.approx(2.0, abs=1e-9)
+
+    def test_breakpoints_outside_interval_ignored(self):
+        value = integrate(lambda x: x, 0.0, 1.0, points=[-5.0, 7.0])
+        assert value == pytest.approx(0.5)
+
+    def test_kinked_ramp(self):
+        a = 0.5
+        ramp = lambda x: min(max((x - a) / (1 - a), 0.0), 1.0)  # noqa: E731
+        value = integrate(ramp, 0.0, 2.0, points=[a, 1.0])
+        # triangle from a to 1 (area (1-a)/2) plus unit strip from 1 to 2
+        assert value == pytest.approx((1 - a) / 2 + 1.0, abs=1e-10)
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            integrate(lambda x: x, 2.0, 1.0)

@@ -1,0 +1,90 @@
+"""Tests for series summation and fixed-point iteration."""
+
+import math
+
+import pytest
+
+from repro.errors import ConvergenceError
+from repro.numerics.series import fixed_point, sum_series
+
+
+class TestSumSeries:
+    def test_geometric_series(self):
+        total = sum_series(lambda k: 0.5**k, 0, tol=1e-14)
+        assert total == pytest.approx(2.0, abs=1e-10)
+
+    def test_with_tail_bound_stops_early(self):
+        calls = []
+
+        def term(k):
+            calls.append(k)
+            return 0.5**k
+
+        total = sum_series(
+            term, 0, tol=1e-6, tail_bound=lambda k: 2.0 * 0.5**k
+        )
+        assert total == pytest.approx(2.0, abs=1e-5)
+        assert max(calls) < 64  # the quiet-run path would go further
+
+    def test_survives_a_dip_of_zero_terms(self):
+        # zero for k in [0, 45): a naive "stop on first small term" rule
+        # would truncate inside the dip; the quiet-run window (64
+        # consecutive negligible terms) must carry the sum across it
+        def term(k):
+            if k < 45:
+                return 0.0
+            return 0.5 ** (k - 45) if k < 150 else 0.0
+
+        total = sum_series(term, 0, tol=1e-12)
+        assert total == pytest.approx(2.0, abs=1e-9)
+
+    def test_dip_longer_than_quiet_run_is_a_known_limit(self):
+        # dips longer than QUIET_RUN terms require a tail_bound; the
+        # bare heuristic stops early by design
+        def term(k):
+            return 1.0 if k == 200 else 0.0
+
+        assert sum_series(term, 0, tol=1e-12) == 0.0
+
+    def test_divergent_series_raises(self):
+        with pytest.raises(ConvergenceError):
+            sum_series(lambda k: 1.0, 0, max_terms=1000)
+
+    def test_poisson_mean_identity(self):
+        nu = 7.0
+        total = sum_series(
+            lambda k: k * math.exp(-nu) * nu**k / math.factorial(k), 0
+        )
+        assert total == pytest.approx(nu, abs=1e-9)
+
+
+class TestFixedPoint:
+    def test_cosine_fixed_point(self):
+        x = fixed_point(math.cos, 1.0)
+        assert math.cos(x) == pytest.approx(x, abs=1e-9)
+
+    def test_damping_stabilises_oscillation(self):
+        # x -> 3.2 x (1 - x) (logistic, oscillatory); damping converges
+        # to the unstable fixed point x* = 1 - 1/3.2
+        f = lambda x: 3.2 * x * (1.0 - x)  # noqa: E731
+        x = fixed_point(f, 0.5, damping=0.3, tol=1e-10)
+        assert x == pytest.approx(1.0 - 1.0 / 3.2, abs=1e-8)
+
+    def test_non_contracting_map_raises(self):
+        with pytest.raises(ConvergenceError):
+            fixed_point(lambda x: x + 1.0, 0.0, max_iter=50)
+
+    def test_invalid_damping_rejected(self):
+        with pytest.raises(ValueError):
+            fixed_point(math.cos, 1.0, damping=0.0)
+        with pytest.raises(ValueError):
+            fixed_point(math.cos, 1.0, damping=1.5)
+
+    def test_retry_style_map(self):
+        # the retrying model's map m -> L/(1 - theta(m)) with a mild
+        # blocking curve has a unique fixed point
+        L = 10.0
+        theta = lambda m: 0.2 * m / (m + 50.0)  # noqa: E731
+        m_star = fixed_point(lambda m: L / (1.0 - theta(m)), L)
+        assert m_star == pytest.approx(L / (1.0 - theta(m_star)), abs=1e-8)
+        assert m_star > L

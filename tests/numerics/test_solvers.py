@@ -1,0 +1,101 @@
+"""Tests for root finding and monotone inversion."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BracketError
+from repro.numerics.solvers import find_root, invert_monotone
+
+
+class TestFindRoot:
+    def test_simple_linear_root(self):
+        assert find_root(lambda x: x - 3.0, 0.0, 10.0) == pytest.approx(3.0)
+
+    def test_transcendental_root(self):
+        root = find_root(lambda x: math.cos(x) - x, 0.0, 1.0)
+        assert math.cos(root) == pytest.approx(root, abs=1e-10)
+
+    def test_root_at_endpoints(self):
+        assert find_root(lambda x: x, 0.0, 1.0) == 0.0
+        assert find_root(lambda x: x - 1.0, 0.0, 1.0) == 1.0
+
+    def test_expansion_needed(self):
+        root = find_root(lambda x: x - 50.0, 0.0, 1.0, expand=True)
+        assert root == pytest.approx(50.0)
+
+    def test_no_sign_change_without_expand_raises(self):
+        with pytest.raises(BracketError):
+            find_root(lambda x: x - 50.0, 0.0, 1.0)
+
+    def test_label_appears_in_error(self):
+        with pytest.raises(BracketError, match="my quantity"):
+            find_root(lambda x: x + 1.0, 0.0, 1.0, label="my quantity")
+
+    @given(st.floats(min_value=-50.0, max_value=50.0))
+    @settings(max_examples=50, deadline=None)
+    def test_recovers_arbitrary_linear_roots(self, target):
+        root = find_root(
+            lambda x: x - target, -100.0, 100.0, xtol=1e-12
+        )
+        assert abs(root - target) < 1e-9
+
+
+class TestInvertMonotone:
+    def test_increasing_inverse(self):
+        x = invert_monotone(lambda t: t * t, 9.0, 0.0, 10.0, increasing=True)
+        assert x == pytest.approx(3.0)
+
+    def test_decreasing_inverse(self):
+        x = invert_monotone(
+            lambda t: math.exp(-t), 0.5, 0.0, 10.0, increasing=False
+        )
+        assert x == pytest.approx(math.log(2.0), abs=1e-9)
+
+    def test_expands_past_initial_interval(self):
+        x = invert_monotone(lambda t: t, 400.0, 0.0, 1.0, increasing=True)
+        assert x == pytest.approx(400.0)
+
+    def test_target_met_at_lo_with_clip(self):
+        x = invert_monotone(
+            lambda t: t, -1.0, 0.0, 10.0, increasing=True, clip="lo"
+        )
+        assert x == 0.0
+
+    def test_target_met_at_lo_without_clip_raises(self):
+        with pytest.raises(BracketError):
+            invert_monotone(lambda t: t, -1.0, 0.0, 10.0, increasing=True)
+
+    def test_unreachable_target_clips_high(self):
+        # f saturates at 1, target 2 unreachable
+        x = invert_monotone(
+            lambda t: 1.0 - math.exp(-t),
+            2.0,
+            0.0,
+            1.0,
+            increasing=True,
+            upper_limit=50.0,
+            clip="hi",
+        )
+        assert x == 50.0
+
+    def test_unreachable_target_raises_without_clip(self):
+        with pytest.raises(BracketError):
+            invert_monotone(
+                lambda t: 1.0 - math.exp(-t),
+                2.0,
+                0.0,
+                1.0,
+                increasing=True,
+                upper_limit=50.0,
+            )
+
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=50, deadline=None)
+    def test_exponential_cdf_inverse(self, q):
+        x = invert_monotone(
+            lambda t: 1.0 - math.exp(-t), q, 0.0, 1.0, increasing=True
+        )
+        assert x == pytest.approx(-math.log(1.0 - q), abs=1e-8)

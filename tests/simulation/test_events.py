@@ -1,0 +1,45 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.simulation import Event, EventKind, EventQueue
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(3.0, EventKind.ARRIVAL)
+        q.push(1.0, EventKind.DEPARTURE)
+        q.push(2.0, EventKind.ARRIVAL)
+        times = [q.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_fifo_for_simultaneous_events(self):
+        q = EventQueue()
+        first = q.push(1.0, EventKind.ARRIVAL, payload="a")
+        second = q.push(1.0, EventKind.ARRIVAL, payload="b")
+        assert first.seq < second.seq
+        assert q.pop().payload == "a"
+        assert q.pop().payload == "b"
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.SESSION)
+        assert q.peek().time == 1.0
+        assert len(q) == 1
+
+    def test_empty_behaviour(self):
+        q = EventQueue()
+        assert not q
+        assert q.peek() is None
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, EventKind.ARRIVAL)
+
+    def test_event_ordering_dataclass(self):
+        e1 = Event(time=1.0, seq=0, kind=EventKind.ARRIVAL)
+        e2 = Event(time=1.0, seq=1, kind=EventKind.DEPARTURE)
+        assert e1 < e2

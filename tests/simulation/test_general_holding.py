@@ -1,0 +1,119 @@
+"""Tests for the M/G/inf engine and the insensitivity property."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.loads import PoissonLoad
+from repro.simulation import (
+    DeterministicHolding,
+    ExponentialHolding,
+    GeneralHoldingSimulator,
+    Link,
+    LogNormalHolding,
+    ParetoHolding,
+    ThresholdAdmission,
+    census_total_variation,
+    empirical_mean_census,
+    mean_utilities,
+)
+from repro.utility import AdaptiveUtility
+
+
+class TestHoldingDistributions:
+    @pytest.mark.parametrize(
+        "holding",
+        [
+            ExponentialHolding(2.0),
+            DeterministicHolding(2.0),
+            ParetoHolding(2.0, t_min=1.0),
+            LogNormalHolding(2.0, 1.0),
+        ],
+        ids=["exp", "det", "pareto", "lognormal"],
+    )
+    def test_sample_mean_matches(self, holding):
+        rng = np.random.default_rng(1)
+        draws = holding.sample(rng, 100_000)
+        assert np.all(draws > 0.0)
+        tol = 0.15 if isinstance(holding, ParetoHolding) else 0.05
+        assert float(draws.mean()) == pytest.approx(holding.mean, rel=tol)
+
+    def test_pareto_mean_formula(self):
+        assert ParetoHolding(1.8, t_min=0.8 / 1.8).mean == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialHolding(0.0)
+        with pytest.raises(ValueError):
+            ParetoHolding(1.0)
+        with pytest.raises(ValueError):
+            LogNormalHolding(1.0, 0.0)
+        with pytest.raises(ValueError):
+            DeterministicHolding(-1.0)
+
+
+class TestInsensitivity:
+    """Poisson census regardless of the holding-time law."""
+
+    @pytest.mark.parametrize(
+        "holding,horizon",
+        [
+            (ExponentialHolding(1.0), 800.0),
+            (DeterministicHolding(1.0), 800.0),
+            (LogNormalHolding(1.0, 1.2), 1000.0),
+            (ParetoHolding(1.8, t_min=0.8 / 1.8), 6000.0),  # slow mixing
+        ],
+        ids=["exp", "det", "lognormal", "pareto"],
+    )
+    def test_census_is_poisson(self, holding, horizon):
+        rate = 20.0
+        sim = GeneralHoldingSimulator(rate, holding, Link(25.0))
+        res = sim.run(horizon, warmup=horizon / 4, seed=3)
+        target = PoissonLoad(rate * holding.mean)
+        assert empirical_mean_census(res) == pytest.approx(target.mean, abs=1.2)
+        assert census_total_variation(res, target) < 0.06
+
+    def test_mean_census_prediction(self):
+        sim = GeneralHoldingSimulator(
+            8.0, DeterministicHolding(2.5), Link(30.0)
+        )
+        assert sim.mean_census == 20.0
+
+
+class TestWithAdmission:
+    def test_threshold_respected(self):
+        sim = GeneralHoldingSimulator(
+            20.0,
+            LogNormalHolding(1.0, 1.0),
+            Link(18.0),
+            ThresholdAdmission(18),
+        )
+        res = sim.run(400.0, warmup=40.0, seed=7)
+        assert res.trajectory.admitted.max() <= 18
+
+    def test_utilities_match_static_model(self):
+        # insensitivity extends to the utility comparison: the static
+        # model's B/R (built on the Poisson census) hold under
+        # non-exponential holding too
+        from repro.models import VariableLoadModel
+
+        rate, capacity = 20.0, 22.0
+        holding = DeterministicHolding(1.0)
+        utility = AdaptiveUtility()
+        model = VariableLoadModel(PoissonLoad(rate), utility)
+        be_run = GeneralHoldingSimulator(rate, holding, Link(capacity)).run(
+            600.0, warmup=60.0, seed=9
+        )
+        sim_be, _ = mean_utilities(be_run, utility)
+        assert sim_be == pytest.approx(model.best_effort(capacity), abs=0.03)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ModelError):
+            GeneralHoldingSimulator(0.0, ExponentialHolding(1.0), Link(5.0))
+
+    def test_invalid_run_arguments(self):
+        sim = GeneralHoldingSimulator(5.0, ExponentialHolding(1.0), Link(5.0))
+        with pytest.raises(ValueError):
+            sim.run(0.0)
+        with pytest.raises(ModelError):
+            sim.run(1000.0, max_events=10)

@@ -1,0 +1,77 @@
+"""Edge-case coverage for the measurement helpers and event engine."""
+
+import numpy as np
+import pytest
+
+from repro.loads import PoissonLoad
+from repro.simulation import (
+    AdmitAll,
+    BirthDeathProcess,
+    DeterministicHolding,
+    FlowSimulator,
+    GeneralHoldingSimulator,
+    Link,
+    census_distribution,
+    mean_utilities,
+)
+from repro.utility import AdaptiveUtility, RigidUtility
+
+
+class TestMeasurementIdentities:
+    @pytest.fixture(scope="class")
+    def run(self):
+        proc = BirthDeathProcess(PoissonLoad(10.0))
+        return FlowSimulator(proc, Link(12.0), AdmitAll()).run(
+            300.0, warmup=30.0, seed=41
+        )
+
+    def test_admit_all_architectures_coincide(self, run):
+        # with no admission control the two accountings are identical
+        be, res = mean_utilities(run, AdaptiveUtility())
+        assert res == pytest.approx(be, abs=1e-12)
+
+    def test_rigid_utility_is_a_probability(self, run):
+        # rigid per-flow scores are time-fractions, hence in [0, 1]
+        be, _ = mean_utilities(run, RigidUtility(1.0))
+        assert 0.0 <= be <= 1.0
+
+    def test_census_distribution_support_is_integers(self, run):
+        values, probs = census_distribution(run)
+        assert np.allclose(values, np.round(values))
+        assert probs.min() >= 0.0
+
+    def test_flow_conservation(self, run):
+        # every completed flow departed after arriving
+        mask = run.completed_mask()
+        assert np.all(
+            run.flows.departure[mask] >= run.flows.arrival[mask]
+        )
+
+
+class TestCalendarEngineEdges:
+    def test_single_flow_at_a_time(self):
+        # arrival rate so low the system is almost always empty
+        sim = GeneralHoldingSimulator(
+            0.05, DeterministicHolding(1.0), Link(5.0)
+        )
+        res = sim.run(400.0, warmup=40.0, seed=43)
+        values, probs = census_distribution(res)
+        # overwhelmingly in state 0
+        state0 = probs[np.where(values == 0)[0]]
+        assert state0.size == 1 and state0[0] > 0.9
+
+    def test_deterministic_holding_exact_durations(self):
+        sim = GeneralHoldingSimulator(
+            5.0, DeterministicHolding(2.0), Link(50.0)
+        )
+        res = sim.run(100.0, warmup=10.0, seed=45)
+        mask = res.completed_mask()
+        durations = res.flows.departure[mask] - res.flows.arrival[mask]
+        np.testing.assert_allclose(durations, 2.0)
+
+    def test_trajectory_times_sorted(self):
+        sim = GeneralHoldingSimulator(
+            10.0, DeterministicHolding(0.5), Link(20.0)
+        )
+        res = sim.run(50.0, seed=47)
+        assert np.all(np.diff(res.trajectory.times) >= 0.0)

@@ -1,0 +1,114 @@
+"""Tests for the measurement helpers."""
+
+import numpy as np
+import pytest
+
+from repro.loads import PoissonLoad
+from repro.simulation import (
+    AdmitAll,
+    BirthDeathProcess,
+    FlowSimulator,
+    Link,
+    ThresholdAdmission,
+    arrival_census_distribution,
+    census_distribution,
+    census_total_variation,
+    empirical_mean_census,
+    mean_utilities,
+    sampled_worst_utilities,
+)
+from repro.utility import AdaptiveUtility, RigidUtility
+
+
+@pytest.fixture(scope="module")
+def run():
+    load = PoissonLoad(10.0)
+    proc = BirthDeathProcess(load)
+    policy = ThresholdAdmission.from_utility(AdaptiveUtility())
+    sim = FlowSimulator(proc, Link(12.0), policy)
+    return sim.run(600.0, warmup=60.0, seed=17), load
+
+
+class TestCensusDistribution:
+    def test_probabilities_normalised(self, run):
+        result, _ = run
+        _, probs = census_distribution(result)
+        assert probs.sum() == pytest.approx(1.0, abs=1e-12)
+        assert np.all(probs >= 0.0)
+
+    def test_mean_near_target(self, run):
+        result, load = run
+        assert empirical_mean_census(result) == pytest.approx(load.mean, abs=0.5)
+
+    def test_total_variation_small(self, run):
+        result, load = run
+        assert census_total_variation(result, load) < 0.08
+
+    def test_admitted_histogram_respects_threshold(self, run):
+        result, _ = run
+        values, _ = census_distribution(result, use_admitted=True)
+        assert values.max() <= 12
+
+    def test_warmup_respected(self):
+        # a run whose early census is wildly off: warmup must hide it
+        load = PoissonLoad(10.0)
+        sim = FlowSimulator(BirthDeathProcess(load), Link(12.0), AdmitAll())
+        res = sim.run(300.0, warmup=100.0, seed=23, initial_census=60)
+        assert empirical_mean_census(res) == pytest.approx(load.mean, abs=1.0)
+
+
+class TestMeanUtilities:
+    def test_reservation_dominates_best_effort(self, run):
+        result, _ = run
+        be, res = mean_utilities(result, AdaptiveUtility())
+        assert 0.0 < be < 1.0
+        assert res >= be - 0.02  # sampling noise allowance
+
+    def test_rigid_best_effort_matches_static_model(self, run):
+        # a rigid flow's lifetime-mean utility is the fraction of its
+        # lifetime with census <= C; flow-averaged this is exactly the
+        # static model's B(C)
+        from repro.models import VariableLoadModel
+
+        result, load = run
+        be_rigid, _ = mean_utilities(result, RigidUtility(1.0))
+        model = VariableLoadModel(load, RigidUtility(1.0))
+        assert be_rigid == pytest.approx(model.best_effort(result.capacity), abs=0.05)
+
+    def test_rejects_empty_window(self):
+        load = PoissonLoad(10.0)
+        sim = FlowSimulator(BirthDeathProcess(load), Link(12.0))
+        res = sim.run(2.0, warmup=1.99, seed=3)
+        with pytest.raises(ValueError):
+            mean_utilities(res, AdaptiveUtility())
+
+
+class TestSampledWorstUtilities:
+    def test_more_samples_lower_scores(self, run):
+        result, _ = run
+        be1, _ = sampled_worst_utilities(result, AdaptiveUtility(), 1, seed=1)
+        be8, _ = sampled_worst_utilities(result, AdaptiveUtility(), 8, seed=1)
+        assert be8 < be1
+
+    def test_reservation_insulated_from_worst_case(self, run):
+        result, _ = run
+        _, res1 = sampled_worst_utilities(result, AdaptiveUtility(), 1, seed=2)
+        _, res8 = sampled_worst_utilities(result, AdaptiveUtility(), 8, seed=2)
+        # admitted flows see capped loads, so extra samples cost far
+        # less than on the best-effort side
+        be1, _ = sampled_worst_utilities(result, AdaptiveUtility(), 1, seed=2)
+        be8, _ = sampled_worst_utilities(result, AdaptiveUtility(), 8, seed=2)
+        assert (res1 - res8) < (be1 - be8) + 0.03
+        assert res8 >= res1 - 0.08
+
+    def test_invalid_samples(self, run):
+        result, _ = run
+        with pytest.raises(ValueError):
+            sampled_worst_utilities(result, AdaptiveUtility(), 0)
+
+
+class TestArrivalCensus:
+    def test_histogram_normalised(self, run):
+        result, _ = run
+        _, probs = arrival_census_distribution(result)
+        assert probs.sum() == pytest.approx(1.0)

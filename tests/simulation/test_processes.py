@@ -1,0 +1,90 @@
+"""Tests for the demand processes."""
+
+import numpy as np
+import pytest
+
+from repro.loads import GeometricLoad, PoissonLoad
+from repro.simulation import BirthDeathProcess, ParetoBatchProcess, PoissonProcess
+
+
+class TestBirthDeathProcess:
+    def test_poisson_target_gives_constant_birth_rate(self):
+        # lambda_k = mu (k+1) P(k+1)/P(k) = mu * nu for Poisson
+        proc = BirthDeathProcess(PoissonLoad(9.0), mu=2.0)
+        rates = [proc.arrival_rate(k) for k in (0, 3, 9, 20)]
+        assert all(r == pytest.approx(18.0, rel=1e-9) for r in rates)
+
+    def test_geometric_target_gives_linear_birth_rate(self):
+        load = GeometricLoad.from_mean(9.0)
+        proc = BirthDeathProcess(load, mu=1.0)
+        # lambda_k = mu (k+1) q
+        for k in (0, 4, 10):
+            assert proc.arrival_rate(k) == pytest.approx((k + 1) * load.ratio)
+
+    def test_detailed_balance(self):
+        # P(k) lambda_k == P(k+1) mu (k+1): the stationarity identity
+        load = GeometricLoad.from_mean(6.0)
+        proc = BirthDeathProcess(load, mu=1.5)
+        for k in (0, 2, 7, 15):
+            lhs = load.pmf(k) * proc.arrival_rate(k)
+            rhs = load.pmf(k + 1) * proc.departure_rate(k + 1)
+            assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_reflecting_cap(self):
+        proc = BirthDeathProcess(PoissonLoad(5.0), census_cap=40)
+        assert proc.arrival_rate(40) == 0.0
+        assert proc.arrival_rate(39) > 0.0
+
+    def test_death_rate_zero_at_support_floor(self):
+        from repro.loads import AlgebraicLoad
+
+        load = AlgebraicLoad.from_mean(3.0, 6.0)
+        proc = BirthDeathProcess(load)
+        assert proc.departure_rate(1) == 0.0  # confined to k >= 1
+        assert proc.departure_rate(2) == pytest.approx(2.0)
+
+    def test_batch_size_is_one(self):
+        proc = BirthDeathProcess(PoissonLoad(5.0))
+        assert proc.batch_size(np.random.default_rng(0)) == 1
+
+    def test_invalid_mu(self):
+        with pytest.raises(ValueError):
+            BirthDeathProcess(PoissonLoad(5.0), mu=0.0)
+
+
+class TestPoissonProcess:
+    def test_rates(self):
+        proc = PoissonProcess(12.0, mu=2.0)
+        assert proc.arrival_rate(100) == 12.0
+        assert proc.departure_rate(5) == 10.0
+        assert proc.mean_census == 6.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(0.0)
+        with pytest.raises(ValueError):
+            PoissonProcess(1.0, mu=-1.0)
+
+
+class TestParetoBatchProcess:
+    def test_batch_sizes_heavy_tailed(self):
+        proc = ParetoBatchProcess(1.0, shape=1.3)
+        rng = np.random.default_rng(5)
+        batches = np.array([proc.batch_size(rng) for _ in range(20_000)])
+        assert batches.min() >= 1
+        # a shape-1.3 Pareto routinely produces very large batches
+        assert batches.max() > 50
+        assert np.mean(batches) > 2.0
+
+    def test_larger_shape_means_smaller_batches(self):
+        rng1 = np.random.default_rng(1)
+        rng2 = np.random.default_rng(1)
+        light = ParetoBatchProcess(1.0, shape=5.0)
+        heavy = ParetoBatchProcess(1.0, shape=1.2)
+        mean_light = np.mean([light.batch_size(rng1) for _ in range(5000)])
+        mean_heavy = np.mean([heavy.batch_size(rng2) for _ in range(5000)])
+        assert mean_heavy > mean_light
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            ParetoBatchProcess(1.0, shape=1.0)

@@ -1,0 +1,111 @@
+"""Tests for the regime-switching demand process."""
+
+import numpy as np
+import pytest
+
+from repro.extensions import MixtureLoad
+from repro.loads import GeometricLoad, PoissonLoad
+from repro.simulation import (
+    AdmitAll,
+    FlowSimulator,
+    Link,
+    RegimeSwitchingProcess,
+    census_total_variation,
+    empirical_mean_census,
+)
+
+
+class TestConstruction:
+    def test_mean_census_is_mixture_mean(self):
+        proc = RegimeSwitchingProcess(
+            [(2.0, PoissonLoad(8.0)), (1.0, PoissonLoad(24.0))]
+        )
+        assert proc.mean_census == pytest.approx((2 * 8.0 + 24.0) / 3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegimeSwitchingProcess([])
+        with pytest.raises(ValueError):
+            RegimeSwitchingProcess([(-1.0, PoissonLoad(5.0))])
+        with pytest.raises(ValueError):
+            RegimeSwitchingProcess([(1.0, PoissonLoad(5.0))], switch_rate=0.0)
+
+    def test_rates_come_from_active_regime(self):
+        proc = RegimeSwitchingProcess(
+            [(1.0, PoissonLoad(5.0)), (1.0, PoissonLoad(50.0))], seed=1
+        )
+        # Poisson regimes have constant birth rates nu * mu
+        rate = proc.arrival_rate(10)
+        assert rate in (pytest.approx(5.0), pytest.approx(50.0))
+
+
+class TestModulator:
+    def test_advance_switches_regimes(self):
+        proc = RegimeSwitchingProcess(
+            [(1.0, PoissonLoad(5.0)), (1.0, PoissonLoad(50.0))],
+            switch_rate=1.0,
+            seed=2,
+        )
+        seen = set()
+        for t in np.linspace(0.0, 200.0, 2001):
+            proc.advance_to(float(t))
+            seen.add(proc.regime)
+        assert seen == {0, 1}
+
+    def test_no_switch_before_first_event(self):
+        proc = RegimeSwitchingProcess(
+            [(1.0, PoissonLoad(5.0)), (1.0, PoissonLoad(50.0))],
+            switch_rate=1e-9,
+            seed=3,
+        )
+        start = proc.regime
+        proc.advance_to(10.0)
+        assert proc.regime == start
+
+
+class TestAgainstMixtureLoad:
+    def test_census_converges_to_mixture(self):
+        components = [(2.0, PoissonLoad(8.0)), (1.0, PoissonLoad(24.0))]
+        proc = RegimeSwitchingProcess(components, switch_rate=0.02, seed=3)
+        res = FlowSimulator(proc, Link(20.0), AdmitAll()).run(
+            8000.0, warmup=500.0, seed=9
+        )
+        mixture = MixtureLoad(components)
+        assert empirical_mean_census(res) == pytest.approx(mixture.mean, abs=0.8)
+        assert census_total_variation(res, mixture) < 0.05
+
+    def test_census_is_not_either_component(self):
+        components = [(1.0, PoissonLoad(6.0)), (1.0, PoissonLoad(30.0))]
+        proc = RegimeSwitchingProcess(components, switch_rate=0.02, seed=4)
+        res = FlowSimulator(proc, Link(20.0), AdmitAll()).run(
+            6000.0, warmup=400.0, seed=11
+        )
+        # the bimodal census is far from both pure regimes
+        assert census_total_variation(res, PoissonLoad(6.0)) > 0.3
+        assert census_total_variation(res, PoissonLoad(30.0)) > 0.3
+
+    def test_fast_switching_blurs_toward_average_rate(self):
+        # switching much faster than the census relaxes averages the
+        # *rates*, collapsing the census toward a single-regime law —
+        # the regime where the mixture abstraction breaks down
+        components = [(1.0, PoissonLoad(6.0)), (1.0, PoissonLoad(30.0))]
+        fast = RegimeSwitchingProcess(components, switch_rate=50.0, seed=5)
+        res = FlowSimulator(fast, Link(20.0), AdmitAll()).run(
+            3000.0, warmup=300.0, seed=13
+        )
+        blended = PoissonLoad(18.0)  # average arrival rate / mu
+        mixture = MixtureLoad(components)
+        assert census_total_variation(res, blended) < census_total_variation(
+            res, mixture
+        )
+
+    def test_geometric_regimes_also_supported(self):
+        components = [
+            (1.0, GeometricLoad.from_mean(5.0)),
+            (1.0, GeometricLoad.from_mean(15.0)),
+        ]
+        proc = RegimeSwitchingProcess(components, switch_rate=0.05, seed=6)
+        res = FlowSimulator(proc, Link(15.0), AdmitAll()).run(
+            3000.0, warmup=300.0, seed=15
+        )
+        assert empirical_mean_census(res) > 0.0

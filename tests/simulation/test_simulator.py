@@ -1,0 +1,129 @@
+"""Tests for the flow simulator engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.loads import PoissonLoad
+from repro.simulation import (
+    AdmitAll,
+    BirthDeathProcess,
+    FlowSimulator,
+    Link,
+    PoissonProcess,
+    ThresholdAdmission,
+)
+
+
+def small_sim(admission=None, capacity=12.0):
+    proc = BirthDeathProcess(PoissonLoad(10.0))
+    return FlowSimulator(proc, Link(capacity), admission)
+
+
+class TestRun:
+    def test_reproducible_with_seed(self):
+        r1 = small_sim().run(50.0, seed=11)
+        r2 = small_sim().run(50.0, seed=11)
+        np.testing.assert_array_equal(r1.trajectory.times, r2.trajectory.times)
+        np.testing.assert_array_equal(r1.flows.arrival, r2.flows.arrival)
+
+    def test_different_seeds_differ(self):
+        r1 = small_sim().run(50.0, seed=1)
+        r2 = small_sim().run(50.0, seed=2)
+        assert len(r1.trajectory.times) != len(r2.trajectory.times) or not np.array_equal(
+            r1.trajectory.times, r2.trajectory.times
+        )
+
+    def test_census_is_conserved(self):
+        # trajectory census equals arrivals-minus-departures at all times
+        res = small_sim().run(40.0, seed=3)
+        t = res.trajectory
+        for i in (0, len(t.times) // 2, len(t.times) - 1):
+            now = t.times[i]
+            alive = np.sum(
+                (res.flows.arrival <= now) & (res.flows.departure > now)
+            )
+            assert t.census[i] == alive
+
+    def test_admitted_never_exceeds_threshold(self):
+        policy = ThresholdAdmission(8)
+        res = small_sim(policy).run(80.0, seed=5)
+        assert res.trajectory.admitted.max() <= 8
+
+    def test_admit_all_census_equals_admitted(self):
+        res = small_sim(AdmitAll()).run(40.0, seed=7)
+        np.testing.assert_array_equal(res.trajectory.census, res.trajectory.admitted)
+
+    def test_incomplete_flows_excluded_from_completed_mask(self):
+        res = small_sim().run(30.0, warmup=5.0, seed=9)
+        mask = res.completed_mask()
+        assert np.all(np.isfinite(res.flows.departure[mask]))
+        assert np.all(res.flows.arrival[mask] >= 5.0)
+
+    def test_initial_census_seeding(self):
+        res = small_sim().run(10.0, seed=1, initial_census=25)
+        assert res.trajectory.census[0] == 25
+
+    def test_invalid_horizon_and_warmup(self):
+        with pytest.raises(ValueError):
+            small_sim().run(0.0)
+        with pytest.raises(ValueError):
+            small_sim().run(10.0, warmup=10.0)
+
+    def test_max_events_guard(self):
+        with pytest.raises(ModelError, match="events"):
+            small_sim().run(1000.0, seed=1, max_events=50)
+
+
+class TestReadmission:
+    def test_waiting_flows_promoted(self):
+        # tight threshold forces rejections; readmission must hand
+        # freed slots to waiting flows (admit_time > arrival)
+        policy = ThresholdAdmission(6, readmit_waiting=True)
+        proc = BirthDeathProcess(PoissonLoad(10.0))
+        res = FlowSimulator(proc, Link(8.0), policy).run(120.0, seed=13)
+        promoted = res.flows.admit_time > res.flows.arrival
+        assert np.any(promoted & np.isfinite(res.flows.admit_time))
+
+    def test_no_promotion_without_flag(self):
+        policy = ThresholdAdmission(6, readmit_waiting=False)
+        proc = BirthDeathProcess(PoissonLoad(10.0))
+        res = FlowSimulator(proc, Link(8.0), policy).run(120.0, seed=13)
+        admitted = res.flows.admitted
+        assert np.all(
+            res.flows.admit_time[admitted] == res.flows.arrival[admitted]
+        )
+
+
+class TestTrajectory:
+    def test_value_at_lookup(self):
+        res = small_sim().run(30.0, seed=2)
+        t = res.trajectory
+        mid = (t.times[3] + t.times[4]) / 2.0
+        assert t.value_at(np.array([mid]))[0] == t.census[3]
+
+    def test_segment_durations_sum_to_horizon(self):
+        res = small_sim().run(30.0, seed=2)
+        total = res.trajectory.segment_durations().sum()
+        assert total == pytest.approx(30.0, abs=1e-9)
+
+    def test_mismatched_arrays_rejected(self):
+        from repro.simulation import Trajectory
+
+        with pytest.raises(ValueError):
+            Trajectory(
+                times=np.array([0.0, 1.0]),
+                census=np.array([1.0]),
+                admitted=np.array([1.0, 1.0]),
+                horizon=2.0,
+            )
+
+
+class TestWithPoissonProcess:
+    def test_mm_infty_census_mean(self):
+        proc = PoissonProcess(30.0, mu=2.0)  # mean census 15
+        sim = FlowSimulator(proc, Link(20.0))
+        res = sim.run(400.0, warmup=50.0, seed=21)
+        from repro.simulation import empirical_mean_census
+
+        assert empirical_mean_census(res) == pytest.approx(15.0, abs=1.0)

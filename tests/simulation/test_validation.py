@@ -1,0 +1,94 @@
+"""Simulation-vs-analytic validation: the Section 3 premise, measured.
+
+The paper's variable-load model claims a flow's expected utility is the
+size-biased census average of ``pi(C/k)``.  The simulator provides the
+actual dynamics; these tests check the static model's predictions for
+``B(C)`` and ``R(C)`` against long simulated runs.
+"""
+
+import pytest
+
+from repro.loads import GeometricLoad, PoissonLoad
+from repro.models import VariableLoadModel
+from repro.simulation import (
+    AdmitAll,
+    BirthDeathProcess,
+    FlowSimulator,
+    Link,
+    ThresholdAdmission,
+    census_total_variation,
+    mean_utilities,
+)
+from repro.utility import AdaptiveUtility, RigidUtility
+
+
+def run_both_architectures(load, utility, capacity, horizon=800.0, seed=29):
+    proc = BirthDeathProcess(load)
+    best_effort = FlowSimulator(proc, Link(capacity), AdmitAll()).run(
+        horizon, warmup=horizon / 8, seed=seed
+    )
+    reserved = FlowSimulator(
+        proc, Link(capacity), ThresholdAdmission.from_utility(utility)
+    ).run(horizon, warmup=horizon / 8, seed=seed + 1)
+    return best_effort, reserved
+
+
+class TestPoissonValidation:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        load = PoissonLoad(10.0)
+        utility = AdaptiveUtility()
+        capacity = 11.0
+        model = VariableLoadModel(load, utility)
+        be_run, res_run = run_both_architectures(load, utility, capacity)
+        return load, utility, capacity, model, be_run, res_run
+
+    def test_census_matches_target(self, setup):
+        load, _, _, _, be_run, _ = setup
+        assert census_total_variation(be_run, load) < 0.08
+
+    def test_best_effort_utility_matches_model(self, setup):
+        _, utility, capacity, model, be_run, _ = setup
+        sim_be, _ = mean_utilities(be_run, utility)
+        assert sim_be == pytest.approx(model.best_effort(capacity), abs=0.03)
+
+    def test_reservation_utility_matches_model(self, setup):
+        _, utility, capacity, model, _, res_run = setup
+        _, sim_res = mean_utilities(res_run, utility)
+        assert sim_res == pytest.approx(model.reservation(capacity), abs=0.03)
+
+    def test_simulated_gap_sign_matches_model(self, setup):
+        _, utility, capacity, model, be_run, res_run = setup
+        sim_be, _ = mean_utilities(be_run, utility)
+        _, sim_res = mean_utilities(res_run, utility)
+        assert model.performance_gap(capacity) > 0.0
+        assert sim_res > sim_be - 0.01
+
+
+class TestGeometricValidation:
+    def test_rigid_best_effort_matches_model(self):
+        # geometric census mixes slowly; a small mean keeps it honest
+        load = GeometricLoad.from_mean(6.0)
+        utility = RigidUtility(1.0)
+        capacity = 8.0
+        model = VariableLoadModel(load, utility)
+        proc = BirthDeathProcess(load)
+        run = FlowSimulator(proc, Link(capacity), AdmitAll()).run(
+            3000.0, warmup=600.0, seed=31
+        )
+        sim_be, _ = mean_utilities(run, utility)
+        assert sim_be == pytest.approx(model.best_effort(capacity), abs=0.05)
+
+    def test_adaptive_architectures_ordered(self):
+        load = GeometricLoad.from_mean(6.0)
+        utility = AdaptiveUtility()
+        capacity = 6.0
+        be_run, res_run = run_both_architectures(
+            load, utility, capacity, horizon=2000.0
+        )
+        sim_be, _ = mean_utilities(be_run, utility)
+        _, sim_res = mean_utilities(res_run, utility)
+        model = VariableLoadModel(load, utility)
+        # both within tolerance, and ordered as the paper requires
+        assert sim_be == pytest.approx(model.best_effort(capacity), abs=0.05)
+        assert sim_res >= sim_be - 0.02

@@ -1,0 +1,71 @@
+"""Structural checks on the example scripts.
+
+The examples are full runs (up to minutes); here we verify they parse,
+import cleanly, and follow the repository's conventions (a ``main``
+entry point guarded by ``__main__``), so a broken import cannot hide
+until someone runs them by hand.
+"""
+
+import ast
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLE_FILES}
+    assert "quickstart" in names
+    assert len(EXAMPLE_FILES) >= 3  # the deliverable floor; we ship more
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES])
+class TestExampleStructure:
+    def test_parses(self, path):
+        ast.parse(path.read_text())
+
+    def test_has_docstring(self, path):
+        module = ast.parse(path.read_text())
+        assert ast.get_docstring(module), f"{path.name} needs a module docstring"
+
+    def test_has_main_guard(self, path):
+        source = path.read_text()
+        assert 'if __name__ == "__main__":' in source
+
+    def test_defines_main(self, path):
+        module = ast.parse(path.read_text())
+        names = {
+            node.name for node in module.body if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in names
+
+    def test_imports_resolve(self, path):
+        # import the module without executing main()
+        spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+        module = importlib.util.module_from_spec(spec)
+        saved = sys.modules.get(spec.name)
+        try:
+            spec.loader.exec_module(module)
+        finally:
+            if saved is not None:
+                sys.modules[spec.name] = saved
+            else:
+                sys.modules.pop(spec.name, None)
+        assert callable(module.main)
+
+
+def test_quickstart_runs_end_to_end(capsys):
+    """The smallest example actually executes in test time."""
+    spec = importlib.util.spec_from_file_location(
+        "example_quickstart_run", EXAMPLES_DIR / "quickstart.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    out = capsys.readouterr().out
+    assert "verdict" in out
+    assert "k_max" in out

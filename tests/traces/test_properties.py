@@ -1,0 +1,75 @@
+"""Property-based tests for trace census derivation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces import FlowTrace, census_at, census_trajectory, mean_census
+
+
+@st.composite
+def random_trace(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    horizon = draw(st.floats(min_value=1.0, max_value=50.0))
+    arrivals = np.array(
+        sorted(
+            draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=horizon * 0.95),
+                    min_size=n,
+                    max_size=n,
+                )
+            )
+        )
+    )
+    durations = np.array(
+        draw(
+            st.lists(
+                st.floats(min_value=0.01, max_value=horizon),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    return FlowTrace(arrivals, arrivals + durations, horizon=horizon)
+
+
+def brute_force_census(trace: FlowTrace, t: float) -> int:
+    return int(np.sum((trace.arrival <= t) & (trace.departure > t)))
+
+
+class TestCensusProperties:
+    @given(trace=random_trace(), frac=st.floats(min_value=0.0, max_value=0.999))
+    @settings(max_examples=120, deadline=None)
+    def test_census_matches_brute_force(self, trace, frac):
+        t = frac * trace.horizon
+        fast = int(census_at(trace, [t])[0])
+        slow = brute_force_census(trace, t)
+        # event boundaries: the piecewise-constant census uses
+        # right-open segments, same convention as the brute force
+        assert fast == slow
+
+    @given(trace=random_trace())
+    @settings(max_examples=80, deadline=None)
+    def test_counts_nonnegative_and_bounded(self, trace):
+        _, counts = census_trajectory(trace)
+        assert np.all(counts >= 0)
+        assert counts.max() <= len(trace)
+
+    @given(trace=random_trace())
+    @settings(max_examples=80, deadline=None)
+    def test_mean_census_is_flow_seconds(self, trace):
+        flow_seconds = float(
+            np.sum(np.minimum(trace.departure, trace.horizon) - trace.arrival)
+        )
+        assert mean_census(trace) == pytest.approx(
+            flow_seconds / trace.horizon, rel=1e-9, abs=1e-9
+        )
+
+    @given(trace=random_trace())
+    @settings(max_examples=60, deadline=None)
+    def test_trajectory_starts_at_zero_time(self, trace):
+        times, _ = census_trajectory(trace)
+        assert times[0] == 0.0
+        assert np.all(np.diff(times) > 0.0)

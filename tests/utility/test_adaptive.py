@@ -1,0 +1,70 @@
+"""Tests for the adaptive (Eq. 2) utility and its kappa calibration."""
+
+import math
+
+import pytest
+
+from repro.utility import KAPPA_PAPER, AdaptiveUtility, calibrate_kappa
+from repro.utility.adaptive import _stationarity_residual
+
+
+class TestAdaptiveUtility:
+    def test_functional_form(self):
+        u = AdaptiveUtility(kappa=0.5)
+        b = 1.7
+        assert u.value(b) == pytest.approx(1.0 - math.exp(-b * b / (0.5 + b)))
+
+    def test_small_b_quadratic(self):
+        # pi(b) ~ b^2/kappa near the origin (paper's stated behaviour)
+        u = AdaptiveUtility()
+        b = 1e-4
+        assert u.value(b) == pytest.approx(b * b / u.kappa, rel=1e-3)
+
+    def test_large_b_exponential_approach(self):
+        # pi(b) ~ 1 - e^-b for large b (paper's stated behaviour)
+        u = AdaptiveUtility()
+        b = 30.0
+        assert 1.0 - u.value(b) == pytest.approx(math.exp(-b), rel=0.05)
+
+    def test_derivative_matches_finite_difference(self):
+        u = AdaptiveUtility()
+        for b in (0.1, 0.62, 1.0, 3.0, 10.0):
+            h = 1e-7
+            fd = (u.value(b + h) - u.value(b - h)) / (2.0 * h)
+            assert u.derivative(b) == pytest.approx(fd, rel=1e-5)
+
+    def test_convex_then_concave(self):
+        u = AdaptiveUtility()
+        h = 1e-4
+        second = lambda b: u.value(b + h) - 2 * u.value(b) + u.value(b - h)  # noqa: E731
+        assert second(0.1) > 0.0  # convex near origin
+        assert second(3.0) < 0.0  # concave at satiation
+
+    def test_invalid_kappa_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveUtility(kappa=0.0)
+
+
+class TestKappaCalibration:
+    def test_reproduces_paper_constant(self):
+        # the paper's footnote 4: kappa = 0.62086
+        assert calibrate_kappa() == pytest.approx(KAPPA_PAPER, abs=5e-6)
+
+    def test_stationarity_residual_vanishes_at_solution(self):
+        kappa = calibrate_kappa()
+        assert abs(_stationarity_residual(kappa)) < 1e-10
+
+    def test_calibrated_utility_peaks_v_at_c(self):
+        # with the calibrated kappa, V(k) = k pi(C/k) peaks at k = C
+        u = AdaptiveUtility(calibrate_kappa())
+        capacity = 200.0
+        values = {k: u.fixed_load_total(k, capacity) for k in range(150, 251)}
+        best = max(values, key=values.get)
+        assert abs(best - capacity) <= 1
+
+    def test_uncalibrated_kappa_shifts_peak(self):
+        u = AdaptiveUtility(kappa=2.0)
+        capacity = 200.0
+        values = {k: u.fixed_load_total(k, capacity) for k in range(50, 400)}
+        best = max(values, key=values.get)
+        assert abs(best - capacity) > 5

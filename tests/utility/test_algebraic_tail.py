@@ -1,0 +1,69 @@
+"""Tests for the power-law satiation utilities (Section 3.3/footnote 8)."""
+
+import pytest
+
+from repro.utility import AlgebraicTailUtility, PowerLowUtility
+
+
+class TestAlgebraicTailUtility:
+    def test_dead_zone_and_tail(self):
+        u = AlgebraicTailUtility(2.0)
+        assert u.value(0.5) == 0.0
+        assert u.value(1.0) == 0.0
+        assert u.value(2.0) == pytest.approx(1.0 - 2.0**-2)
+        assert u.value(100.0) == pytest.approx(1.0 - 1e-4)
+
+    def test_k_max_below_capacity(self):
+        # flows keep gaining past one unit, so fewer are admitted
+        u = AlgebraicTailUtility(1.0)
+        assert u.k_max(100.0) == pytest.approx(50.0)  # (tau+1)^{-1/tau} = 1/2
+
+    def test_k_max_is_the_fixed_load_argmax(self):
+        u = AlgebraicTailUtility(2.0)
+        capacity = 300.0
+        k_star = u.k_max(capacity)
+        center = int(round(k_star))
+        best = max(
+            range(center - 5, center + 6),
+            key=lambda k: u.fixed_load_total(k, capacity),
+        )
+        assert abs(best - k_star) <= 1.0
+
+    def test_derivative(self):
+        u = AlgebraicTailUtility(2.0)
+        assert u.derivative(0.5) == 0.0
+        assert u.derivative(2.0) == pytest.approx(2.0 * 2.0**-3)
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            AlgebraicTailUtility(0.0)
+
+
+class TestPowerLowUtility:
+    def test_convex_rise_and_saturation(self):
+        u = PowerLowUtility(2.0)
+        assert u.value(0.5) == 0.25
+        assert u.value(1.0) == 1.0
+        assert u.value(2.0) == 1.0
+
+    def test_r_one_is_linear_clip(self):
+        u = PowerLowUtility(1.0)
+        assert u.value(0.3) == pytest.approx(0.3)
+
+    def test_k_max_is_capacity(self):
+        assert PowerLowUtility(3.0).k_max(42.0) == 42.0
+
+    def test_fixed_load_confirms_k_max(self):
+        u = PowerLowUtility(3.0)
+        capacity = 50.0
+        assert u.fixed_load_total(50, capacity) == pytest.approx(50.0)
+        assert u.fixed_load_total(51, capacity) < 50.0
+
+    def test_derivative(self):
+        u = PowerLowUtility(2.0)
+        assert u.derivative(0.5) == pytest.approx(1.0)
+        assert u.derivative(2.0) == 0.0
+
+    def test_invalid_r(self):
+        with pytest.raises(ValueError):
+            PowerLowUtility(0.5)

@@ -1,0 +1,67 @@
+"""Direct tests of the UtilityFunction base-class machinery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utility import AdaptiveUtility, RigidUtility
+from repro.utility.base import UtilityFunction
+
+
+class _Quadratic(UtilityFunction):
+    """Minimal subclass exercising every base-class default."""
+
+    name = "quadratic-test"
+
+    def value(self, b: float) -> float:
+        if b < 0.0:
+            raise ValueError("negative bandwidth")
+        return min(1.0, b * b)
+
+    def __repr__(self) -> str:
+        return "_Quadratic()"
+
+
+class TestBaseDefaults:
+    def test_default_vectorisation_loops_value(self):
+        u = _Quadratic()
+        out = u(np.array([0.0, 0.5, 1.0, 2.0]))
+        np.testing.assert_allclose(out, [0.0, 0.25, 1.0, 1.0])
+
+    def test_default_derivative_central_difference(self):
+        u = _Quadratic()
+        assert u.derivative(0.4) == pytest.approx(0.8, rel=1e-5)
+
+    def test_default_derivative_one_sided_at_origin(self):
+        u = _Quadratic()
+        # forward difference at 0: (h^2 - 0)/h = h ~ 0
+        assert u.derivative(0.0) == pytest.approx(0.0, abs=1e-5)
+
+    def test_default_derivative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            _Quadratic().derivative(-0.1)
+
+    def test_default_breakpoints(self):
+        assert _Quadratic().breakpoints() == (1.0,)
+
+    def test_fixed_load_total_formula(self):
+        u = _Quadratic()
+        assert u.fixed_load_total(4, 2.0) == pytest.approx(4 * 0.25)
+
+    def test_equality_requires_same_type(self):
+        # two different classes never compare equal, even with
+        # parameter-free reprs
+        assert _Quadratic() == _Quadratic()
+        assert _Quadratic() != RigidUtility(1.0)
+        assert AdaptiveUtility() != RigidUtility(1.0)
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(_Quadratic()) == hash(_Quadratic())
+        cache = {AdaptiveUtility(): "a", RigidUtility(1.0): "r"}
+        assert cache[AdaptiveUtility()] == "a"
+
+    def test_scalar_call_passthrough(self):
+        u = _Quadratic()
+        assert u(0.5) == 0.25
+        assert isinstance(u(0.5), float)

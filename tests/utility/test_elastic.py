@@ -1,0 +1,64 @@
+"""Tests for the elastic (everywhere-concave) utilities."""
+
+import math
+
+import pytest
+
+from repro.utility import ExponentialElasticUtility, HyperbolicElasticUtility
+
+
+class TestExponentialElastic:
+    def test_form(self):
+        u = ExponentialElasticUtility(rate=2.0)
+        assert u.value(1.0) == pytest.approx(1.0 - math.exp(-2.0))
+
+    def test_derivative_exact(self):
+        u = ExponentialElasticUtility(rate=2.0)
+        for b in (0.0, 0.5, 3.0):
+            assert u.derivative(b) == pytest.approx(2.0 * math.exp(-2.0 * b))
+
+    def test_strictly_concave_everywhere(self):
+        u = ExponentialElasticUtility()
+        h = 1e-4
+        for b in (0.01, 0.5, 2.0, 8.0):
+            second = u.value(b + h) - 2 * u.value(b) + u.value(b - h) if b > h else -1
+            assert second < 0.0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ExponentialElasticUtility(rate=0.0)
+
+
+class TestHyperbolicElastic:
+    def test_half_saturation(self):
+        u = HyperbolicElasticUtility(half=2.0)
+        assert u.value(2.0) == pytest.approx(0.5)
+
+    def test_algebraic_tail(self):
+        # 1 - pi ~ half / b for large b
+        u = HyperbolicElasticUtility(half=1.0)
+        b = 1000.0
+        assert 1.0 - u.value(b) == pytest.approx(1.0 / b, rel=1e-2)
+
+    def test_derivative_exact(self):
+        u = HyperbolicElasticUtility(half=1.5)
+        for b in (0.0, 1.0, 4.0):
+            assert u.derivative(b) == pytest.approx(1.5 / (1.5 + b) ** 2)
+
+    def test_invalid_half(self):
+        with pytest.raises(ValueError):
+            HyperbolicElasticUtility(half=-1.0)
+
+
+class TestElasticNeverWantsAdmissionControl:
+    """Section 2: concave utilities make V(k) increase forever."""
+
+    @pytest.mark.parametrize(
+        "utility",
+        [ExponentialElasticUtility(), HyperbolicElasticUtility()],
+        ids=["exp", "hyperbolic"],
+    )
+    def test_v_monotone_in_k(self, utility):
+        capacity = 20.0
+        values = [utility.fixed_load_total(k, capacity) for k in range(1, 400)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))

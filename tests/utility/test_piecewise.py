@@ -1,0 +1,60 @@
+"""Tests for the continuum ramp utility."""
+
+import pytest
+
+from repro.utility import PiecewiseLinearUtility, RigidUtility
+
+
+class TestPiecewiseLinearUtility:
+    def test_three_regions(self):
+        u = PiecewiseLinearUtility(0.4)
+        assert u.value(0.2) == 0.0
+        assert u.value(0.4) == 0.0
+        assert u.value(0.7) == pytest.approx((0.7 - 0.4) / 0.6)
+        assert u.value(1.0) == 1.0
+        assert u.value(3.0) == 1.0
+
+    def test_a_zero_is_clipped_identity(self):
+        u = PiecewiseLinearUtility(0.0)
+        assert u.value(0.5) == 0.5
+        assert u.value(2.0) == 1.0
+
+    def test_invalid_a_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearUtility(1.0)
+        with pytest.raises(ValueError):
+            PiecewiseLinearUtility(-0.1)
+
+    def test_derivative_on_ramp(self):
+        u = PiecewiseLinearUtility(0.5)
+        assert u.derivative(0.75) == pytest.approx(2.0)
+        assert u.derivative(0.25) == 0.0
+        assert u.derivative(1.5) == 0.0
+
+    def test_k_max_is_capacity(self):
+        u = PiecewiseLinearUtility(0.5)
+        assert u.k_max(37.0) == 37.0
+
+    def test_rigid_limit_object(self):
+        u = PiecewiseLinearUtility(0.9)
+        assert u.as_rigid_limit() == RigidUtility(1.0)
+
+    def test_approaches_rigid_as_a_to_one(self):
+        near = PiecewiseLinearUtility(0.999)
+        rigid = RigidUtility(1.0)
+        for b in (0.5, 0.9, 0.998, 1.0, 2.0):
+            assert abs(near.value(b) - rigid.value(b)) < 0.51
+        # at a ramp point just below 1 the two differ by < ramp width
+        assert near.value(0.9995) == pytest.approx(0.5, abs=0.01)
+
+    def test_breakpoints(self):
+        assert PiecewiseLinearUtility(0.5).breakpoints() == (0.5, 1.0)
+        assert PiecewiseLinearUtility(0.0).breakpoints() == (1.0,)
+
+    def test_fixed_load_optimum_at_one_unit_per_flow(self):
+        # V(k) = k pi(C/k): for a > 0, admitting past C reduces V
+        u = PiecewiseLinearUtility(0.5)
+        capacity = 60.0
+        assert u.fixed_load_total(60, capacity) == pytest.approx(60.0)
+        assert u.fixed_load_total(61, capacity) < 60.0
+        assert u.fixed_load_total(59, capacity) == pytest.approx(59.0)

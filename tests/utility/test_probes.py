@@ -1,0 +1,63 @@
+"""Tests for the Section 2 elastic/inelastic classification probes."""
+
+import pytest
+
+from repro.utility import (
+    AdaptiveUtility,
+    AlgebraicTailUtility,
+    ExponentialElasticUtility,
+    HyperbolicElasticUtility,
+    PiecewiseLinearUtility,
+    PowerLowUtility,
+    RigidUtility,
+    UtilityClass,
+    classify,
+    is_convex_near_origin,
+    is_strictly_concave_on,
+)
+
+
+class TestConvexityProbes:
+    def test_adaptive_convex_near_origin(self):
+        assert is_convex_near_origin(AdaptiveUtility())
+
+    def test_elastic_not_convex_near_origin(self):
+        assert not is_convex_near_origin(ExponentialElasticUtility())
+
+    def test_elastic_concave_everywhere(self):
+        assert is_strictly_concave_on(ExponentialElasticUtility(), 0.0, 8.0)
+        assert is_strictly_concave_on(HyperbolicElasticUtility(), 0.0, 8.0)
+
+    def test_adaptive_not_concave_everywhere(self):
+        assert not is_strictly_concave_on(AdaptiveUtility(), 0.0, 8.0)
+
+    def test_power_low_convex(self):
+        assert is_convex_near_origin(PowerLowUtility(2.0))
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            is_strictly_concave_on(AdaptiveUtility(), 3.0, 1.0)
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "utility",
+        [
+            RigidUtility(1.0),
+            AdaptiveUtility(),
+            PiecewiseLinearUtility(0.5),
+            AlgebraicTailUtility(2.0),
+            PowerLowUtility(2.0),
+        ],
+        ids=["rigid", "adaptive", "ramp", "alg-tail", "power-low"],
+    )
+    def test_inelastic_families(self, utility):
+        assert classify(utility) is UtilityClass.INELASTIC
+
+    @pytest.mark.parametrize(
+        "utility",
+        [ExponentialElasticUtility(), HyperbolicElasticUtility()],
+        ids=["exp", "hyperbolic"],
+    )
+    def test_elastic_families(self, utility):
+        assert classify(utility) is UtilityClass.ELASTIC

@@ -1,0 +1,118 @@
+"""Property-based tests of the utility-function contract.
+
+Every concrete family must satisfy the paper's normalisation: zero at
+zero bandwidth, nondecreasing, approaching one — and the vectorised
+path must agree with the scalar path exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import all_utilities
+
+UTILITIES = all_utilities()
+IDS = [repr(u) for u in UTILITIES]
+
+
+@pytest.mark.parametrize("utility", UTILITIES, ids=IDS)
+class TestUtilityContract:
+    def test_zero_at_zero(self, utility):
+        assert utility.value(0.0) == 0.0
+
+    def test_approaches_one(self, utility):
+        assert utility.value(1e6) == pytest.approx(1.0, abs=1e-4)
+
+    def test_bounded_in_unit_interval(self, utility):
+        bs = np.linspace(0.0, 50.0, 400)
+        values = utility(bs)
+        assert np.all(values >= 0.0) and np.all(values <= 1.0)
+
+    def test_nondecreasing(self, utility):
+        bs = np.linspace(0.0, 20.0, 1000)
+        values = utility(bs)
+        assert np.all(np.diff(values) >= -1e-12)
+
+    def test_vectorised_matches_scalar(self, utility):
+        bs = np.array([0.0, 0.1, 0.49999, 0.5, 0.99, 1.0, 1.01, 3.7, 100.0])
+        vec = utility(bs)
+        scalar = np.array([utility.value(float(b)) for b in bs])
+        # np.exp and math.exp may differ in the last ulp
+        np.testing.assert_allclose(vec, scalar, rtol=0, atol=5e-16)
+
+    def test_negative_bandwidth_rejected(self, utility):
+        with pytest.raises(ValueError):
+            utility.value(-0.5)
+
+    def test_derivative_nonnegative(self, utility):
+        for b in (0.05, 0.3, 0.7, 1.3, 4.0):
+            assert utility.derivative(b) >= -1e-9
+
+    def test_equality_and_hash_by_parameters(self, utility):
+        clone = eval(repr(utility), _EVAL_NAMESPACE)  # round-trip via repr
+        assert clone == utility
+        assert hash(clone) == hash(utility)
+
+    def test_fixed_load_total_zero_flows(self, utility):
+        assert utility.fixed_load_total(0, 10.0) == 0.0
+
+    def test_fixed_load_total_rejects_negative(self, utility):
+        with pytest.raises(ValueError):
+            utility.fixed_load_total(-1, 10.0)
+        with pytest.raises(ValueError):
+            utility.fixed_load_total(1, -1.0)
+
+
+from repro.utility import (  # noqa: E402  (namespace for repr round-trip)
+    AdaptiveUtility,
+    AlgebraicTailUtility,
+    ExponentialElasticUtility,
+    HyperbolicElasticUtility,
+    PiecewiseLinearUtility,
+    PowerLowUtility,
+    RigidUtility,
+)
+
+_EVAL_NAMESPACE = {
+    "AdaptiveUtility": AdaptiveUtility,
+    "AlgebraicTailUtility": AlgebraicTailUtility,
+    "ExponentialElasticUtility": ExponentialElasticUtility,
+    "HyperbolicElasticUtility": HyperbolicElasticUtility,
+    "PiecewiseLinearUtility": PiecewiseLinearUtility,
+    "PowerLowUtility": PowerLowUtility,
+    "RigidUtility": RigidUtility,
+}
+
+
+class TestHypothesisProperties:
+    @given(
+        b1=st.floats(min_value=0.0, max_value=100.0),
+        b2=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_adaptive_monotone_everywhere(self, b1, b2):
+        u = AdaptiveUtility()
+        lo, hi = min(b1, b2), max(b1, b2)
+        assert u.value(lo) <= u.value(hi) + 1e-15
+
+    @given(
+        a=st.floats(min_value=0.0, max_value=0.99),
+        b=st.floats(min_value=0.0, max_value=5.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_ramp_between_rigid_and_identity(self, a, b):
+        # the ramp is sandwiched between the rigid step (above) at b>=1
+        # and dominates it below
+        ramp = PiecewiseLinearUtility(a)
+        rigid = RigidUtility(1.0)
+        assert ramp.value(b) >= rigid.value(b) - 1e-15
+
+    @given(scale=st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=60, deadline=None)
+    def test_more_adaptive_ramp_never_worse(self, scale):
+        # decreasing a pointwise increases utility
+        lo = PiecewiseLinearUtility(scale * 0.5)
+        hi = PiecewiseLinearUtility(scale)
+        for b in (0.1, 0.3, 0.6, 0.9, 1.5):
+            assert lo.value(b) >= hi.value(b) - 1e-15

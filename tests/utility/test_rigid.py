@@ -1,0 +1,56 @@
+"""Tests for the rigid (Eq. 1) utility."""
+
+import numpy as np
+import pytest
+
+from repro.utility import RigidUtility
+
+
+class TestRigidUtility:
+    def test_step_at_threshold(self):
+        u = RigidUtility(1.0)
+        assert u.value(0.999999) == 0.0
+        assert u.value(1.0) == 1.0
+        assert u.value(5.0) == 1.0
+
+    def test_custom_threshold(self):
+        u = RigidUtility(2.5)
+        assert u.value(2.49) == 0.0
+        assert u.value(2.5) == 1.0
+        assert u.b_hat == 2.5
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            RigidUtility(0.0)
+        with pytest.raises(ValueError):
+            RigidUtility(-1.0)
+
+    def test_derivative_zero(self):
+        u = RigidUtility(1.0)
+        assert u.derivative(0.5) == 0.0
+        assert u.derivative(2.0) == 0.0
+
+    def test_k_max_floor(self):
+        u = RigidUtility(1.0)
+        assert u.k_max(10.0) == 10
+        assert u.k_max(10.7) == 10
+        assert u.k_max(0.5) == 0
+
+    def test_k_max_scales_with_threshold(self):
+        u = RigidUtility(2.0)
+        assert u.k_max(10.0) == 5
+        assert u.k_max(9.9) == 4
+
+    def test_fixed_load_total_cliff(self):
+        # the paper's point: one flow too many destroys all utility
+        u = RigidUtility(1.0)
+        assert u.fixed_load_total(10, 10.0) == 10.0
+        assert u.fixed_load_total(11, 10.0) == 0.0
+
+    def test_breakpoints_at_threshold(self):
+        assert RigidUtility(2.5).breakpoints() == (2.5,)
+
+    def test_vectorised_step(self):
+        u = RigidUtility(1.0)
+        out = u(np.array([0.0, 0.5, 1.0, 2.0]))
+        np.testing.assert_array_equal(out, [0.0, 0.0, 1.0, 1.0])
