@@ -30,14 +30,22 @@ def test_s1_simulator_validates_static_model(benchmark, record):
     capacity = 55.0
     model = VariableLoadModel(load, utility)
 
+    ticks = []
+
     def run():
+        # liveness: a progress tick every 20k events (kept in the
+        # recorded output so a stalled run is distinguishable from a
+        # slow one when scanning results)
+        progress = lambda events, t: ticks.append(events)  # noqa: E731
         proc = BirthDeathProcess(load)
         be = FlowSimulator(proc, Link(capacity), AdmitAll()).run(
-            500.0, warmup=50.0, seed=101
+            500.0, warmup=50.0, seed=101,
+            progress=progress, progress_every=20_000,
         )
         res = FlowSimulator(
             proc, Link(capacity), ThresholdAdmission.from_utility(utility)
-        ).run(500.0, warmup=50.0, seed=102)
+        ).run(500.0, warmup=50.0, seed=102,
+              progress=progress, progress_every=20_000)
         sim_be, _ = mean_utilities(be, utility)
         _, sim_res = mean_utilities(res, utility)
         tv = census_total_variation(be, load)
@@ -51,7 +59,8 @@ def test_s1_simulator_validates_static_model(benchmark, record):
         "quantity        simulated   analytic\n"
         f"B(C={capacity:.0f})      {sim_be:9.4f}  {analytic_be:9.4f}\n"
         f"R(C={capacity:.0f})      {sim_res:9.4f}  {analytic_res:9.4f}\n"
-        f"census TV distance: {tv:.4f}",
+        f"census TV distance: {tv:.4f}\n"
+        f"progress ticks: {len(ticks)} (every 20k events)",
     )
     assert tv < 0.06
     assert sim_be == pytest.approx(analytic_be, abs=0.02)

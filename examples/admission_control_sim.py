@@ -41,12 +41,18 @@ def main() -> None:
     print(f"load: Poisson(mean={load.mean:.0f}); capacity C={capacity:.0f}; "
           f"k_max={model.k_max(capacity)}\n")
 
+    def progress(events: int, t: float) -> None:
+        print(f"  ... {events} events simulated, t={t:.0f}/{horizon:.0f}",
+              flush=True)
+
     best_effort_run = FlowSimulator(process, Link(capacity), AdmitAll()).run(
-        horizon, warmup=warmup, seed=7
+        horizon, warmup=warmup, seed=7,
+        progress=progress, progress_every=25_000,
     )
     reserved_run = FlowSimulator(
         process, Link(capacity), ThresholdAdmission.from_utility(utility)
-    ).run(horizon, warmup=warmup, seed=8)
+    ).run(horizon, warmup=warmup, seed=8,
+          progress=progress, progress_every=25_000)
 
     print(
         f"census check: simulated mean "

@@ -6,7 +6,9 @@ Usage::
     repro-experiments run F3               # regenerate Figure 3's series
     repro-experiments run T1 --json        # Section 3.3 checkpoints, JSON
     repro-experiments run F4 --fast        # small grids for a quick look
+    repro-experiments run F3 --profile     # + span-tree timing & metrics
     repro-experiments checkpoints          # the full paper-vs-measured table
+    repro-experiments profile --json       # time every registered experiment
     repro-experiments export F3 --out fig  # CSV + gnuplot for Figure 3
     repro-experiments analyze-trace t.csv  # census verdict from a flow trace
 """
@@ -15,10 +17,25 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.experiments import checkpoints, registry, report
 from repro.experiments.params import DEFAULT_CONFIG, FAST_CONFIG
+
+
+def _add_profile_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect observability data and print a timing/metrics report",
+    )
+    parser.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        help="write the recorded span tree as JSON to PATH",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,12 +57,37 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--fast", action="store_true", help="use the reduced grids (quick look)"
     )
+    _add_profile_args(run)
 
     cp = sub.add_parser(
         "checkpoints", help="run every paper-vs-measured checkpoint"
     )
     cp.add_argument("--json", action="store_true", help="emit JSON instead of text")
     cp.add_argument("--markdown", action="store_true", help="emit a markdown table")
+    _add_profile_args(cp)
+
+    prof = sub.add_parser(
+        "profile",
+        help="time every registered experiment and report per-experiment "
+        "wall time + metric deltas (reduced grids unless --full)",
+    )
+    prof.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    prof.add_argument(
+        "--full",
+        action="store_true",
+        help="profile at the paper's full grids (slow) instead of the fast ones",
+    )
+    prof.add_argument(
+        "--only",
+        nargs="+",
+        metavar="ID",
+        help="profile only these experiment ids",
+    )
+    prof.add_argument(
+        "--out",
+        metavar="PATH",
+        help="also write the machine-readable report JSON to PATH",
+    )
 
     ex = sub.add_parser(
         "export", help="write a figure's series as CSV + gnuplot scripts"
@@ -74,6 +116,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _finish_observed(args) -> int:
+    """Emit the --profile report and/or --trace-json dump, then disable.
+
+    Returns 0, or 2 if the trace file could not be written.
+    """
+    status = 0
+    if args.trace_json:
+        try:
+            with open(args.trace_json, "w") as fh:
+                fh.write(obs.trace_json())
+        except OSError as exc:
+            print(f"cannot write trace to {args.trace_json}: {exc}", file=sys.stderr)
+            status = 2
+        else:
+            print(f"trace written to {args.trace_json}", file=sys.stderr)
+    if args.profile:
+        print()
+        print(obs.render_report())
+    obs.disable()
+    return status
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI main; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -90,9 +154,58 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(exc.args[0], file=sys.stderr)
             return 2
         config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
-        result = exp.run(config)
-        print(report.to_json(result) if args.json else report.render(result))
+        observing = args.profile or bool(args.trace_json)
+        if observing:
+            obs.reset()
+            obs.enable()
+        start = time.perf_counter()
+        with obs.span("experiment", id=exp.exp_id):
+            result = exp.run(config)
+        elapsed = time.perf_counter() - start
+        if args.json:
+            meta = {
+                "experiment": exp.exp_id,
+                "elapsed_seconds": elapsed,
+                "config": "fast" if args.fast else "default",
+            }
+            if observing:
+                meta["metrics"] = obs.snapshot()
+            print(report.to_json(result, meta=meta))
+        else:
+            print(report.render(result))
+        if observing:
+            return _finish_observed(args)
         return 0
+
+    if args.command == "profile":
+        from repro.experiments import profiling
+
+        config = DEFAULT_CONFIG if args.full else FAST_CONFIG
+        obs.reset()
+        obs.enable()
+        try:
+            entries = profiling.profile_all(config, only=args.only)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        finally:
+            obs.disable()
+        payload = profiling.report_dict(
+            entries, config_name="default" if args.full else "fast"
+        )
+        if args.out:
+            import json as _json
+
+            with open(args.out, "w") as fh:
+                _json.dump(payload, fh, indent=2)
+            print(f"profile report written to {args.out}", file=sys.stderr)
+        if args.json:
+            import json as _json
+
+            print(_json.dumps(payload, indent=2))
+        else:
+            print(profiling.render_entries(entries))
+        return 0 if all(e.ok for e in entries) else 1
 
     if args.command == "export":
         try:
@@ -129,13 +242,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.command == "checkpoints":
-        rows = checkpoints.all_checkpoints()
+        observing = args.profile or bool(args.trace_json)
+        if observing:
+            obs.reset()
+            obs.enable()
+        with obs.span("checkpoints"):
+            rows = checkpoints.all_checkpoints()
         if args.json:
             print(report.to_json(rows))
         elif args.markdown:
             print(report.markdown_checkpoint_table(rows))
         else:
             print(report.render_checkpoints(rows))
+        status = _finish_observed(args) if observing else 0
+        if status:
+            return status
         return 0 if all(row.matches for row in rows) else 1
 
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

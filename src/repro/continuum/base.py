@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+from repro import obs
 from repro.errors import ModelError
 from repro.loads.continuum import ContinuumLoad
 from repro.numerics.optimize import maximize_scalar
@@ -85,6 +86,8 @@ class ContinuumModel:
         hint = getattr(self._utility, "k_max", None)
         if hint is not None:
             return float(hint(capacity))
+        if obs.enabled():
+            obs.counter("continuum.k_max.searches").inc()
         k_star, value = maximize_scalar(
             lambda k: self._utility.fixed_load_total(k, capacity),
             1e-9,

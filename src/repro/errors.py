@@ -31,6 +31,16 @@ class BracketError(ConvergenceError):
     """
 
 
+class ConvergenceWarning(UserWarning):
+    """A numerical routine degraded instead of failing.
+
+    Emitted (not raised) when a solver returns a usable answer that
+    missed the requested tolerance — e.g. brentq stopping at its
+    iteration cap.  The observability layer (:mod:`repro.obs`) counts
+    these under ``solver.convergence_failures`` when enabled.
+    """
+
+
 class CalibrationError(ReproError):
     """A distribution or utility parameter could not be calibrated.
 

@@ -1,0 +1,126 @@
+"""Per-experiment wall-time and metric capture (``repro-experiments profile``).
+
+Runs registered experiments under the observability layer
+(:mod:`repro.obs`), recording for each one its wall time, a span in
+the shared trace, and the *delta* of every counter — so a profile of
+twelve experiments tells you which one spent 40k solver iterations,
+not just that the process did.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.experiments import registry
+from repro.experiments.params import PaperConfig
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """Timing + metric record of one experiment run."""
+
+    exp_id: str
+    description: str
+    seconds: float
+    ok: bool
+    error: Optional[str] = None
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (the machine-readable report row)."""
+        out: Dict[str, object] = {
+            "id": self.exp_id,
+            "description": self.description,
+            "seconds": self.seconds,
+            "ok": self.ok,
+            "counters": dict(self.counters),
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+def _counter_values() -> Dict[str, float]:
+    return dict(obs.snapshot()["counters"])
+
+
+def run_profiled(
+    exp: registry.Experiment, config: Optional[PaperConfig]
+) -> Tuple[object, ProfileEntry]:
+    """Run one experiment inside a span, capturing time + counter deltas.
+
+    Assumes :mod:`repro.obs` is enabled (callers that only want the
+    timing still get it when disabled; counter deltas are then empty).
+    Experiment exceptions are captured in the entry, not raised — a
+    profile sweep should report a broken experiment, not die on it.
+    """
+    before = _counter_values()
+    result: object = None
+    error: Optional[str] = None
+    start = time.perf_counter()
+    try:
+        with obs.span("experiment", id=exp.exp_id):
+            result = exp.run(config)
+    except Exception as exc:  # profile must survive one bad experiment
+        error = f"{type(exc).__name__}: {exc}"
+    seconds = time.perf_counter() - start
+    after = _counter_values()
+    deltas = {
+        name: value - before.get(name, 0.0)
+        for name, value in after.items()
+        if value != before.get(name, 0.0)
+    }
+    entry = ProfileEntry(
+        exp_id=exp.exp_id,
+        description=exp.description,
+        seconds=seconds,
+        ok=error is None,
+        error=error,
+        counters=deltas,
+    )
+    return result, entry
+
+
+def profile_all(
+    config: Optional[PaperConfig], *, only: Optional[Sequence[str]] = None
+) -> List[ProfileEntry]:
+    """Time every registered experiment (or the ``only`` subset)."""
+    if only:
+        experiments = [registry.get(exp_id) for exp_id in only]
+    else:
+        experiments = list(registry.EXPERIMENTS.values())
+    entries: List[ProfileEntry] = []
+    for exp in experiments:
+        _, entry = run_profiled(exp, config)
+        entries.append(entry)
+    return entries
+
+
+def report_dict(
+    entries: Sequence[ProfileEntry], *, config_name: str
+) -> Dict[str, object]:
+    """The machine-readable profile report."""
+    return {
+        "schema": "repro.obs.profile/v1",
+        "config": config_name,
+        "total_seconds": sum(e.seconds for e in entries),
+        "experiments": [e.to_dict() for e in entries],
+    }
+
+
+def render_entries(entries: Sequence[ProfileEntry]) -> str:
+    """Aligned text table of per-experiment timings."""
+    lines = [f"{'id':6s} {'seconds':>9s}  {'status':6s} description"]
+    for e in entries:
+        status = "ok" if e.ok else "FAILED"
+        lines.append(
+            f"{e.exp_id:6s} {e.seconds:9.3f}  {status:6s} {e.description}"
+        )
+    lines.append(
+        f"-- {sum(1 for e in entries if e.ok)}/{len(entries)} ok, "
+        f"total {sum(e.seconds for e in entries):.3f} s"
+    )
+    return "\n".join(lines)

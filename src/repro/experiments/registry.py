@@ -60,12 +60,14 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment(
             "S5.1",
             "Section 5.1 sampling sweep (exponential/adaptive)",
-            figures.sampling_series,
+            # bind config to its keyword: the generator's first two
+            # positionals are load/utility names, not the config
+            lambda config=None: figures.sampling_series(config=config),
         ),
         Experiment(
             "S5.2",
             "Section 5.2 retrying sweep (algebraic/adaptive)",
-            figures.retrying_series,
+            lambda config=None: figures.retrying_series(config=config),
         ),
     ]
 }

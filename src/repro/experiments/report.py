@@ -8,7 +8,7 @@ paper presents graphically, in a form that diffs and greps well.
 from __future__ import annotations
 
 import json
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -73,10 +73,20 @@ def render(result: object) -> str:
     return repr(result)
 
 
-def to_json(result: object) -> str:
-    """JSON form of an experiment result (for machine consumption)."""
+def to_json(result: object, *, meta: Optional[dict] = None) -> str:
+    """JSON form of an experiment result (for machine consumption).
+
+    ``meta`` (elapsed time, metrics, config name — see the CLI) is
+    attached under a new ``"_meta"`` key on dict-shaped results, so
+    existing consumers keep every key they already read.  List-shaped
+    results (checkpoint tables) stay plain JSON arrays — they have no
+    place to add a key without breaking their shape — so ``meta`` is
+    ignored for them.
+    """
     if isinstance(result, dict):
         payload = {k: np.asarray(v).tolist() for k, v in result.items()}
+        if meta is not None:
+            payload["_meta"] = meta
     elif isinstance(result, (list, tuple)) and result and isinstance(result[0], Checkpoint):
         payload = [
             {

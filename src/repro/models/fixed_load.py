@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import obs
 from repro.errors import ModelError
 from repro.numerics.optimize import argmax_int
 from repro.utility.base import UtilityFunction
@@ -124,7 +125,11 @@ class FixedLoadModel:
         key = capacity
         cached = self._k_max_cache.get(key)
         if cached is not None:
+            if obs.enabled():
+                obs.counter("model.k_max.cache_hits").inc()
             return cached
+        if obs.enabled():
+            obs.counter("model.k_max.searches").inc()
 
         limit = self._k_max_limit
         if limit is None:

@@ -18,6 +18,7 @@ from typing import Callable, Tuple
 import numpy as np
 from scipy import optimize
 
+from repro import obs
 from repro.errors import ConvergenceError
 
 
@@ -43,6 +44,9 @@ def maximize_scalar(
         raise ValueError(f"{label}: need hi >= lo, got [{lo}, {hi}]")
     if hi == lo:
         return lo, func(lo)
+    if obs.enabled():
+        obs.counter("optimize.maximize_scalar.calls").inc()
+        obs.counter("optimize.maximize_scalar.evaluations").inc(grid + 1)
     xs = np.linspace(lo, hi, grid + 1)
     values = np.array([func(float(x)) for x in xs], dtype=float)
     if not np.all(np.isfinite(values)):
@@ -86,6 +90,24 @@ def argmax_int(
     """
     if hi < lo:
         raise ValueError(f"{label}: need hi >= lo, got [{lo}, {hi}]")
+    if obs.enabled():
+        # admission-search accounting: every V(k) probe is one step
+        obs.counter("optimize.argmax_int.calls").inc()
+        func = obs.CallCounter(func)
+        try:
+            return _argmax_int_impl(func, lo, hi, unimodal_window, label)
+        finally:
+            obs.counter("optimize.argmax_int.evaluations").inc(func.calls)
+    return _argmax_int_impl(func, lo, hi, unimodal_window, label)
+
+
+def _argmax_int_impl(
+    func: Callable[[int], float],
+    lo: int,
+    hi: int,
+    unimodal_window: int,
+    label: str,
+) -> Tuple[int, float]:
     if hi - lo <= 4 * unimodal_window:
         ks = range(lo, hi + 1)
         best_k = max(ks, key=func)

@@ -14,6 +14,7 @@ from typing import Iterable, Optional, Callable
 
 from scipy import integrate as _spi
 
+from repro import obs
 from repro.errors import ConvergenceError
 
 #: Default target absolute error for a single integral.
@@ -48,14 +49,26 @@ def integrate(
         cuts.extend(p for p in sorted(points) if lo < p < hi and math.isfinite(p))
     cuts.append(hi)
 
+    # meter integrand evaluations only when observability is on; the
+    # counting wrapper would otherwise tax every quad call for nothing
+    metered = obs.enabled()
+    if metered:
+        func = obs.CallCounter(func)
+
     total = 0.0
+    pieces = 0
     for a, b in zip(cuts[:-1], cuts[1:]):
         if a == b:
             continue
+        pieces += 1
         value, err = _spi.quad(func, a, b, epsabs=tol, epsrel=tol, limit=200)
         if err > max(100 * tol, 1e-7 * max(1.0, abs(value))):
             raise ConvergenceError(
                 f"{label}: quadrature error {err!r} too large on [{a}, {b}]"
             )
         total += value
+    if metered:
+        obs.counter("quadrature.integrals").inc()
+        obs.counter("quadrature.pieces").inc(pieces)
+        obs.counter("quadrature.evaluations").inc(func.calls)
     return total

@@ -1,0 +1,314 @@
+"""Thread-safe metrics primitives: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments.
+Instrumented code normally asks the registry by name each time
+(``registry.counter(name)``), so registries can be swapped or reset
+without stale handles.  Lookup of an existing instrument is a single
+dict read (safe under the GIL); the registry lock is only taken to
+create one.  Hot paths that cannot afford even the per-call lookups
+may cache handles keyed on ``(registry, registry.generation)`` —
+``generation`` is bumped by :meth:`MetricsRegistry.reset`, so caches
+invalidate on both swap and reset (see ``numerics.solvers._record``).
+
+Everything exports to plain dicts (:meth:`MetricsRegistry.snapshot`)
+so JSON serialisation is trivial and lossless.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Dict, List, Optional
+
+#: Ring-buffer size for histogram percentile samples.
+HISTOGRAM_SAMPLE_CAP = 512
+
+
+class Counter:
+    """A monotonically increasing count (events, iterations, calls)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        if amount < 0.0:
+            raise ValueError(f"counter {self.name}: increment must be >= 0")
+        with self._lock:
+            self._value += amount
+
+    def inc_unlocked(self, amount: float = 1.0) -> None:
+        """Like :meth:`inc`, but the caller must hold ``self``'s lock.
+
+        For batched hot-path updates via :func:`share_lock`; never call
+        without holding the (shared) lock.
+        """
+        if amount < 0.0:
+            raise ValueError(f"counter {self.name}: increment must be >= 0")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current count."""
+        return self._value
+
+    def export(self) -> float:
+        """Snapshot value (counters export as a bare number)."""
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value that can move both ways (rates, sizes)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = float("nan")
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Record the latest observation."""
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        """Most recent value (NaN before the first ``set``)."""
+        return self._value
+
+    def export(self) -> float:
+        """Snapshot value (gauges export as a bare number)."""
+        return self._value
+
+
+class Histogram:
+    """Summary statistics of a stream of observations (e.g. residuals).
+
+    Tracks count/sum/min/max exactly and keeps a bounded ring buffer
+    of recent samples for approximate percentiles, so memory stays
+    O(1) no matter how hot the instrumented path is.
+    """
+
+    __slots__ = ("name", "_count", "_sum", "_min", "_max", "_samples", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._samples: List[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self.observe_unlocked(value)
+
+    def observe_unlocked(self, value: float) -> None:
+        """Like :meth:`observe`, but the caller must hold ``self``'s lock.
+
+        For batched hot-path updates via :func:`share_lock`; never call
+        without holding the (shared) lock.
+        """
+        v = float(value)
+        if self._count < HISTOGRAM_SAMPLE_CAP:
+            self._samples.append(v)
+        else:
+            self._samples[self._count % HISTOGRAM_SAMPLE_CAP] = v
+        self._count += 1
+        self._sum += v
+        if v < self._min:
+            self._min = v
+        if v > self._max:
+            self._max = v
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of observations."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (NaN when empty)."""
+        return self._sum / self._count if self._count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile from the sample buffer."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q!r}")
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return float("nan")
+        idx = min(len(samples) - 1, int(round(q / 100.0 * (len(samples) - 1))))
+        return samples[idx]
+
+    def export(self) -> Dict[str, float]:
+        """Snapshot of the summary statistics."""
+        if self._count == 0:
+            return {"count": 0}
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p99": self.percentile(99.0),
+        }
+
+
+def share_lock(*instruments) -> threading.Lock:
+    """Make several instruments share one lock; return that lock.
+
+    A hot path updating N instruments per event normally pays N lock
+    round-trips.  After ``lock = share_lock(a, b, c)`` the caller can
+    batch the updates under a single ``with lock:`` using the
+    ``*_unlocked`` primitives, while plain ``inc``/``observe`` calls
+    from other threads stay thread-safe (they acquire the same lock).
+
+    Call this right after creating the instruments, before they see
+    concurrent traffic: re-keying the lock of an instrument that is
+    mid-update elsewhere is not synchronised.
+    """
+    lock = instruments[0]._lock
+    for instrument in instruments[1:]:
+        instrument._lock = lock
+    return lock
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first
+    call makes the instrument, later calls return the same object.
+    Asking for an existing name as a different kind raises
+    ``TypeError`` — metric names identify one instrument each.
+    """
+
+    def __init__(self):
+        self._instruments: Dict[str, object] = {}
+        self._lock = threading.Lock()
+        #: Bumped on :meth:`reset`.  Hot paths that cache instrument
+        #: handles key the cache on ``(registry, generation)`` so a
+        #: reset invalidates them without a per-call dict lookup.
+        self.generation = 0
+
+    def _get_or_create(self, name: str, cls):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.get(name)
+                if instrument is None:
+                    instrument = cls(name)
+                    self._instruments[name] = instrument
+        if not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram ``name``."""
+        return self._get_or_create(name, Histogram)
+
+    def get(self, name: str) -> Optional[object]:
+        """The instrument registered under ``name``, or None."""
+        return self._instruments.get(name)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def reset(self) -> None:
+        """Drop every instrument (names and values)."""
+        with self._lock:
+            self._instruments = {}
+            self.generation += 1
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-dict export grouped by instrument kind, names sorted."""
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                out["counters"][name] = instrument.export()
+            elif isinstance(instrument, Gauge):
+                out["gauges"][name] = instrument.export()
+            else:
+                out["histograms"][name] = instrument.export()
+        return out
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """JSON form of :meth:`snapshot`."""
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def render_text(self) -> str:
+        """Aligned text table of every instrument (for --profile output)."""
+        snap = self.snapshot()
+        lines: List[str] = []
+        if snap["counters"]:
+            lines.append("counters:")
+            width = max(len(n) for n in snap["counters"])
+            for name, value in snap["counters"].items():
+                lines.append(f"  {name:<{width}}  {value:g}")
+        if snap["gauges"]:
+            lines.append("gauges:")
+            width = max(len(n) for n in snap["gauges"])
+            for name, value in snap["gauges"].items():
+                lines.append(f"  {name:<{width}}  {value:g}")
+        if snap["histograms"]:
+            lines.append("histograms:")
+            for name, stats in snap["histograms"].items():
+                if stats.get("count", 0) == 0:
+                    lines.append(f"  {name}  (empty)")
+                    continue
+                lines.append(
+                    f"  {name}  count={stats['count']} mean={stats['mean']:.4g} "
+                    f"min={stats['min']:.4g} p50={stats['p50']:.4g} "
+                    f"p99={stats['p99']:.4g} max={stats['max']:.4g}"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+class CallCounter:
+    """Wrap a callable, counting invocations (for evaluation counters).
+
+    Used by instrumented numeric code to count objective/integrand
+    evaluations without touching a registry inside the inner loop;
+    the caller flushes ``calls`` into a counter once at the end.
+    """
+
+    __slots__ = ("func", "calls")
+
+    def __init__(self, func):
+        self.func = func
+        self.calls = 0
+
+    def __call__(self, *args, **kwargs):
+        self.calls += 1
+        return self.func(*args, **kwargs)

@@ -1,0 +1,94 @@
+"""Human-readable rendering of traces and metrics (``--profile``).
+
+Sibling spans with the same name are aggregated (count, total, mean)
+so a 25-point figure sweep renders as one line, not 25 — the tree
+stays readable at any fan-out.  The JSON exports elsewhere keep every
+individual span; aggregation is a display decision only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import SpanRecord
+
+
+class _Aggregate:
+    """Sibling spans of one name, merged for display."""
+
+    __slots__ = ("name", "count", "total", "labels", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.labels: Dict[str, object] = {}
+        self.children: List[SpanRecord] = []
+
+
+def _aggregate_siblings(spans: Sequence[SpanRecord]) -> List[_Aggregate]:
+    groups: Dict[str, _Aggregate] = {}
+    for span in spans:
+        agg = groups.get(span.name)
+        if agg is None:
+            agg = groups[span.name] = _Aggregate(span.name)
+            agg.labels = dict(span.labels)
+        else:
+            # keep only labels every sibling agrees on
+            agg.labels = {
+                k: v for k, v in agg.labels.items() if span.labels.get(k) == v
+            }
+        agg.count += 1
+        agg.total += span.duration
+        agg.children.extend(span.children)
+    return list(groups.values())
+
+
+def _render_level(
+    spans: Sequence[SpanRecord], lines: List[str], indent: int, name_width: int
+) -> None:
+    for agg in _aggregate_siblings(spans):
+        label = " ".join(f"{k}={v}" for k, v in sorted(agg.labels.items()))
+        name = "  " * indent + agg.name
+        timing = f"{agg.total:10.4f} s"
+        if agg.count > 1:
+            timing += f"  x{agg.count}  mean {agg.total / agg.count:.4f} s"
+        if label:
+            timing += f"  [{label}]"
+        lines.append(f"{name:<{name_width}}{timing}")
+        _render_level(agg.children, lines, indent + 1, name_width)
+
+
+def render_span_tree(roots: Sequence[SpanRecord]) -> str:
+    """The trace as an indented text tree with per-name aggregation."""
+    if not roots:
+        return "(no spans recorded)"
+
+    def max_depth(spans, depth=0):
+        return max(
+            [depth] + [max_depth(s.children, depth + 1) for s in spans]
+        )
+
+    name_width = 2 * max_depth(list(roots)) + max(
+        len(s.name) for root in roots for s in _walk(root)
+    )
+    lines: List[str] = []
+    _render_level(list(roots), lines, 0, name_width + 4)
+    return "\n".join(lines)
+
+
+def _walk(span: SpanRecord):
+    yield span
+    for child in span.children:
+        yield from _walk(child)
+
+
+def render_report(registry: MetricsRegistry, roots: Sequence[SpanRecord]) -> str:
+    """The full ``--profile`` report: span tree then metrics."""
+    return (
+        "== span tree (wall time) ==\n"
+        + render_span_tree(roots)
+        + "\n\n== metrics ==\n"
+        + registry.render_text()
+    )

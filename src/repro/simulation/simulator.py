@@ -16,11 +16,13 @@ sampling picture).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ModelError
 from repro.simulation.admission import AdmissionPolicy, AdmitAll
 from repro.simulation.link import Link
@@ -179,6 +181,8 @@ class FlowSimulator:
         seed: Optional[int] = None,
         initial_census: Optional[int] = None,
         max_events: int = 20_000_000,
+        progress: Optional[Callable[[int, float], None]] = None,
+        progress_every: int = 100_000,
     ) -> SimulationResult:
         """Simulate until ``horizon`` and return the recorded history.
 
@@ -186,12 +190,19 @@ class FlowSimulator:
         (recorded in the result; the measurement helpers honour it).
         ``initial_census`` seeds the starting population (default: the
         demand process's mean, rounded — shortens the transient).
+        ``progress``, when given, is called as ``progress(events, t)``
+        every ``progress_every`` events — the liveness hook for long
+        runs (it adds one modulo per event, nothing more).
         """
         if horizon <= 0.0:
             raise ValueError(f"horizon must be > 0, got {horizon!r}")
         if not 0.0 <= warmup < horizon:
             raise ValueError(
                 f"warmup must be in [0, horizon), got {warmup!r} vs {horizon!r}"
+            )
+        if progress is not None and progress_every < 1:
+            raise ValueError(
+                f"progress_every must be >= 1, got {progress_every!r}"
             )
         rng = np.random.default_rng(seed)
         capacity = self._link.capacity
@@ -247,6 +258,7 @@ class FlowSimulator:
             traj_m.append(len(active_admitted))
 
         events = 0
+        wall_start = time.perf_counter()
         while t < horizon:
             self._process.advance_to(t)
             census = len(active_admitted) + len(active_waiting)
@@ -268,6 +280,8 @@ class FlowSimulator:
                     f"exceeded {max_events} events before the horizon; "
                     "reduce horizon or raise max_events"
                 )
+            if progress is not None and events % progress_every == 0:
+                progress(events, t)
             draw = rng.random() * total
             if draw >= birth + death:
                 # a waiting flow re-attempts admission
@@ -321,6 +335,16 @@ class FlowSimulator:
         # by departure = +inf so completed_mask excludes them)
         for fid in active_admitted + active_waiting:
             departures[fid] = np.inf
+
+        if obs.enabled():
+            wall = time.perf_counter() - wall_start
+            admitted_count = sum(1 for a in admit_times if not np.isnan(a))
+            obs.counter("sim.events").inc(events)
+            obs.counter("sim.flows.admitted").inc(admitted_count)
+            obs.counter("sim.flows.rejected").inc(len(arrivals) - admitted_count)
+            obs.counter("sim.admission.failed_attempts").inc(sum(failed_attempts))
+            if wall > 0.0:
+                obs.gauge("sim.event_rate").set(events / wall)
 
         trajectory = Trajectory(
             times=np.asarray(traj_t, dtype=float),
