@@ -1,0 +1,65 @@
+"""Batch-runner benchmarks: parallel speedup and warm-cache cost.
+
+Two claims are measured here:
+
+1. ``run_many(..., jobs=N)`` approaches linear speedup over ``jobs=1``
+   on independent experiments (asserted only when the machine actually
+   has the cores — CI boxes with 1-2 cores still *run* the benchmark,
+   they just skip the ratio assertion).
+2. A warm cache makes a re-run effectively free: every outcome is
+   served from disk, no worker processes spawn, and the wall time is
+   orders of magnitude below the cold run.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import runner
+from benchmarks.conftest import run_once
+
+#: Independent, non-trivial experiments (each 0.1 s - 10 s at the
+#: fast grids) — enough parallel slack for the speedup to show.
+PARALLEL_IDS = ["F2", "F3", "T1", "T5"]
+
+#: Cores needed before the >= 2x speedup assertion is meaningful.
+MIN_CORES_FOR_ASSERT = 4
+
+
+def _cold(ids, jobs, cache_dir, config):
+    return runner.run_many(ids, config=config, jobs=jobs, cache_dir=cache_dir)
+
+
+def test_runner_parallel_speedup(benchmark, config, record, tmp_path):
+    serial = _cold(PARALLEL_IDS, 1, tmp_path / "serial", config)
+    parallel = run_once(
+        benchmark, _cold, PARALLEL_IDS, 4, tmp_path / "parallel", config
+    )
+    assert serial.ok and parallel.ok
+    speedup = serial.wall_seconds / max(parallel.wall_seconds, 1e-9)
+    cores = os.cpu_count() or 1
+    record(
+        "runner_speedup",
+        f"ids        : {' '.join(PARALLEL_IDS)}\n"
+        f"cores      : {cores}\n"
+        f"jobs=1 wall: {serial.wall_seconds:.3f} s\n"
+        f"jobs=4 wall: {parallel.wall_seconds:.3f} s\n"
+        f"speedup    : {speedup:.2f}x",
+    )
+    if cores >= MIN_CORES_FOR_ASSERT:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup on {cores} cores, got {speedup:.2f}x"
+        )
+
+
+def test_runner_warm_cache_rerun(benchmark, config, record, tmp_path):
+    cold = _cold(PARALLEL_IDS, 1, tmp_path, config)
+    warm = run_once(benchmark, _cold, PARALLEL_IDS, 4, tmp_path, config)
+    assert warm.counts() == {runner.STATUS_CACHED: len(PARALLEL_IDS)}
+    record(
+        "runner_warm_cache",
+        f"cold wall: {cold.wall_seconds:.3f} s\n"
+        f"warm wall: {warm.wall_seconds:.3f} s",
+    )
+    # "effectively free": pure cache reads, no recomputation
+    assert warm.wall_seconds < max(0.05 * cold.wall_seconds, 0.5)

@@ -7,6 +7,9 @@ Usage::
     repro-experiments run T1 --json        # Section 3.3 checkpoints, JSON
     repro-experiments run F4 --fast        # small grids for a quick look
     repro-experiments run F3 --profile     # + span-tree timing & metrics
+    repro-experiments run-all --jobs 4     # every experiment, in parallel,
+                                           # through the on-disk result cache
+    repro-experiments run-all F2 T1 --force   # recompute just these two
     repro-experiments checkpoints          # the full paper-vs-measured table
     repro-experiments profile --json       # time every registered experiment
     repro-experiments export F3 --out fig  # CSV + gnuplot for Figure 3
@@ -23,6 +26,31 @@ from typing import Optional, Sequence
 from repro import obs
 from repro.experiments import checkpoints, registry, report
 from repro.experiments.params import DEFAULT_CONFIG, FAST_CONFIG
+
+
+def _add_cache_args(
+    parser: argparse.ArgumentParser, *, cache_dir_default: Optional[str]
+) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=cache_dir_default,
+        help=(
+            f"result-cache directory (default: {cache_dir_default})"
+            if cache_dir_default
+            else "result-cache directory (default: caching off)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the result cache",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="skip cache lookups but still write fresh entries",
+    )
 
 
 def _add_profile_args(parser: argparse.ArgumentParser) -> None:
@@ -57,7 +85,32 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--fast", action="store_true", help="use the reduced grids (quick look)"
     )
+    _add_cache_args(run, cache_dir_default=None)
     _add_profile_args(run)
+
+    run_all = sub.add_parser(
+        "run-all",
+        help="run many experiments in parallel through the result cache",
+    )
+    run_all.add_argument(
+        "ids",
+        nargs="*",
+        metavar="ID",
+        help="experiment ids (default: every registered experiment)",
+    )
+    run_all.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1: run in-process)",
+    )
+    run_all.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    run_all.add_argument(
+        "--fast", action="store_true", help="use the reduced grids (quick look)"
+    )
+    _add_cache_args(run_all, cache_dir_default=".repro-cache")
+    _add_profile_args(run_all)
 
     cp = sub.add_parser(
         "checkpoints", help="run every paper-vs-measured checkpoint"
@@ -124,8 +177,7 @@ def _finish_observed(args) -> int:
     status = 0
     if args.trace_json:
         try:
-            with open(args.trace_json, "w") as fh:
-                fh.write(obs.trace_json())
+            obs.write_report_text(args.trace_json, obs.trace_json())
         except OSError as exc:
             print(f"cannot write trace to {args.trace_json}: {exc}", file=sys.stderr)
             status = 2
@@ -136,6 +188,28 @@ def _finish_observed(args) -> int:
         print(obs.render_report())
     obs.disable()
     return status
+
+
+def _render_run_all(batch) -> str:
+    """Human-readable summary of a :class:`repro.runner.RunReport`."""
+    lines = []
+    for outcome in batch.outcomes:
+        detail = ""
+        if outcome.worker is not None:
+            detail += f"  [worker {outcome.worker}]"
+        if outcome.error:
+            detail += f"  {outcome.error}"
+        lines.append(
+            f"{outcome.exp_id:6s} {outcome.status:9s} "
+            f"{outcome.seconds:8.3f} s{detail}"
+        )
+    counts = batch.counts()
+    summary = ", ".join(f"{counts[k]} {k}" for k in sorted(counts))
+    lines.append(
+        f"-- {len(batch.outcomes)} experiments ({summary}); "
+        f"wall {batch.wall_seconds:.3f} s, jobs {batch.jobs}"
+    )
+    return "\n".join(lines)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -158,9 +232,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if observing:
             obs.reset()
             obs.enable()
+        cache = None
+        if args.cache_dir and not args.no_cache:
+            from repro.runner import ResultCache
+
+            cache = ResultCache(args.cache_dir)
+        cache_status = None
         start = time.perf_counter()
-        with obs.span("experiment", id=exp.exp_id):
-            result = exp.run(config)
+        entry = None
+        if cache is not None and not args.force:
+            entry = cache.load(exp, config)
+        if entry is not None:
+            from repro.runner import decode_result
+
+            result = decode_result(entry["result_kind"], entry["result"])
+            cache_status = "hit"
+        else:
+            with obs.span("experiment", id=exp.exp_id):
+                result = exp.run(config)
+            if cache is not None:
+                cache.store(exp, config, result)
+                cache_status = "miss"
         elapsed = time.perf_counter() - start
         if args.json:
             meta = {
@@ -168,6 +260,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "elapsed_seconds": elapsed,
                 "config": "fast" if args.fast else "default",
             }
+            if cache is not None:
+                meta["cache"] = cache_status
             if observing:
                 meta["metrics"] = obs.snapshot()
             print(report.to_json(result, meta=meta))
@@ -176,6 +270,61 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if observing:
             return _finish_observed(args)
         return 0
+
+    if args.command == "run-all":
+        from repro import runner
+
+        config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
+        observing = args.profile or bool(args.trace_json)
+        if observing:
+            obs.reset()
+            obs.enable()
+        ids = list(args.ids) or None
+        count = len(ids) if ids is not None else len(registry.EXPERIMENTS)
+        # announced before any work starts, so operators (and the
+        # fault-injection tests) can tell the batch is underway
+        print(
+            f"run-all: {count} experiment(s), jobs={args.jobs}",
+            file=sys.stderr,
+            flush=True,
+        )
+        try:
+            batch = runner.run_many(
+                ids,
+                config=config,
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                use_cache=not args.no_cache,
+                force=args.force,
+            )
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if args.json:
+            import json as _json
+
+            payload = batch.to_dict()
+            meta = {
+                "schema": payload["schema"],
+                "jobs": payload["jobs"],
+                "wall_seconds": payload["wall_seconds"],
+                "cache_dir": payload["cache_dir"],
+                "counts": payload["counts"],
+                "config": "fast" if args.fast else "default",
+            }
+            if observing:
+                meta["metrics"] = obs.snapshot()
+            envelope = {"_meta": meta, "result": payload["experiments"]}
+            print(_json.dumps(envelope, indent=2))
+        else:
+            print(_render_run_all(batch))
+        status = _finish_observed(args) if observing else 0
+        if status:
+            return status
+        return 0 if batch.ok else 1
 
     if args.command == "profile":
         from repro.experiments import profiling
@@ -196,8 +345,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.out:
             import json as _json
 
-            with open(args.out, "w") as fh:
-                _json.dump(payload, fh, indent=2)
+            obs.write_report_text(args.out, _json.dumps(payload, indent=2))
             print(f"profile report written to {args.out}", file=sys.stderr)
         if args.json:
             import json as _json

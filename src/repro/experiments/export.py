@@ -10,10 +10,13 @@ and emit a ready-to-run gnuplot script per figure.
 from __future__ import annotations
 
 import csv
+import io
 import pathlib
 from typing import Dict, List
 
 import numpy as np
+
+from repro.ioutils import atomic_write_text
 
 
 def _split_blocks(series: Dict[str, np.ndarray]) -> Dict[int, Dict[str, np.ndarray]]:
@@ -33,10 +36,11 @@ def write_csv(series: Dict[str, np.ndarray], stem) -> List[pathlib.Path]:
     """Write the series to ``<stem>.csv`` (or ``<stem>_N.csv`` per block).
 
     Returns the written paths.  Scalar entries become a comment line in
-    every file, so the parameters travel with the data.
+    every file, so the parameters travel with the data.  Each file is
+    written atomically (temp file + rename), so an interrupted export
+    never leaves a truncated CSV behind.
     """
     stem = pathlib.Path(stem)
-    stem.parent.mkdir(parents=True, exist_ok=True)
     scalars = {
         name: float(np.asarray(v).reshape(-1)[0])
         for name, v in series.items()
@@ -47,16 +51,17 @@ def write_csv(series: Dict[str, np.ndarray], stem) -> List[pathlib.Path]:
     for index, (length, block) in enumerate(sorted(blocks.items(), reverse=True)):
         suffix = "" if len(blocks) == 1 else f"_{index}"
         path = stem.with_name(stem.name + suffix).with_suffix(".csv")
-        with path.open("w", newline="") as handle:
-            if scalars:
-                handle.write(
-                    "# " + " ".join(f"{k}={v:g}" for k, v in scalars.items()) + "\n"
-                )
-            writer = csv.writer(handle)
-            names = list(block)
-            writer.writerow(names)
-            for i in range(length):
-                writer.writerow([f"{block[name][i]:.10g}" for name in names])
+        buffer = io.StringIO()
+        if scalars:
+            buffer.write(
+                "# " + " ".join(f"{k}={v:g}" for k, v in scalars.items()) + "\n"
+            )
+        writer = csv.writer(buffer)
+        names = list(block)
+        writer.writerow(names)
+        for i in range(length):
+            writer.writerow([f"{block[name][i]:.10g}" for name in names])
+        atomic_write_text(path, buffer.getvalue(), newline="")
         paths.append(path)
     return paths
 
@@ -104,7 +109,7 @@ def write_gnuplot(
     ]
     lines.append("plot " + ", \\\n     ".join(plots))
     gp_path = stem.with_suffix(".gp")
-    gp_path.write_text("\n".join(lines) + "\n")
+    atomic_write_text(gp_path, "\n".join(lines) + "\n")
     return gp_path
 
 

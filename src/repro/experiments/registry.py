@@ -13,11 +13,24 @@ from repro.experiments.params import PaperConfig
 
 
 class Experiment(NamedTuple):
-    """A registered experiment."""
+    """A registered experiment.
+
+    ``target`` declares the canonical generator the entry wraps when
+    ``run`` is an adapter (a lambda rebinding arguments).  The result
+    cache digests experiments by their target's qualified name, so an
+    id registered through a lambda hashes identically to one
+    registered with the callable directly.
+    """
 
     exp_id: str
     description: str
     run: Callable[[Optional[PaperConfig]], object]
+    target: Optional[Callable[..., object]] = None
+
+    @property
+    def digest_target(self) -> Callable[..., object]:
+        """The callable cache digests are computed from."""
+        return self.target if self.target is not None else self.run
 
 
 EXPERIMENTS: Dict[str, Experiment] = {
@@ -63,11 +76,13 @@ EXPERIMENTS: Dict[str, Experiment] = {
             # bind config to its keyword: the generator's first two
             # positionals are load/utility names, not the config
             lambda config=None: figures.sampling_series(config=config),
+            target=figures.sampling_series,
         ),
         Experiment(
             "S5.2",
             "Section 5.2 retrying sweep (algebraic/adaptive)",
             lambda config=None: figures.retrying_series(config=config),
+            target=figures.retrying_series,
         ),
     ]
 }

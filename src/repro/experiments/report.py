@@ -73,22 +73,12 @@ def render(result: object) -> str:
     return repr(result)
 
 
-def to_json(result: object, *, meta: Optional[dict] = None) -> str:
-    """JSON form of an experiment result (for machine consumption).
-
-    ``meta`` (elapsed time, metrics, config name — see the CLI) is
-    attached under a new ``"_meta"`` key on dict-shaped results, so
-    existing consumers keep every key they already read.  List-shaped
-    results (checkpoint tables) stay plain JSON arrays — they have no
-    place to add a key without breaking their shape — so ``meta`` is
-    ignored for them.
-    """
+def result_payload(result: object) -> object:
+    """JSON-ready form of whatever an experiment generator returned."""
     if isinstance(result, dict):
-        payload = {k: np.asarray(v).tolist() for k, v in result.items()}
-        if meta is not None:
-            payload["_meta"] = meta
-    elif isinstance(result, (list, tuple)) and result and isinstance(result[0], Checkpoint):
-        payload = [
+        return {k: np.asarray(v).tolist() for k, v in result.items()}
+    if isinstance(result, (list, tuple)) and result and isinstance(result[0], Checkpoint):
+        return [
             {
                 "id": row.exp_id,
                 "description": row.description,
@@ -98,9 +88,23 @@ def to_json(result: object, *, meta: Optional[dict] = None) -> str:
             }
             for row in result
         ]
-    else:
-        payload = repr(result)
-    return json.dumps(payload, indent=2)
+    return repr(result)
+
+
+def to_json(result: object, *, meta: Optional[dict] = None) -> str:
+    """JSON form of an experiment result (for machine consumption).
+
+    Every result — dict-shaped series, checkpoint tables, scalars —
+    is wrapped in the same ``{"_meta": ..., "result": ...}`` envelope,
+    so consumers read one shape regardless of the experiment kind.
+    ``meta`` (elapsed time, metrics, config name — see the CLI)
+    defaults to an empty object when the caller has nothing to attach.
+    """
+    envelope = {
+        "_meta": meta if meta is not None else {},
+        "result": result_payload(result),
+    }
+    return json.dumps(envelope, indent=2)
 
 
 def markdown_checkpoint_table(rows: Iterable[Checkpoint]) -> str:

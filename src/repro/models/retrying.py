@@ -32,6 +32,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.caching import BoundedCache
 from repro.errors import ModelError
 from repro.loads.base import LoadDistribution
 from repro.models.variable_load import GAP_FLOOR, VariableLoadModel
@@ -81,9 +82,12 @@ class RetryingModel:
             load, utility, k_max_limit=k_max_limit, k_max_override=k_max_override
         )
         self._intrinsic_mean = load.mean
-        # cache of inflated models keyed by rounded offered mean
-        self._inflated_cache: dict = {}
-        self._fixed_point_cache: dict = {}
+        # inflated models are heavyweight (each carries its own pmf
+        # arrays), so that cache is bounded tightly; both caches round
+        # float keys to the solver tolerance so equal-but-not-identical
+        # means/capacities from sweeps share entries
+        self._inflated_cache = BoundedCache(maxsize=64)
+        self._fixed_point_cache = BoundedCache()
 
     @property
     def alpha(self) -> float:
@@ -101,8 +105,7 @@ class RetryingModel:
 
     def _model_at_mean(self, mean: float) -> VariableLoadModel:
         """Variable-load model for the family rescaled to ``mean``."""
-        key = round(mean, 9)
-        model = self._inflated_cache.get(key)
+        model = self._inflated_cache.get(mean)
         if model is None:
             model = VariableLoadModel(
                 self._load.rescaled(mean),
@@ -110,7 +113,7 @@ class RetryingModel:
                 k_max_limit=self._k_max_limit,
                 k_max_override=self._k_max_override,
             )
-            self._inflated_cache[key] = model
+            self._inflated_cache.put(mean, model)
         return model
 
     def offered_mean(self, capacity: float) -> float:
@@ -143,7 +146,7 @@ class RetryingModel:
             damping=0.7,
             label=f"retry offered load at C={capacity}",
         )
-        self._fixed_point_cache[capacity] = solution
+        self._fixed_point_cache.put(capacity, solution)
         return solution
 
     def retries_per_flow(self, capacity: float) -> float:

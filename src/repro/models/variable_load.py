@@ -35,6 +35,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.caching import BoundedCache
 from repro.errors import ConvergenceError
 from repro.loads.base import LoadDistribution
 from repro.models.fixed_load import FixedLoadModel
@@ -96,8 +97,11 @@ class VariableLoadModel:
         self._ks = np.empty(0)
         self._pk = np.empty(0)
         self._kpk = np.empty(0)
-        self._b_cache: dict = {}
-        self._r_cache: dict = {}
+        # per-capacity totals: float keys rounded to the solver
+        # x-tolerance (so gap-solver probes hit) and LRU-bounded (so
+        # long sweeps cannot grow them without limit)
+        self._b_cache = BoundedCache()
+        self._r_cache = BoundedCache()
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -228,7 +232,7 @@ class VariableLoadModel:
             shares[1:] = capacity / self._ks[1:n0]
             total = float(np.dot(self._kpk[:n0], self._utility(shares))) + em
 
-        self._b_cache[capacity] = total
+        self._b_cache.put(capacity, total)
         return total
 
     def total_reservation(self, capacity: float) -> float:
@@ -243,7 +247,7 @@ class VariableLoadModel:
 
         kmax = self.k_max(capacity)
         if kmax < max(1, self._load.support_min):
-            self._r_cache[capacity] = 0.0
+            self._r_cache.put(capacity, 0.0)
             return 0.0
         self._ensure_terms(kmax)
         shares = np.empty(kmax + 1)
@@ -254,7 +258,7 @@ class VariableLoadModel:
             kmax * self._utility.value(capacity / kmax) * self._load.sf(kmax)
         )
         total = admitted + overload
-        self._r_cache[capacity] = total
+        self._r_cache.put(capacity, total)
         return total
 
     def total_reservation_at_threshold(self, capacity: float, threshold: int) -> float:

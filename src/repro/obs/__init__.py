@@ -34,10 +34,11 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_snapshots,
     share_lock,
 )
 from repro.obs.report import render_report as _render_report
-from repro.obs.report import render_span_tree
+from repro.obs.report import render_span_tree, write_report_text
 from repro.obs.tracing import NULL_SPAN, SpanRecord, Tracer
 
 __all__ = [
@@ -54,6 +55,7 @@ __all__ = [
     "enabled",
     "gauge",
     "histogram",
+    "merge_snapshots",
     "registry",
     "render_report",
     "render_span_tree",
@@ -66,6 +68,7 @@ __all__ = [
     "trace_json",
     "trace_roots",
     "tracer",
+    "write_report_text",
 ]
 
 _enabled: bool = False

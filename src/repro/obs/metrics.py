@@ -169,6 +169,23 @@ class Histogram:
             "p99": self.percentile(99.0),
         }
 
+    def absorb(self, stats: Dict[str, float]) -> None:
+        """Fold an exported stats dict (another histogram's
+        :meth:`export`) into this one.
+
+        count/sum/min/max merge exactly; the sample ring buffer is not
+        transferable, so percentiles afterwards reflect only locally
+        observed samples.  Used to aggregate per-worker registries.
+        """
+        count = int(stats.get("count", 0))
+        if count == 0:
+            return
+        with self._lock:
+            self._count += count
+            self._sum += float(stats["sum"])
+            self._min = min(self._min, float(stats["min"]))
+            self._max = max(self._max, float(stats["max"]))
+
 
 def share_lock(*instruments) -> threading.Lock:
     """Make several instruments share one lock; return that lock.
@@ -267,6 +284,23 @@ class MetricsRegistry:
         """JSON form of :meth:`snapshot`."""
         return json.dumps(self.snapshot(), indent=indent)
 
+    def absorb_snapshot(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold a plain-dict :meth:`snapshot` into this registry.
+
+        Counters add, gauges take the snapshot's value (last write
+        wins), histogram summary stats merge via
+        :meth:`Histogram.absorb`.  This is how the parallel runner
+        merges per-worker registries into the parent's one aggregate.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            value = float(value)
+            if not math.isnan(value):
+                self.gauge(name).set(value)
+        for name, stats in snapshot.get("histograms", {}).items():
+            self.histogram(name).absorb(stats)
+
     def render_text(self) -> str:
         """Aligned text table of every instrument (for --profile output)."""
         snap = self.snapshot()
@@ -293,6 +327,26 @@ class MetricsRegistry:
                     f"p99={stats['p99']:.4g} max={stats['max']:.4g}"
                 )
         return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def merge_snapshots(snapshots) -> Dict[str, Dict[str, object]]:
+    """Merge several :meth:`MetricsRegistry.snapshot` dicts into one.
+
+    Counters sum, gauges keep the last non-NaN value (snapshot order),
+    histograms merge count/sum/min/max and recompute the mean —
+    percentiles are dropped, since sample buffers do not travel in a
+    snapshot.  This is the read-only counterpart of
+    :meth:`MetricsRegistry.absorb_snapshot`, used for the parallel
+    runner's aggregate report.
+    """
+    merged = MetricsRegistry()
+    for snap in snapshots:
+        merged.absorb_snapshot(snap)
+    out = merged.snapshot()
+    for stats in out["histograms"].values():
+        stats.pop("p50", None)
+        stats.pop("p99", None)
+    return out
 
 
 class CallCounter:

@@ -8,8 +8,10 @@ individual span; aggregation is a display decision only.
 
 from __future__ import annotations
 
+import pathlib
 from typing import Dict, List, Sequence
 
+from repro.ioutils import atomic_write_text
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import SpanRecord
 
@@ -92,3 +94,13 @@ def render_report(registry: MetricsRegistry, roots: Sequence[SpanRecord]) -> str
         + "\n\n== metrics ==\n"
         + registry.render_text()
     )
+
+
+def write_report_text(path, text: str) -> pathlib.Path:
+    """Atomically write a rendered report/trace/export to ``path``.
+
+    All CLI report files (``--trace-json``, ``profile --out``) go
+    through here so an interrupted process can never leave a truncated
+    JSON or text report under the final name.
+    """
+    return atomic_write_text(path, text)

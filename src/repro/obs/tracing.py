@@ -49,6 +49,24 @@ class SpanRecord:
             out["children"] = [c.to_dict() for c in self.children]
         return out
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SpanRecord":
+        """Rebuild a finished span tree from its :meth:`to_dict` form.
+
+        Wall-clock anchors are gone, so the record is pinned at
+        ``start = 0`` with ``end`` equal to the recorded duration —
+        duration-faithful, which is all the reports use.  This is how
+        spans recorded in runner worker processes rejoin the parent's
+        trace.
+        """
+        record = cls(str(data["name"]), dict(data.get("labels") or {}))
+        record.start = 0.0
+        record.end = float(data.get("duration_seconds", 0.0))
+        record.children = [
+            cls.from_dict(child) for child in data.get("children", [])
+        ]
+        return record
+
 
 class _NullSpan:
     """Shared, stateless no-op span — the disabled fast path."""
@@ -142,6 +160,15 @@ class Tracer:
         """Finished top-level spans, in completion order."""
         with self._lock:
             return list(self._roots)
+
+    def adopt(self, record: SpanRecord) -> None:
+        """Append an already-finished span tree as a root.
+
+        Used to merge spans recorded elsewhere (runner workers) into
+        this tracer so one report covers the whole parallel run.
+        """
+        with self._lock:
+            self._roots.append(record)
 
     def clear(self) -> None:
         """Drop every recorded span (open stacks are untouched)."""

@@ -1,0 +1,56 @@
+"""``repro.runner`` — parallel, cached batch experiment execution.
+
+The registry maps experiment ids to generators; this package runs any
+set of them over a process pool with a content-addressed on-disk
+result cache, so re-runs of unchanged experiments return instantly
+and byte-identically.  See :mod:`repro.runner.cache` for the cache
+contract and :mod:`repro.runner.executor` for the execution model;
+the operator-facing story lives in ``docs/RUNNER.md``.
+
+Typical use::
+
+    from repro import runner
+    from repro.experiments.params import FAST_CONFIG
+
+    report = runner.run_many(["F1", "T2"], config=FAST_CONFIG, jobs=4)
+    for outcome in report.outcomes:
+        print(outcome.exp_id, outcome.status, outcome.result())
+"""
+
+from repro.runner.cache import (
+    CACHE_SCHEMA,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    build_entry,
+    cache_key,
+    code_fingerprint,
+    config_digest,
+    decode_result,
+    encode_result,
+)
+from repro.runner.executor import (
+    STATUS_CACHED,
+    STATUS_COMPUTED,
+    STATUS_ERROR,
+    RunOutcome,
+    RunReport,
+    run_many,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "RunOutcome",
+    "RunReport",
+    "STATUS_CACHED",
+    "STATUS_COMPUTED",
+    "STATUS_ERROR",
+    "build_entry",
+    "cache_key",
+    "code_fingerprint",
+    "config_digest",
+    "decode_result",
+    "encode_result",
+    "run_many",
+]

@@ -31,6 +31,11 @@ def census_distribution(
     levels observed.  ``use_admitted`` histograms the admitted count
     instead of the full census.
     """
+    if not 0.0 <= result.warmup < result.horizon:
+        raise ValueError(
+            "warmup must be in [0, horizon): "
+            f"warmup={result.warmup!r}, horizon={result.horizon!r}"
+        )
     traj = result.trajectory
     series = traj.admitted if use_admitted else traj.census
     durations = traj.segment_durations()
@@ -41,7 +46,11 @@ def census_distribution(
     weights = np.maximum(0.0, clipped)
     total = weights.sum()
     if total <= 0.0:
-        raise ValueError("no trajectory mass after warmup; lengthen the run")
+        raise ValueError(
+            "no trajectory mass in the measurement window "
+            f"[warmup={result.warmup!r}, horizon={result.horizon!r}]; "
+            "lengthen the run"
+        )
     values, inverse = np.unique(series, return_inverse=True)
     probs = np.bincount(inverse, weights=weights, minlength=len(values)) / total
     return values, probs

@@ -106,6 +106,15 @@ class SimulationResult:
     warmup: float
     horizon: float
 
+    def __post_init__(self):
+        # catch bad measurement windows at construction, before any
+        # downstream scorer wastes work on an empty window
+        if not 0.0 <= self.warmup < self.horizon:
+            raise ValueError(
+                "warmup must be in [0, horizon): "
+                f"warmup={self.warmup!r}, horizon={self.horizon!r}"
+            )
+
     def completed_mask(self) -> np.ndarray:
         """Flows that both arrived after warmup and departed in-run."""
         return (self.flows.arrival >= self.warmup) & (

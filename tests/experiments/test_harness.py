@@ -87,9 +87,19 @@ class TestReport:
     def test_to_json_round_trips(self):
         rows = [Checkpoint("X1", "thing", "~1", 1.0, True)]
         payload = json.loads(to_json(rows))
-        assert payload[0]["id"] == "X1"
+        assert payload["_meta"] == {}
+        assert payload["result"][0]["id"] == "X1"
         series = json.loads(to_json({"x": np.array([1.0, 2.0])}))
-        assert series["x"] == [1.0, 2.0]
+        assert series["result"]["x"] == [1.0, 2.0]
+
+    def test_to_json_envelope_is_uniform_across_shapes(self):
+        # dicts, checkpoint lists and scalars all share one envelope
+        for result in ({"x": np.array([1.0, 2.0])},
+                       [Checkpoint("X1", "t", "~1", 1.0, True)],
+                       3.5):
+            payload = json.loads(to_json(result, meta={"config": "fast"}))
+            assert set(payload) == {"_meta", "result"}
+            assert payload["_meta"]["config"] == "fast"
 
     def test_markdown_table(self):
         rows = [Checkpoint("X1", "thing", "~1", 1.0, True)]
@@ -117,7 +127,7 @@ class TestCli:
     def test_run_json(self, capsys):
         assert main(["run", "F1", "--fast", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert "bandwidth" in payload
+        assert "bandwidth" in payload["result"]
 
     def test_run_unknown_experiment(self, capsys):
         assert main(["run", "F9"]) == 2

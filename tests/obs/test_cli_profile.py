@@ -47,10 +47,11 @@ class TestRunProfile:
 
 
 class TestRunJsonEnvelope:
-    def test_meta_added_without_touching_series_keys(self, capsys):
+    def test_meta_and_result_in_uniform_envelope(self, capsys):
         assert main(["run", "F1", "--fast", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert "bandwidth" in payload and "utility" in payload
+        assert set(payload) == {"_meta", "result"}
+        assert "bandwidth" in payload["result"] and "utility" in payload["result"]
         assert payload["_meta"]["experiment"] == "F1"
         assert payload["_meta"]["elapsed_seconds"] >= 0.0
         assert payload["_meta"]["config"] == "fast"
@@ -64,11 +65,13 @@ class TestRunJsonEnvelope:
                              else out)
         assert "counters" in payload["_meta"]["metrics"]
 
-    def test_checkpoint_json_stays_an_array(self, capsys):
+    def test_checkpoint_json_gets_same_envelope(self, capsys):
         assert main(["run", "T2", "--fast", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert isinstance(payload, list)
-        assert all("measured" in row for row in payload)
+        assert set(payload) == {"_meta", "result"}
+        assert payload["_meta"]["experiment"] == "T2"
+        assert isinstance(payload["result"], list)
+        assert all("measured" in row for row in payload["result"])
 
 
 class TestProfileSubcommand:

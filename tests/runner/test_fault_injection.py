@@ -1,0 +1,80 @@
+"""Kill a run mid-flight; the cache must contain only valid entries.
+
+These tests drive the real CLI in a subprocess (the only honest way
+to test SIGKILL) with experiments slow enough (~1-2 s) that the kill
+reliably lands while workers are computing.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.ioutils import TMP_MARKER
+from repro.runner.cache import CACHE_SCHEMA, payload_sha256
+
+SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+
+def _spawn_run_all(cache_dir, ids, jobs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "run-all", *ids, "--fast",
+         "--jobs", str(jobs), "--cache-dir", str(cache_dir)],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        start_new_session=True,  # so killpg reaches the pool workers too
+    )
+
+
+def _assert_cache_is_clean(cache_dir):
+    """Every surviving entry parses, self-verifies, and isn't a temp."""
+    entries = list(pathlib.Path(cache_dir).rglob("*.json"))
+    for path in entries:
+        assert TMP_MARKER not in path.name
+        entry = json.loads(path.read_text())  # parses: not truncated
+        assert entry["schema"] == CACHE_SCHEMA
+        assert entry["payload_sha256"] == payload_sha256(entry["result"])
+    return entries
+
+
+@pytest.mark.slow
+class TestKillMidRun:
+    def test_sigkill_leaves_no_partial_entries(self, tmp_path):
+        ids = ["T1", "F2", "T5", "F3"]
+        proc = _spawn_run_all(tmp_path, ids, jobs=2)
+        # wait for the pre-work banner, then let computation begin
+        banner = proc.stderr.readline()
+        assert b"run-all" in banner
+        time.sleep(0.8)
+        os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+        assert proc.returncode != 0
+        _assert_cache_is_clean(tmp_path)
+
+    def test_rerun_after_kill_completes_and_reuses_survivors(self, tmp_path):
+        ids = ["T4", "C1", "T1"]
+        # a clean first pass seeds T4/C1; then a killed pass must not
+        # corrupt them, and the final pass serves them from cache
+        seed = _spawn_run_all(tmp_path, ids[:2], jobs=1)
+        assert seed.wait(timeout=120) == 0
+        seeded = {p.name for p in _assert_cache_is_clean(tmp_path)}
+
+        proc = _spawn_run_all(tmp_path, ids, jobs=2)
+        proc.stderr.readline()
+        time.sleep(0.5)
+        os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+        surviving = {p.name for p in _assert_cache_is_clean(tmp_path)}
+        assert seeded <= surviving
+
+        final = _spawn_run_all(tmp_path, ids, jobs=1)
+        assert final.wait(timeout=300) == 0
+        _assert_cache_is_clean(tmp_path)

@@ -1,0 +1,150 @@
+"""The batch executor: cache traffic, force/no-cache, errors, obs merging."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro import obs, runner
+from repro.experiments.params import FAST_CONFIG
+
+#: Cheap experiments (each well under 100 ms at FAST_CONFIG) so the
+#: whole module stays fast; F4/T3 style heavyweights live in benchmarks.
+FAST_IDS = ["F1", "T2", "T4", "C1"]
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _entry_digests(report):
+    return {
+        o.exp_id: hashlib.sha256(
+            runner.cache._canonical_json(o.entry).encode()
+        ).hexdigest()
+        for o in report.outcomes
+    }
+
+
+class TestRunMany:
+    def test_cold_then_warm(self, tmp_path):
+        cold = runner.run_many(FAST_IDS, config=FAST_CONFIG, cache_dir=tmp_path)
+        assert cold.ok
+        assert cold.counts() == {runner.STATUS_COMPUTED: len(FAST_IDS)}
+        warm = runner.run_many(FAST_IDS, config=FAST_CONFIG, cache_dir=tmp_path)
+        assert warm.counts() == {runner.STATUS_CACHED: len(FAST_IDS)}
+
+    def test_two_cold_runs_are_bit_identical(self, tmp_path):
+        a = runner.run_many(FAST_IDS, config=FAST_CONFIG, cache_dir=tmp_path / "a")
+        b = runner.run_many(FAST_IDS, config=FAST_CONFIG, cache_dir=tmp_path / "b")
+        assert _entry_digests(a) == _entry_digests(b)
+
+    def test_warm_results_decode_to_cold_values(self, tmp_path):
+        cold = runner.run_many(["F1"], config=FAST_CONFIG, cache_dir=tmp_path)
+        warm = runner.run_many(["F1"], config=FAST_CONFIG, cache_dir=tmp_path)
+        cold_series = cold.outcomes[0].result()
+        warm_series = warm.outcomes[0].result()
+        assert set(cold_series) == set(warm_series)
+        for key in cold_series:
+            np.testing.assert_array_equal(cold_series[key], warm_series[key])
+
+    def test_cache_counters_via_obs(self, tmp_path):
+        obs.enable()
+        runner.run_many(FAST_IDS, config=FAST_CONFIG, cache_dir=tmp_path)
+        snap = obs.snapshot()
+        assert snap["counters"]["runner.cache.misses"] == len(FAST_IDS)
+        assert snap["counters"]["runner.cache.writes"] == len(FAST_IDS)
+        runner.run_many(FAST_IDS, config=FAST_CONFIG, cache_dir=tmp_path)
+        snap = obs.snapshot()
+        assert snap["counters"]["runner.cache.hits"] == len(FAST_IDS)
+
+    def test_corrupt_entry_recovers_and_counts(self, tmp_path):
+        from repro.experiments import registry
+
+        obs.enable()
+        runner.run_many(["T2"], config=FAST_CONFIG, cache_dir=tmp_path)
+        path = runner.ResultCache(tmp_path).entry_path(
+            registry.get("T2"), FAST_CONFIG
+        )
+        path.write_text("{not json")
+        report = runner.run_many(["T2"], config=FAST_CONFIG, cache_dir=tmp_path)
+        assert report.counts() == {runner.STATUS_COMPUTED: 1}
+        assert obs.snapshot()["counters"]["runner.cache.corrupt"] == 1
+        # the recomputed entry is valid again
+        warm = runner.run_many(["T2"], config=FAST_CONFIG, cache_dir=tmp_path)
+        assert warm.counts() == {runner.STATUS_CACHED: 1}
+
+    def test_force_recomputes_but_rewrites(self, tmp_path):
+        runner.run_many(["T2"], config=FAST_CONFIG, cache_dir=tmp_path)
+        forced = runner.run_many(
+            ["T2"], config=FAST_CONFIG, cache_dir=tmp_path, force=True
+        )
+        assert forced.counts() == {runner.STATUS_COMPUTED: 1}
+        warm = runner.run_many(["T2"], config=FAST_CONFIG, cache_dir=tmp_path)
+        assert warm.counts() == {runner.STATUS_CACHED: 1}
+
+    def test_no_cache_leaves_disk_untouched(self, tmp_path):
+        report = runner.run_many(
+            ["T2"], config=FAST_CONFIG, cache_dir=tmp_path, use_cache=False
+        )
+        assert report.counts() == {runner.STATUS_COMPUTED: 1}
+        assert report.cache_dir is None
+        assert not list(tmp_path.iterdir())
+        # results still decode without a cache behind them
+        assert report.outcomes[0].result()
+
+    def test_unknown_id_fails_fast(self, tmp_path):
+        with pytest.raises(KeyError, match="unknown experiment 'NOPE'"):
+            runner.run_many(["F1", "NOPE"], cache_dir=tmp_path)
+        assert not list(tmp_path.iterdir())  # nothing ran
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            runner.run_many(["F1"], jobs=0, use_cache=False)
+
+    def test_outcomes_follow_requested_order(self, tmp_path):
+        ids = ["T4", "F1", "T2"]
+        report = runner.run_many(ids, config=FAST_CONFIG, cache_dir=tmp_path)
+        assert [o.exp_id for o in report.outcomes] == ids
+
+    def test_error_outcome_survives_batch(self, tmp_path, monkeypatch):
+        from repro.experiments import registry
+
+        broken = registry.Experiment(
+            "X0", "always fails", lambda config=None: 1 / 0
+        )
+        monkeypatch.setitem(registry.EXPERIMENTS, "X0", broken)
+        report = runner.run_many(
+            ["F1", "X0"], config=FAST_CONFIG, cache_dir=tmp_path
+        )
+        assert not report.ok
+        by_id = {o.exp_id: o for o in report.outcomes}
+        assert by_id["F1"].ok
+        assert by_id["X0"].status == runner.STATUS_ERROR
+        assert "ZeroDivisionError" in by_id["X0"].error
+        assert by_id["X0"].result() is None
+
+    def test_pool_path_merges_worker_metrics_and_spans(self, tmp_path):
+        obs.enable()
+        report = runner.run_many(
+            FAST_IDS, config=FAST_CONFIG, cache_dir=tmp_path, jobs=2
+        )
+        assert report.counts() == {runner.STATUS_COMPUTED: len(FAST_IDS)}
+        assert report.metrics is not None
+        # worker spans arrive tagged and adopted into the parent tracer
+        assert len(report.worker_spans) >= len(FAST_IDS)
+        roots = obs.trace_roots()
+        tagged = [r for r in roots if r.labels.get("worker")]
+        assert len(tagged) >= len(FAST_IDS)
+
+    def test_report_to_dict_schema(self, tmp_path):
+        report = runner.run_many(["F1"], config=FAST_CONFIG, cache_dir=tmp_path)
+        payload = report.to_dict()
+        assert payload["schema"] == "repro.runner.report/v1"
+        assert payload["counts"] == {"computed": 1}
+        assert payload["experiments"][0]["id"] == "F1"

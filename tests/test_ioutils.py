@@ -1,0 +1,55 @@
+"""Atomic writes and temp-file sweeping (`repro.ioutils`)."""
+
+import pytest
+
+from repro.ioutils import TMP_MARKER, atomic_write_text, sweep_tmp_files
+
+
+class TestAtomicWriteText:
+    def test_writes_content_and_creates_parents(self, tmp_path):
+        path = tmp_path / "a" / "b" / "out.txt"
+        returned = atomic_write_text(path, "hello\n")
+        assert returned == path
+        assert path.read_text() == "hello\n"
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        atomic_write_text(tmp_path / "out.txt", "x")
+        leftovers = [p for p in tmp_path.iterdir() if TMP_MARKER in p.name]
+        assert leftovers == []
+
+    def test_failed_write_leaves_target_untouched(self, tmp_path, monkeypatch):
+        import os
+
+        path = tmp_path / "out.txt"
+        path.write_text("original")
+
+        def boom(src, dst):
+            raise OSError("simulated replace failure")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError, match="simulated"):
+            atomic_write_text(path, "clobber")
+        assert path.read_text() == "original"
+        # the temp file was cleaned up on the way out
+        assert [p for p in tmp_path.iterdir() if TMP_MARKER in p.name] == []
+
+
+class TestSweepTmpFiles:
+    def test_removes_only_temp_files(self, tmp_path):
+        keep = tmp_path / "entry.json"
+        keep.write_text("{}")
+        orphan = tmp_path / "sub" / f"entry.json{TMP_MARKER}abc123"
+        orphan.parent.mkdir()
+        orphan.write_text("partial")
+        removed = sweep_tmp_files(tmp_path)
+        assert removed == [orphan]
+        assert keep.exists() and not orphan.exists()
+
+    def test_missing_directory_is_a_noop(self, tmp_path):
+        assert sweep_tmp_files(tmp_path / "nope") == []
