@@ -14,7 +14,6 @@ reproduction; each is ablated here:
 
 import time
 
-import numpy as np
 import pytest
 
 import repro.models.variable_load as vlm

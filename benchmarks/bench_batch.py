@@ -1,0 +1,245 @@
+"""Benchmark — scalar-loop vs batch kernels on the figure grids.
+
+PR 3's tentpole claim: an entire figure grid — δ(C), Δ(C) or γ(p)
+over hundreds of points — computes in a handful of numpy calls through
+`repro.numerics.batch` instead of one scalar solve per point, without
+changing any reported number.  This benchmark measures both paths on
+the Figure 2–4 model families (k̄ = 100, adaptive utility at the
+paper's κ) and on the continuum closed forms, asserting
+
+* the headline ≥10× speedup on a 512-point Poisson δ(C) sweep, and
+* batch/scalar agreement to rtol = 1e-9 on every case (an absolute
+  floor of 1e-12 absorbs noise-floor zeros: gaps the scalar path
+  clips to exactly 0.0 while the batch path leaves at ~1e-16).
+
+Δ(C) cases are compared as the solver root ``C + Δ`` rather than the
+gap itself: both paths resolve the root to the same absolute
+x-tolerance (~1e-12 relative to a root of order 100), so the *gap*
+``Δ = root - C`` carries an irreducible ~1e-10 absolute slack that
+swamps rtol = 1e-9 whenever Δ is small.  The root is the quantity the
+solvers actually promise.
+
+Results land in ``BENCH_batch.json`` at the repository root (committed,
+so reviewers can diff the speedup across machines) and
+``benchmarks/results/batch_speedup.txt``.
+
+Run standalone (``python benchmarks/bench_batch.py``) or via the
+harness (``pytest benchmarks/bench_batch.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.continuum import RigidExponentialContinuum
+from repro.experiments.params import DEFAULT_CONFIG
+from repro.models import VariableLoadModel
+
+#: The acceptance target for the headline case.
+TARGET_SPEEDUP = 10.0
+
+#: Relative agreement required between the scalar and batch paths.
+RTOL = 1e-9
+
+#: Absolute floor for noise-floor zeros (scalar clips tiny gaps to 0.0).
+ATOL = 1e-12
+
+#: Grid sizes: the headline δ(C) grid and the (solver-heavy) Δ(C) grid.
+DELTA_POINTS = 512
+GAP_POINTS = 128
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = ROOT / "BENCH_batch.json"
+
+
+def _time(fn: Callable[[], np.ndarray]) -> tuple:
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def _case(
+    name: str,
+    scalar_fn: Callable[[], np.ndarray],
+    batch_fn: Callable[[], np.ndarray],
+    points: int,
+    shift: np.ndarray | None = None,
+) -> Dict:
+    """Time one scalar/batch pair and check numerical agreement.
+
+    ``shift`` turns a gap comparison into a solver-root comparison:
+    ``Δ`` values are checked as ``C + Δ`` (see module docstring).
+    """
+    t_scalar, ref = _time(scalar_fn)
+    t_batch, out = _time(batch_fn)
+    cmp_out, cmp_ref = out, ref
+    if shift is not None:
+        cmp_out, cmp_ref = shift + out, shift + ref
+    matches = bool(np.allclose(cmp_out, cmp_ref, rtol=RTOL, atol=ATOL))
+    denom = np.maximum(np.abs(cmp_ref), ATOL / RTOL)
+    return {
+        "case": name,
+        "points": points,
+        "scalar_ms": round(t_scalar * 1e3, 3),
+        "batch_ms": round(t_batch * 1e3, 3),
+        "speedup": round(t_scalar / t_batch, 2),
+        "comparison": "value" if shift is None else "solver_root",
+        "max_rel_err": float(np.max(np.abs(cmp_out - cmp_ref) / denom)),
+        "matches_rtol_1e9": matches,
+    }
+
+
+def _model(load_name: str) -> VariableLoadModel:
+    cfg = DEFAULT_CONFIG
+    return VariableLoadModel(cfg.load(load_name), cfg.utility("adaptive"))
+
+
+def _warmup() -> None:
+    """Exercise both code paths once so timings reflect steady state.
+
+    First-call costs (numpy/scipy dispatch set-up, lazy imports, pmf
+    table construction machinery) otherwise land on whichever path
+    runs first and distort small-grid timings.
+    """
+    caps = np.linspace(60.0, 120.0, 8)
+    m = _model("poisson")
+    m.performance_gap_batch(caps)
+    m.bandwidth_gap_batch(caps)
+    m2 = _model("poisson")
+    for c in caps[:2]:
+        m2.performance_gap(float(c))
+        m2.bandwidth_gap(float(c))
+    cont = RigidExponentialContinuum(1.0)
+    cont.equalizing_ratio_batch(np.array([1e-3, 1e-2]))
+    cont.equalizing_ratio(1e-3)
+
+
+def measure() -> Dict:
+    """Run every scalar-vs-batch pair and collect the speedup table."""
+    _warmup()
+    cases: List[Dict] = []
+    caps_delta = np.linspace(20.0, 220.0, DELTA_POINTS)
+    caps_gap = np.linspace(60.0, 220.0, GAP_POINTS)
+
+    for load_name in ("poisson", "exponential", "algebraic"):
+        m_scalar = _model(load_name)
+        m_batch = _model(load_name)
+        cases.append(
+            _case(
+                f"{load_name} delta(C) sweep",
+                lambda m=m_scalar: np.array(
+                    [m.performance_gap(float(c)) for c in caps_delta]
+                ),
+                lambda m=m_batch: m.performance_gap_batch(caps_delta),
+                DELTA_POINTS,
+            )
+        )
+        m_scalar2 = _model(load_name)
+        m_batch2 = _model(load_name)
+        cases.append(
+            _case(
+                f"{load_name} Delta(C) sweep",
+                lambda m=m_scalar2: np.array(
+                    [m.bandwidth_gap(float(c)) for c in caps_gap]
+                ),
+                lambda m=m_batch2: m.bandwidth_gap_batch(caps_gap),
+                GAP_POINTS,
+                shift=caps_gap,
+            )
+        )
+
+    cont = RigidExponentialContinuum(1.0)
+    prices = np.geomspace(1e-6, 0.2, 256)
+    cases.append(
+        _case(
+            "continuum rigid/exp gamma(p) sweep",
+            lambda: np.array(
+                [cont.equalizing_ratio(float(p)) for p in prices]
+            ),
+            lambda: cont.equalizing_ratio_batch(prices),
+            prices.size,
+        )
+    )
+
+    headline = cases[0]
+    return {
+        "generated_by": "benchmarks/bench_batch.py",
+        "config": {
+            "kbar": DEFAULT_CONFIG.kbar,
+            "kappa": DEFAULT_CONFIG.kappa,
+            "z": DEFAULT_CONFIG.z,
+            "rtol": RTOL,
+            "atol": ATOL,
+            "target_speedup": TARGET_SPEEDUP,
+        },
+        "headline": headline,
+        "cases": cases,
+    }
+
+
+def render(stats: Dict) -> str:
+    lines = [
+        f"{'case':38s} {'points':>6s} {'scalar':>10s} {'batch':>10s} "
+        f"{'speedup':>8s} {'max rel err':>12s}"
+    ]
+    for c in stats["cases"]:
+        lines.append(
+            f"{c['case']:38s} {c['points']:6d} "
+            f"{c['scalar_ms']:8.1f}ms {c['batch_ms']:8.1f}ms "
+            f"{c['speedup']:7.1f}x {c['max_rel_err']:12.2e}"
+        )
+    h = stats["headline"]
+    lines.append(
+        f"headline: {h['case']} at {h['speedup']:.1f}x "
+        f"(target >= {TARGET_SPEEDUP:.0f}x, rtol {RTOL:g})"
+    )
+    return "\n".join(lines)
+
+
+def check(stats: Dict) -> None:
+    """Assert the acceptance criteria from the issue."""
+    for c in stats["cases"]:
+        assert c["matches_rtol_1e9"], (
+            f"{c['case']}: batch diverged from scalar "
+            f"(max rel err {c['max_rel_err']:.3e}, rtol {RTOL:g})"
+        )
+    h = stats["headline"]
+    assert h["speedup"] >= TARGET_SPEEDUP, (
+        f"headline {h['case']} speedup {h['speedup']:.1f}x below the "
+        f"{TARGET_SPEEDUP:.0f}x target"
+    )
+
+
+def write_json(stats: Dict) -> None:
+    JSON_PATH.write_text(json.dumps(stats, indent=2) + "\n")
+
+
+def test_batch_speedup(benchmark, record):
+    from benchmarks.conftest import run_once
+
+    stats = run_once(benchmark, measure)
+    record("batch_speedup", render(stats))
+    write_json(stats)
+    check(stats)
+
+
+def main() -> int:
+    stats = measure()
+    text = render(stats)
+    results = pathlib.Path(__file__).parent / "results"
+    results.mkdir(exist_ok=True)
+    (results / "batch_speedup.txt").write_text(f"# batch_speedup\n{text}\n")
+    write_json(stats)
+    print(text)
+    check(stats)
+    print("batch speedup targets met")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

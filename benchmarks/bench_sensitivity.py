@@ -10,8 +10,6 @@ quantities respond — the ablation grid a reviewer would ask for:
 - retry penalty ``alpha``: prices the delay of getting in eventually.
 """
 
-import numpy as np
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.continuum import (

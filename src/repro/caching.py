@@ -19,7 +19,7 @@ The analytic models memoise per-capacity totals (``V_B(C)``,
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Hashable, Optional
+from typing import Hashable
 
 #: Decimals float keys are rounded to — matches the root finders'
 #: absolute x-tolerance (``repro.numerics.solvers.XTOL == 1e-12``).

@@ -21,8 +21,9 @@ nature of the adaptive utility function".
 
 from __future__ import annotations
 
-import math
 from typing import Optional
+
+import numpy as np
 
 from repro.continuum.rigid_algebraic import RigidAlgebraicContinuum
 from repro.errors import ModelError
@@ -127,6 +128,27 @@ class AdaptiveAlgebraicContinuum:
         """``Delta(C) = C (gap_ratio - 1)`` — exactly linear in C."""
         self._check_capacity(capacity)
         return capacity * (self.gap_ratio() - 1.0)
+
+    # ------------------------- batch forms --------------------------
+
+    def best_effort_batch(self, capacities) -> np.ndarray:
+        """``B`` over a capacity grid (closed form)."""
+        caps = self._rigid._grid(capacities)
+        kbar = self.mean_load
+        return (kbar - self._c_b * caps ** (2.0 - self._z)) / kbar
+
+    def reservation_batch(self, capacities) -> np.ndarray:
+        """``R`` over a capacity grid — identical to the rigid case."""
+        return self._rigid.reservation_batch(capacities)
+
+    def performance_gap_batch(self, capacities) -> np.ndarray:
+        """``delta`` over a capacity grid (closed form)."""
+        caps = self._rigid._grid(capacities)
+        return (self._c_b - self._c_r) * caps ** (2.0 - self._z) / self.mean_load
+
+    def bandwidth_gap_batch(self, capacities) -> np.ndarray:
+        """``Delta`` over a capacity grid — exactly linear in ``C``."""
+        return self._rigid._grid(capacities) * (self.gap_ratio() - 1.0)
 
     # --------------------------- welfare ----------------------------
 

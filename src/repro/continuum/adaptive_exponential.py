@@ -19,8 +19,11 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.continuum.rigid_exponential import RigidExponentialContinuum
 from repro.errors import ModelError
+from repro.numerics.batch import invert_monotone_batch
 from repro.numerics.solvers import find_root, invert_monotone
 
 
@@ -111,6 +114,69 @@ class AdaptiveExponentialContinuum:
             label=f"adaptive-exponential Delta(C={capacity})",
         )
         return max(0.0, solution - capacity)
+
+    # ------------------------- batch forms --------------------------
+
+    def best_effort_batch(self, capacities) -> np.ndarray:
+        """Normalised ``B`` over a capacity grid (closed form)."""
+        caps = self._rigid._grid(capacities)
+        a, beta = self._a, self._beta
+        bc = beta * caps
+        e1 = np.exp(-bc)
+        rigid_part = (1.0 - e1 * (1.0 + bc)) / beta
+        if a == 0.0:
+            ramp_part = caps * e1
+        else:
+            bca = bc / a
+            e2 = np.exp(-bca)
+            ramp_part = (
+                caps * (e1 - e2)
+                - (a / beta) * (e1 * (1.0 + bc) - e2 * (1.0 + bca))
+            ) / (1.0 - a)
+        totals = np.where(caps > 0.0, rigid_part + ramp_part, 0.0)
+        return totals * beta
+
+    def reservation_batch(self, capacities) -> np.ndarray:
+        """Normalised ``R`` over a capacity grid — rigid closed form."""
+        return self._rigid.reservation_batch(capacities)
+
+    def performance_gap_batch(self, capacities) -> np.ndarray:
+        """``delta`` over a capacity grid (clipped at zero)."""
+        return np.maximum(
+            0.0,
+            self.reservation_batch(capacities)
+            - self.best_effort_batch(capacities),
+        )
+
+    def bandwidth_gap_batch(
+        self, capacities, *, gap_floor: float = 1e-13
+    ) -> np.ndarray:
+        """``Delta`` over a capacity grid via one vectorised inversion."""
+        caps = self._rigid._grid(capacities)
+        gaps = np.zeros(caps.size)
+        targets = self.reservation_batch(caps)
+        idx = np.flatnonzero(
+            (targets - self.best_effort_batch(caps)) > gap_floor
+        )
+        if idx.size == 0:
+            return gaps
+        sub = caps[idx]
+        result = invert_monotone_batch(
+            self.best_effort_batch,
+            targets[idx],
+            sub,
+            sub + np.maximum(1.0, sub),
+            increasing=True,
+            upper_limit=1e12,
+            label="adaptive-exponential Delta batch",
+        )
+        ok = result.converged & np.isfinite(result.roots)
+        gaps[idx[ok]] = np.maximum(0.0, result.roots[ok] - sub[ok])
+        for j in np.flatnonzero(~ok):
+            gaps[idx[j]] = self.bandwidth_gap(
+                float(sub[j]), gap_floor=gap_floor
+            )
+        return gaps
 
     def bandwidth_gap_limit(self) -> float:
         """``lim_{C->inf} Delta(C) = -ln(1-a)/beta`` (paper Section 3.3)."""

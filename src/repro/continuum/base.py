@@ -18,6 +18,8 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+import numpy as np
+
 from repro import obs
 from repro.errors import ModelError
 from repro.loads.continuum import ContinuumLoad
@@ -202,6 +204,35 @@ class ContinuumModel:
     def performance_gap(self, capacity: float) -> float:
         """``delta(C) = R(C) - B(C)`` (clipped at zero)."""
         return max(0.0, self.reservation(capacity) - self.best_effort(capacity))
+
+    # ------------------------------------------------------------------
+    # batch evaluation
+    # ------------------------------------------------------------------
+
+    def _scalar_batch(self, fn, capacities) -> np.ndarray:
+        """Per-point evaluation of ``fn`` over a grid, metered as
+        scalar fallbacks — adaptive quadrature adapts its panels to
+        each capacity, so there is no shared vector kernel here."""
+        caps = np.asarray(capacities, dtype=float).ravel()
+        if obs.enabled():
+            obs.counter("batch.fallback_scalar").inc(int(caps.size))
+        return np.array([fn(float(c)) for c in caps])
+
+    def best_effort_batch(self, capacities) -> np.ndarray:
+        """Normalised ``B`` over a capacity grid (per-point quadrature)."""
+        return self._scalar_batch(self.best_effort, capacities)
+
+    def reservation_batch(self, capacities) -> np.ndarray:
+        """Normalised ``R`` over a capacity grid (per-point quadrature)."""
+        return self._scalar_batch(self.reservation, capacities)
+
+    def performance_gap_batch(self, capacities) -> np.ndarray:
+        """``delta`` over a capacity grid (per-point quadrature)."""
+        return self._scalar_batch(self.performance_gap, capacities)
+
+    def bandwidth_gap_batch(self, capacities) -> np.ndarray:
+        """``Delta`` over a capacity grid (per-point inversion)."""
+        return self._scalar_batch(self.bandwidth_gap, capacities)
 
     def bandwidth_gap(
         self,

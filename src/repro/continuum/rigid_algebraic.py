@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.errors import ModelError
 
 
@@ -75,6 +77,34 @@ class RigidAlgebraicContinuum:
         """``Delta(C) = C ((z-1)^{1/(z-2)} - 1)`` — exactly linear."""
         self._check_capacity(capacity)
         return capacity * (self.gap_ratio() - 1.0)
+
+    # ------------------------- batch forms --------------------------
+
+    def _grid(self, capacities) -> np.ndarray:
+        caps = np.asarray(capacities, dtype=float).ravel()
+        if caps.size and float(np.min(caps)) < 1.0:
+            raise ModelError(
+                f"the algebraic closed forms hold for C >= 1, got "
+                f"{float(np.min(caps))!r}"
+            )
+        return caps
+
+    def best_effort_batch(self, capacities) -> np.ndarray:
+        """``B`` over a capacity grid (closed form)."""
+        return 1.0 - self._grid(capacities) ** (2.0 - self._z)
+
+    def reservation_batch(self, capacities) -> np.ndarray:
+        """``R`` over a capacity grid (closed form)."""
+        return 1.0 - self._grid(capacities) ** (2.0 - self._z) / (self._z - 1.0)
+
+    def performance_gap_batch(self, capacities) -> np.ndarray:
+        """``delta`` over a capacity grid (closed form)."""
+        z = self._z
+        return self._grid(capacities) ** (2.0 - z) * (z - 2.0) / (z - 1.0)
+
+    def bandwidth_gap_batch(self, capacities) -> np.ndarray:
+        """``Delta`` over a capacity grid — exactly linear in ``C``."""
+        return self._grid(capacities) * (self.gap_ratio() - 1.0)
 
     # --------------------------- welfare ----------------------------
 

@@ -24,9 +24,11 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
 from scipy import special
 
 from repro.errors import ModelError
+from repro.numerics.batch import find_roots
 from repro.numerics.solvers import find_root
 
 #: Largest price with a nonzero best-effort provisioning optimum
@@ -99,6 +101,72 @@ class RigidExponentialContinuum:
             upper_limit=1e12,
             label=f"rigid-exponential Delta(C={capacity})",
         )
+
+    # ------------------------- batch forms --------------------------
+
+    def _grid(self, capacities) -> np.ndarray:
+        caps = np.asarray(capacities, dtype=float).ravel()
+        if caps.size and float(np.min(caps)) < 0.0:
+            raise ValueError(
+                f"capacity must be >= 0, got {float(np.min(caps))!r}"
+            )
+        return caps
+
+    def best_effort_batch(self, capacities) -> np.ndarray:
+        """Normalised ``B`` over a capacity grid (closed form)."""
+        bc = self._beta * self._grid(capacities)
+        return 1.0 - np.exp(-bc) * (1.0 + bc)
+
+    def reservation_batch(self, capacities) -> np.ndarray:
+        """Normalised ``R`` over a capacity grid (closed form)."""
+        return 1.0 - np.exp(-self._beta * self._grid(capacities))
+
+    def performance_gap_batch(self, capacities) -> np.ndarray:
+        """``delta`` over a capacity grid (closed form)."""
+        bc = self._beta * self._grid(capacities)
+        return bc * np.exp(-bc)
+
+    def bandwidth_gap_batch(self, capacities) -> np.ndarray:
+        """``Delta`` over a capacity grid via one vectorised root find."""
+        caps = self._grid(capacities)
+        beta = self._beta
+
+        def residual(delta: np.ndarray, c: np.ndarray) -> np.ndarray:
+            return beta * delta - np.log1p(beta * (c + delta))
+
+        result = find_roots(
+            residual,
+            np.zeros(caps.size),
+            np.maximum(1.0, caps),
+            args=(caps,),
+            expand=True,
+            upper_limit=1e12,
+            label="rigid-exponential Delta batch",
+        )
+        return result.roots
+
+    def equalizing_ratio_batch(self, prices) -> np.ndarray:
+        """``gamma`` over a price grid via one vectorised root find."""
+        ps = np.asarray(prices, dtype=float).ravel()
+        for p in ps:
+            self._check_price(float(p))
+        h = -np.real(special.lambertw(-ps, k=-1))
+        rhs = 1.0 + 1.0 / h + h
+        log_p = np.log(ps)
+
+        def residual(gamma, rhs_v, log_p_v):
+            return gamma * (1.0 - np.log(gamma) - log_p_v) - rhs_v
+
+        result = find_roots(
+            residual,
+            np.ones(ps.size),
+            np.full(ps.size, 4.0),
+            args=(rhs, log_p),
+            expand=True,
+            upper_limit=float(np.max(1.0 / ps)),
+            label="rigid-exponential gamma batch",
+        )
+        return result.roots
 
     def bandwidth_gap_asymptotic(self, capacity: float) -> float:
         """Leading large-C behaviour ``ln(beta C)/beta`` (paper Section 3.3)."""

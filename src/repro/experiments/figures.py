@@ -102,15 +102,15 @@ def continuum_series(config: Optional[PaperConfig] = None, *, points: int = 30) 
     }
     out: dict = {"capacity_over_kbar": caps}
     for tag, model in cases.items():
-        out[f"best_effort_{tag}"] = np.array(
-            [model.best_effort(float(c)) for c in caps]
-        )
-        out[f"reservation_{tag}"] = np.array(
-            [model.reservation(float(c)) for c in caps]
-        )
-        out[f"bandwidth_gap_{tag}"] = np.array(
-            [model.bandwidth_gap(float(c)) for c in caps]
-        )
+        for name in ("best_effort", "reservation", "bandwidth_gap"):
+            batch = getattr(model, f"{name}_batch", None)
+            if batch is not None:
+                series = np.asarray(batch(caps), dtype=float)
+            else:
+                series = np.array(
+                    [getattr(model, name)(float(c)) for c in caps]
+                )
+            out[f"{name}_{tag}"] = series
     return out
 
 

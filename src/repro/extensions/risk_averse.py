@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
 
 from repro.loads.base import LoadDistribution
 from repro.models.sampling import SamplingModel

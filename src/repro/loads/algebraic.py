@@ -109,6 +109,11 @@ class AlgebraicLoad(LoadDistribution):
         out = (self._lam + ks) ** (-self._z) / self._norm
         return np.where(ks >= 1, out, 0.0)
 
+    def sf_array(self, ks: np.ndarray) -> np.ndarray:
+        ks = np.asarray(ks, dtype=float)
+        tail = special.zeta(self._z, self._lam + np.maximum(ks, 1.0) + 1.0)
+        return np.where(ks >= 1, tail / self._norm, 1.0)
+
     def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
         """Hybrid sampler: table for the bulk, bisection for the tail.
 
@@ -127,7 +132,7 @@ class AlgebraicLoad(LoadDistribution):
         pmf[: self.support_min] = 0.0
         cdf = np.cumsum(pmf)
         u = rng.random(size)
-        out = np.searchsorted(cdf, u).astype(np.int64) 
+        out = np.searchsorted(cdf, u).astype(np.int64)
         deep = u > cdf[-1]
         for i in np.nonzero(deep)[0]:
             out[i] = self._invert_sf(1.0 - u[i], cut)

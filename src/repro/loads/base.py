@@ -111,6 +111,19 @@ class LoadDistribution(abc.ABC):
             np.asarray(ks).shape
         )
 
+    def sf_array(self, ks: np.ndarray) -> np.ndarray:
+        """Vectorised survival function over an integer array.
+
+        The batch reservation path evaluates the overload mass
+        ``P(K > k_max(C))`` for a whole capacity grid at once; scalar
+        :meth:`sf` calls dominate that sweep for scipy-backed families,
+        so the concrete distributions override this with one vector
+        call.  The default delegates per element.
+        """
+        return np.array([self.sf(int(k)) for k in np.asarray(ks).ravel()]).reshape(
+            np.asarray(ks).shape
+        )
+
     def validate_k(self, k: int) -> None:
         """Raise if ``k`` is not a nonnegative integer."""
         if k != int(k) or k < 0:

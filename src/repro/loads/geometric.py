@@ -63,6 +63,10 @@ class GeometricLoad(LoadDistribution):
         ks = np.asarray(ks, dtype=float)
         return (1.0 - self._q) * np.exp(-self._beta * ks)
 
+    def sf_array(self, ks: np.ndarray) -> np.ndarray:
+        ks = np.asarray(ks, dtype=float)
+        return self._q ** (ks + 1.0)
+
     def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
         if size < 0:
             raise ValueError(f"size must be >= 0, got {size!r}")

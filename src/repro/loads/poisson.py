@@ -50,6 +50,9 @@ class PoissonLoad(LoadDistribution):
     def pmf_array(self, ks: np.ndarray) -> np.ndarray:
         return self._dist.pmf(np.asarray(ks))
 
+    def sf_array(self, ks: np.ndarray) -> np.ndarray:
+        return np.asarray(self._dist.sf(np.asarray(ks)), dtype=float)
+
     def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
         if size < 0:
             raise ValueError(f"size must be >= 0, got {size!r}")

@@ -15,7 +15,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.loads.base import LoadDistribution
-from repro.models.fixed_load import Architecture, FixedLoadModel
+from repro.models.fixed_load import FixedLoadModel
 from repro.models.retrying import RetryingModel
 from repro.models.sampling import SamplingModel
 from repro.models.variable_load import VariableLoadModel

@@ -21,6 +21,8 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro import obs
 from repro.errors import ModelError
 from repro.numerics.optimize import argmax_int
@@ -166,6 +168,131 @@ class FixedLoadModel:
                 )
         self._k_max_cache[key] = best
         return best
+
+    # ------------------------------------------------------------------
+    # batch evaluation
+    # ------------------------------------------------------------------
+
+    def _totals_grid(self, ks, capacities) -> np.ndarray:
+        """``V(k) = k pi(C/k)`` over broadcastable flow/capacity arrays."""
+        ks = np.asarray(ks, dtype=float)
+        caps = np.asarray(capacities, dtype=float)
+        positive = ks > 0
+        shares = np.where(positive, caps / np.maximum(ks, 1.0), 0.0)
+        values = np.asarray(self._utility(shares), dtype=float)
+        return np.where(positive, ks * values, 0.0)
+
+    def k_max_batch(self, capacities) -> np.ndarray:
+        """Admission thresholds for a whole capacity grid at once.
+
+        The batch counterpart of :meth:`k_max`, returning an integer
+        array.  With an analytic hint the per-capacity centres are
+        refined by a vectorised window-and-walk, mirroring the scalar
+        path.  Without one, ``V(k)`` is unimodal for every inelastic
+        utility (the paper's premise), so the peak is located by a
+        vectorised binary search on the discrete slope — the smallest
+        ``k`` with ``V(k+1) <= V(k)`` — followed by the same local
+        safeguard walk the scalar search ends with.  Elements whose
+        optimum hits the search limit raise :class:`ModelError`
+        exactly as the scalar path does.
+        """
+        caps = np.asarray(capacities, dtype=float).ravel()
+        if caps.size and float(np.min(caps)) < 0.0:
+            raise ValueError(
+                f"capacity must be >= 0, got {float(np.min(caps))!r}"
+            )
+        result = np.zeros(caps.size, dtype=np.int64)
+        if self._k_max_override is not None:
+            for i, c in enumerate(caps):
+                result[i] = 0 if c == 0.0 else int(self._k_max_override(float(c)))
+            return result
+
+        todo = []
+        for i, c in enumerate(caps):
+            if c == 0.0:
+                continue
+            cached = self._k_max_cache.get(float(c))
+            if cached is not None:
+                result[i] = cached
+                if obs.enabled():
+                    obs.counter("model.k_max.cache_hits").inc()
+            else:
+                todo.append(i)
+        if not todo:
+            return result
+        if obs.enabled():
+            obs.counter("model.k_max.searches").inc(len(todo))
+            obs.counter("batch.k_max.points").inc(len(todo))
+
+        idx = np.asarray(todo, dtype=np.int64)
+        sub = caps[idx]
+        col = sub.reshape(-1, 1)
+
+        hint = getattr(self._utility, "k_max", None)
+        if hint is not None:
+            centers = np.array(
+                [int(round(float(hint(float(c))))) for c in sub], dtype=np.int64
+            )
+            lo = np.maximum(0, centers - 3)
+            window = lo.reshape(-1, 1) + np.arange(8)
+            values = self._totals_grid(window, col)
+            best = window[np.arange(len(sub)), np.argmax(values, axis=1)]
+        else:
+            limit = self._k_max_limit
+            if limit is not None:
+                limits = np.full(len(sub), int(limit), dtype=np.int64)
+            else:
+                limits = np.maximum(
+                    64, (DEFAULT_KMAX_LIMIT_FACTOR * sub).astype(np.int64) + 64
+                )
+            search_lo = np.zeros(len(sub), dtype=np.int64)
+            search_hi = limits.copy()
+            while True:
+                open_mask = search_lo < search_hi
+                if not np.any(open_mask):
+                    break
+                mid = (search_lo + search_hi) // 2
+                pair = self._totals_grid(
+                    np.stack([mid, mid + 1], axis=1), col
+                )
+                descending = pair[:, 1] <= pair[:, 0]
+                search_hi = np.where(open_mask & descending, mid, search_hi)
+                search_lo = np.where(
+                    open_mask & ~descending, mid + 1, search_lo
+                )
+            best = search_lo
+            if np.any(best >= limits):
+                bad = int(idx[np.argmax(best >= limits)])
+                raise ModelError(
+                    f"k_max search hit the limit {int(limits.max())} at "
+                    f"C={caps[bad]}; the utility appears elastic (V(k) "
+                    "increasing) — admission control has no finite optimum "
+                    "(paper Section 2)"
+                )
+
+        # safeguard walk (vectorised): nudge until locally optimal, which
+        # the scalar path guarantees by construction
+        value = self._totals_grid(best, sub)
+        while True:
+            down = best > 0
+            if np.any(down):
+                lower = self._totals_grid(np.maximum(best - 1, 0), sub)
+                move = down & (lower > value)
+                if np.any(move):
+                    best = np.where(move, best - 1, best)
+                    value = np.where(move, lower, value)
+                    continue
+            upper = self._totals_grid(best + 1, sub)
+            move = upper > value
+            if not np.any(move):
+                break
+            best = np.where(move, best + 1, best)
+            value = np.where(move, upper, value)
+
+        result[idx] = best
+        for j, i in enumerate(idx):
+            self._k_max_cache[float(caps[i])] = int(best[j])
+        return result
 
     def compare(self, offered_flows: int, capacity: float) -> FixedLoadComparison:
         """Compare the two architectures at one fixed load point.

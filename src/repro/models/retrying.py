@@ -32,10 +32,15 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.caching import BoundedCache
 from repro.errors import ModelError
 from repro.loads.base import LoadDistribution
-from repro.models.variable_load import GAP_FLOOR, VariableLoadModel
+from repro.models.variable_load import (
+    GAP_FLOOR,
+    VariableLoadModel,
+    solve_bandwidth_gaps,
+)
 from repro.numerics.series import fixed_point
 from repro.numerics.solvers import invert_monotone
 from repro.utility.base import UtilityFunction
@@ -213,26 +218,65 @@ class RetryingModel:
         )
         return max(0.0, solution - capacity)
 
+    # ------------------------------------------------------------------
+    # batch evaluation (whole-grid sweeps)
+    # ------------------------------------------------------------------
+
+    def best_effort_batch(self, capacities) -> np.ndarray:
+        """``B`` over a capacity grid — the base model's batch curve."""
+        return self._base.best_effort_batch(capacities)
+
+    def reservation_batch(self, capacities) -> np.ndarray:
+        """``R~`` over a capacity grid.
+
+        The retry fixed point couples each capacity to its *own*
+        inflated load distribution, so there is no shared series to
+        vectorise; each point runs the scalar solve (counted as
+        ``batch.fallback_scalar``), with results landing in the
+        fixed-point cache as usual.
+        """
+        caps = np.asarray(capacities, dtype=float).ravel()
+        if obs.enabled():
+            obs.counter("batch.fallback_scalar").inc(int(caps.size))
+        return np.array([self.reservation(float(c)) for c in caps])
+
+    def bandwidth_gap_batch(
+        self,
+        capacities,
+        *,
+        gap_floor: float = GAP_FLOOR,
+        upper_limit: float = 1e9,
+    ) -> np.ndarray:
+        """``Delta~`` over a capacity grid via one vectorised inversion."""
+        caps = np.asarray(capacities, dtype=float).ravel()
+        return solve_bandwidth_gaps(
+            self.best_effort_batch,
+            caps,
+            self.reservation_batch(caps),
+            self.best_effort_batch(caps),
+            gap_floor=gap_floor,
+            upper_limit=upper_limit,
+            scalar_fallback=lambda c: self.bandwidth_gap(
+                c, gap_floor=gap_floor, upper_limit=upper_limit
+            ),
+            label="retrying bandwidth gap batch",
+        )
+
     def sweep(self, capacities, *, include_gaps: bool = True) -> dict:
-        """Figure-series sweep mirroring :meth:`VariableLoadModel.sweep`."""
+        """Figure-series sweep mirroring :meth:`VariableLoadModel.sweep`.
+
+        Best-effort and the bandwidth-gap inversion run through the
+        batch kernels; the reservation fixed point stays per-point.
+        """
         caps = np.asarray(list(capacities), dtype=float)
-        n = len(caps)
-        b = np.empty(n)
-        r = np.empty(n)
-        d = np.empty(n)
-        bw = np.empty(n) if include_gaps else None
-        for i, c in enumerate(caps):
-            b[i] = self.best_effort(float(c))
-            r[i] = self.reservation(float(c))
-            d[i] = r[i] - b[i]
-            if include_gaps:
-                bw[i] = self.bandwidth_gap(float(c))
+        b = self.best_effort_batch(caps)
+        r = self.reservation_batch(caps)
         out = {
             "capacity": caps,
             "best_effort": b,
             "reservation": r,
-            "performance_gap": d,
+            "performance_gap": r - b,
         }
         if include_gaps:
-            out["bandwidth_gap"] = bw
+            out["bandwidth_gap"] = self.bandwidth_gap_batch(caps)
         return out

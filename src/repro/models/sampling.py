@@ -34,7 +34,12 @@ import numpy as np
 
 from repro.loads.base import LoadDistribution
 from repro.loads.weighted import SizeBiasedLoad
-from repro.models.variable_load import GAP_FLOOR, VariableLoadModel
+from repro.models.variable_load import (
+    GAP_FLOOR,
+    VariableLoadModel,
+    solve_bandwidth_gaps,
+)
+from repro.numerics.batch import share_weighted_sums
 from repro.numerics.solvers import invert_monotone
 from repro.utility.base import UtilityFunction
 
@@ -129,6 +134,33 @@ class SamplingModel:
                 )
             n <<= 1
 
+    def _truncation_points_batch(self, caps: np.ndarray) -> np.ndarray:
+        """Per-capacity truncation points, one tail evaluation per level.
+
+        Mirrors :meth:`_truncation_point` decision-for-decision; the
+        max-of-``S`` survival ``P(max > n)`` is capacity-independent,
+        so each power-of-two level costs one scalar call regardless of
+        grid size.
+        """
+        out = np.full(caps.size, -1, dtype=np.int64)
+        open_ = np.ones(caps.size, dtype=bool)
+        n = 1024
+        while np.any(open_):
+            sfp = self._sf_q_pow(n)
+            vals = np.asarray(self._utility(caps[open_] / n), dtype=float)
+            done = np.minimum(1.0, vals) * sfp < self._tol
+            sel = np.flatnonzero(open_)[done]
+            out[sel] = n
+            open_[sel] = False
+            if np.any(open_) and n > 1 << 26:
+                bad = float(caps[np.flatnonzero(open_)[0]])
+                raise RuntimeError(
+                    f"sampling-model truncation exceeded 2^26 terms at C={bad}; "
+                    "loosen tol or reduce the capacity range"
+                )
+            n <<= 1
+        return out
+
     # ------------------------------------------------------------------
     # the model's quantities
     # ------------------------------------------------------------------
@@ -202,18 +234,114 @@ class SamplingModel:
         )
         return max(0.0, solution - capacity)
 
+    # ------------------------------------------------------------------
+    # batch evaluation (whole-grid sweeps)
+    # ------------------------------------------------------------------
+
+    def _validated_grid(self, capacities) -> np.ndarray:
+        caps = np.asarray(capacities, dtype=float).ravel()
+        if caps.size and float(np.min(caps)) < 0.0:
+            raise ValueError(
+                f"capacity must be >= 0, got {float(np.min(caps))!r}"
+            )
+        return caps
+
+    def best_effort_batch(self, capacities) -> np.ndarray:
+        """``B_S`` over a capacity grid via the shared series kernel.
+
+        The max-of-``S`` pmf weights depend only on ``k``, so each
+        truncation group runs as one chunked matrix product with the
+        same terms the scalar path sums.
+        """
+        caps = self._validated_grid(capacities)
+        totals = np.zeros(caps.size)
+        live = np.flatnonzero(caps > 0.0)
+        if live.size == 0:
+            return totals
+        points = self._truncation_points_batch(caps[live])
+        for n in np.unique(points):
+            n = int(n)
+            idx = live[points == n]
+            self._ensure_cdf(n)
+            cdf_pow = self._cdf[: n + 1] ** self._samples
+            weights = np.concatenate(([0.0], np.diff(cdf_pow)))
+            totals[idx] = share_weighted_sums(
+                caps[idx], weights, self._utility, k_start=1, k_stop=n + 1
+            )
+        return totals
+
+    def reservation_batch(self, capacities) -> np.ndarray:
+        """``R_S`` over a capacity grid: batch ``k_max`` + one masked sum."""
+        caps = self._validated_grid(capacities)
+        totals = np.zeros(caps.size)
+        pos = np.flatnonzero(caps > 0.0)
+        if pos.size == 0:
+            return totals
+        kmax = self._base.k_max_batch(caps[pos])
+        floor = max(1, self._load.support_min)
+        live = kmax >= floor
+        if not np.any(live):
+            return totals
+        idx = pos[live]
+        sub_caps = caps[idx]
+        sub_kmax = kmax[live]
+        top = int(sub_kmax.max())
+        self._ensure_cdf(top)
+        cdf = self._cdf[: top + 1]
+        cdf_pow = cdf**self._samples
+        weights = np.concatenate(([0.0], np.diff(cdf_pow)))
+        inner = share_weighted_sums(
+            sub_caps,
+            weights,
+            self._utility,
+            k_start=1,
+            k_stop=top + 1,
+            kmax=sub_kmax - 1,
+        )
+        at_cap = cdf[sub_kmax] - cdf_pow[sub_kmax - 1]
+        over = (
+            sub_kmax
+            * np.asarray(self._load.sf_array(sub_kmax), dtype=float)
+            / self._kbar
+        )
+        pi_cap = np.asarray(self._utility(sub_caps / sub_kmax), dtype=float)
+        totals[idx] = inner + (at_cap + over) * pi_cap
+        return totals
+
+    def performance_gap_batch(self, capacities) -> np.ndarray:
+        """``delta_S`` over a capacity grid (clipped at zero)."""
+        caps = self._validated_grid(capacities)
+        return np.maximum(
+            0.0, self.reservation_batch(caps) - self.best_effort_batch(caps)
+        )
+
+    def bandwidth_gap_batch(
+        self,
+        capacities,
+        *,
+        gap_floor: float = GAP_FLOOR,
+        upper_limit: float = 1e9,
+    ) -> np.ndarray:
+        """``Delta_S`` over a capacity grid via one vectorised inversion."""
+        caps = self._validated_grid(capacities)
+        return solve_bandwidth_gaps(
+            self.best_effort_batch,
+            caps,
+            self.reservation_batch(caps),
+            self.best_effort_batch(caps),
+            gap_floor=gap_floor,
+            upper_limit=upper_limit,
+            scalar_fallback=lambda c: self.bandwidth_gap(
+                c, gap_floor=gap_floor, upper_limit=upper_limit
+            ),
+            label="sampling bandwidth gap batch",
+        )
+
     def sweep(self, capacities, *, include_gaps: bool = True) -> dict:
         """Figure-series sweep mirroring :meth:`VariableLoadModel.sweep`."""
         caps = np.asarray(list(capacities), dtype=float)
-        n = len(caps)
-        b = np.empty(n)
-        r = np.empty(n)
-        bw = np.empty(n) if include_gaps else None
-        for i, c in enumerate(caps):
-            b[i] = self.best_effort(float(c))
-            r[i] = self.reservation(float(c))
-            if include_gaps:
-                bw[i] = self.bandwidth_gap(float(c))
+        b = self.best_effort_batch(caps)
+        r = self.reservation_batch(caps)
         out = {
             "capacity": caps,
             "best_effort": b,
@@ -221,5 +349,5 @@ class SamplingModel:
             "performance_gap": np.maximum(0.0, r - b),
         }
         if include_gaps:
-            out["bandwidth_gap"] = bw
+            out["bandwidth_gap"] = self.bandwidth_gap_batch(caps)
         return out

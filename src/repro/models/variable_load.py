@@ -30,15 +30,16 @@ pmf extension — exact integrand, no model-specific approximation.
 
 from __future__ import annotations
 
-import math
 from typing import Callable, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.caching import BoundedCache
 from repro.errors import ConvergenceError
 from repro.loads.base import LoadDistribution
 from repro.models.fixed_load import FixedLoadModel
+from repro.numerics.batch import invert_monotone_batch, share_weighted_sums
 from repro.numerics.quadrature import integrate
 from repro.numerics.solvers import invert_monotone
 from repro.utility.base import UtilityFunction
@@ -53,6 +54,53 @@ BRUTE_FORCE_CAP = 1 << 22
 #: when solving for the bandwidth gap (they are below the numerical
 #: noise floor of the truncated sums).
 GAP_FLOOR = 1e-12
+
+
+def solve_bandwidth_gaps(
+    best_effort_batch,
+    capacities: np.ndarray,
+    targets: np.ndarray,
+    base_values: np.ndarray,
+    *,
+    gap_floor: float = GAP_FLOOR,
+    upper_limit: float = 1e9,
+    scalar_fallback=None,
+    label: str = "bandwidth gap batch",
+) -> np.ndarray:
+    """Solve ``B(C + Delta) = target`` over a grid in one vector call.
+
+    Shared by the variable-load, retrying and sampling models: each
+    supplies its own vectorised best-effort curve and its own targets.
+    Elements whose gap is below ``gap_floor`` return exactly 0.0 (the
+    scalar contract); elements the batch solver flags as unconverged
+    are re-solved through ``scalar_fallback(capacity)`` and counted as
+    ``batch.fallback_scalar``.
+    """
+    caps = np.asarray(capacities, dtype=float).ravel()
+    gaps = np.zeros(caps.size)
+    idx = np.flatnonzero((targets - base_values) > gap_floor)
+    if idx.size == 0:
+        return gaps
+    sub = caps[idx]
+    result = invert_monotone_batch(
+        best_effort_batch,
+        targets[idx],
+        sub,
+        sub + np.maximum(1.0, sub),
+        increasing=True,
+        upper_limit=upper_limit,
+        label=label,
+    )
+    ok = result.converged & np.isfinite(result.roots)
+    gaps[idx[ok]] = np.maximum(0.0, result.roots[ok] - sub[ok])
+    bad = np.flatnonzero(~ok)
+    if bad.size:
+        if obs.enabled():
+            obs.counter("batch.fallback_scalar").inc(int(bad.size))
+        if scalar_fallback is not None:
+            for j in bad:
+                gaps[idx[j]] = scalar_fallback(float(sub[j]))
+    return gaps
 
 
 class VariableLoadModel:
@@ -126,6 +174,10 @@ class VariableLoadModel:
         """Admission threshold used by the reservation architecture."""
         return self._fixed.k_max(capacity)
 
+    def k_max_batch(self, capacities) -> np.ndarray:
+        """Admission thresholds over a capacity grid (vectorised)."""
+        return self._fixed.k_max_batch(capacities)
+
     # ------------------------------------------------------------------
     # internal summation machinery
     # ------------------------------------------------------------------
@@ -161,6 +213,31 @@ class VariableLoadModel:
                 return n
             n <<= 1
         return None
+
+    def _truncation_points_batch(self, caps: np.ndarray) -> np.ndarray:
+        """Per-capacity truncation points with one ``mean_tail`` per level.
+
+        Mirrors :meth:`_truncation_point` decision-for-decision but
+        evaluates the utility bound for every still-open capacity as a
+        single vector call, so a grid costs one scalar ``mean_tail``
+        per power-of-two level instead of one per grid point.  Entries
+        where the scalar path would return ``None`` come back as -1.
+        """
+        out = np.full(caps.size, -1, dtype=np.int64)
+        open_ = np.ones(caps.size, dtype=bool)
+        n = 1024
+        while n <= BRUTE_FORCE_CAP and np.any(open_):
+            mt = self._load.mean_tail(n)
+            if mt <= 0.0:
+                out[open_] = n
+                break
+            vals = np.asarray(self._utility(caps[open_] / n), dtype=float)
+            done = np.minimum(1.0, vals) * mt < self._tol
+            sel = np.flatnonzero(open_)[done]
+            out[sel] = n
+            open_[sel] = False
+            n <<= 1
+        return out
 
     def _euler_maclaurin_tail(self, n0: int, capacity: float) -> float:
         """``sum_{k>=n0} P(k) k pi(C/k)`` via integral + EM correction.
@@ -291,6 +368,147 @@ class VariableLoadModel:
     def reservation_at_threshold(self, capacity: float, threshold: int) -> float:
         """Normalised reservation utility at an arbitrary threshold."""
         return self.total_reservation_at_threshold(capacity, threshold) / self._kbar
+
+    # ------------------------------------------------------------------
+    # batch evaluation (whole-grid sweeps)
+    # ------------------------------------------------------------------
+
+    def _validated_grid(self, capacities) -> np.ndarray:
+        caps = np.asarray(capacities, dtype=float).ravel()
+        if caps.size and float(np.min(caps)) < 0.0:
+            raise ValueError(
+                f"capacity must be >= 0, got {float(np.min(caps))!r}"
+            )
+        return caps
+
+    def total_best_effort_batch(self, capacities) -> np.ndarray:
+        """``V_B`` over a capacity grid in a handful of numpy calls.
+
+        Capacities are grouped by their series truncation point (a
+        power of two, so grids share a few groups) and each group's
+        sum runs as one chunked matrix product — identical terms to
+        the scalar path, evaluated together.  Capacities needing the
+        Euler-Maclaurin tail fall back to the scalar path (counted as
+        ``batch.fallback_scalar``).  Results land in the same
+        per-capacity cache the scalar path uses, so gap solvers mixing
+        both paths never recompute.
+        """
+        caps = self._validated_grid(capacities)
+        totals = np.zeros(caps.size)
+        todo = []
+        for i, c in enumerate(caps):
+            if c == 0.0:
+                continue
+            cached = self._b_cache.get(float(c))
+            if cached is not None:
+                totals[i] = cached
+            else:
+                todo.append(i)
+        if not todo:
+            return totals
+        todo_idx = np.asarray(todo, dtype=np.int64)
+        points = self._truncation_points_batch(caps[todo_idx])
+        groups: dict = {}
+        for i, n in zip(todo_idx, points):
+            groups.setdefault(None if n < 0 else int(n), []).append(int(i))
+        for n, members in groups.items():
+            idx = np.asarray(members, dtype=np.int64)
+            if n is None:
+                if obs.enabled():
+                    obs.counter("batch.fallback_scalar").inc(int(idx.size))
+                for i in idx:
+                    totals[i] = self.total_best_effort(float(caps[i]))
+                continue
+            self._ensure_terms(n)
+            sums = share_weighted_sums(
+                caps[idx], self._kpk[:n], self._utility, k_start=1, k_stop=n
+            )
+            totals[idx] = sums
+            for j, i in enumerate(idx):
+                self._b_cache.put(float(caps[i]), float(sums[j]))
+        return totals
+
+    def total_reservation_batch(self, capacities) -> np.ndarray:
+        """``V_R`` over a capacity grid: batch ``k_max`` + one masked sum."""
+        caps = self._validated_grid(capacities)
+        totals = np.zeros(caps.size)
+        todo = []
+        for i, c in enumerate(caps):
+            if c == 0.0:
+                continue
+            cached = self._r_cache.get(float(c))
+            if cached is not None:
+                totals[i] = cached
+            else:
+                todo.append(i)
+        if not todo:
+            return totals
+        idx = np.asarray(todo, dtype=np.int64)
+        kmax = self._fixed.k_max_batch(caps[idx])
+        floor = max(1, self._load.support_min)
+        live = kmax >= floor
+        for j in np.flatnonzero(~live):
+            self._r_cache.put(float(caps[idx[j]]), 0.0)
+        if np.any(live):
+            sub_idx = idx[live]
+            sub_caps = caps[sub_idx]
+            sub_kmax = kmax[live]
+            top = int(sub_kmax.max())
+            self._ensure_terms(top)
+            admitted = share_weighted_sums(
+                sub_caps,
+                self._kpk[: top + 1],
+                self._utility,
+                k_start=1,
+                k_stop=top + 1,
+                kmax=sub_kmax,
+            )
+            sf = np.asarray(self._load.sf_array(sub_kmax), dtype=float)
+            at_cap = np.asarray(
+                self._utility(sub_caps / sub_kmax), dtype=float
+            )
+            sums = admitted + sub_kmax * at_cap * sf
+            totals[sub_idx] = sums
+            for j, i in enumerate(sub_idx):
+                self._r_cache.put(float(caps[i]), float(sums[j]))
+        return totals
+
+    def best_effort_batch(self, capacities) -> np.ndarray:
+        """Normalised ``B`` over a capacity grid."""
+        return self.total_best_effort_batch(capacities) / self._kbar
+
+    def reservation_batch(self, capacities) -> np.ndarray:
+        """Normalised ``R`` over a capacity grid."""
+        return self.total_reservation_batch(capacities) / self._kbar
+
+    def performance_gap_batch(self, capacities) -> np.ndarray:
+        """``delta`` over a capacity grid (clipped at zero)."""
+        caps = self._validated_grid(capacities)
+        return np.maximum(
+            0.0, self.reservation_batch(caps) - self.best_effort_batch(caps)
+        )
+
+    def bandwidth_gap_batch(
+        self,
+        capacities,
+        *,
+        gap_floor: float = GAP_FLOOR,
+        upper_limit: float = 1e9,
+    ) -> np.ndarray:
+        """``Delta`` over a capacity grid via one vectorised inversion."""
+        caps = self._validated_grid(capacities)
+        return solve_bandwidth_gaps(
+            self.best_effort_batch,
+            caps,
+            self.reservation_batch(caps),
+            self.best_effort_batch(caps),
+            gap_floor=gap_floor,
+            upper_limit=upper_limit,
+            scalar_fallback=lambda c: self.bandwidth_gap(
+                c, gap_floor=gap_floor, upper_limit=upper_limit
+            ),
+            label="bandwidth gap batch",
+        )
 
     # ------------------------------------------------------------------
     # the paper's reported quantities
@@ -437,28 +655,24 @@ class VariableLoadModel:
 
         Returns a dict of numpy arrays keyed ``capacity``, ``best_effort``,
         ``reservation``, ``performance_gap`` and (optionally)
-        ``bandwidth_gap`` — one point per requested capacity.
+        ``bandwidth_gap`` — one point per requested capacity.  The whole
+        grid is computed through the batch entry points (one vectorised
+        pass per series); ``progress`` callbacks fire once per point
+        after the corresponding series values exist.
         """
         caps = np.asarray(list(capacities), dtype=float)
         n = len(caps)
-        b = np.empty(n)
-        r = np.empty(n)
-        gap = np.empty(n)
-        bw = np.empty(n) if include_gaps else None
-        for i, c in enumerate(caps):
-            b[i] = self.best_effort(float(c))
-            r[i] = self.reservation(float(c))
-            gap[i] = max(0.0, r[i] - b[i])
-            if include_gaps:
-                bw[i] = self.bandwidth_gap(float(c))
-            if progress is not None:
-                progress(i + 1, n)
+        b = self.best_effort_batch(caps)
+        r = self.reservation_batch(caps)
         out = {
             "capacity": caps,
             "best_effort": b,
             "reservation": r,
-            "performance_gap": gap,
+            "performance_gap": np.maximum(0.0, r - b),
         }
         if include_gaps:
-            out["bandwidth_gap"] = bw
+            out["bandwidth_gap"] = self.bandwidth_gap_batch(caps)
+        if progress is not None:
+            for i in range(n):
+                progress(i + 1, n)
         return out

@@ -101,7 +101,7 @@ class WelfareModel:
             pk[: load.support_min] = 0.0
         kpk = ks * pk
         vb = np.cumsum(kpk)  # V_B at C = k * b_hat
-        sf = np.array([load.sf(int(k)) for k in range(size)])
+        sf = np.asarray(load.sf_array(ks), dtype=float)
         # V_R at C = k*b_hat: V_B(k) + k * P(K > k)
         vr = vb + ks * sf
         tables = (ks, kpk, vb, vr, sf)
@@ -290,17 +290,17 @@ class WelfareModel:
             hi = c_max if c_max is not None else 96.0 * kbar
             caps = np.geomspace(lo, hi, points)
             if architecture is Architecture.RESERVATION:
-                total, marginal = (
-                    self._model.total_reservation,
-                    self._model.reservation_marginal,
-                )
+                total_batch = self._model.total_reservation_batch
             else:
-                total, marginal = (
-                    self._model.total_best_effort,
-                    self._model.best_effort_marginal,
-                )
-            values = np.array([total(float(c)) for c in caps])
-            prices = np.array([marginal(float(c)) for c in caps])
+                total_batch = self._model.total_best_effort_batch
+            values = total_batch(caps)
+            # vectorised central difference mirroring the scalar
+            # *_marginal step-size policy
+            h = 1e-5 * np.maximum(1.0, caps)
+            lo_c = np.maximum(0.0, caps - h)
+            prices = (total_batch(caps + h) - total_batch(lo_c)) / (
+                caps + h - lo_c
+            )
 
         welfare = values - prices * caps
         # keep the decreasing-price (concave) branch: from the argmax of
@@ -338,17 +338,20 @@ class WelfareModel:
         wr = env_r["welfare"][::-1]
         out_p = np.asarray(list(prices), dtype=float)
         gamma = np.full(len(out_p), math.nan)
-        for i, p in enumerate(out_p):
-            if not (pb[0] <= p <= pb[-1]):
-                continue
-            target = float(np.interp(math.log(p), np.log(pb), wb))
+        idx = np.flatnonzero((out_p >= pb[0]) & (out_p <= pb[-1]))
+        if idx.size:
+            targets = np.interp(np.log(out_p[idx]), np.log(pb), wb)
             # W_R decreasing in price: invert by interpolating price on
-            # the (decreasing) welfare axis
-            if not (wr[0] >= target >= wr[-1]):
-                if target > wr[0]:
-                    continue
-                gamma[i] = pr[-1] / p  # ratio beyond table: clip
-                continue
-            log_phat = float(np.interp(-target, -wr, np.log(pr)))
-            gamma[i] = math.exp(log_phat) / p
+            # the (decreasing) welfare axis.  Targets above the table
+            # stay NaN; targets below it clip to the last tabled ratio.
+            below = targets < wr[-1]
+            mid = (targets <= wr[0]) & ~below
+            gamma[idx[below]] = pr[-1] / out_p[idx[below]]
+            if np.any(mid):
+                log_phat = np.interp(-targets[mid], -wr, np.log(pr))
+                gamma[idx[mid]] = np.exp(log_phat) / out_p[idx[mid]]
         return {"price": out_p, "gamma": gamma}
+
+    def equalizing_ratio_batch(self, prices, **envelope_kwargs) -> np.ndarray:
+        """``gamma`` over a price grid (the ``ratio_curve`` values)."""
+        return self.ratio_curve(prices, **envelope_kwargs)["gamma"]

@@ -59,7 +59,7 @@ def admit_flows(
             route = topology.routes[name]
             if link in route.links:
                 matrix[i, j] = route.demand
-    capacities = np.array([topology.capacities[l] for l in link_names])
+    capacities = np.array([topology.capacities[name] for name in link_names])
 
     result = optimize.milp(
         c=-weight_vec,  # milp minimises

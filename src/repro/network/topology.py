@@ -72,7 +72,7 @@ class NetworkTopology:
         if len(set(names)) != len(names):
             raise ModelError(f"duplicate route names: {names!r}")
         for route in routes:
-            missing = [l for l in route.links if l not in capacities]
+            missing = [ln for ln in route.links if ln not in capacities]
             if missing:
                 raise ModelError(
                     f"route {route.name!r} names unknown links {missing!r}"

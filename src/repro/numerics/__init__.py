@@ -16,8 +16,23 @@ those definitions need:
   optional analytic tail bound,
 - :func:`integrate` — quadrature over finite or semi-infinite intervals,
 - :func:`fixed_point` — damped fixed-point iteration (retry model).
+
+Whole-grid sweeps go through the batch forms in
+:mod:`repro.numerics.batch` — :func:`find_roots`,
+:func:`invert_monotone_batch`, :func:`share_weighted_sums`,
+:func:`adaptive_quad_batch` — which solve a vector of independent
+scalar problems in a handful of numpy calls and report per-element
+convergence masks instead of raising on the first bad element.
 """
 
+from repro.numerics.batch import (
+    BatchRootResult,
+    adaptive_quad_batch,
+    expand_brackets_upward,
+    find_roots,
+    invert_monotone_batch,
+    share_weighted_sums,
+)
 from repro.numerics.brackets import expand_bracket_downward, expand_bracket_upward
 from repro.numerics.optimize import argmax_int, maximize_scalar
 from repro.numerics.quadrature import integrate
@@ -25,13 +40,19 @@ from repro.numerics.series import fixed_point, sum_series
 from repro.numerics.solvers import find_root, invert_monotone
 
 __all__ = [
+    "BatchRootResult",
+    "adaptive_quad_batch",
     "argmax_int",
     "expand_bracket_downward",
     "expand_bracket_upward",
+    "expand_brackets_upward",
     "find_root",
+    "find_roots",
     "fixed_point",
     "integrate",
     "invert_monotone",
+    "invert_monotone_batch",
     "maximize_scalar",
+    "share_weighted_sums",
     "sum_series",
 ]

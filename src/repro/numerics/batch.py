@@ -1,0 +1,597 @@
+"""Array-in/array-out batch numerics for whole-grid sweeps.
+
+Every figure in the paper is a sweep: ``delta(C)`` and ``Delta(C)``
+over a capacity grid, ``gamma(p)`` over a price grid.  The scalar
+primitives in :mod:`repro.numerics.solvers` solve one implicit equation
+at a time, so a 512-point sweep pays 512 rounds of Python call
+overhead, bracket handling and scipy dispatch.  This module provides
+the same primitives over a *vector of independent scalar problems*:
+
+- :func:`find_roots` — bracketed root finding (bisection-safeguarded
+  inverse-quadratic interpolation, Chandrupatla's algorithm — the same
+  convergence class as Brent) over element-wise independent equations,
+  with a per-element convergence mask,
+- :func:`expand_brackets_upward` — vectorised geometric bracket growth,
+- :func:`invert_monotone_batch` — the batch form of
+  :func:`repro.numerics.solvers.invert_monotone`,
+- :func:`share_weighted_sums` — the truncated-series kernel behind the
+  discrete-model totals ``sum_k w_k * pi(C_i / k)``, chunked so a
+  512 x 4M grid never materialises,
+- :func:`adaptive_quad_batch` — fixed-node Gauss-Legendre quadrature
+  with panel doubling, one node layout shared by every grid row.
+
+Batch results carry per-element diagnostics and aggregate into a
+single :class:`~repro.numerics.solvers.SolverDiagnostics` record so the
+observability layer sees batch solves and scalar solves through one
+vocabulary.  Non-converged elements are *flagged in the mask*, never
+returned silently: callers are expected to re-solve flagged elements
+through the scalar path (and count the fallback via
+``batch.fallback_scalar``).
+
+With :mod:`repro.obs` enabled each batch call meters
+``batch.solve.calls`` / ``points`` / ``converged`` / ``failures`` /
+``iterations`` / ``evaluations`` plus ``batch.series.*`` and
+``batch.quadrature.*``; disabled, the cost is one flag check per call.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.numerics.solvers import RTOL, XTOL, SolverDiagnostics
+
+#: Growth factor for vectorised bracket expansion (matches the scalar
+#: :mod:`repro.numerics.brackets` default).
+GROWTH = 2.0
+
+#: Cap on vectorised expansion steps.
+MAX_EXPAND_STEPS = 200
+
+#: Iteration cap for :func:`find_roots`.  Chandrupatla falls back to
+#: bisection at worst, so ~60 iterations resolve any double-precision
+#: bracket; the default leaves comfortable headroom.
+MAX_ITERATIONS = 128
+
+#: Largest number of matrix elements :func:`share_weighted_sums` will
+#: materialise at once (elements, not bytes; 2^17 doubles = 1 MiB).
+#: Each utility evaluation streams several same-sized temporaries, so
+#: keeping the chunk cache-resident beats larger chunks by ~4x on
+#: million-term heavy-tailed series.
+DEFAULT_CHUNK_ELEMENTS = 1 << 17
+
+
+class BatchRootResult:
+    """Roots and per-element diagnostics of one vectorised solve.
+
+    Attributes
+    ----------
+    roots:
+        Root estimates, one per problem.  Elements whose bracket never
+        contained a sign change are ``nan``; elements that ran out of
+        iterations hold the best estimate found (and are flagged).
+    converged:
+        Boolean mask — ``True`` where the root met the tolerance.
+    residuals:
+        ``f(root)`` per element (``nan`` where no bracket existed).
+    iterations:
+        Per-element iteration counts.
+    function_evaluations:
+        Total scalar evaluations across the batch (every element of
+        every vector call counts once).
+    bracket_expanded:
+        Mask of elements whose bracket had to be grown.
+    """
+
+    __slots__ = (
+        "label",
+        "roots",
+        "converged",
+        "residuals",
+        "iterations",
+        "function_evaluations",
+        "bracket_expanded",
+    )
+
+    def __init__(
+        self,
+        label: str,
+        roots: np.ndarray,
+        converged: np.ndarray,
+        residuals: np.ndarray,
+        iterations: np.ndarray,
+        function_evaluations: int,
+        bracket_expanded: np.ndarray,
+    ):
+        self.label = label
+        self.roots = roots
+        self.converged = converged
+        self.residuals = residuals
+        self.iterations = iterations
+        self.function_evaluations = function_evaluations
+        self.bracket_expanded = bracket_expanded
+
+    @property
+    def all_converged(self) -> bool:
+        """True when every element met the tolerance."""
+        return bool(np.all(self.converged))
+
+    @property
+    def size(self) -> int:
+        """Number of independent problems in the batch."""
+        return int(self.roots.size)
+
+    def aggregate(self) -> SolverDiagnostics:
+        """Fold the batch into one :class:`SolverDiagnostics` record.
+
+        ``iterations`` and ``function_calls`` are batch totals,
+        ``residual`` is the worst absolute residual among bracketed
+        elements, ``converged`` is the all-elements verdict, and
+        ``root`` is the single root for one-element batches (``nan``
+        otherwise — there is no one root of 512 problems).
+        """
+        finite = self.residuals[np.isfinite(self.residuals)]
+        worst = float(np.max(np.abs(finite))) if finite.size else math.nan
+        return SolverDiagnostics(
+            self.label,
+            float(self.roots[0]) if self.size == 1 else math.nan,
+            self.all_converged,
+            int(np.sum(self.iterations)),
+            int(self.function_evaluations),
+            worst,
+            bracket_expanded=bool(np.any(self.bracket_expanded)),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BatchRootResult(label={self.label!r}, size={self.size}, "
+            f"converged={int(np.sum(self.converged))}/{self.size}, "
+            f"evaluations={self.function_evaluations})"
+        )
+
+
+def _meter_solve(result: BatchRootResult) -> None:
+    if not obs.enabled():
+        return
+    obs.counter("batch.solve.calls").inc()
+    obs.counter("batch.solve.points").inc(result.size)
+    hits = int(np.sum(result.converged))
+    obs.counter("batch.solve.converged").inc(hits)
+    if hits < result.size:
+        obs.counter("batch.solve.failures").inc(result.size - hits)
+    obs.counter("batch.solve.iterations").inc(int(np.sum(result.iterations)))
+    obs.counter("batch.solve.evaluations").inc(result.function_evaluations)
+
+
+def _as_batch(*arrays) -> Tuple[np.ndarray, ...]:
+    """Broadcast the inputs to one flat float vector each."""
+    broadcast = np.broadcast_arrays(*[np.asarray(a, dtype=float) for a in arrays])
+    return tuple(np.array(b, dtype=float).ravel() for b in broadcast)
+
+
+def expand_brackets_upward(
+    func: Callable[..., np.ndarray],
+    lo: np.ndarray,
+    f_lo: np.ndarray,
+    hi: np.ndarray,
+    f_hi: np.ndarray,
+    *,
+    args: Sequence[np.ndarray] = (),
+    growth: float = GROWTH,
+    max_steps: int = MAX_EXPAND_STEPS,
+    upper_limit: float = float("inf"),
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Grow ``hi`` geometrically per element until the sign changes.
+
+    The vector counterpart of
+    :func:`repro.numerics.brackets.expand_bracket_upward`: for every
+    element whose ``[lo, hi]`` interval does not contain a sign change,
+    the right endpoint moves right by a geometrically growing span
+    (never beyond ``upper_limit``).  Elements that exhaust the limit
+    are reported in the failure mask instead of raising, so one
+    hopeless element cannot abort a 512-point sweep.
+
+    ``args`` are per-element parameter vectors sliced alongside the
+    endpoints on every trial evaluation (see :func:`find_roots`).
+
+    Returns ``(hi, f_hi, expanded, failed, evaluations)`` where
+    ``expanded`` marks elements whose endpoint moved and ``failed``
+    marks elements with no sign change within the limit.
+    """
+    hi = hi.copy()
+    f_hi = f_hi.copy()
+    span = hi - lo
+    need = ((f_lo < 0.0) == (f_hi < 0.0)) & (f_lo != 0.0) & (f_hi != 0.0)
+    expanded = np.zeros_like(need)
+    evaluations = 0
+    for _ in range(max_steps):
+        need &= hi < upper_limit
+        if not np.any(need):
+            break
+        hi[need] = np.minimum(hi[need] + span[need], upper_limit)
+        span[need] *= growth
+        expanded |= need
+        idx = np.flatnonzero(need)
+        trial = np.asarray(func(hi[idx], *[a[idx] for a in args]), dtype=float)
+        evaluations += idx.size
+        f_hi[idx] = trial
+        found = (trial == 0.0) | ((f_lo[idx] < 0.0) != (trial < 0.0))
+        need[idx[found]] = False
+    failed = ((f_lo < 0.0) == (f_hi < 0.0)) & (f_lo != 0.0) & (f_hi != 0.0)
+    return hi, f_hi, expanded, failed, evaluations
+
+
+def find_roots(
+    func: Callable[..., np.ndarray],
+    lo,
+    hi,
+    *,
+    args: Sequence = (),
+    xtol: float = XTOL,
+    rtol: float = RTOL,
+    expand: bool = False,
+    upper_limit: float = float("inf"),
+    max_iterations: int = MAX_ITERATIONS,
+    label: str = "batch root",
+) -> BatchRootResult:
+    """Find a root of every element-wise independent equation at once.
+
+    Parameters
+    ----------
+    func:
+        Vectorised function: ``func(x, *params)[i]`` must depend only
+        on ``x[i]`` (and ``params[j][i]``).  It is called on
+        *compressed* vectors containing only the still-active elements,
+        so converged problems stop costing evaluations immediately.
+    lo, hi:
+        Bracket endpoints (scalars or arrays, broadcast together).
+        Elements whose bracket holds no sign change are expanded
+        geometrically when ``expand`` is true, else flagged.
+    args:
+        Per-element parameter vectors (broadcast with the endpoints)
+        compressed alongside ``x`` and passed to ``func`` — this is how
+        a family like ``B(x) - target_i`` threads its targets through
+        the active-set compression.
+    xtol, rtol:
+        Convergence is declared where the bracket has shrunk below
+        ``xtol + rtol * |root|`` — the same criterion family brentq
+        uses in the scalar path.
+    label:
+        Name used in diagnostics.
+
+    Returns
+    -------
+    BatchRootResult
+        Roots plus per-element convergence mask and diagnostics.
+        Elements that never bracketed a sign change come back ``nan``
+        with ``converged=False`` — callers re-solve those through the
+        scalar path rather than trusting garbage.
+
+    Notes
+    -----
+    The iteration is Chandrupatla's algorithm: inverse-quadratic
+    interpolation accepted only when the interpolant is well behaved,
+    bisection otherwise.  Worst case it *is* bisection, so convergence
+    is guaranteed on any valid bracket; typical smooth problems
+    converge superlinearly like Brent's method.
+    """
+    vectors = _as_batch(lo, hi, *args)
+    lo_v, hi_v = vectors[0], vectors[1]
+    params = vectors[2:]
+    n = lo_v.size
+    roots = np.full(n, math.nan)
+    converged = np.zeros(n, dtype=bool)
+    residuals = np.full(n, math.nan)
+    iterations = np.zeros(n, dtype=np.int64)
+
+    f_lo = np.asarray(func(lo_v, *params), dtype=float)
+    f_hi = np.asarray(func(hi_v, *params), dtype=float)
+    evaluations = 2 * n
+
+    expanded = np.zeros(n, dtype=bool)
+    failed = ((f_lo < 0.0) == (f_hi < 0.0)) & (f_lo != 0.0) & (f_hi != 0.0)
+    if expand and np.any(failed):
+        hi_v, f_hi, expanded, failed, extra = expand_brackets_upward(
+            func, lo_v, f_lo, hi_v, f_hi, args=params, upper_limit=upper_limit
+        )
+        evaluations += extra
+
+    # exact hits at the endpoints
+    hit_lo = f_lo == 0.0
+    hit_hi = (f_hi == 0.0) & ~hit_lo
+    for mask, endpoint in ((hit_lo, lo_v), (hit_hi, hi_v)):
+        roots[mask] = endpoint[mask]
+        residuals[mask] = 0.0
+        converged[mask] = True
+
+    active = np.flatnonzero(~(hit_lo | hit_hi | failed))
+    if active.size:
+        # Chandrupatla state, kept compressed to the active subset: a
+        # is the newest iterate, b the opposite bracket end, c the
+        # previous point on a's side of the root.
+        b = lo_v[active]
+        fb = f_lo[active]
+        a = hi_v[active]
+        fa = f_hi[active]
+        c = a.copy()
+        fc = fa.copy()
+        t = np.full(active.size, 0.5)
+        for _ in range(max_iterations):
+            xt = a + t * (b - a)
+            ft = np.asarray(func(xt, *[p[active] for p in params]), dtype=float)
+            evaluations += int(active.size)
+            iterations[active] += 1
+
+            same = np.signbit(ft) == np.signbit(fa)
+            c = np.where(same, a, b)
+            fc = np.where(same, fa, fb)
+            b = np.where(same, b, a)
+            fb = np.where(same, fb, fa)
+            a, fa = xt, ft
+
+            a_best = np.abs(fa) < np.abs(fb)
+            xm = np.where(a_best, a, b)
+            fm = np.where(a_best, fa, fb)
+
+            span = np.abs(b - a)
+            tol = xtol + rtol * np.abs(xm)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                tlim = 0.5 * tol / span
+            done = (tlim >= 0.5) | (fm == 0.0) | ~np.isfinite(span)
+
+            if np.any(done):
+                idx = active[done]
+                roots[idx] = xm[done]
+                residuals[idx] = fm[done]
+                converged[idx] = True
+                keep = ~done
+                active = active[keep]
+                if not active.size:
+                    break
+                a, fa = a[keep], fa[keep]
+                b, fb = b[keep], fb[keep]
+                c, fc = c[keep], fc[keep]
+                xm = xm[keep]
+                tlim = tlim[keep]
+
+            with np.errstate(divide="ignore", invalid="ignore"):
+                xi = (a - b) / (c - b)
+                phi = (fa - fb) / (fc - fb)
+                use_iqi = (phi * phi < xi) & ((1.0 - phi) ** 2 < 1.0 - xi)
+                t_iqi = (fa / (fb - fa)) * (fc / (fb - fc)) + (
+                    (c - a) / (b - a)
+                ) * (fa / (fc - fa)) * (fb / (fc - fb))
+            t = np.where(use_iqi & np.isfinite(t_iqi), t_iqi, 0.5)
+            t = np.clip(t, tlim, 1.0 - tlim)
+
+        if active.size:
+            # out of iterations: best estimate, flagged not converged
+            a_best = np.abs(fa) < np.abs(fb)
+            roots[active] = np.where(a_best, a, b)
+            residuals[active] = np.where(a_best, fa, fb)
+
+    result = BatchRootResult(
+        label,
+        roots,
+        converged,
+        residuals,
+        iterations,
+        evaluations,
+        bracket_expanded=expanded,
+    )
+    _meter_solve(result)
+    return result
+
+
+def invert_monotone_batch(
+    func: Callable[[np.ndarray], np.ndarray],
+    targets,
+    lo,
+    hi,
+    *,
+    increasing: bool = True,
+    upper_limit: float = float("inf"),
+    xtol: float = XTOL,
+    rtol: float = RTOL,
+    label: str = "batch inverse",
+    clip: Optional[str] = None,
+) -> BatchRootResult:
+    """Solve ``func(x_i) = targets_i`` for a monotone vectorised ``func``.
+
+    The batch counterpart of
+    :func:`repro.numerics.solvers.invert_monotone`: the bandwidth-gap
+    sweep inverts ``B`` at 512 reservation utilities in one call.
+    Unlike the scalar form it never raises on a target already met at
+    ``lo`` — with ``clip='lo'`` the element clips to ``lo`` exactly as
+    the scalar path does, otherwise it is flagged unconverged in the
+    mask and left for the caller's scalar fallback.  Brackets expand
+    upward geometrically (to ``upper_limit``) just like the scalar
+    path; elements whose target stays unreachable clip to
+    ``upper_limit`` under ``clip='hi'`` and are flagged otherwise.
+    """
+    targets_v, lo_v, hi_v = _as_batch(targets, lo, hi)
+
+    if increasing:
+        def residual(x: np.ndarray, t: np.ndarray) -> np.ndarray:
+            return np.asarray(func(x), dtype=float) - t
+    else:
+        def residual(x: np.ndarray, t: np.ndarray) -> np.ndarray:
+            return t - np.asarray(func(x), dtype=float)
+
+    result = find_roots(
+        residual,
+        lo_v,
+        hi_v,
+        args=(targets_v,),
+        xtol=xtol,
+        rtol=rtol,
+        expand=True,
+        upper_limit=upper_limit,
+        max_iterations=MAX_ITERATIONS,
+        label=label,
+    )
+
+    # scalar-parity endpoint handling: a target already (over)met at lo
+    r_lo = residual(lo_v, targets_v)
+    at_lo = r_lo >= 0.0
+    if clip == "lo":
+        result.roots[at_lo] = lo_v[at_lo]
+        result.residuals[at_lo] = r_lo[at_lo]
+        result.converged[at_lo] = True
+    else:
+        # f(lo) == 0 exactly is a legitimate root; anything past the
+        # target at lo has no solution in the bracket — flag it
+        overshoot = at_lo & (r_lo != 0.0)
+        result.roots[overshoot] = math.nan
+        result.converged[overshoot] = False
+
+    if clip == "hi":
+        missed = ~result.converged & np.isnan(result.roots) & ~at_lo
+        if math.isfinite(upper_limit):
+            result.roots[missed] = upper_limit
+            result.converged[missed] = True
+    return result
+
+
+def share_weighted_sums(
+    capacities,
+    weights: np.ndarray,
+    value_fn: Callable[[np.ndarray], np.ndarray],
+    *,
+    k_start: int = 1,
+    k_stop: Optional[int] = None,
+    kmax: Optional[np.ndarray] = None,
+    chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+) -> np.ndarray:
+    """``S_i = sum_k weights[k] * value_fn(C_i / k)`` for a whole grid.
+
+    The truncated-series kernel of the discrete variable-load model,
+    evaluated as chunked outer products: the ``(capacity, k)`` matrix
+    is materialised at most ``chunk_elements`` elements at a time, so a
+    heavy-tailed load that truncates at millions of terms never
+    allocates a multi-gigabyte intermediate.
+
+    Parameters
+    ----------
+    capacities:
+        Capacity grid (1-D).
+    weights:
+        Series weights indexed by ``k`` (``weights[k]`` multiplies the
+        ``pi(C/k)`` term).  Typically ``k * P(k)`` or max-order-statistic
+        increments.
+    value_fn:
+        Vectorised ``pi`` evaluation (broadcasts over a 2-D array).
+    k_start, k_stop:
+        Half-open term range ``[k_start, k_stop)``; ``k_stop`` defaults
+        to ``len(weights)``.
+    kmax:
+        Optional per-capacity inclusive upper index: terms with
+        ``k > kmax[i]`` contribute nothing to row ``i`` (the
+        reservation model's admission cut).
+    """
+    caps = np.asarray(capacities, dtype=float).ravel()
+    weights = np.asarray(weights, dtype=float)
+    stop = weights.size if k_stop is None else min(int(k_stop), weights.size)
+    if k_start >= stop or caps.size == 0:
+        return np.zeros(caps.size)
+    # terms whose weight is exactly 0.0 (underflowed pmf, zeroed
+    # support) contribute exactly nothing — skip the value_fn work for
+    # any leading/trailing run of them
+    nonzero = np.flatnonzero(weights[k_start:stop])
+    if nonzero.size == 0:
+        return np.zeros(caps.size)
+    stop = k_start + int(nonzero[-1]) + 1
+    k_start = k_start + int(nonzero[0])
+    kmax_col = None
+    if kmax is not None:
+        kmax_col = np.asarray(kmax, dtype=float).reshape(-1, 1)
+
+    chunk = max(1, int(chunk_elements) // max(1, caps.size))
+    totals = np.zeros(caps.size)
+    elements = 0
+    caps_col = caps.reshape(-1, 1)
+    for start in range(k_start, stop, chunk):
+        end = min(stop, start + chunk)
+        ks = np.arange(start, end, dtype=float)
+        shares = caps_col / ks
+        values = np.asarray(value_fn(shares), dtype=float)
+        if kmax_col is not None:
+            values = values * (ks <= kmax_col)
+        totals += values @ weights[start:end]
+        elements += values.size
+    if obs.enabled():
+        obs.counter("batch.series.calls").inc()
+        obs.counter("batch.series.elements").inc(elements)
+    return totals
+
+
+def adaptive_quad_batch(
+    integrand: Callable[[np.ndarray], np.ndarray],
+    lo,
+    hi,
+    *,
+    tol: float = 1e-11,
+    base_nodes: int = 24,
+    max_doublings: int = 11,
+    label: str = "batch integral",
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Integrate one parametric family over per-row limits.
+
+    Gauss-Legendre quadrature with global panel doubling: every row of
+    the batch shares one reference node layout mapped into its own
+    ``[lo_i, hi_i]``, the node count doubles until each row's estimate
+    is stable to ``tol``, and rows that converge early simply stop
+    being refined.
+
+    ``integrand`` receives a 2-D array whose row ``i`` holds the nodes
+    for problem ``i`` and must evaluate row-wise independently.
+
+    Returns ``(values, converged, evaluations)``; non-converged rows
+    carry the last estimate and a ``False`` mask entry so the caller
+    can fall back to scalar adaptive quadrature.
+    """
+    lo_v, hi_v = _as_batch(lo, hi)
+    n = lo_v.size
+    if n == 0:
+        return np.zeros(0), np.ones(0, dtype=bool), 0
+
+    values = np.zeros(n)
+    converged = np.zeros(n, dtype=bool)
+    evaluations = 0
+
+    span = hi_v - lo_v
+    converged |= span <= 0.0
+
+    active = np.flatnonzero(~converged)
+    previous = np.full(n, math.nan)
+    nodes = int(base_nodes)
+    for doubling in range(max_doublings + 1):
+        if not active.size:
+            break
+        x_ref, w_ref = np.polynomial.legendre.leggauss(nodes)
+        mid = 0.5 * (lo_v[active] + hi_v[active])
+        half = 0.5 * span[active]
+        xs = mid[:, None] + half[:, None] * x_ref[None, :]
+        ys = np.asarray(integrand(xs), dtype=float)
+        evaluations += ys.size
+        estimate = half * (ys @ w_ref)
+        values[active] = estimate
+        if doubling > 0:
+            err = np.abs(estimate - previous[active])
+            good = err <= np.maximum(tol, 1e-14 * np.abs(estimate))
+            previous[active] = estimate
+            converged[active[good]] = True
+            active = active[~good]
+        else:
+            previous[active] = estimate
+        nodes *= 2
+    if obs.enabled():
+        obs.counter("batch.quadrature.calls").inc()
+        obs.counter("batch.quadrature.evaluations").inc(evaluations)
+        misses = int(np.count_nonzero(~converged))
+        if misses:
+            obs.counter("batch.quadrature.failures").inc(misses)
+    return values, converged, evaluations

@@ -102,7 +102,6 @@ class GeneralHoldingSimulator:
                     "reduce horizon or raise max_events"
                 )
             if event.kind is EventKind.ARRIVAL:
-                fid = len(arrivals)
                 census = active_admitted + active_waiting
                 arrivals.append(t)
                 census_at_arrival.append(census)

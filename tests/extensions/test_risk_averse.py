@@ -4,7 +4,6 @@ import pytest
 
 from repro.extensions import RiskAverseModel
 from repro.models import SamplingModel, VariableLoadModel
-from repro.utility import AdaptiveUtility
 
 
 class TestBlending:

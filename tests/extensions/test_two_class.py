@@ -1,6 +1,5 @@
 """Tests for the exact two-class model."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ModelError

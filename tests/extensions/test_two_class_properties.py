@@ -1,6 +1,5 @@
 """Property-based tests for the exact two-class model."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

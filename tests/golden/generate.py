@@ -1,0 +1,82 @@
+"""Regenerate ``figures.json`` from the scalar reference path.
+
+Run from the repository root:
+
+    PYTHONPATH=src python tests/golden/generate.py
+
+The golden values pin the paper-parameter figures (k_bar = 100,
+kappa = 0.62086, z = 3) at ~10 canonical grid points each:
+
+- ``delta``  — performance gap δ(C) = R(C) − B(C), Figures 2–4;
+- ``Delta``  — bandwidth gap Δ(C) with B(C + Δ) = R(C), Figures 2–4;
+- ``gamma``  — discrete welfare price-ratio curve γ(p) per figure;
+- ``continuum_gamma`` — closed-form rigid/exponential γ(p) overlay.
+
+Values come from the *scalar* code path on purpose: the golden test
+then holds both the scalar and the vectorised batch paths to the same
+numbers, so a regression in either (or a drift between them) fails CI.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.continuum import RigidExponentialContinuum
+from repro.experiments.params import DEFAULT_CONFIG
+from repro.models import VariableLoadModel, WelfareModel
+
+OUT = pathlib.Path(__file__).parent / "figures.json"
+
+#: Canonical capacity grid (absolute units, k_bar = 100): spans the
+#: under- to over-provisioned range where every figure quantity is
+#: well-conditioned.
+CAPACITIES = [60.0, 70.0, 80.0, 90.0, 100.0, 110.0, 120.0, 130.0, 140.0, 160.0]
+
+#: Price grid for the welfare ratio curves.
+PRICES = list(np.geomspace(1e-3, 0.2, 10))
+
+#: Price grid for the continuum closed-form overlay.
+CONTINUUM_PRICES = list(np.geomspace(1e-5, 0.2, 10))
+
+FIGURES = {"figure2": "poisson", "figure3": "exponential", "figure4": "algebraic"}
+
+
+def main() -> int:
+    cfg = DEFAULT_CONFIG
+    payload: dict = {
+        "_meta": {
+            "generator": "tests/golden/generate.py",
+            "kbar": cfg.kbar,
+            "kappa": cfg.kappa,
+            "z": cfg.z,
+            "utility": "adaptive",
+            "rtol": 1e-7,
+        }
+    }
+    for figure, load_name in FIGURES.items():
+        model = VariableLoadModel(cfg.load(load_name), cfg.utility("adaptive"))
+        welfare = WelfareModel(model)
+        curve = welfare.ratio_curve(PRICES)
+        payload[figure] = {
+            "load": load_name,
+            "capacity": CAPACITIES,
+            "delta": [model.performance_gap(c) for c in CAPACITIES],
+            "Delta": [model.bandwidth_gap(c) for c in CAPACITIES],
+            "price": PRICES,
+            "gamma": [None if not np.isfinite(g) else float(g) for g in curve["gamma"]],
+        }
+    cont = RigidExponentialContinuum(1.0)
+    payload["continuum_rigid_exp"] = {
+        "price": CONTINUUM_PRICES,
+        "gamma": [cont.equalizing_ratio(p) for p in CONTINUUM_PRICES],
+    }
+    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

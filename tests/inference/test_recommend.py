@@ -1,7 +1,6 @@
 """Tests for the end-to-end architecture recommendation pipeline."""
 
 import numpy as np
-import pytest
 
 from repro.inference import recommend_architecture
 from repro.loads import AlgebraicLoad, PoissonLoad

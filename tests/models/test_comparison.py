@@ -3,12 +3,10 @@
 import pytest
 
 from repro.models import (
-    Architecture,
     ArchitectureComparison,
     RetryingModel,
     SamplingModel,
 )
-from repro.utility import AdaptiveUtility
 
 
 @pytest.fixture

@@ -8,7 +8,6 @@ import pytest
 from repro.errors import ModelError
 from repro.models import carried_utility, erlang_b, erlang_b_inverse
 from repro.simulation import (
-    AdmitAll,
     FlowSimulator,
     Link,
     PoissonProcess,

@@ -1,12 +1,11 @@
 """Property-based tests of the paper's structural invariants."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.loads import GeometricLoad, PoissonLoad
 from repro.models import SamplingModel, VariableLoadModel
-from repro.utility import AdaptiveUtility, PiecewiseLinearUtility, RigidUtility
+from repro.utility import AdaptiveUtility, PiecewiseLinearUtility
 
 # module-level models reused across examples (hypothesis calls are many)
 _GEO = GeometricLoad.from_mean(10.0)

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ModelError
 from repro.loads import GeometricLoad
 from repro.models import RetryingModel, VariableLoadModel
-from repro.utility import AdaptiveUtility, RigidUtility
+from repro.utility import AdaptiveUtility
 
 
 class TestOfferedLoadFixedPoint:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.loads import GeometricLoad, MaxOfSLoad, PoissonLoad, SizeBiasedLoad
+from repro.loads import GeometricLoad, PoissonLoad, SizeBiasedLoad
 from repro.models import SamplingModel, VariableLoadModel
 from repro.utility import AdaptiveUtility, RigidUtility
 

@@ -1,10 +1,9 @@
 """Tests for the Section 3.1 discrete variable-load model."""
 
-import numpy as np
 import pytest
 
 import repro.models.variable_load as vlm
-from repro.loads import AlgebraicLoad, GeometricLoad, PoissonLoad
+from repro.loads import AlgebraicLoad, GeometricLoad
 from repro.models import VariableLoadModel
 from repro.utility import AdaptiveUtility, PiecewiseLinearUtility, RigidUtility
 

@@ -1,0 +1,164 @@
+"""Property-based tests of the batch numerics kernels.
+
+The contract under test: every batch primitive is the scalar primitive
+run element-wise — same roots, same endpoint conventions, and failures
+*flagged* in the convergence mask rather than returned as plausible
+numbers.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numerics.batch import (
+    find_roots,
+    invert_monotone_batch,
+    share_weighted_sums,
+)
+from repro.numerics.solvers import find_root, invert_monotone
+
+#: Both paths resolve brackets to xtol + rtol*|x| with xtol = 1e-12;
+#: element-wise agreement can therefore differ by ~2 ulps of that.
+ROOT_RTOL = 1e-9
+ROOT_ATOL = 1e-10
+
+targets_arrays = st.lists(
+    st.floats(min_value=1e-3, max_value=999.0), min_size=1, max_size=32
+)
+
+
+class TestFindRootsMatchesScalar:
+    @given(cs=targets_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_cubic_family(self, cs):
+        """x^3 = c element-wise, all well-bracketed in [0, 10]."""
+        cs = np.asarray(cs)
+        result = find_roots(
+            lambda x, c: x**3 - c, 0.0, 10.0, args=(cs,), label="cubic"
+        )
+        assert bool(np.all(result.converged))
+        scalar = np.array(
+            [find_root(lambda x: x**3 - c, 0.0, 10.0) for c in cs]
+        )
+        assert np.allclose(result.roots, scalar, rtol=ROOT_RTOL, atol=ROOT_ATOL)
+
+    @given(
+        cs=targets_arrays,
+        scale=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exponential_family_with_expansion(self, cs, scale):
+        """1 - exp(-x/s) = t needs upward bracket expansion for small s."""
+        cs = np.asarray(cs)
+        ts = cs / (1.0 + cs)  # targets in (0, 1), root = -s*log1p(-t)
+        result = find_roots(
+            lambda x, t: (1.0 - np.exp(-x / scale)) - t,
+            0.0,
+            1e-3,
+            args=(ts,),
+            expand=True,
+            upper_limit=1e9,
+            label="exp family",
+        )
+        assert bool(np.all(result.converged))
+        exact = -scale * np.log1p(-ts)
+        assert np.allclose(result.roots, exact, rtol=1e-7, atol=1e-10)
+
+
+class TestNonConvergedFlaggedNotGarbage:
+    @given(
+        cs=st.lists(
+            st.floats(min_value=0.5, max_value=50.0), min_size=2, max_size=24
+        ),
+        flips=st.lists(st.booleans(), min_size=2, max_size=24),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mixed_bracketed_and_rootless(self, cs, flips):
+        """Elements with no sign change in-bracket must come back
+        nan + converged=False, never a finite wrong answer; their
+        well-posed neighbours must still solve correctly."""
+        n = min(len(cs), len(flips))
+        cs = np.asarray(cs[:n])
+        rootless = np.asarray(flips[:n])
+        # f(x) = x^2 - c solvable in [0, 8] iff c <= 64; rootless rows
+        # get c shifted above the bracket's reach
+        shifted = np.where(rootless, cs + 100.0, cs)
+        result = find_roots(
+            lambda x, c: x**2 - c, 0.0, 8.0, args=(shifted,), label="mixed"
+        )
+        assert not np.any(result.converged[rootless])
+        assert np.all(np.isnan(result.roots[rootless]))
+        ok = ~rootless
+        assert bool(np.all(result.converged[ok]))
+        assert np.allclose(
+            result.roots[ok], np.sqrt(cs[ok]), rtol=1e-9, atol=1e-10
+        )
+
+
+class TestInvertMonotoneBatchMatchesScalar:
+    @given(ts=st.lists(
+        st.floats(min_value=1e-6, max_value=0.999), min_size=1, max_size=32
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_saturating_curve(self, ts):
+        ts = np.asarray(ts)
+        curve = lambda x: 1.0 - np.exp(-np.asarray(x))  # noqa: E731
+        result = invert_monotone_batch(
+            curve, ts, np.zeros(ts.size), np.full(ts.size, 0.5),
+            upper_limit=1e6, label="batch saturating",
+        )
+        assert bool(np.all(result.converged))
+        scalar = np.array(
+            [
+                invert_monotone(
+                    lambda x: 1.0 - np.exp(-x), t, 0.0, 0.5, upper_limit=1e6
+                )
+                for t in ts
+            ]
+        )
+        assert np.allclose(result.roots, scalar, rtol=ROOT_RTOL, atol=ROOT_ATOL)
+
+
+class TestShareWeightedSums:
+    @given(
+        n=st.integers(min_value=2, max_value=400),
+        m=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_direct_sum(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.random(n)
+        weights[rng.random(n) < 0.3] = 0.0  # exercise zero-run trimming
+        caps = rng.uniform(0.5, 50.0, size=m)
+        value_fn = lambda b: 1.0 - np.exp(-np.asarray(b))  # noqa: E731
+        got = share_weighted_sums(caps, weights, value_fn, k_start=1)
+        ks = np.arange(1, n, dtype=float)
+        want = np.array(
+            [np.dot(weights[1:], value_fn(c / ks)) for c in caps]
+        )
+        assert np.allclose(got, want, rtol=1e-12, atol=1e-14)
+
+    @given(
+        n=st.integers(min_value=4, max_value=200),
+        m=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_kmax_masking(self, n, m, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.random(n)
+        caps = rng.uniform(0.5, 50.0, size=m)
+        kmax = rng.integers(1, n, size=m)
+        value_fn = lambda b: np.asarray(b) / (1.0 + np.asarray(b))  # noqa: E731
+        got = share_weighted_sums(
+            caps, weights, value_fn, k_start=1, kmax=kmax
+        )
+        ks = np.arange(1, n, dtype=float)
+        want = np.array(
+            [
+                np.dot(weights[1:] * (ks <= km), value_fn(c / ks))
+                for c, km in zip(caps, kmax)
+            ]
+        )
+        assert np.allclose(got, want, rtol=1e-12, atol=1e-14)

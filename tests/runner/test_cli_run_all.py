@@ -26,7 +26,7 @@ class TestRunAll:
         assert main(ARGS + ["--cache-dir", cache]) == 0
         captured = capsys.readouterr()
         assert "3 experiment(s)" in captured.err
-        rows = [l for l in captured.out.splitlines() if not l.startswith("--")]
+        rows = [ln for ln in captured.out.splitlines() if not ln.startswith("--")]
         assert len(rows) == 3 and all("computed" in row for row in rows)
         assert "3 computed" in captured.out
         assert main(ARGS + ["--cache-dir", cache]) == 0

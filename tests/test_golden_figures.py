@@ -1,0 +1,107 @@
+"""Golden-value pins for the paper figures (CI quality gate).
+
+``tests/golden/figures.json`` stores δ(C), Δ(C) and γ(p) at canonical
+grid points per figure, generated from the scalar reference path at
+the paper's parameters (k̄ = 100, κ = 0.62086, z = 3).  Every quantity
+is asserted twice — once through the scalar API and once through the
+vectorised batch API — so CI catches a regression in either path *and*
+any drift between them.  Regenerate deliberately with
+
+    PYTHONPATH=src python tests/golden/generate.py
+
+Failure messages name the figure and the grid point so a red CI run
+points straight at the number that moved.
+"""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.continuum import RigidExponentialContinuum
+from repro.experiments.params import DEFAULT_CONFIG
+from repro.models import VariableLoadModel, WelfareModel
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "figures.json"
+FIGURES = {"figure2": "poisson", "figure3": "exponential", "figure4": "algebraic"}
+
+#: Relative agreement demanded of both paths against the stored values.
+RTOL = 1e-7
+
+#: Absolute slack for near-zero gaps: the gap solvers resolve roots to
+#: an absolute x-tolerance, so gaps in the 1e-8 range carry absolute
+#: (not relative) error; 1e-9 is comfortably above the solver floor
+#: and far below any value the figures actually plot.
+ATOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN.read_text())
+
+
+def _models(load_name):
+    cfg = DEFAULT_CONFIG
+    return VariableLoadModel(cfg.load(load_name), cfg.utility("adaptive"))
+
+
+def _assert_pointwise(figure, quantity, grid, got, want, path):
+    got = np.asarray(got, dtype=float)
+    want = np.asarray(want, dtype=float)
+    ok = np.isclose(got, want, rtol=RTOL, atol=ATOL, equal_nan=True)
+    if not np.all(ok):
+        i = int(np.flatnonzero(~ok)[0])
+        raise AssertionError(
+            f"{figure} {quantity} via {path} diverged from golden at "
+            f"grid point {grid[i]!r}: got {got[i]!r}, expected {want[i]!r} "
+            f"(rtol {RTOL:g}, atol {ATOL:g})"
+        )
+
+
+@pytest.mark.parametrize("figure", sorted(FIGURES))
+def test_delta_scalar_and_batch(figure, golden):
+    entry = golden[figure]
+    caps = entry["capacity"]
+    model = _models(entry["load"])
+    scalar = [model.performance_gap(float(c)) for c in caps]
+    _assert_pointwise(figure, "delta(C)", caps, scalar, entry["delta"], "scalar")
+    batch = _models(entry["load"]).performance_gap_batch(np.asarray(caps))
+    _assert_pointwise(figure, "delta(C)", caps, batch, entry["delta"], "batch")
+
+
+@pytest.mark.parametrize("figure", sorted(FIGURES))
+def test_bandwidth_gap_scalar_and_batch(figure, golden):
+    entry = golden[figure]
+    caps = entry["capacity"]
+    model = _models(entry["load"])
+    scalar = [model.bandwidth_gap(float(c)) for c in caps]
+    _assert_pointwise(figure, "Delta(C)", caps, scalar, entry["Delta"], "scalar")
+    batch = _models(entry["load"]).bandwidth_gap_batch(np.asarray(caps))
+    _assert_pointwise(figure, "Delta(C)", caps, batch, entry["Delta"], "batch")
+
+
+@pytest.mark.parametrize("figure", sorted(FIGURES))
+def test_gamma_curve(figure, golden):
+    entry = golden[figure]
+    prices = entry["price"]
+    want = [np.nan if g is None else g for g in entry["gamma"]]
+    welfare = WelfareModel(_models(entry["load"]))
+    curve = welfare.ratio_curve(prices)
+    _assert_pointwise(figure, "gamma(p)", prices, curve["gamma"], want, "ratio_curve")
+    batch = welfare.equalizing_ratio_batch(np.asarray(prices))
+    _assert_pointwise(figure, "gamma(p)", prices, batch, want, "batch")
+
+
+def test_continuum_gamma_scalar_and_batch(golden):
+    entry = golden["continuum_rigid_exp"]
+    prices = entry["price"]
+    cont = RigidExponentialContinuum(1.0)
+    scalar = [cont.equalizing_ratio(float(p)) for p in prices]
+    _assert_pointwise(
+        "continuum_rigid_exp", "gamma(p)", prices, scalar, entry["gamma"], "scalar"
+    )
+    batch = cont.equalizing_ratio_batch(np.asarray(prices))
+    _assert_pointwise(
+        "continuum_rigid_exp", "gamma(p)", prices, batch, entry["gamma"], "batch"
+    )

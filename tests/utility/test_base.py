@@ -1,6 +1,5 @@
 """Direct tests of the UtilityFunction base-class machinery."""
 
-import math
 
 import numpy as np
 import pytest
