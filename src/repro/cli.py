@@ -53,6 +53,49 @@ def _add_cache_args(
     )
 
 
+def _add_simulation_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--replications",
+        type=int,
+        metavar="R",
+        help=(
+            "Monte Carlo replications for simulation experiments "
+            "(default: the config's sim_replications)"
+        ),
+    )
+    parser.add_argument(
+        "--ci",
+        type=float,
+        metavar="HALFWIDTH",
+        help=(
+            "target CI half-width: simulation experiments add an adaptive "
+            "run_until pass stopping at this precision"
+        ),
+    )
+
+
+def _simulation_config(config, args):
+    """Fold ``--replications``/``--ci`` into the config (cache-addressed).
+
+    The runner cache digests the whole :class:`PaperConfig`, so a
+    replaced config re-addresses every cached entry automatically — no
+    flag can ever be served a stale result computed at different
+    simulation settings.
+    """
+    import dataclasses
+
+    overrides = {}
+    if getattr(args, "replications", None) is not None:
+        if args.replications < 1:
+            raise SystemExit("--replications must be >= 1")
+        overrides["sim_replications"] = args.replications
+    if getattr(args, "ci", None) is not None:
+        if args.ci <= 0.0:
+            raise SystemExit("--ci must be > 0")
+        overrides["sim_ci_halfwidth"] = args.ci
+    return dataclasses.replace(config, **overrides) if overrides else config
+
+
 def _add_profile_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--profile",
@@ -85,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--fast", action="store_true", help="use the reduced grids (quick look)"
     )
+    _add_simulation_args(run)
     _add_cache_args(run, cache_dir_default=None)
     _add_profile_args(run)
 
@@ -109,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_all.add_argument(
         "--fast", action="store_true", help="use the reduced grids (quick look)"
     )
+    _add_simulation_args(run_all)
     _add_cache_args(run_all, cache_dir_default=".repro-cache")
     _add_profile_args(run_all)
 
@@ -227,7 +272,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
             return 2
-        config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
+        config = _simulation_config(
+            FAST_CONFIG if args.fast else DEFAULT_CONFIG, args
+        )
         observing = args.profile or bool(args.trace_json)
         if observing:
             obs.reset()
@@ -274,7 +321,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "run-all":
         from repro import runner
 
-        config = FAST_CONFIG if args.fast else DEFAULT_CONFIG
+        config = _simulation_config(
+            FAST_CONFIG if args.fast else DEFAULT_CONFIG, args
+        )
         observing = args.profile or bool(args.trace_json)
         if observing:
             obs.reset()

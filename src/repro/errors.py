@@ -52,3 +52,24 @@ class CalibrationError(ReproError):
 
 class ModelError(ReproError):
     """A model was constructed or queried with inconsistent inputs."""
+
+
+class SimulationBudgetError(ModelError):
+    """A simulation exhausted its event budget before the horizon.
+
+    Carries the diagnostics an operator needs to size the next attempt:
+    how many events were executed, how far simulated time got, and the
+    horizon that was requested.  Raised instead of silently truncating
+    so a partial trajectory can never be mistaken for a full run.
+    """
+
+    def __init__(self, *, events: int, reached_t: float, horizon: float):
+        self.events = int(events)
+        self.reached_t = float(reached_t)
+        self.horizon = float(horizon)
+        super().__init__(
+            f"exceeded {self.events} events at simulated time "
+            f"{self.reached_t:.6g} of horizon {self.horizon:.6g} "
+            f"({100.0 * self.reached_t / self.horizon:.1f}% covered); "
+            "reduce the horizon or raise max_events"
+        )

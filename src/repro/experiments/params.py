@@ -10,7 +10,7 @@ exactly one place.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -35,7 +35,14 @@ def _default_prices() -> Tuple[float, ...]:
 
 @dataclass(frozen=True)
 class PaperConfig:
-    """All constants of the paper's numerical experiments."""
+    """All constants of the paper's numerical experiments.
+
+    The ``sim_*`` block parameterizes the dynamic (simulation)
+    validation experiments: a lighter mean census than the analytic
+    ``kbar`` keeps Monte Carlo runs fast, and since the whole config is
+    hashed into the result-cache address, changing replications or the
+    CI target from the CLI re-addresses the cache automatically.
+    """
 
     kbar: float = 100.0
     kappa: float = KAPPA_PAPER
@@ -45,6 +52,13 @@ class PaperConfig:
     ramp_a: float = 0.5
     capacities: Tuple[float, ...] = field(default_factory=_default_capacities)
     prices: Tuple[float, ...] = field(default_factory=_default_prices)
+    sim_kbar: float = 50.0
+    sim_capacity: float = 55.0
+    sim_replications: int = 32
+    sim_horizon: float = 400.0
+    sim_warmup: float = 50.0
+    sim_seed: int = 2025
+    sim_ci_halfwidth: Optional[float] = None
 
     def load(self, name: str) -> LoadDistribution:
         """The paper's load distribution by name (mean ``kbar``)."""

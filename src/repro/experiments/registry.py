@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, NamedTuple, Optional
 
-from repro.experiments import checkpoints, figures
+from repro.experiments import checkpoints, figures, simulation
 from repro.experiments.params import PaperConfig
 
 
@@ -83,6 +83,11 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "Section 5.2 retrying sweep (algebraic/adaptive)",
             lambda config=None: figures.retrying_series(config=config),
             target=figures.retrying_series,
+        ),
+        Experiment(
+            "S1",
+            "Ensemble simulation validation (CRN-paired B/R vs analytic)",
+            simulation.ensemble_validation,
         ),
     ]
 }

@@ -1,0 +1,124 @@
+"""Simulation experiments: ensemble validation of the static model.
+
+The analytic experiments evaluate the paper's formulas; this module
+closes the loop dynamically.  ``S1`` runs a CRN-paired ensemble of
+birth-death trajectories at the ``sim_*`` configuration and reports the
+simulated ``B(C)``, ``R(C)`` and gap with Student-t confidence
+half-widths next to the analytic values — so a result is a statistical
+statement ("the analytic delta lies inside the simulated CI"), not a
+single-seed point estimate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.experiments.params import DEFAULT_CONFIG, PaperConfig
+from repro.loads import PoissonLoad
+from repro.models import VariableLoadModel
+from repro.simulation import (
+    BirthDeathProcess,
+    EnsembleSimulator,
+    Link,
+    RunningStat,
+    ThresholdAdmission,
+    paired_gap,
+)
+
+
+def ensemble_validation(config: Optional[PaperConfig] = None) -> Dict[str, float]:
+    """S1: CRN-paired ensemble estimates vs the analytic B/R/delta.
+
+    Runs ``sim_replications`` paired best-effort/reservation
+    replications of the exact birth-death dynamics for the Poisson
+    census (mean ``sim_kbar``) at capacity ``sim_capacity``, scoring
+    both with the adaptive utility.  When ``sim_ci_halfwidth`` is set,
+    an adaptive ``run_until`` pass afterwards grows a fresh best-effort
+    ensemble until the ``B(C)`` estimate reaches that precision.
+    """
+    if config is None:
+        config = DEFAULT_CONFIG
+    load = PoissonLoad(config.sim_kbar)
+    utility = config.utility("adaptive")
+    capacity = float(config.sim_capacity)
+    model = VariableLoadModel(load, utility)
+
+    gap = paired_gap(
+        BirthDeathProcess(load),
+        Link(capacity),
+        utility,
+        config.sim_replications,
+        config.sim_horizon,
+        warmup=config.sim_warmup,
+        seed=config.sim_seed,
+    )
+    summary = gap.summary()
+
+    analytic_be = float(model.best_effort(capacity))
+    analytic_res = float(model.reservation(capacity))
+    out: Dict[str, float] = {
+        "capacity": capacity,
+        "replications": float(summary["replications"]),
+        "analytic_be": analytic_be,
+        "analytic_res": analytic_res,
+        "analytic_gap": analytic_res - analytic_be,
+        "sim_be": float(summary["best_effort"]),
+        "sim_be_ci": float(summary["best_effort_ci"]),
+        "sim_res": float(summary["reservation"]),
+        "sim_res_ci": float(summary["reservation_ci"]),
+        "sim_gap": float(summary["gap"]),
+        "sim_gap_ci": float(summary["gap_ci"]),
+    }
+
+    if config.sim_ci_halfwidth is not None:
+        estimate = EnsembleSimulator(
+            BirthDeathProcess(load),
+            Link(capacity),
+            ThresholdAdmission.from_utility(utility, readmit_waiting=True),
+        ).run_until(
+            lambda result: result.utility_estimates(utility)[1],
+            config.sim_horizon,
+            ci_halfwidth=float(config.sim_ci_halfwidth),
+            warmup=config.sim_warmup,
+            seed=config.sim_seed + 1,
+            min_replications=4,
+            max_replications=max(64, 4 * config.sim_replications),
+        )
+        out["adaptive_mean"] = float(estimate.mean)
+        out["adaptive_ci"] = float(estimate.ci_halfwidth)
+        out["adaptive_replications"] = float(estimate.replications)
+        out["adaptive_converged"] = float(estimate.converged)
+
+    return out
+
+
+def mean_census_check(config: Optional[PaperConfig] = None) -> Dict[str, float]:
+    """Per-replication mean-census sanity line for the S1 ensemble.
+
+    A cheap cross-check that the engineered birth-death dynamics hold
+    the census at its target mean: the ensemble's per-replication
+    time-average census should bracket ``sim_kbar``.
+    """
+    if config is None:
+        config = DEFAULT_CONFIG
+    load = PoissonLoad(config.sim_kbar)
+    result = EnsembleSimulator(
+        BirthDeathProcess(load), Link(config.sim_capacity)
+    ).run(
+        config.sim_replications,
+        config.sim_horizon,
+        warmup=config.sim_warmup,
+        seed=config.sim_seed,
+    )
+    means = result.mean_census()
+    stat = RunningStat()
+    stat.push(means)
+    return {
+        "target_mean": float(config.sim_kbar),
+        "mean_census": float(stat.mean),
+        "mean_census_ci": float(stat.ci_halfwidth()),
+        "replications": float(result.replications),
+        "events": float(np.sum(result.events)),
+    }

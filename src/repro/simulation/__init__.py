@@ -14,9 +14,19 @@ away, so it can be validated (and stressed) empirically:
 - measurement: census distributions, flow-average utilities, and
   worst-of-S-samples scoring, all comparable 1:1 with the analytic
   model's ``B(C)``, ``R(C)`` and the Section 5.1 extension.
+- ensembles: :class:`EnsembleSimulator` runs R replications as one
+  vectorized computation with per-replication ``SeedSequence`` streams,
+  CRN-paired gap estimation (:func:`paired_gap`) and CI-targeted
+  adaptive stopping (``run_until``).
 """
 
 from repro.simulation.admission import AdmissionPolicy, AdmitAll, ThresholdAdmission
+from repro.simulation.ensemble import (
+    EnsembleResult,
+    EnsembleSimulator,
+    PairedGapResult,
+    paired_gap,
+)
 from repro.simulation.events import Event, EventKind, EventQueue
 from repro.simulation.general import GeneralHoldingSimulator
 from repro.simulation.holding import (
@@ -49,15 +59,26 @@ from repro.simulation.simulator import (
     SimulationResult,
     Trajectory,
 )
+from repro.simulation.stats import AdaptiveEstimate, RunningStat
+from repro.simulation.streams import (
+    GeneratorDraws,
+    ReplicationStream,
+    spawn_children,
+    spawn_streams,
+)
 
 __all__ = [
+    "AdaptiveEstimate",
     "AdmissionPolicy",
     "AdmitAll",
     "BirthDeathProcess",
     "DemandProcess",
+    "EnsembleResult",
+    "EnsembleSimulator",
     "Event",
     "EventKind",
     "EventQueue",
+    "GeneratorDraws",
     "DeterministicHolding",
     "ExponentialHolding",
     "FlowLog",
@@ -67,9 +88,12 @@ __all__ = [
     "LogNormalHolding",
     "ParetoHolding",
     "Link",
+    "PairedGapResult",
     "ParetoBatchProcess",
     "PoissonProcess",
     "RegimeSwitchingProcess",
+    "ReplicationStream",
+    "RunningStat",
     "SimulationResult",
     "ThresholdAdmission",
     "Trajectory",
@@ -78,6 +102,9 @@ __all__ = [
     "census_total_variation",
     "empirical_mean_census",
     "mean_utilities",
+    "paired_gap",
     "retry_adjusted_utilities",
     "sampled_worst_utilities",
+    "spawn_children",
+    "spawn_streams",
 ]

@@ -44,6 +44,31 @@ class AdmitAll(AdmissionPolicy):
         return "AdmitAll()"
 
 
+class ConstantThreshold:
+    """Picklable ``capacity -> threshold`` returning a fixed value.
+
+    The ensemble runner ships admission policies to worker processes,
+    so the built-in threshold closures must survive pickling — a plain
+    lambda would not.
+    """
+
+    def __init__(self, value: float):
+        self.value = float(value)
+
+    def __call__(self, capacity: float) -> float:
+        return self.value
+
+
+class FixedLoadThreshold:
+    """Picklable ``capacity -> k_max(capacity)`` over a fixed-load model."""
+
+    def __init__(self, model: FixedLoadModel):
+        self.model = model
+
+    def __call__(self, capacity: float) -> float:
+        return self.model.k_max(capacity)
+
+
 class ThresholdAdmission(AdmissionPolicy):
     """Admit while the admitted count is below ``k_max(capacity)``.
 
@@ -64,7 +89,7 @@ class ThresholdAdmission(AdmissionPolicy):
             value = float(k_max)
             if value < 0:
                 raise ValueError(f"k_max must be >= 0, got {k_max!r}")
-            self._k_max_fn = lambda capacity: value
+            self._k_max_fn = ConstantThreshold(value)
         self.readmit_waiting = bool(readmit_waiting)
 
     @classmethod
@@ -78,7 +103,7 @@ class ThresholdAdmission(AdmissionPolicy):
         capacity-dependent threshold.
         """
         model = FixedLoadModel(utility)
-        return cls(lambda capacity: model.k_max(capacity), readmit_waiting=readmit_waiting)
+        return cls(FixedLoadThreshold(model), readmit_waiting=readmit_waiting)
 
     def threshold(self, capacity: float) -> float:
         return float(self._k_max_fn(capacity))

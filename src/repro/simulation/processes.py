@@ -31,6 +31,16 @@ from repro.loads.base import LoadDistribution
 class DemandProcess(abc.ABC):
     """Interface the simulation engines drive demand through."""
 
+    #: True when :meth:`batch_size` consumes one uniform per arrival
+    #: (the stream-driven engines then reserve a draw slot for it).
+    uses_batch_draw: bool = False
+
+    #: True when :meth:`arrival_rates`/:meth:`departure_rates` are
+    #: genuinely vectorised; the base-class fallbacks loop over the
+    #: scalar methods and the ensemble engine meters their use under
+    #: ``ensemble.fallback.vector_rates``.
+    vector_rates: bool = False
+
     @abc.abstractmethod
     def arrival_rate(self, census: int) -> float:
         """Instantaneous flow arrival rate given the current census."""
@@ -43,6 +53,37 @@ class DemandProcess(abc.ABC):
     def batch_size(self, rng: np.random.Generator) -> int:
         """Number of flows arriving together at an arrival instant."""
 
+    def batch_from_uniform(self, u: float) -> int:
+        """Batch size as a deterministic function of one uniform draw.
+
+        The stream-driven engines (scalar-with-stream and the batched
+        ensemble) route all randomness through explicit uniforms so
+        replications are reproducible and pairable; processes that
+        arrive in batches override this together with
+        ``uses_batch_draw = True``.
+        """
+        return 1
+
+    def batches_from_uniform(self, u: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`batch_from_uniform` (one value per draw)."""
+        return np.ones(np.shape(u), dtype=np.int64)
+
+    def arrival_rates(self, census: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`arrival_rate` over a census array.
+
+        Fallback implementation loops over the scalar method; concrete
+        time-homogeneous processes override with array expressions.
+        """
+        return np.array(
+            [self.arrival_rate(int(k)) for k in np.asarray(census)], dtype=float
+        )
+
+    def departure_rates(self, census: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`departure_rate` over a census array."""
+        return np.array(
+            [self.departure_rate(int(k)) for k in np.asarray(census)], dtype=float
+        )
+
     def advance_to(self, t: float) -> None:
         """Advance internal (wall-clock) state to simulation time ``t``.
 
@@ -52,6 +93,15 @@ class DemandProcess(abc.ABC):
         resolved at event granularity (exact when regime dwell times
         are long against the event spacing).
         """
+
+    def is_stateful(self) -> bool:
+        """True when the process mutates internal state during a run.
+
+        Stateful processes (anything overriding :meth:`advance_to`)
+        cannot be shared across replications of an ensemble — each
+        replication needs its own instance via a process factory.
+        """
+        return type(self).advance_to is not DemandProcess.advance_to
 
 
 class BirthDeathProcess(DemandProcess):
@@ -100,6 +150,11 @@ class BirthDeathProcess(DemandProcess):
                 # below the support: push the chain up into it
                 rates[k] = self._mu * max(1.0, load.mean)
         self._birth_rates = rates
+        # vector lookup table: index cap holds the reflecting zero so
+        # arrival_rates is a single clipped gather
+        self._birth_rates_vec = rates.copy()
+        self._birth_rates_vec[self._cap] = 0.0
+        self._support_min = int(load.support_min)
 
     @property
     def load(self) -> LoadDistribution:
@@ -132,6 +187,15 @@ class BirthDeathProcess(DemandProcess):
     def batch_size(self, rng: np.random.Generator) -> int:
         return 1
 
+    vector_rates = True
+
+    def arrival_rates(self, census: np.ndarray) -> np.ndarray:
+        idx = np.minimum(census, self._cap)
+        return self._birth_rates_vec[idx]
+
+    def departure_rates(self, census: np.ndarray) -> np.ndarray:
+        return np.where(census <= self._support_min, 0.0, self._mu * census)
+
 
 class PoissonProcess(DemandProcess):
     """Plain M/M/inf demand: Poisson arrivals, exponential holding.
@@ -162,6 +226,16 @@ class PoissonProcess(DemandProcess):
 
     def batch_size(self, rng: np.random.Generator) -> int:
         return 1
+
+    vector_rates = True
+
+    def arrival_rates(self, census: np.ndarray) -> np.ndarray:
+        # constant rate: a scalar broadcasts through the engine's
+        # arithmetic without allocating an array per step
+        return self._rate  # type: ignore[return-value]
+
+    def departure_rates(self, census: np.ndarray) -> np.ndarray:
+        return self._mu * census
 
 
 class RegimeSwitchingProcess(DemandProcess):
@@ -273,5 +347,20 @@ class ParetoBatchProcess(DemandProcess):
         return self._mu * census
 
     def batch_size(self, rng: np.random.Generator) -> int:
-        u = rng.random()
+        return self.batch_from_uniform(rng.random())
+
+    uses_batch_draw = True
+    vector_rates = True
+
+    def batch_from_uniform(self, u: float) -> int:
         return max(1, math.ceil((1.0 - u) ** (-1.0 / self._shape) - 0.5))
+
+    def batches_from_uniform(self, u: np.ndarray) -> np.ndarray:
+        sizes = np.ceil((1.0 - u) ** (-1.0 / self._shape) - 0.5)
+        return np.maximum(1, sizes.astype(np.int64))
+
+    def arrival_rates(self, census: np.ndarray) -> np.ndarray:
+        return self._session_rate  # type: ignore[return-value]
+
+    def departure_rates(self, census: np.ndarray) -> np.ndarray:
+        return self._mu * census

@@ -23,10 +23,11 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro import obs
-from repro.errors import ModelError
+from repro.errors import ModelError, SimulationBudgetError
 from repro.simulation.admission import AdmissionPolicy, AdmitAll
 from repro.simulation.link import Link
 from repro.simulation.processes import DemandProcess
+from repro.simulation.streams import GeneratorDraws, ReplicationStream
 
 
 @dataclass(frozen=True)
@@ -98,13 +99,21 @@ class FlowLog:
 
 @dataclass(frozen=True)
 class SimulationResult:
-    """Everything a run produced: trajectory, flow log, run metadata."""
+    """Everything a run produced: trajectory, flow log, run metadata.
+
+    ``events`` is the number of executed events and ``outcome`` how the
+    run ended — always ``"completed"`` for a returned result, since
+    event-budget exhaustion raises
+    :class:`~repro.errors.SimulationBudgetError` instead of truncating.
+    """
 
     trajectory: Trajectory
     flows: FlowLog
     capacity: float
     warmup: float
     horizon: float
+    events: int = 0
+    outcome: str = "completed"
 
     def __post_init__(self):
         # catch bad measurement windows at construction, before any
@@ -188,6 +197,7 @@ class FlowSimulator:
         *,
         warmup: float = 0.0,
         seed: Optional[int] = None,
+        stream: Optional[ReplicationStream] = None,
         initial_census: Optional[int] = None,
         max_events: int = 20_000_000,
         progress: Optional[Callable[[int, float], None]] = None,
@@ -197,6 +207,12 @@ class FlowSimulator:
 
         ``warmup`` marks the transient to exclude from measurements
         (recorded in the result; the measurement helpers honour it).
+        ``stream`` drives the run from a
+        :class:`~repro.simulation.streams.ReplicationStream` instead of
+        a fresh seeded generator — the draw sequence the batched
+        ensemble engine replays, so a streamed scalar run is the parity
+        oracle for ensemble replications (mutually exclusive with
+        ``seed``; seeded runs keep their historical bit stream).
         ``initial_census`` seeds the starting population (default: the
         demand process's mean, rounded — shortens the transient).
         ``progress``, when given, is called as ``progress(events, t)``
@@ -213,7 +229,10 @@ class FlowSimulator:
             raise ValueError(
                 f"progress_every must be >= 1, got {progress_every!r}"
             )
-        rng = np.random.default_rng(seed)
+        if stream is not None and seed is not None:
+            raise ValueError("seed and stream are mutually exclusive")
+        draws = stream if stream is not None else GeneratorDraws(np.random.default_rng(seed))
+        draws.bind(self._process, self._admission)
         capacity = self._link.capacity
 
         if initial_census is None:
@@ -280,21 +299,20 @@ class FlowSimulator:
                     f"demand process is absorbed at census {census} "
                     f"(zero total rate) — check the process parameters"
                 )
-            t += rng.exponential(1.0 / total)
+            t += draws.waiting_time(total)
             if t >= horizon:
                 break
             events += 1
             if events > max_events:
-                raise ModelError(
-                    f"exceeded {max_events} events before the horizon; "
-                    "reduce horizon or raise max_events"
+                raise SimulationBudgetError(
+                    events=max_events, reached_t=t, horizon=horizon
                 )
             if progress is not None and events % progress_every == 0:
                 progress(events, t)
-            draw = rng.random() * total
+            draw = draws.classify(total)
             if draw >= birth + death:
                 # a waiting flow re-attempts admission
-                pick = int(rng.integers(len(active_waiting)))
+                pick = draws.pick(len(active_waiting))
                 fid = active_waiting[pick]
                 if self._admission.admits(len(active_admitted), capacity):
                     active_waiting.pop(pick)
@@ -305,7 +323,7 @@ class FlowSimulator:
                 record_state()
                 continue
             if draw < birth:
-                batch = self._process.batch_size(rng)
+                batch = draws.batch(self._process)
                 for _ in range(batch):
                     fid = new_flow(
                         t,
@@ -322,7 +340,7 @@ class FlowSimulator:
             else:
                 # uniformly random active flow departs (memorylessness)
                 n_adm, n_wait = len(active_admitted), len(active_waiting)
-                pick = int(rng.integers(n_adm + n_wait))
+                pick = draws.pick(n_adm + n_wait)
                 if pick < n_adm:
                     fid = active_admitted.pop(pick)
                     freed_reservation = True
@@ -335,7 +353,9 @@ class FlowSimulator:
                     and self._admission.readmit_waiting
                     and active_waiting
                 ):
-                    promoted = active_waiting.pop(int(rng.integers(len(active_waiting))))
+                    promoted = active_waiting.pop(
+                        draws.promote_pick(len(active_waiting))
+                    )
                     admit_times[promoted] = t
                     active_admitted.append(promoted)
             record_state()
@@ -374,4 +394,6 @@ class FlowSimulator:
             capacity=capacity,
             warmup=warmup,
             horizon=horizon,
+            events=events,
+            outcome="completed",
         )

@@ -1,0 +1,96 @@
+"""Streaming replication statistics for the ensemble engine.
+
+Monte Carlo ensembles produce one estimate per replication; the
+stopping rule needs running mean/variance and a confidence interval
+without retaining the raw per-replication values.  :class:`RunningStat`
+implements Welford's numerically stable online update (with a parallel
+merge, so per-worker accumulators combine exactly), and the CI uses
+Student's t quantiles via :func:`scipy.special.stdtrit` — correct at
+the small replication counts where an adaptive rule actually stops.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import special
+
+
+class RunningStat:
+    """Welford online mean/variance accumulator with exact merging."""
+
+    def __init__(self):
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def push(self, value) -> None:
+        """Fold in one observation, or an array of observations."""
+        arr = np.asarray(value, dtype=float).ravel()
+        for x in arr:
+            self.count += 1
+            delta = x - self.mean
+            self.mean += delta / self.count
+            self._m2 += delta * (x - self.mean)
+
+    def merge(self, other: "RunningStat") -> None:
+        """Fold another accumulator in (Chan et al. parallel update)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self.mean += delta * other.count / total
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.count = total
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (NaN below two observations)."""
+        if self.count < 2:
+            return float("nan")
+        return self._m2 / (self.count - 1)
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        var = self.variance
+        if math.isnan(var):
+            return float("nan")
+        return math.sqrt(var / self.count)
+
+    def ci_halfwidth(self, level: float = 0.95) -> float:
+        """Two-sided Student-t confidence half-width at ``level``."""
+        if not 0.0 < level < 1.0:
+            raise ValueError(f"level must be in (0, 1), got {level!r}")
+        if self.count < 2:
+            return float("inf")
+        tq = float(special.stdtrit(self.count - 1, 0.5 + level / 2.0))
+        return tq * self.sem
+
+
+@dataclass(frozen=True)
+class AdaptiveEstimate:
+    """Outcome of a CI-targeted adaptive run.
+
+    ``converged`` distinguishes stopping on precision from stopping on
+    the replication ceiling, so callers never mistake a budget-capped
+    estimate for one that met its target.
+    """
+
+    mean: float
+    ci_halfwidth: float
+    level: float
+    replications: int
+    converged: bool
+    target: float
+
+    def __post_init__(self):
+        if self.target <= 0.0:
+            raise ValueError(f"target must be > 0, got {self.target!r}")

@@ -112,3 +112,63 @@ class TestArrivalCensus:
         result, _ = run
         _, probs = arrival_census_distribution(result)
         assert probs.sum() == pytest.approx(1.0)
+
+
+def _synthetic_result(*, trajectory_horizon: float, warmup: float):
+    """A hand-built single-segment run (census 4 from t = 0)."""
+    from repro.simulation import Trajectory
+    from repro.simulation.simulator import FlowLog, SimulationResult
+
+    empty = np.array([], dtype=float)
+    return SimulationResult(
+        trajectory=Trajectory(
+            times=np.array([0.0]),
+            census=np.array([4.0]),
+            admitted=np.array([4.0]),
+            horizon=trajectory_horizon,
+        ),
+        flows=FlowLog(
+            arrival=empty,
+            departure=empty,
+            admit_time=empty,
+            census_at_arrival=empty,
+        ),
+        capacity=12.0,
+        warmup=warmup,
+        horizon=10.0,
+    )
+
+
+class TestWindowEdgeCases:
+    def test_zero_warmup_counts_initial_segment(self):
+        # warmup == 0 must weight the t = 0 segment too: the pmf mass
+        # sums to one over the full horizon, including the census the
+        # run was seeded with
+        sim = FlowSimulator(BirthDeathProcess(PoissonLoad(10.0)), Link(12.0))
+        result = sim.run(5.0, warmup=0.0, seed=29, initial_census=30)
+        values, probs = census_distribution(result)
+        assert probs.sum() == pytest.approx(1.0, abs=1e-12)
+        assert values.max() >= 30  # the seeded level carries weight
+        # over this short horizon the decaying transient dominates, so
+        # a zero warmup must pull the mean well above the load's 10
+        assert empirical_mean_census(result) > 12.0
+
+    def test_single_segment_trajectory(self):
+        # a run whose demand never fires an event before the horizon
+        # has exactly one segment; the pmf must be a point mass
+        result = _synthetic_result(trajectory_horizon=10.0, warmup=2.0)
+        values, probs = census_distribution(result)
+        np.testing.assert_array_equal(values, [4.0])
+        np.testing.assert_array_equal(probs, [1.0])
+        assert empirical_mean_census(result) == pytest.approx(4.0)
+
+    def test_empty_post_warmup_window_raises(self):
+        # every gram of trajectory mass sits before the warmup cut:
+        # the window [warmup, horizon] is empty and must be refused
+        result = _synthetic_result(trajectory_horizon=5.0, warmup=6.0)
+        with pytest.raises(ValueError, match="no trajectory mass"):
+            census_distribution(result)
+
+    def test_invalid_window_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="warmup"):
+            _synthetic_result(trajectory_horizon=10.0, warmup=10.0)

@@ -74,6 +74,31 @@ class TestRun:
         with pytest.raises(ModelError, match="events"):
             small_sim().run(1000.0, seed=1, max_events=50)
 
+    def test_budget_error_carries_diagnostics(self):
+        from repro.errors import SimulationBudgetError
+
+        with pytest.raises(SimulationBudgetError) as excinfo:
+            small_sim().run(1000.0, seed=1, max_events=50)
+        err = excinfo.value
+        assert isinstance(err, ModelError)
+        assert err.events == 50
+        assert err.horizon == 1000.0
+        assert 0.0 < err.reached_t < err.horizon
+        # the message gives the operator every number needed to re-run
+        assert "50" in str(err) and "1000" in str(err)
+
+    def test_result_records_events_and_outcome(self):
+        res = small_sim().run(30.0, seed=2)
+        assert res.outcome == "completed"
+        assert res.events == len(res.trajectory.times) - 1
+
+    def test_seed_and_stream_mutually_exclusive(self):
+        from repro.simulation import ReplicationStream, spawn_children
+
+        stream = ReplicationStream(spawn_children(1, 1)[0])
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            small_sim().run(10.0, seed=1, stream=stream)
+
 
 class TestReadmission:
     def test_waiting_flows_promoted(self):

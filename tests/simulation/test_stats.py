@@ -1,0 +1,95 @@
+"""Tests for the streaming ensemble statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.simulation import AdaptiveEstimate, RunningStat
+
+
+class TestRunningStat:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(2.0, 1.5, size=257)
+        stat = RunningStat()
+        stat.push(values)
+        assert stat.count == 257
+        assert stat.mean == pytest.approx(values.mean(), rel=1e-12)
+        assert stat.variance == pytest.approx(values.var(ddof=1), rel=1e-10)
+        assert stat.sem == pytest.approx(
+            values.std(ddof=1) / math.sqrt(257), rel=1e-10
+        )
+
+    def test_incremental_equals_batch(self):
+        rng = np.random.default_rng(4)
+        values = rng.exponential(size=100)
+        one = RunningStat()
+        one.push(values)
+        many = RunningStat()
+        for v in values:
+            many.push(v)
+        assert many.mean == pytest.approx(one.mean, rel=1e-12)
+        assert many.variance == pytest.approx(one.variance, rel=1e-10)
+
+    def test_merge_equals_pooled(self):
+        rng = np.random.default_rng(5)
+        a_vals, b_vals = rng.normal(size=40), rng.normal(loc=3.0, size=17)
+        a, b, pooled = RunningStat(), RunningStat(), RunningStat()
+        a.push(a_vals)
+        b.push(b_vals)
+        pooled.push(np.concatenate([a_vals, b_vals]))
+        a.merge(b)
+        assert a.count == pooled.count
+        assert a.mean == pytest.approx(pooled.mean, rel=1e-12)
+        assert a.variance == pytest.approx(pooled.variance, rel=1e-10)
+
+    def test_merge_empty_is_noop(self):
+        stat = RunningStat()
+        stat.push(np.array([1.0, 2.0]))
+        stat.merge(RunningStat())
+        assert stat.count == 2
+        assert stat.mean == pytest.approx(1.5)
+
+    def test_degenerate_counts(self):
+        stat = RunningStat()
+        assert math.isnan(stat.variance)
+        assert math.isinf(stat.ci_halfwidth())
+        stat.push(1.0)
+        assert math.isnan(stat.variance)
+        assert math.isinf(stat.ci_halfwidth())
+        stat.push(2.0)
+        assert math.isfinite(stat.ci_halfwidth())
+
+    def test_ci_matches_student_t(self):
+        # n = 4, sample variance 1 -> halfwidth = t_{0.975, 3} / 2
+        stat = RunningStat()
+        stat.push(np.array([-1.0, 0.0, 1.0, 0.0]))
+        sem = math.sqrt(stat.variance / 4)
+        assert stat.ci_halfwidth(0.95) == pytest.approx(3.182446 * sem, rel=1e-5)
+        assert stat.ci_halfwidth(0.99) > stat.ci_halfwidth(0.95)
+
+
+class TestAdaptiveEstimate:
+    def test_fields(self):
+        est = AdaptiveEstimate(
+            mean=0.5,
+            ci_halfwidth=0.01,
+            level=0.95,
+            replications=16,
+            converged=True,
+            target=0.02,
+        )
+        assert est.converged
+        assert est.ci_halfwidth <= est.target
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            AdaptiveEstimate(
+                mean=0.0,
+                ci_halfwidth=0.1,
+                level=0.95,
+                replications=2,
+                converged=False,
+                target=0.0,
+            )
