@@ -11,6 +11,8 @@ Usage::
                                            # through the on-disk result cache
     repro-experiments run-all F2 T1 --force   # recompute just these two
     repro-experiments checkpoints          # the full paper-vs-measured table
+    repro-experiments verify               # paper-invariant fast suite
+    repro-experiments verify --suite deep --json   # + ensemble oracles
     repro-experiments profile --json       # time every registered experiment
     repro-experiments export F3 --out fig  # CSV + gnuplot for Figure 3
     repro-experiments analyze-trace t.csv  # census verdict from a flow trace
@@ -163,6 +165,34 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--json", action="store_true", help="emit JSON instead of text")
     cp.add_argument("--markdown", action="store_true", help="emit a markdown table")
     _add_profile_args(cp)
+
+    verify = sub.add_parser(
+        "verify",
+        help="evaluate the paper-derived invariant catalogue "
+        "(cross-engine differential oracles; see docs/VERIFY.md)",
+    )
+    verify.add_argument(
+        "--suite",
+        choices=["fast", "deep"],
+        default="fast",
+        help="fast: CI gate (~20 s); deep: adds the ensemble oracles",
+    )
+    verify.add_argument(
+        "--only",
+        nargs="+",
+        metavar="ID",
+        help="evaluate only these invariant ids (never cached)",
+    )
+    verify.add_argument(
+        "--json", action="store_true", help="emit the JSON report instead of text"
+    )
+    verify.add_argument(
+        "--fast-config",
+        action="store_true",
+        help="use the reduced grids (quick look; re-addresses the cache)",
+    )
+    _add_cache_args(verify, cache_dir_default=None)
+    _add_profile_args(verify)
 
     prof = sub.add_parser(
         "profile",
@@ -374,6 +404,55 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if status:
             return status
         return 0 if batch.ok else 1
+
+    if args.command == "verify":
+        from repro.verify import runner as verify_runner
+
+        config = FAST_CONFIG if args.fast_config else DEFAULT_CONFIG
+        observing = args.profile or bool(args.trace_json)
+        if observing:
+            obs.reset()
+            obs.enable()
+        cache_status = None
+        if args.only:
+            # selections are never cached: a partial run must not be
+            # served later as the full suite
+            try:
+                verification = verify_runner.run_suite(
+                    args.suite, config, ids=args.only
+                )
+            except KeyError as exc:
+                print(str(exc.args[0]), file=sys.stderr)
+                return 2
+        elif args.cache_dir and not args.no_cache:
+            from repro.runner import ResultCache
+
+            verification, from_cache = verify_runner.cached_suite(
+                args.suite,
+                config,
+                cache=ResultCache(args.cache_dir),
+                force=args.force,
+            )
+            cache_status = "hit" if from_cache else "miss"
+        else:
+            verification = verify_runner.run_suite(args.suite, config)
+        if args.json:
+            meta = {
+                "config": "fast" if args.fast_config else "default",
+            }
+            if cache_status is not None:
+                meta["cache"] = cache_status
+            if observing:
+                meta["metrics"] = obs.snapshot()
+            import json as _json
+
+            print(_json.dumps({"_meta": meta, **verification.to_dict()}, indent=2))
+        else:
+            print(verification.render())
+        status = _finish_observed(args) if observing else 0
+        if status:
+            return status
+        return 0 if verification.ok else 1
 
     if args.command == "profile":
         from repro.experiments import profiling

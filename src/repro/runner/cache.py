@@ -113,6 +113,10 @@ def cache_key(exp: Experiment, config: Optional[PaperConfig]) -> str:
 
 def encode_result(result: object) -> Tuple[str, object]:
     """``(kind, payload)`` — the JSON-ready form of a generator result."""
+    from repro.verify.report import VerificationReport
+
+    if isinstance(result, VerificationReport):
+        return "verification", result.to_dict()
     if isinstance(result, dict):
         return "series", {k: np.asarray(v).tolist() for k, v in result.items()}
     if (
@@ -148,6 +152,10 @@ def decode_result(kind: str, payload: object) -> object:
             )
             for row in payload
         ]
+    if kind == "verification":
+        from repro.verify.report import VerificationReport
+
+        return VerificationReport.from_dict(payload)
     if kind == "repr":
         return payload
     raise ValueError(f"unknown cached result kind {kind!r}")

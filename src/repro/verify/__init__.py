@@ -1,0 +1,69 @@
+"""Paper-derived invariant registry and cross-engine differential testing.
+
+Breslau & Shenker's analysis is rich in provable structure — bounds,
+monotonicity, the Erlang-B recursion, continuum limits, extension
+identities — and this repo computes every quantity through up to four
+independent engines (scalar models, batch kernels, the CRN ensemble
+simulator, continuum closed forms).  This subsystem declares each
+property once and holds every engine to it:
+
+- :mod:`repro.verify.tolerance` — the central :class:`TolerancePolicy`
+  (rtol/atol per quantity class, CI-halfwidth-aware for Monte Carlo)
+  and the normalised-residual semantics every report uses.
+- :mod:`repro.verify.registry` — :class:`Invariant` declarations and
+  the suite-scoped :class:`InvariantRegistry`.
+- :mod:`repro.verify.invariants` — the catalogue (~35 entries;
+  importing it populates :data:`REGISTRY`).
+- :mod:`repro.verify.oracles` — differential oracles comparing engines.
+- :mod:`repro.verify.strategies` — Hypothesis strategies for property
+  tests (the only module here that imports ``hypothesis``).
+- :mod:`repro.verify.runner` — suite evaluation, cache-addressed via
+  the PR-2 result cache.
+
+CLI: ``repro-experiments verify --suite fast --json``; the catalogue
+is documented in ``docs/VERIFY.md``.
+"""
+
+from repro.verify.registry import (
+    ENGINES,
+    REGISTRY,
+    SUITES,
+    CheckResult,
+    Invariant,
+    InvariantRegistry,
+)
+from repro.verify.report import InvariantOutcome, VerificationReport
+from repro.verify.runner import cached_suite, run_suite
+from repro.verify.tolerance import (
+    EXACT,
+    GOLDEN,
+    LIMIT,
+    MONTE_CARLO,
+    STRUCTURAL,
+    TIGHT,
+    TolerancePolicy,
+    bound_residual,
+    monotone_residual,
+)
+
+__all__ = [
+    "ENGINES",
+    "EXACT",
+    "GOLDEN",
+    "LIMIT",
+    "MONTE_CARLO",
+    "REGISTRY",
+    "STRUCTURAL",
+    "SUITES",
+    "TIGHT",
+    "CheckResult",
+    "Invariant",
+    "InvariantOutcome",
+    "InvariantRegistry",
+    "TolerancePolicy",
+    "VerificationReport",
+    "bound_residual",
+    "cached_suite",
+    "monotone_residual",
+    "run_suite",
+]

@@ -1,0 +1,231 @@
+"""The invariant registry: declare paper properties once, run them anywhere.
+
+An :class:`Invariant` wraps a check function taking a
+:class:`~repro.experiments.params.PaperConfig` and returning a
+:class:`CheckResult` (residual + detail).  The registry groups
+invariants into suites (``fast`` runs on every CI push; ``deep`` adds
+the expensive ensemble oracles) and evaluates them into a
+:class:`~repro.verify.report.VerificationReport`, metered under
+``verify.*`` when :mod:`repro.obs` is enabled.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.experiments.params import PaperConfig
+from repro.verify.report import InvariantOutcome, VerificationReport
+from repro.verify.tolerance import TolerancePolicy
+
+#: The four computation engines an invariant can exercise.
+ENGINES = ("scalar", "batch", "ensemble", "continuum")
+
+#: Recognised suite names, cheapest first.
+SUITES = ("fast", "deep")
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """What a check function returns: its residual plus context.
+
+    ``residual`` follows the normalised semantics of
+    :mod:`repro.verify.tolerance` — at or below 1.0 passes.
+    """
+
+    residual: float
+    detail: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return self.residual <= 1.0
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """One paper-derived property, declared once.
+
+    Parameters
+    ----------
+    inv_id:
+        Stable identifier used in reports and CI logs (e.g. ``"B1"``).
+    description:
+        One-line statement of the property.
+    paper_ref:
+        Where in Breslau & Shenker the property comes from
+        (section / theorem / table row).
+    engines:
+        Which computation engines the check exercises.
+    suites:
+        Which suites include it (``deep`` implies extra cost).
+    tolerance:
+        The policy the check applies; recorded in the report so a
+        residual is interpretable on its own.
+    check:
+        ``PaperConfig -> CheckResult``.
+    """
+
+    inv_id: str
+    description: str
+    paper_ref: str
+    engines: Tuple[str, ...]
+    suites: Tuple[str, ...]
+    tolerance: TolerancePolicy
+    check: Callable[[PaperConfig], CheckResult]
+
+    def __post_init__(self):
+        unknown_engines = set(self.engines) - set(ENGINES)
+        if unknown_engines:
+            raise ValueError(f"unknown engines {sorted(unknown_engines)!r}")
+        unknown_suites = set(self.suites) - set(SUITES)
+        if unknown_suites:
+            raise ValueError(f"unknown suites {sorted(unknown_suites)!r}")
+        if not self.engines:
+            raise ValueError("an invariant must name at least one engine")
+        if not self.suites:
+            raise ValueError("an invariant must belong to at least one suite")
+
+    def evaluate(self, config: PaperConfig) -> InvariantOutcome:
+        """Run the check; an exception becomes a failing outcome."""
+        start = time.perf_counter()
+        try:
+            result = self.check(config)
+        except Exception as exc:  # noqa: BLE001 - a crash is a failure, not an abort
+            elapsed = time.perf_counter() - start
+            return InvariantOutcome(
+                inv_id=self.inv_id,
+                description=self.description,
+                paper_ref=self.paper_ref,
+                engines=self.engines,
+                passed=False,
+                residual=float("inf"),
+                tolerance=self.tolerance.describe(),
+                detail=f"check raised {type(exc).__name__}: {exc}",
+                seconds=elapsed,
+            )
+        elapsed = time.perf_counter() - start
+        return InvariantOutcome(
+            inv_id=self.inv_id,
+            description=self.description,
+            paper_ref=self.paper_ref,
+            engines=self.engines,
+            passed=result.passed,
+            residual=result.residual,
+            tolerance=self.tolerance.describe(),
+            detail=result.detail,
+            seconds=elapsed,
+        )
+
+
+class InvariantRegistry:
+    """Ordered collection of invariants with suite-scoped evaluation."""
+
+    def __init__(self):
+        self._invariants: Dict[str, Invariant] = {}
+
+    def register(self, invariant: Invariant) -> Invariant:
+        if invariant.inv_id in self._invariants:
+            raise ValueError(f"duplicate invariant id {invariant.inv_id!r}")
+        self._invariants[invariant.inv_id] = invariant
+        return invariant
+
+    def invariant(
+        self,
+        inv_id: str,
+        description: str,
+        *,
+        paper_ref: str,
+        engines: Sequence[str],
+        tolerance: TolerancePolicy,
+        suites: Sequence[str] = ("fast", "deep"),
+    ) -> Callable[[Callable[[PaperConfig], CheckResult]], Callable]:
+        """Decorator form of :meth:`register` for check functions."""
+
+        def wrap(check: Callable[[PaperConfig], CheckResult]):
+            self.register(
+                Invariant(
+                    inv_id=inv_id,
+                    description=description,
+                    paper_ref=paper_ref,
+                    engines=tuple(engines),
+                    suites=tuple(suites),
+                    tolerance=tolerance,
+                    check=check,
+                )
+            )
+            return check
+
+        return wrap
+
+    def __len__(self) -> int:
+        return len(self._invariants)
+
+    def __contains__(self, inv_id: str) -> bool:
+        return inv_id in self._invariants
+
+    def get(self, inv_id: str) -> Invariant:
+        return self._invariants[inv_id]
+
+    def all(self) -> List[Invariant]:
+        """Every invariant, in registration order."""
+        return list(self._invariants.values())
+
+    def select(
+        self,
+        suite: str,
+        *,
+        ids: Optional[Iterable[str]] = None,
+    ) -> List[Invariant]:
+        """The invariants a run should evaluate.
+
+        ``deep`` is a superset of ``fast``: it runs everything tagged
+        for either suite, so one nightly run covers the whole
+        catalogue.  ``ids`` optionally restricts the selection (unknown
+        ids raise, so typos fail loudly).
+        """
+        if suite not in SUITES:
+            raise ValueError(f"unknown suite {suite!r}; expected one of {SUITES}")
+        if suite == "deep":
+            chosen = self.all()
+        else:
+            chosen = [inv for inv in self.all() if suite in inv.suites]
+        if ids is not None:
+            wanted = list(ids)
+            unknown = [i for i in wanted if i not in self._invariants]
+            if unknown:
+                raise KeyError(f"unknown invariant ids {unknown!r}")
+            keep = set(wanted)
+            chosen = [inv for inv in chosen if inv.inv_id in keep]
+        return chosen
+
+    def run(
+        self,
+        suite: str,
+        config: PaperConfig,
+        *,
+        ids: Optional[Iterable[str]] = None,
+    ) -> VerificationReport:
+        """Evaluate a suite into a report, metered under ``verify.*``."""
+        chosen = self.select(suite, ids=ids)
+        outcomes: List[InvariantOutcome] = []
+        start = time.perf_counter()
+        with obs.span("verify.suite", suite=suite):
+            for inv in chosen:
+                with obs.span("verify.invariant", id=inv.inv_id):
+                    outcome = inv.evaluate(config)
+                outcomes.append(outcome)
+                if obs.enabled():
+                    obs.counter("verify.invariants.evaluated").inc()
+                    if not outcome.passed:
+                        obs.counter("verify.invariants.failed").inc()
+        wall = time.perf_counter() - start
+        return VerificationReport(
+            suite=suite, outcomes=tuple(outcomes), wall_seconds=wall
+        )
+
+
+#: The process-wide registry the catalogue in
+#: :mod:`repro.verify.invariants` populates on import.
+REGISTRY = InvariantRegistry()

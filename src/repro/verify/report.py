@@ -1,0 +1,141 @@
+"""Verification report: the JSON/text output of a suite run.
+
+Kept free of heavy imports on purpose: :mod:`repro.runner.cache`
+serialises these reports into the content-addressed result cache, and
+the report shape is part of the CLI contract (``repro-experiments
+verify --json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Report format version; bump on incompatible shape changes.
+REPORT_SCHEMA = "repro.verify/v1"
+
+
+@dataclass(frozen=True)
+class InvariantOutcome:
+    """One invariant's evaluation inside a suite run.
+
+    ``residual`` is the normalised deviation (<= 1.0 passes; see
+    :mod:`repro.verify.tolerance`); ``inf`` marks an invariant whose
+    check raised instead of returning.
+    """
+
+    inv_id: str
+    description: str
+    paper_ref: str
+    engines: Tuple[str, ...]
+    passed: bool
+    residual: float
+    tolerance: str
+    detail: str
+    seconds: float
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (residual serialised as a float or 'inf')."""
+        return {
+            "id": self.inv_id,
+            "description": self.description,
+            "paper_ref": self.paper_ref,
+            "engines": list(self.engines),
+            "passed": self.passed,
+            "residual": self.residual if self.residual != float("inf") else "inf",
+            "tolerance": self.tolerance,
+            "detail": self.detail,
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InvariantOutcome":
+        residual = payload["residual"]
+        return cls(
+            inv_id=payload["id"],
+            description=payload["description"],
+            paper_ref=payload["paper_ref"],
+            engines=tuple(payload["engines"]),
+            passed=bool(payload["passed"]),
+            residual=float("inf") if residual == "inf" else float(residual),
+            tolerance=payload["tolerance"],
+            detail=payload["detail"],
+            seconds=float(payload["seconds"]),
+        )
+
+    def row(self) -> str:
+        """One formatted report line."""
+        flag = "ok" if self.passed else "FAIL"
+        residual = "inf" if self.residual == float("inf") else f"{self.residual:.3g}"
+        return (
+            f"[{self.inv_id:<24s}] {flag:<4s} residual={residual:<9s} "
+            f"{self.seconds:7.3f} s  {self.description}"
+        )
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Every invariant outcome of one suite run."""
+
+    suite: str
+    outcomes: Tuple[InvariantOutcome, ...]
+    wall_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant passed."""
+        return all(o.passed for o in self.outcomes)
+
+    @property
+    def engines(self) -> Tuple[str, ...]:
+        """Sorted union of engines the run exercised."""
+        seen = set()
+        for outcome in self.outcomes:
+            seen.update(outcome.engines)
+        return tuple(sorted(seen))
+
+    def counts(self) -> Dict[str, int]:
+        """``{"passed": ..., "failed": ...}`` tallies."""
+        passed = sum(1 for o in self.outcomes if o.passed)
+        return {"passed": passed, "failed": len(self.outcomes) - passed}
+
+    def failures(self) -> List[InvariantOutcome]:
+        """The failing outcomes, in evaluation order."""
+        return [o for o in self.outcomes if not o.passed]
+
+    def to_dict(self) -> dict:
+        """The JSON report body (stable schema, CLI contract)."""
+        return {
+            "schema": REPORT_SCHEMA,
+            "suite": self.suite,
+            "ok": self.ok,
+            "counts": self.counts(),
+            "engines": list(self.engines),
+            "wall_seconds": self.wall_seconds,
+            "invariants": [o.to_dict() for o in self.outcomes],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "VerificationReport":
+        if payload.get("schema") != REPORT_SCHEMA:
+            raise ValueError(
+                f"unknown verification report schema {payload.get('schema')!r}"
+            )
+        return cls(
+            suite=payload["suite"],
+            outcomes=tuple(
+                InvariantOutcome.from_dict(o) for o in payload["invariants"]
+            ),
+            wall_seconds=float(payload["wall_seconds"]),
+        )
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [o.row() for o in self.outcomes]
+        counts = self.counts()
+        lines.append(
+            f"-- suite {self.suite}: {counts['passed']} passed, "
+            f"{counts['failed']} failed across engines "
+            f"{'/'.join(self.engines)}; wall {self.wall_seconds:.3f} s"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""Hypothesis strategies for the paper's domain.
+
+One place to draw loads, utilities, models, configs and seeds, so every
+property test explores the same (valid) parameter space instead of
+re-deriving ad-hoc bounds.  Import this module only from tests — it is
+the single spot in ``repro.verify`` that requires ``hypothesis``.
+
+Model instances are memoised by their defining parameters: Hypothesis
+runs hundreds of examples, and the models carry lazily-grown pmf
+caches that are expensive to keep rebuilding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from hypothesis import strategies as st
+
+from repro.caching import BoundedCache
+from repro.experiments.params import PaperConfig
+from repro.loads import AlgebraicLoad, GeometricLoad, PoissonLoad
+from repro.loads.base import LoadDistribution
+from repro.models import SamplingModel, VariableLoadModel
+from repro.utility import (
+    AdaptiveUtility,
+    PiecewiseLinearUtility,
+    RigidUtility,
+)
+from repro.utility.base import UtilityFunction
+
+#: Load family names the strategies can draw.
+LOAD_FAMILIES = ("poisson", "exponential", "algebraic")
+
+# mean grid kept moderate: scalar model calls cost O(mean) terms
+_MEANS = (5.0, 10.0, 25.0)
+_TAIL_POWERS = (2.5, 3.0, 4.0)
+
+_model_cache = BoundedCache(maxsize=256)
+
+
+def _build_load(family: str, mean: float, z: float) -> LoadDistribution:
+    if family == "poisson":
+        return PoissonLoad(mean)
+    if family == "exponential":
+        return GeometricLoad.from_mean(mean)
+    return AlgebraicLoad.from_mean(z, mean)
+
+
+@st.composite
+def loads(
+    draw,
+    families: Tuple[str, ...] = LOAD_FAMILIES,
+    tail_powers: Tuple[float, ...] = _TAIL_POWERS,
+) -> LoadDistribution:
+    """A discrete census distribution from the paper's three families."""
+    family = draw(st.sampled_from(families))
+    mean = draw(st.sampled_from(_MEANS))
+    z = draw(st.sampled_from(tail_powers))
+    return _build_load(family, mean, z)
+
+
+@st.composite
+def utilities(draw, include_rigid: bool = True) -> UtilityFunction:
+    """A normalised utility: adaptive, ramp, or (optionally) rigid.
+
+    Rigid utilities make many quantities discontinuous in capacity;
+    properties that assume smoothness can exclude them.
+    """
+    kinds = ["adaptive", "ramp"] + (["rigid"] if include_rigid else [])
+    kind = draw(st.sampled_from(kinds))
+    if kind == "adaptive":
+        return AdaptiveUtility(draw(st.sampled_from((0.3, 0.62086, 1.5))))
+    if kind == "ramp":
+        return PiecewiseLinearUtility(
+            draw(st.floats(min_value=0.0, max_value=0.9))
+        )
+    return RigidUtility(1.0)
+
+
+@st.composite
+def models(draw, families: Tuple[str, ...] = LOAD_FAMILIES) -> VariableLoadModel:
+    """A memoised :class:`VariableLoadModel` over the drawn domain."""
+    load = draw(loads(families=families))
+    utility = draw(utilities())
+    key = (repr(load), repr(utility))
+    cached = _model_cache.get(key)
+    if cached is None:
+        cached = VariableLoadModel(load, utility)
+        _model_cache.put(key, cached)
+    return cached
+
+
+@st.composite
+def sampling_models(draw, max_samples: int = 8) -> SamplingModel:
+    """A memoised worst-of-S :class:`SamplingModel` (S >= 2).
+
+    Tail powers stay at z >= 3: the worst-of-S truncation series decays
+    like ``n^{-z}`` under a near-linear utility, and z = 2.5 with large
+    S overruns the 2^26-term truncation guard in ``SamplingModel``.
+    """
+    load = draw(loads(tail_powers=(3.0, 4.0)))
+    utility = draw(utilities())
+    samples = draw(st.integers(min_value=2, max_value=max_samples))
+    key = (repr(load), repr(utility), samples)
+    cached = _model_cache.get(key)
+    if cached is None:
+        cached = SamplingModel(load, utility, samples)
+        _model_cache.put(key, cached)
+    return cached
+
+
+def capacities(
+    min_value: float = 0.5, max_value: float = 120.0
+) -> st.SearchStrategy[float]:
+    """A link capacity in the figures' interesting range."""
+    return st.floats(
+        min_value=min_value,
+        max_value=max_value,
+        allow_nan=False,
+        allow_infinity=False,
+    )
+
+
+def capacity_pairs(
+    min_value: float = 1.0, max_value: float = 100.0
+) -> st.SearchStrategy[Tuple[float, float]]:
+    """An ordered ``(lo, hi)`` capacity pair for monotonicity properties."""
+    return st.tuples(
+        capacities(min_value, max_value), capacities(min_value, max_value)
+    ).map(lambda pair: (min(pair), max(pair)))
+
+
+def seeds() -> st.SearchStrategy[int]:
+    """A SeedSequence-compatible nonnegative seed."""
+    return st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@st.composite
+def paper_configs(draw) -> PaperConfig:
+    """A valid :class:`PaperConfig` perturbed around the paper's values.
+
+    Sweep grids stay fixed (they are axes, not physics); the physical
+    parameters move within the ranges the models are valid for.
+    """
+    return PaperConfig(
+        kbar=draw(st.sampled_from((50.0, 100.0))),
+        z=draw(st.sampled_from(_TAIL_POWERS)),
+        alpha=draw(st.floats(min_value=0.01, max_value=0.5)),
+        samples=draw(st.integers(min_value=2, max_value=12)),
+        ramp_a=draw(st.floats(min_value=0.1, max_value=0.9)),
+        sim_seed=draw(seeds()),
+    )
+
+
+def shared_model_cache_info() -> Dict[str, int]:
+    """Visibility into the memo (for tests of the strategies themselves)."""
+    return {"size": len(_model_cache)}

@@ -10,7 +10,14 @@ kappa = 0.62086, z = 3) at ~10 canonical grid points each:
 - ``delta``  — performance gap δ(C) = R(C) − B(C), Figures 2–4;
 - ``Delta``  — bandwidth gap Δ(C) with B(C + Δ) = R(C), Figures 2–4;
 - ``gamma``  — discrete welfare price-ratio curve γ(p) per figure;
-- ``continuum_gamma`` — closed-form rigid/exponential γ(p) overlay.
+- ``continuum_gamma`` — closed-form rigid/exponential γ(p) overlay;
+- ``sampling_T4`` — Section 5.1 worst-of-S curves behind checkpoints
+  T4.1–T4.5 (exp/adaptive, S from the config) plus the closed-form
+  ``(S(z-1))^{1/(z-2)}`` ratios;
+- ``retrying_T5`` — Section 5.2 retry curves behind checkpoints
+  T5.1–T5.6 (alg/adaptive, alpha from the config; capacities start at
+  1.3 k̄ because the retry fixed point needs C ≳ 1.2 k̄) plus the
+  closed-form ``((z-1)/alpha)^{1/(z-2)}`` ratios.
 
 Values come from the *scalar* code path on purpose: the golden test
 then holds both the scalar and the vectorised batch paths to the same
@@ -24,9 +31,18 @@ import pathlib
 
 import numpy as np
 
-from repro.continuum import RigidExponentialContinuum
+from repro.continuum import (
+    RigidExponentialContinuum,
+    retrying_rigid_ratio,
+    sampling_rigid_ratio,
+)
 from repro.experiments.params import DEFAULT_CONFIG
-from repro.models import VariableLoadModel, WelfareModel
+from repro.models import (
+    RetryingModel,
+    SamplingModel,
+    VariableLoadModel,
+    WelfareModel,
+)
 
 OUT = pathlib.Path(__file__).parent / "figures.json"
 
@@ -42,6 +58,10 @@ PRICES = list(np.geomspace(1e-3, 0.2, 10))
 CONTINUUM_PRICES = list(np.geomspace(1e-5, 0.2, 10))
 
 FIGURES = {"figure2": "poisson", "figure3": "exponential", "figure4": "algebraic"}
+
+#: Capacity grid for the retry curves: the fixed point is only defined
+#: for C comfortably above the intrinsic mean (C >= ~1.2 k_bar).
+RETRY_CAPACITIES = [130.0, 150.0, 200.0, 250.0, 300.0, 400.0]
 
 
 def main() -> int:
@@ -72,6 +92,33 @@ def main() -> int:
     payload["continuum_rigid_exp"] = {
         "price": CONTINUUM_PRICES,
         "gamma": [cont.equalizing_ratio(p) for p in CONTINUUM_PRICES],
+    }
+
+    sampled = SamplingModel(
+        cfg.load("exponential"), cfg.utility("adaptive"), cfg.samples
+    )
+    payload["sampling_T4"] = {
+        "load": "exponential",
+        "samples": cfg.samples,
+        "capacity": CAPACITIES,
+        "delta": [sampled.performance_gap(c) for c in CAPACITIES],
+        "Delta": [sampled.bandwidth_gap(c) for c in CAPACITIES],
+        "rigid_ratio_z3_s3": sampling_rigid_ratio(cfg.z, 3),
+        "rigid_ratio_z2p1_s3": sampling_rigid_ratio(2.1, 3),
+    }
+
+    retry = RetryingModel(
+        cfg.load("algebraic"), cfg.utility("adaptive"), alpha=cfg.alpha
+    )
+    payload["retrying_T5"] = {
+        "load": "algebraic",
+        "alpha": cfg.alpha,
+        "capacity": RETRY_CAPACITIES,
+        "best_effort": [retry.best_effort(c) for c in RETRY_CAPACITIES],
+        "reservation": [retry.reservation(c) for c in RETRY_CAPACITIES],
+        "delta": [retry.performance_gap(c) for c in RETRY_CAPACITIES],
+        "rigid_ratio": retrying_rigid_ratio(cfg.z, cfg.alpha),
+        "rigid_ratio_z2p1": retrying_rigid_ratio(2.1, cfg.alpha),
     }
     OUT.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {OUT}")

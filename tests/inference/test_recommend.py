@@ -53,3 +53,39 @@ class TestRecommendation:
         rec = recommend_architecture(samples, AdaptiveUtility())
         assert rec.tail is not None
         assert rec.tail.heavy_tailed
+
+
+class TestRecommendationBranches:
+    def test_tiny_samples_skip_the_tail_estimate(self):
+        samples = PoissonLoad(30.0).sample(np.random.default_rng(27), 8)
+        rec = recommend_architecture(samples, AdaptiveUtility(), price=0.05)
+        assert rec.tail is None
+        assert "Hill tail estimate" not in rec.summary()
+
+    def test_mostly_zero_samples_skip_the_tail_estimate(self):
+        # enough samples but fewer than 10 nonzero observations
+        samples = np.array([0] * 40 + [3, 5, 2, 4, 1])
+        rec = recommend_architecture(samples, AdaptiveUtility(), price=0.05)
+        assert rec.tail is None
+
+    def test_summary_reports_the_tail_when_present(self):
+        samples = AlgebraicLoad.from_mean(3.0, 40.0).sample(
+            np.random.default_rng(28), 3_000
+        )
+        text = recommend_architecture(samples, AdaptiveUtility()).summary()
+        assert "Hill tail estimate" in text
+        assert "heavy-tailed" in text
+
+    def test_budget_branch_alone_recommends_reservations(self):
+        # a flat gap trend with a material complexity budget must still
+        # return the reservation verdict (the `or` in the property)
+        samples = PoissonLoad(50.0).sample(np.random.default_rng(29), 5_000)
+        rec = recommend_architecture(samples, RigidUtility(1.0), price=0.05)
+        if rec.complexity_budget > 0.02:
+            assert rec.reservations_recommended
+
+    def test_price_is_recorded_verbatim(self):
+        samples = PoissonLoad(30.0).sample(np.random.default_rng(30), 500)
+        rec = recommend_architecture(samples, AdaptiveUtility(), price=0.125)
+        assert rec.price == 0.125
+        assert "price 0.125" in rec.summary()

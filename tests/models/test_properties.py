@@ -1,103 +1,90 @@
-"""Property-based tests of the paper's structural invariants."""
+"""Property-based tests of the paper's structural invariants.
+
+The domain is drawn from :mod:`repro.verify.strategies`, the shared
+strategy library, so these properties range over every load family and
+utility shape the paper sweeps — not just one hand-picked model.
+"""
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.loads import GeometricLoad, PoissonLoad
+from repro.loads import GeometricLoad
 from repro.models import SamplingModel, VariableLoadModel
 from repro.utility import AdaptiveUtility, PiecewiseLinearUtility
+from repro.verify import strategies
 
-# module-level models reused across examples (hypothesis calls are many)
+# fixed instances for the properties that vary a *parameter* rather
+# than the whole model (hypothesis calls are many; models memoise pmfs)
 _GEO = GeometricLoad.from_mean(10.0)
-_POI = PoissonLoad(10.0)
 _ADAPTIVE = AdaptiveUtility()
-_MODEL_GEO = VariableLoadModel(_GEO, _ADAPTIVE)
-_MODEL_POI = VariableLoadModel(_POI, _ADAPTIVE)
 
 
 class TestReservationDominance:
     """R(C) >= B(C): admission control can only help total utility."""
 
-    @given(capacity=st.floats(min_value=0.5, max_value=120.0))
-    @settings(max_examples=60, deadline=None)
-    def test_geometric_adaptive(self, capacity):
-        assert _MODEL_GEO.reservation(capacity) >= _MODEL_GEO.best_effort(
-            capacity
-        ) - 1e-10
-
-    @given(capacity=st.floats(min_value=0.5, max_value=120.0))
-    @settings(max_examples=60, deadline=None)
-    def test_poisson_adaptive(self, capacity):
-        assert _MODEL_POI.reservation(capacity) >= _MODEL_POI.best_effort(
-            capacity
-        ) - 1e-10
+    @given(model=strategies.models(), capacity=strategies.capacities())
+    @settings(max_examples=80, deadline=None)
+    def test_across_the_paper_domain(self, model, capacity):
+        assert model.reservation(capacity) >= model.best_effort(capacity) - 1e-10
 
 
 class TestMonotonicity:
-    @given(
-        c1=st.floats(min_value=1.0, max_value=100.0),
-        c2=st.floats(min_value=1.0, max_value=100.0),
-    )
+    @given(model=strategies.models(), pair=strategies.capacity_pairs())
     @settings(max_examples=60, deadline=None)
-    def test_best_effort_monotone_in_capacity(self, c1, c2):
-        lo, hi = min(c1, c2), max(c1, c2)
-        assert _MODEL_GEO.best_effort(lo) <= _MODEL_GEO.best_effort(hi) + 1e-10
+    def test_best_effort_monotone_in_capacity(self, model, pair):
+        lo, hi = pair
+        assert model.best_effort(lo) <= model.best_effort(hi) + 1e-10
 
-    @given(
-        c1=st.floats(min_value=1.0, max_value=100.0),
-        c2=st.floats(min_value=1.0, max_value=100.0),
-    )
+    @given(model=strategies.models(), pair=strategies.capacity_pairs())
     @settings(max_examples=60, deadline=None)
-    def test_reservation_monotone_in_capacity(self, c1, c2):
-        lo, hi = min(c1, c2), max(c1, c2)
-        assert _MODEL_GEO.reservation(lo) <= _MODEL_GEO.reservation(hi) + 1e-10
+    def test_reservation_monotone_in_capacity(self, model, pair):
+        lo, hi = pair
+        assert model.reservation(lo) <= model.reservation(hi) + 1e-10
 
 
 class TestBounds:
-    @given(capacity=st.floats(min_value=0.0, max_value=200.0))
+    @given(model=strategies.models(), capacity=strategies.capacities(0.0, 200.0))
     @settings(max_examples=60, deadline=None)
-    def test_utilities_in_unit_interval(self, capacity):
-        for value in (
-            _MODEL_GEO.best_effort(capacity),
-            _MODEL_GEO.reservation(capacity),
-        ):
+    def test_utilities_in_unit_interval(self, model, capacity):
+        for value in (model.best_effort(capacity), model.reservation(capacity)):
             assert -1e-12 <= value <= 1.0 + 1e-9
 
-    @given(capacity=st.floats(min_value=1.0, max_value=60.0))
+    @given(capacity=strategies.capacities(1.0, 60.0))
     @settings(max_examples=30, deadline=None)
     def test_bandwidth_gap_nonnegative(self, capacity):
-        assert _MODEL_GEO.bandwidth_gap(capacity) >= 0.0
+        model = VariableLoadModel(_GEO, _ADAPTIVE)
+        assert model.bandwidth_gap(capacity) >= 0.0
 
-    @given(capacity=st.floats(min_value=1.0, max_value=60.0))
+    @given(model=strategies.models(), capacity=strategies.capacities(1.0, 60.0))
     @settings(max_examples=30, deadline=None)
-    def test_blocking_fraction_in_unit_interval(self, capacity):
-        assert 0.0 <= _MODEL_GEO.blocking_fraction(capacity) <= 1.0
+    def test_blocking_fraction_in_unit_interval(self, model, capacity):
+        assert 0.0 <= model.blocking_fraction(capacity) <= 1.0
 
 
 class TestAdaptivityOrdering:
     @given(
         a=st.floats(min_value=0.05, max_value=0.9),
-        capacity=st.floats(min_value=2.0, max_value=40.0),
+        load=strategies.loads(),
+        capacity=strategies.capacities(2.0, 40.0),
     )
     @settings(max_examples=40, deadline=None)
-    def test_ramp_best_effort_decreasing_in_a(self, a, capacity):
+    def test_ramp_best_effort_decreasing_in_a(self, a, load, capacity):
         # a less adaptive application extracts (weakly) less utility
         # from the same best-effort network
-        more = VariableLoadModel(_GEO, PiecewiseLinearUtility(a * 0.5))
-        less = VariableLoadModel(_GEO, PiecewiseLinearUtility(a))
+        more = VariableLoadModel(load, PiecewiseLinearUtility(a * 0.5))
+        less = VariableLoadModel(load, PiecewiseLinearUtility(a))
         assert more.best_effort(capacity) >= less.best_effort(capacity) - 1e-10
 
 
 class TestSamplingOrdering:
-    @given(capacity=st.floats(min_value=2.0, max_value=50.0))
+    @given(load=strategies.loads(), capacity=strategies.capacities(2.0, 50.0))
     @settings(max_examples=20, deadline=None)
-    def test_more_samples_never_raise_best_effort(self, capacity):
-        s2 = SamplingModel(_GEO, _ADAPTIVE, 2)
-        s6 = SamplingModel(_GEO, _ADAPTIVE, 6)
+    def test_more_samples_never_raise_best_effort(self, load, capacity):
+        s2 = SamplingModel(load, _ADAPTIVE, 2)
+        s6 = SamplingModel(load, _ADAPTIVE, 6)
         assert s6.best_effort(capacity) <= s2.best_effort(capacity) + 1e-10
 
-    @given(capacity=st.floats(min_value=2.0, max_value=50.0))
+    @given(model=strategies.sampling_models(), capacity=strategies.capacities(2.0, 50.0))
     @settings(max_examples=20, deadline=None)
-    def test_sampling_reservation_dominates_its_best_effort(self, capacity):
-        s = SamplingModel(_GEO, _ADAPTIVE, 5)
-        assert s.reservation(capacity) >= s.best_effort(capacity) - 1e-10
+    def test_sampling_reservation_dominates_its_best_effort(self, model, capacity):
+        assert model.reservation(capacity) >= model.best_effort(capacity) - 1e-10

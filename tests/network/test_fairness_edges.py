@@ -1,0 +1,106 @@
+"""Edge cases of max-min filling: weights, slack links, degenerate counts."""
+
+import pytest
+
+from repro.loads import PoissonLoad
+from repro.network import (
+    NetworkTopology,
+    Route,
+    allocation_is_feasible,
+    max_min_allocation,
+)
+from repro.utility import AdaptiveUtility
+
+
+def make_topology(capacities, route_links, demands=None):
+    routes = [
+        Route(
+            name,
+            tuple(links),
+            PoissonLoad(5.0),
+            AdaptiveUtility(),
+            demand=(demands or {}).get(name, 1.0),
+        )
+        for name, links in route_links.items()
+    ]
+    return NetworkTopology(capacities, routes)
+
+
+class TestWeightedFilling:
+    def test_demands_scale_the_common_level(self):
+        # 2 flows of demand 3 and 3 flows of demand 1 on capacity 18:
+        # level = 18 / (2*3 + 3*1) = 2 -> shares 6 and 2
+        topo = make_topology(
+            {"l": 18.0}, {"big": ("l",), "small": ("l",)}, demands={"big": 3.0}
+        )
+        shares = max_min_allocation({"big": 2, "small": 3}, topo)
+        assert shares["big"] == pytest.approx(6.0)
+        assert shares["small"] == pytest.approx(2.0)
+        assert shares["big"] / shares["small"] == pytest.approx(3.0)
+
+    def test_weighted_allocation_saturates_the_link(self):
+        topo = make_topology(
+            {"l": 18.0}, {"big": ("l",), "small": ("l",)}, demands={"big": 3.0}
+        )
+        counts = {"big": 2, "small": 3}
+        shares = max_min_allocation(counts, topo)
+        usage = sum(counts[name] * shares[name] for name in counts)
+        assert usage == pytest.approx(18.0)
+        assert allocation_is_feasible(counts, shares, topo)
+
+
+class TestDegenerateCounts:
+    def test_all_zero_counts_yield_all_zero_shares(self):
+        topo = make_topology({"l": 10.0}, {"a": ("l",), "b": ("l",)})
+        shares = max_min_allocation({"a": 0, "b": 0}, topo)
+        assert shares == {"a": 0.0, "b": 0.0}
+
+    def test_empty_counts_mapping_is_all_zero(self):
+        topo = make_topology({"l": 10.0}, {"a": ("l",)})
+        assert max_min_allocation({}, topo) == {"a": 0.0}
+
+    def test_single_flow_takes_the_whole_link(self):
+        topo = make_topology({"l": 7.0}, {"a": ("l",), "b": ("l",)})
+        shares = max_min_allocation({"a": 1}, topo)
+        assert shares["a"] == pytest.approx(7.0)
+        assert shares["b"] == 0.0
+
+    def test_repeated_calls_do_not_mutate_the_topology(self):
+        # progressive filling works on a scratch copy of the capacity
+        # map; a second identical call must see pristine capacities
+        topo = make_topology({"l": 12.0}, {"a": ("l",)})
+        first = max_min_allocation({"a": 4}, topo)
+        second = max_min_allocation({"a": 4}, topo)
+        assert first == second
+        assert topo.capacities == {"l": 12.0}
+
+
+class TestUntouchedLinks:
+    def test_idle_link_gets_no_charge(self):
+        # route a only crosses l1; l2's capacity must stay untouched
+        topo = make_topology({"l1": 4.0, "l2": 100.0}, {"a": ("l1", "l2")})
+        shares = max_min_allocation({"a": 8}, topo)
+        assert shares["a"] == pytest.approx(0.5)
+
+    def test_second_bottleneck_binds_after_the_first_freeze(self):
+        # x saturates l1 together with thru; y then fills l2 alone
+        topo = make_topology(
+            {"l1": 6.0, "l2": 6.0},
+            {"thru": ("l1", "l2"), "x": ("l1",), "y": ("l2",)},
+        )
+        counts = {"thru": 2, "x": 4, "y": 1}
+        shares = max_min_allocation(counts, topo)
+        assert shares["thru"] == pytest.approx(1.0)
+        assert shares["x"] == pytest.approx(1.0)
+        assert shares["y"] == pytest.approx(4.0)
+        assert allocation_is_feasible(counts, shares, topo)
+
+
+class TestFeasibilityCheck:
+    def test_overcommitted_shares_are_flagged(self):
+        topo = make_topology({"l": 10.0}, {"a": ("l",)})
+        assert not allocation_is_feasible({"a": 3}, {"a": 4.0}, topo)
+
+    def test_exactly_full_is_feasible(self):
+        topo = make_topology({"l": 10.0}, {"a": ("l",)})
+        assert allocation_is_feasible({"a": 5}, {"a": 2.0}, topo)

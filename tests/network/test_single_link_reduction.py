@@ -1,0 +1,52 @@
+"""N1: a one-link, one-route network must reproduce the paper's model.
+
+The benchmark suite gates this reduction too (bench_network.py); this
+test keeps it in tier-1 so a regression shows up on every push, not
+only in the benchmark job.
+"""
+
+import pytest
+
+from repro.loads import PoissonLoad
+from repro.models import VariableLoadModel
+from repro.network import NetworkComparison, NetworkTopology, Route
+from repro.utility import AdaptiveUtility
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    load = PoissonLoad(20.0)
+    topo = NetworkTopology(
+        {"l": 22.0}, [Route("r", ("l",), load, AdaptiveUtility())]
+    )
+    return NetworkComparison(topo, draws=4000, seed=23)
+
+
+@pytest.fixture(scope="module")
+def paper_model():
+    return VariableLoadModel(PoissonLoad(20.0), AdaptiveUtility())
+
+
+class TestSingleLinkReduction:
+    def test_best_effort_matches_the_scalar_model(self, comparison, paper_model):
+        assert comparison.best_effort().normalised == pytest.approx(
+            paper_model.best_effort(22.0), abs=0.02
+        )
+
+    def test_reservation_matches_the_scalar_model(self, comparison, paper_model):
+        assert comparison.reservation().normalised == pytest.approx(
+            paper_model.reservation(22.0), abs=0.02
+        )
+
+    def test_performance_gap_matches_the_scalar_model(self, comparison, paper_model):
+        assert comparison.performance_gap() == pytest.approx(
+            paper_model.performance_gap(22.0), abs=0.02
+        )
+
+    def test_reservation_dominates_best_effort(self, comparison):
+        # CRN census: both architectures see identical draws, so the
+        # dominance holds draw-for-draw, not only in expectation
+        assert (
+            comparison.reservation().normalised
+            >= comparison.best_effort().normalised - 1e-12
+        )

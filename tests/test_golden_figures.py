@@ -19,9 +19,18 @@ import pathlib
 import numpy as np
 import pytest
 
-from repro.continuum import RigidExponentialContinuum
+from repro.continuum import (
+    RigidExponentialContinuum,
+    retrying_rigid_ratio,
+    sampling_rigid_ratio,
+)
 from repro.experiments.params import DEFAULT_CONFIG
-from repro.models import VariableLoadModel, WelfareModel
+from repro.models import (
+    RetryingModel,
+    SamplingModel,
+    VariableLoadModel,
+    WelfareModel,
+)
 
 GOLDEN = pathlib.Path(__file__).parent / "golden" / "figures.json"
 FIGURES = {"figure2": "poisson", "figure3": "exponential", "figure4": "algebraic"}
@@ -104,4 +113,83 @@ def test_continuum_gamma_scalar_and_batch(golden):
     batch = cont.equalizing_ratio_batch(np.asarray(prices))
     _assert_pointwise(
         "continuum_rigid_exp", "gamma(p)", prices, batch, entry["gamma"], "batch"
+    )
+
+
+def _sampling_model(entry):
+    cfg = DEFAULT_CONFIG
+    return SamplingModel(
+        cfg.load(entry["load"]), cfg.utility("adaptive"), entry["samples"]
+    )
+
+
+def test_sampling_T4_delta_scalar_and_batch(golden):
+    entry = golden["sampling_T4"]
+    caps = entry["capacity"]
+    model = _sampling_model(entry)
+    scalar = [model.performance_gap(float(c)) for c in caps]
+    _assert_pointwise("sampling_T4", "delta(C)", caps, scalar, entry["delta"], "scalar")
+    batch = _sampling_model(entry).performance_gap_batch(np.asarray(caps))
+    _assert_pointwise("sampling_T4", "delta(C)", caps, batch, entry["delta"], "batch")
+
+
+def test_sampling_T4_bandwidth_gap_scalar_and_batch(golden):
+    entry = golden["sampling_T4"]
+    caps = entry["capacity"]
+    model = _sampling_model(entry)
+    scalar = [model.bandwidth_gap(float(c)) for c in caps]
+    _assert_pointwise("sampling_T4", "Delta(C)", caps, scalar, entry["Delta"], "scalar")
+    batch = _sampling_model(entry).bandwidth_gap_batch(np.asarray(caps))
+    _assert_pointwise("sampling_T4", "Delta(C)", caps, batch, entry["Delta"], "batch")
+
+
+def test_sampling_T4_closed_form_ratios(golden):
+    entry = golden["sampling_T4"]
+    assert sampling_rigid_ratio(DEFAULT_CONFIG.z, 3) == pytest.approx(
+        entry["rigid_ratio_z3_s3"], rel=RTOL
+    )
+    assert sampling_rigid_ratio(2.1, 3) == pytest.approx(
+        entry["rigid_ratio_z2p1_s3"], rel=RTOL
+    )
+
+
+def _retrying_model(entry):
+    cfg = DEFAULT_CONFIG
+    return RetryingModel(
+        cfg.load(entry["load"]), cfg.utility("adaptive"), alpha=entry["alpha"]
+    )
+
+
+@pytest.mark.parametrize("quantity", ["best_effort", "reservation", "delta"])
+def test_retrying_T5_curves_scalar_and_batch(quantity, golden):
+    entry = golden["retrying_T5"]
+    caps = entry["capacity"]
+    model = _retrying_model(entry)
+    scalar_fn = {
+        "best_effort": model.best_effort,
+        "reservation": model.reservation,
+        "delta": model.performance_gap,
+    }[quantity]
+    scalar = [scalar_fn(float(c)) for c in caps]
+    _assert_pointwise(
+        "retrying_T5", quantity, caps, scalar, entry[quantity], "scalar"
+    )
+    fresh = _retrying_model(entry)
+    grid = np.asarray(caps)
+    batch = {
+        "best_effort": lambda: fresh.best_effort_batch(grid),
+        "reservation": lambda: fresh.reservation_batch(grid),
+        # delta~ = R~ - B, unclipped, exactly as the scalar path defines it
+        "delta": lambda: fresh.reservation_batch(grid) - fresh.best_effort_batch(grid),
+    }[quantity]()
+    _assert_pointwise("retrying_T5", quantity, caps, batch, entry[quantity], "batch")
+
+
+def test_retrying_T5_closed_form_ratios(golden):
+    entry = golden["retrying_T5"]
+    assert retrying_rigid_ratio(DEFAULT_CONFIG.z, entry["alpha"]) == pytest.approx(
+        entry["rigid_ratio"], rel=RTOL
+    )
+    assert retrying_rigid_ratio(2.1, entry["alpha"]) == pytest.approx(
+        entry["rigid_ratio_z2p1"], rel=RTOL
     )

@@ -1,0 +1,78 @@
+"""The ``verify`` CLI subcommand: exit codes, JSON envelope, caching."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.verify.report import REPORT_SCHEMA
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+SUBSET = ["--only", "B1", "E1", "S1"]
+
+
+class TestSelections:
+    def test_json_envelope_for_a_subset(self, capsys):
+        assert main(["verify", *SUBSET, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == REPORT_SCHEMA
+        assert payload["_meta"] == {"config": "default"}
+        assert payload["suite"] == "fast"
+        assert payload["ok"] is True
+        assert payload["counts"] == {"passed": 3, "failed": 0}
+        assert [row["id"] for row in payload["invariants"]] == ["B1", "E1", "S1"]
+        for row in payload["invariants"]:
+            assert isinstance(row["residual"], float)
+            assert row["paper_ref"]
+
+    def test_text_render(self, capsys):
+        assert main(["verify", "--only", "B1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("[B1")
+        assert "-- suite fast: 1 passed, 0 failed" in out
+
+    def test_unknown_id_exits_2(self, capsys):
+        assert main(["verify", "--only", "NOPE"]) == 2
+        assert "unknown invariant ids" in capsys.readouterr().err
+
+    def test_selections_bypass_the_cache(self, tmp_path, capsys):
+        cache = str(tmp_path)
+        assert main(["verify", *SUBSET, "--cache-dir", cache, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "cache" not in payload["_meta"]
+        assert not any(tmp_path.iterdir())
+
+
+class TestSuiteRuns:
+    def test_full_fast_suite_cold_then_warm_cache(self, tmp_path, capsys):
+        cache = str(tmp_path)
+        assert main(["verify", "--cache-dir", cache, "--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["_meta"]["cache"] == "miss"
+        assert cold["ok"] is True
+        assert cold["counts"]["passed"] >= 25
+        assert cold["counts"]["failed"] == 0
+        assert set(cold["engines"]) == {"scalar", "batch", "ensemble", "continuum"}
+
+        assert main(["verify", "--cache-dir", cache, "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["_meta"]["cache"] == "hit"
+        assert warm["invariants"] == cold["invariants"]
+
+    def test_profile_meta_includes_metrics(self, capsys):
+        assert main(["verify", "--only", "B1", "--json", "--profile"]) == 0
+        out = capsys.readouterr().out
+        # --profile appends a text report after the JSON document
+        payload, _ = json.JSONDecoder().raw_decode(out)
+        counters = payload["_meta"]["metrics"]["counters"]
+        assert counters["verify.invariants.evaluated"] == 1

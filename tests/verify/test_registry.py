@@ -1,0 +1,227 @@
+"""Registry and report mechanics, exercised on a private registry."""
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.experiments.params import DEFAULT_CONFIG
+from repro.verify.registry import (
+    CheckResult,
+    Invariant,
+    InvariantRegistry,
+)
+from repro.verify.report import (
+    REPORT_SCHEMA,
+    InvariantOutcome,
+    VerificationReport,
+)
+from repro.verify.tolerance import STRUCTURAL, TIGHT
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _passing(_config):
+    return CheckResult(residual=0.25, detail="fine")
+
+
+def _failing(_config):
+    return CheckResult(residual=4.0, detail="off by 4 allowances")
+
+
+def _raising(_config):
+    raise ValueError("boom")
+
+
+@pytest.fixture()
+def registry():
+    reg = InvariantRegistry()
+    reg.invariant(
+        "D1", "a passing check", paper_ref="s1", engines=("scalar",), tolerance=TIGHT
+    )(_passing)
+    reg.invariant(
+        "D2",
+        "a deep-only check",
+        paper_ref="s2",
+        engines=("ensemble",),
+        tolerance=STRUCTURAL,
+        suites=("deep",),
+    )(_passing)
+    reg.invariant(
+        "D3", "a failing check", paper_ref="s3", engines=("batch",), tolerance=TIGHT
+    )(_failing)
+    return reg
+
+
+class TestRegistration:
+    def test_duplicate_id_rejected(self, registry):
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.invariant(
+                "D1", "again", paper_ref="s1", engines=("scalar",), tolerance=TIGHT
+            )(_passing)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engines"):
+            Invariant(
+                inv_id="X",
+                description="d",
+                paper_ref="s",
+                engines=("quantum",),
+                suites=("fast",),
+                tolerance=TIGHT,
+                check=_passing,
+            )
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unknown suites"):
+            Invariant(
+                inv_id="X",
+                description="d",
+                paper_ref="s",
+                engines=("scalar",),
+                suites=("weekly",),
+                tolerance=TIGHT,
+                check=_passing,
+            )
+
+    def test_empty_engines_rejected(self):
+        with pytest.raises(ValueError, match="at least one engine"):
+            Invariant(
+                inv_id="X",
+                description="d",
+                paper_ref="s",
+                engines=(),
+                suites=("fast",),
+                tolerance=TIGHT,
+                check=_passing,
+            )
+
+    def test_lookup_protocol(self, registry):
+        assert len(registry) == 3
+        assert "D1" in registry and "NOPE" not in registry
+        assert registry.get("D3").description == "a failing check"
+        assert [inv.inv_id for inv in registry.all()] == ["D1", "D2", "D3"]
+
+
+class TestSelection:
+    def test_fast_excludes_deep_only(self, registry):
+        assert [i.inv_id for i in registry.select("fast")] == ["D1", "D3"]
+
+    def test_deep_is_a_superset(self, registry):
+        assert [i.inv_id for i in registry.select("deep")] == ["D1", "D2", "D3"]
+
+    def test_ids_restrict(self, registry):
+        assert [i.inv_id for i in registry.select("deep", ids=["D2"])] == ["D2"]
+
+    def test_unknown_ids_raise(self, registry):
+        with pytest.raises(KeyError, match="NOPE"):
+            registry.select("fast", ids=["D1", "NOPE"])
+
+    def test_unknown_suite_raises(self, registry):
+        with pytest.raises(ValueError, match="unknown suite"):
+            registry.select("weekly")
+
+
+class TestEvaluation:
+    def test_run_produces_a_report(self, registry):
+        report = registry.run("fast", DEFAULT_CONFIG)
+        assert report.suite == "fast"
+        assert [o.inv_id for o in report.outcomes] == ["D1", "D3"]
+        assert not report.ok
+        assert report.counts() == {"passed": 1, "failed": 1}
+        assert [o.inv_id for o in report.failures()] == ["D3"]
+        assert report.engines == ("batch", "scalar")
+
+    def test_check_exception_becomes_failure(self, registry):
+        registry.invariant(
+            "D4", "raises", paper_ref="s4", engines=("scalar",), tolerance=TIGHT
+        )(_raising)
+        outcome = registry.get("D4").evaluate(DEFAULT_CONFIG)
+        assert not outcome.passed
+        assert outcome.residual == math.inf
+        assert "check raised ValueError: boom" in outcome.detail
+
+    def test_run_meters_counters_when_obs_enabled(self, registry):
+        obs.enable()
+        registry.run("deep", DEFAULT_CONFIG)
+        counters = obs.snapshot()["counters"]
+        assert counters["verify.invariants.evaluated"] == 3
+        assert counters["verify.invariants.failed"] == 1
+
+
+class TestReportSerialisation:
+    def test_round_trip(self, registry):
+        report = registry.run("deep", DEFAULT_CONFIG)
+        clone = VerificationReport.from_dict(report.to_dict())
+        assert clone == report
+
+    def test_infinite_residual_survives_json(self, registry):
+        registry.invariant(
+            "D4", "raises", paper_ref="s4", engines=("scalar",), tolerance=TIGHT
+        )(_raising)
+        report = registry.run("deep", DEFAULT_CONFIG)
+        payload = report.to_dict()
+        (bad,) = [o for o in payload["invariants"] if o["id"] == "D4"]
+        assert bad["residual"] == "inf"
+        clone = VerificationReport.from_dict(payload)
+        assert clone.failures()[-1].residual == math.inf
+
+    def test_unknown_schema_rejected(self, registry):
+        payload = registry.run("fast", DEFAULT_CONFIG).to_dict()
+        payload["schema"] = "repro.verify/v0"
+        with pytest.raises(ValueError, match="schema"):
+            VerificationReport.from_dict(payload)
+
+    def test_dict_shape_is_the_cli_contract(self, registry):
+        payload = registry.run("fast", DEFAULT_CONFIG).to_dict()
+        assert payload["schema"] == REPORT_SCHEMA
+        assert set(payload) == {
+            "schema",
+            "suite",
+            "ok",
+            "counts",
+            "engines",
+            "wall_seconds",
+            "invariants",
+        }
+        for row in payload["invariants"]:
+            assert set(row) == {
+                "id",
+                "description",
+                "paper_ref",
+                "engines",
+                "passed",
+                "residual",
+                "tolerance",
+                "detail",
+                "seconds",
+            }
+
+    def test_render_has_a_row_per_invariant_and_a_summary(self, registry):
+        report = registry.run("fast", DEFAULT_CONFIG)
+        lines = report.render().splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("[D1") and "ok" in lines[0]
+        assert "FAIL" in lines[1]
+        assert lines[2].startswith("-- suite fast: 1 passed, 1 failed")
+
+    def test_outcome_round_trip(self):
+        outcome = InvariantOutcome(
+            inv_id="Z1",
+            description="d",
+            paper_ref="s",
+            engines=("scalar", "batch"),
+            passed=True,
+            residual=0.5,
+            tolerance="atol=1",
+            detail="",
+            seconds=0.01,
+        )
+        assert InvariantOutcome.from_dict(outcome.to_dict()) == outcome

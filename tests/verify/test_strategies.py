@@ -1,0 +1,61 @@
+"""Sanity of the shared strategy library itself."""
+
+from hypothesis import given, settings
+
+from repro.experiments.params import PaperConfig
+from repro.loads.base import LoadDistribution
+from repro.models import SamplingModel, VariableLoadModel
+from repro.verify import strategies
+
+
+class TestDomainStrategies:
+    @given(load=strategies.loads())
+    @settings(max_examples=25, deadline=None)
+    def test_loads_are_valid_distributions(self, load):
+        assert isinstance(load, LoadDistribution)
+        assert load.mean > 0.0
+
+    @given(utility=strategies.utilities())
+    @settings(max_examples=25, deadline=None)
+    def test_utilities_are_normalised(self, utility):
+        assert utility(0.0) == 0.0
+        assert abs(utility(1e6) - 1.0) < 1e-9
+        assert utility(0.5) <= utility(2.0) + 1e-12
+
+    @given(model=strategies.models())
+    @settings(max_examples=25, deadline=None)
+    def test_models_satisfy_the_basic_ordering(self, model):
+        assert isinstance(model, VariableLoadModel)
+        assert model.reservation(10.0) >= model.best_effort(10.0) - 1e-10
+
+    @given(model=strategies.sampling_models())
+    @settings(max_examples=10, deadline=None)
+    def test_sampling_models_have_at_least_two_samples(self, model):
+        assert isinstance(model, SamplingModel)
+        assert model.samples >= 2
+
+    @given(pair=strategies.capacity_pairs())
+    @settings(max_examples=25, deadline=None)
+    def test_capacity_pairs_are_ordered(self, pair):
+        lo, hi = pair
+        assert lo <= hi
+
+    @given(seed=strategies.seeds())
+    @settings(max_examples=25, deadline=None)
+    def test_seeds_fit_a_seed_sequence(self, seed):
+        assert 0 <= seed < 2**32
+
+    @given(config=strategies.paper_configs())
+    @settings(max_examples=10, deadline=None)
+    def test_paper_configs_construct_their_models(self, config):
+        assert isinstance(config, PaperConfig)
+        model = VariableLoadModel(config.load("poisson"), config.utility("adaptive"))
+        assert 0.0 <= model.best_effort(config.kbar) <= 1.0
+
+
+@given(model=strategies.models())
+@settings(max_examples=1, deadline=None)
+def test_model_memoisation_is_active(model):
+    # drawing a model populates the shared cache (order-independent:
+    # this test draws its own rather than relying on earlier tests)
+    assert strategies.shared_model_cache_info()["size"] >= 1

@@ -1,0 +1,161 @@
+"""The real catalogue: fast-suite acceptance and cache plumbing."""
+
+import pytest
+
+from repro import obs
+from repro.experiments.params import DEFAULT_CONFIG
+from repro.runner.cache import ResultCache, decode_result, encode_result
+from repro.verify import runner as verify_runner
+from repro.verify import invariants
+from repro.verify.registry import ENGINES, REGISTRY
+from repro.verify.report import InvariantOutcome, VerificationReport
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+@pytest.fixture(scope="module")
+def fast_report():
+    """One evaluation of the fast suite shared by the assertions below."""
+    return verify_runner.run_suite("fast")
+
+
+class TestCatalogue:
+    def test_at_least_25_invariants_registered(self):
+        assert invariants.catalogue_size() >= 25
+
+    def test_fast_suite_is_at_least_25_invariants(self):
+        assert len(REGISTRY.select("fast")) >= 25
+
+    def test_deep_suite_is_a_superset_of_fast(self):
+        fast = {inv.inv_id for inv in REGISTRY.select("fast")}
+        deep = {inv.inv_id for inv in REGISTRY.select("deep")}
+        assert fast < deep
+        assert {"S4", "S5"} <= deep - fast
+
+    def test_catalogue_spans_all_four_engines(self):
+        covered = set()
+        for inv in REGISTRY.select("fast"):
+            covered.update(inv.engines)
+        assert covered == set(ENGINES)
+
+    def test_every_invariant_cites_the_paper(self):
+        for inv in REGISTRY.all():
+            assert inv.paper_ref, inv.inv_id
+            assert inv.description, inv.inv_id
+
+
+class TestFastSuite:
+    def test_everything_passes(self, fast_report):
+        failures = [
+            f"{o.inv_id}: residual={o.residual:.3g} {o.detail}"
+            for o in fast_report.failures()
+        ]
+        assert fast_report.ok, "\n".join(failures)
+
+    def test_report_covers_all_engines(self, fast_report):
+        assert fast_report.engines == tuple(sorted(ENGINES))
+
+    def test_residuals_are_reported_per_invariant(self, fast_report):
+        assert len(fast_report.outcomes) >= 25
+        for outcome in fast_report.outcomes:
+            assert isinstance(outcome.residual, float)
+            assert 0.0 <= outcome.residual <= 1.0
+            assert outcome.seconds >= 0.0
+            assert outcome.tolerance
+
+    def test_json_report_round_trips(self, fast_report):
+        import json
+
+        payload = json.loads(json.dumps(fast_report.to_dict()))
+        assert VerificationReport.from_dict(payload) == fast_report
+
+
+def _tiny_report(suite="fast"):
+    outcome = InvariantOutcome(
+        inv_id="D1",
+        description="stub",
+        paper_ref="s1",
+        engines=("scalar",),
+        passed=True,
+        residual=0.0,
+        tolerance="atol=1",
+        detail="",
+        seconds=0.0,
+    )
+    return VerificationReport(suite=suite, outcomes=(outcome,), wall_seconds=0.0)
+
+
+class TestCacheIntegration:
+    def test_verification_kind_round_trips_through_codecs(self):
+        report = _tiny_report()
+        kind, payload = encode_result(report)
+        assert kind == "verification"
+        assert decode_result(kind, payload) == report
+
+    def test_cached_suite_cold_then_warm(self, tmp_path, monkeypatch):
+        calls = []
+
+        def fake_run_suite(suite, config=None, *, ids=None):
+            calls.append(suite)
+            return _tiny_report(suite)
+
+        monkeypatch.setattr(verify_runner, "run_suite", fake_run_suite)
+        cache = ResultCache(tmp_path)
+        report, from_cache = verify_runner.cached_suite("fast", cache=cache)
+        assert not from_cache and calls == ["fast"]
+        again, from_cache = verify_runner.cached_suite("fast", cache=cache)
+        assert from_cache and calls == ["fast"]
+        assert again == report
+
+    def test_force_recomputes(self, tmp_path, monkeypatch):
+        calls = []
+
+        def fake_run_suite(suite, config=None, *, ids=None):
+            calls.append(suite)
+            return _tiny_report(suite)
+
+        monkeypatch.setattr(verify_runner, "run_suite", fake_run_suite)
+        cache = ResultCache(tmp_path)
+        verify_runner.cached_suite("fast", cache=cache)
+        verify_runner.cached_suite("fast", cache=cache, force=True)
+        assert calls == ["fast", "fast"]
+
+    def test_suites_address_distinct_entries(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            verify_runner, "run_suite", lambda s, c=None, *, ids=None: _tiny_report(s)
+        )
+        cache = ResultCache(tmp_path)
+        verify_runner.cached_suite("fast", cache=cache)
+        report, from_cache = verify_runner.cached_suite("deep", cache=cache)
+        assert not from_cache
+        assert report.suite == "deep"
+
+    def test_suite_experiment_ids_carry_the_suite(self):
+        assert verify_runner.suite_experiment("fast").exp_id == "V.fast"
+        assert verify_runner.suite_experiment("deep").exp_id == "V.deep"
+
+
+class TestDeepOnlyInvariantsAreDeclared:
+    def test_deep_only_checks_exist_but_do_not_run_in_fast(self, fast_report):
+        ran = {o.inv_id for o in fast_report.outcomes}
+        assert "S4" not in ran and "S5" not in ran
+        assert "S4" in REGISTRY and "S5" in REGISTRY
+
+
+def test_default_config_is_the_implicit_argument(monkeypatch):
+    seen = {}
+
+    def spy(suite, config, *, ids=None):
+        seen["config"] = config
+        return _tiny_report(suite)
+
+    monkeypatch.setattr(REGISTRY, "run", spy)
+    verify_runner.run_suite("fast")
+    assert seen["config"] is DEFAULT_CONFIG

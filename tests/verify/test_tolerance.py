@@ -1,0 +1,125 @@
+"""Tolerance-policy mechanics: normalised residuals, bounds, monotone."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.verify.tolerance import (
+    EXACT,
+    GOLDEN,
+    MONTE_CARLO,
+    STRUCTURAL,
+    TIGHT,
+    TolerancePolicy,
+    bound_residual,
+    monotone_residual,
+)
+
+
+class TestResidualSemantics:
+    def test_zero_on_exact_agreement(self):
+        assert TIGHT.residual(1.2345, 1.2345) == 0.0
+
+    def test_one_at_the_allowance_edge(self):
+        policy = TolerancePolicy(atol=1e-3)
+        assert policy.residual(1.001, 1.0) == pytest.approx(1.0)
+
+    def test_scales_linearly_past_the_edge(self):
+        policy = TolerancePolicy(atol=1e-3)
+        assert policy.residual(1.005, 1.0) == pytest.approx(5.0)
+
+    def test_rtol_uses_reference_magnitude(self):
+        policy = TolerancePolicy(rtol=1e-2)
+        # allowance at ref=200 is 2; deviation 1 -> residual 0.5
+        assert policy.residual(201.0, 200.0) == pytest.approx(0.5)
+
+    def test_worst_element_wins(self):
+        policy = TolerancePolicy(atol=1.0)
+        got = np.array([1.0, 2.0, 5.0])
+        ref = np.array([1.0, 1.0, 1.0])
+        assert policy.residual(got, ref) == pytest.approx(4.0)
+
+    def test_ci_halfwidth_widens_allowance(self):
+        deviation = 0.01
+        without = MONTE_CARLO.residual(0.5 + deviation, 0.5)
+        with_ci = MONTE_CARLO.residual(0.5 + deviation, 0.5, ci_halfwidth=0.01)
+        assert with_ci < without
+        assert MONTE_CARLO.agree(0.5 + deviation, 0.5, ci_halfwidth=0.01)
+
+    def test_broadcasts_scalar_reference(self):
+        policy = TolerancePolicy(atol=1e-6)
+        assert policy.residual(np.zeros(4), 0.0) == 0.0
+
+    def test_empty_arrays_agree(self):
+        assert TIGHT.residual(np.array([]), np.array([])) == 0.0
+
+    def test_mismatched_nan_is_infinite(self):
+        assert TIGHT.residual(float("nan"), 1.0) == math.inf
+        assert TIGHT.residual(1.0, float("nan")) == math.inf
+
+    def test_paired_nans_agree(self):
+        got = np.array([1.0, np.nan])
+        ref = np.array([1.0, np.nan])
+        assert TIGHT.residual(got, ref) == 0.0
+
+    def test_agree_is_residual_at_most_one(self):
+        policy = TolerancePolicy(atol=1e-3)
+        assert policy.agree(1.0005, 1.0)
+        assert not policy.agree(1.002, 1.0)
+
+
+class TestPolicyValidation:
+    def test_rejects_negative_tolerances(self):
+        with pytest.raises(ValueError):
+            TolerancePolicy(rtol=-1e-9)
+
+    def test_rejects_the_zero_policy(self):
+        with pytest.raises(ValueError):
+            TolerancePolicy()
+
+    def test_named_policies_are_ordered_loosest_last(self):
+        assert EXACT.atol < TIGHT.atol <= GOLDEN.rtol < MONTE_CARLO.atol
+
+    def test_describe_mentions_every_nonzero_part(self):
+        text = MONTE_CARLO.describe()
+        assert "atol" in text and "ci*" in text and "rtol" not in text
+        assert STRUCTURAL.describe() == "atol=1e-09"
+
+
+class TestBoundResidual:
+    def test_inside_band_is_zero(self):
+        assert bound_residual([0.0, 0.5, 1.0], lower=0.0, upper=1.0) == 0.0
+
+    def test_overshoot_normalised_by_atol(self):
+        assert bound_residual([1.5], upper=1.0, atol=0.5) == pytest.approx(1.0)
+
+    def test_worst_side_wins(self):
+        residual = bound_residual([-2.0, 1.5], lower=0.0, upper=1.0, atol=1.0)
+        assert residual == pytest.approx(2.0)
+
+    def test_one_sided_bounds(self):
+        assert bound_residual([5.0, 100.0], lower=0.0) == 0.0
+        assert bound_residual([-1e-6], lower=0.0, atol=1e-9) > 1.0
+
+    def test_nan_fails(self):
+        assert bound_residual([float("nan")], lower=0.0) == math.inf
+
+
+class TestMonotoneResidual:
+    def test_increasing_sequence_passes(self):
+        assert monotone_residual([1.0, 1.0, 2.0, 3.0]) == 0.0
+
+    def test_violation_normalised_by_atol(self):
+        assert monotone_residual([1.0, 0.5], atol=0.25) == pytest.approx(2.0)
+
+    def test_decreasing_direction(self):
+        assert monotone_residual([3.0, 2.0, 2.0], increasing=False) == 0.0
+        assert monotone_residual([2.0, 3.0], increasing=False, atol=1.0) == 1.0
+
+    def test_short_sequences_pass(self):
+        assert monotone_residual([1.0]) == 0.0
+        assert monotone_residual([]) == 0.0
+
+    def test_nan_fails(self):
+        assert monotone_residual([1.0, float("nan")]) == math.inf
