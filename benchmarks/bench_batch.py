@@ -55,6 +55,7 @@ GAP_POINTS = 128
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 JSON_PATH = ROOT / "BENCH_batch.json"
+HISTORY_PATH = ROOT / "benchmarks" / "results" / "history.jsonl"
 
 
 def _time(fn: Callable[[], np.ndarray]) -> tuple:
@@ -219,6 +220,52 @@ def write_json(stats: Dict) -> None:
     JSON_PATH.write_text(json.dumps(stats, indent=2) + "\n")
 
 
+def append_history(stats: Dict) -> None:
+    """Record the headline metrics in the bench-history ledger.
+
+    Speedup ratios transfer across machines, so they gate; the raw
+    batch wall time is a machine fact and rides along ``gated=False``
+    for trend plots only.
+    """
+    from repro.obs import ledger
+
+    digest = ledger.digest_config(stats["config"])
+    h = stats["headline"]
+    alg = next(
+        c for c in stats["cases"] if c["case"] == "algebraic delta(C) sweep"
+    )
+    ledger.append_entries(
+        HISTORY_PATH,
+        [
+            ledger.make_entry(
+                "bench_batch",
+                "poisson_delta_speedup",
+                h["speedup"],
+                direction=ledger.HIGHER_IS_BETTER,
+                config_digest=digest,
+                unit="x",
+            ),
+            ledger.make_entry(
+                "bench_batch",
+                "algebraic_delta_speedup",
+                alg["speedup"],
+                direction=ledger.HIGHER_IS_BETTER,
+                config_digest=digest,
+                unit="x",
+            ),
+            ledger.make_entry(
+                "bench_batch",
+                "poisson_delta_batch_ms",
+                h["batch_ms"],
+                direction=ledger.LOWER_IS_BETTER,
+                config_digest=digest,
+                unit="ms",
+                gated=False,
+            ),
+        ],
+    )
+
+
 def test_batch_speedup(benchmark, record):
     from benchmarks.conftest import run_once
 
@@ -226,6 +273,7 @@ def test_batch_speedup(benchmark, record):
     record("batch_speedup", render(stats))
     write_json(stats)
     check(stats)
+    append_history(stats)
 
 
 def main() -> int:
@@ -237,6 +285,7 @@ def main() -> int:
     write_json(stats)
     print(text)
     check(stats)
+    append_history(stats)
     print("batch speedup targets met")
     return 0
 

@@ -78,6 +78,7 @@ GAP_BIAS_FLOOR = 2e-4
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 JSON_PATH = ROOT / "BENCH_ensemble.json"
+HISTORY_PATH = ROOT / "benchmarks" / "results" / "history.jsonl"
 
 
 def _speedup_case() -> Dict:
@@ -295,6 +296,50 @@ def write_json(stats: Dict) -> None:
     JSON_PATH.write_text(json.dumps(stats, indent=2) + "\n")
 
 
+def append_history(stats: Dict) -> None:
+    """Record the headline metrics in the bench-history ledger.
+
+    The speedup ratio gates; raw throughput and the adaptive
+    replication count are informational (``gated=False``) — the first
+    is a machine fact, the second a stochastic one.
+    """
+    from repro.obs import ledger
+
+    digest = ledger.digest_config(stats["config"])
+    h = stats["headline"]
+    a = stats["adaptive"]
+    ledger.append_entries(
+        HISTORY_PATH,
+        [
+            ledger.make_entry(
+                "bench_ensemble",
+                "vectorized_speedup",
+                h["speedup"],
+                direction=ledger.HIGHER_IS_BETTER,
+                config_digest=digest,
+                unit="x",
+            ),
+            ledger.make_entry(
+                "bench_ensemble",
+                "ensemble_events_per_s",
+                h["ensemble_events_per_s"],
+                direction=ledger.HIGHER_IS_BETTER,
+                config_digest=digest,
+                unit="events/s",
+                gated=False,
+            ),
+            ledger.make_entry(
+                "bench_ensemble",
+                "adaptive_replications",
+                a["replications"],
+                direction=ledger.LOWER_IS_BETTER,
+                config_digest=digest,
+                gated=False,
+            ),
+        ],
+    )
+
+
 def test_ensemble_speedup(benchmark, record):
     from benchmarks.conftest import run_once
 
@@ -302,6 +347,7 @@ def test_ensemble_speedup(benchmark, record):
     record("ensemble_speedup", render(stats))
     write_json(stats)
     check(stats)
+    append_history(stats)
 
 
 def main() -> int:
@@ -313,6 +359,7 @@ def main() -> int:
     write_json(stats)
     print(text)
     check(stats)
+    append_history(stats)
     print("ensemble speedup targets met")
     return 0
 

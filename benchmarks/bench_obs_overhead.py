@@ -8,13 +8,15 @@ solve this sits at the *cheap* end of real solves (model-level solves
 evaluate quadrature-backed curves and run 10-100x longer), so the
 relative overhead reported here is a pessimistic bound.
 
-Two numbers are asserted:
+Three numbers are asserted:
 
 * enabled overhead stays under ~10% (metered counters, residual
   histogram, batched under one lock per solve);
 * disabled overhead stays under ~1% — the disabled path is a single
   module-global flag check per solve, which is timed directly so the
-  assertion does not hinge on sub-1% wall-clock noise.
+  assertion does not hinge on sub-1% wall-clock noise;
+* with no journal open, ``obs.emit`` stays under ~1% per solve — that
+  path is one module-global ``None`` check, timed the same way.
 
 Wall-clock comparisons on shared machines drift by several percent, so
 the enabled measurement interleaves disabled/enabled chunks and takes
@@ -24,11 +26,14 @@ assertion threshold by exactly that much.
 
 Run standalone (``python benchmarks/bench_obs_overhead.py``) or via
 the harness (``pytest benchmarks/bench_obs_overhead.py``); both write
-``benchmarks/results/obs_overhead.txt``.
+``benchmarks/results/obs_overhead.txt``, the gated ``BENCH_obs.json``
+snapshot at the repository root, and a bench-history ledger append.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
 import statistics
 import time
 from typing import Callable, Dict
@@ -46,6 +51,13 @@ PAIRS = 80
 #: Overhead targets from the issue ("~10% enabled, ~1% disabled").
 ENABLED_LIMIT = 0.10
 DISABLED_LIMIT = 0.01
+
+#: The no-journal ``obs.emit`` guard must also stay under 1% per solve.
+JOURNAL_LIMIT = 0.01
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+JSON_PATH = ROOT / "BENCH_obs.json"
+HISTORY_PATH = ROOT / "benchmarks" / "results" / "history.jsonl"
 
 
 def _solver_chunk() -> None:
@@ -94,12 +106,22 @@ def measure_overhead() -> Dict[str, float]:
         obs.enabled()
     guard = (time.perf_counter() - t0) / checks
 
+    # Same treatment for the journal: with no journal open, obs.emit
+    # is one module-global None check (plus the call itself).
+    obs.close_journal()
+    t0 = time.perf_counter()
+    for _ in range(checks):
+        obs.emit("bench.noop")
+    journal_guard = (time.perf_counter() - t0) / checks
+
     return {
         "per_solve_us": per_solve * 1e6,
         "null_overhead": statistics.median(null_ratios) - 1.0,
         "enabled_overhead": statistics.median(enabled_ratios) - 1.0,
         "guard_ns": guard * 1e9,
         "disabled_overhead": guard / per_solve,
+        "journal_guard_ns": journal_guard * 1e9,
+        "journal_disabled_overhead": journal_guard / per_solve,
     }
 
 
@@ -116,6 +138,10 @@ def render(stats: Dict[str, float]) -> str:
             f"disabled guard check      {stats['guard_ns']:.1f} ns/solve",
             f"disabled overhead         {stats['disabled_overhead'] * 100:.3f}% "
             f"(target < {DISABLED_LIMIT * 100:.0f}%)",
+            f"journal-off emit guard    {stats['journal_guard_ns']:.1f} ns/solve",
+            f"journal-off overhead      "
+            f"{stats['journal_disabled_overhead'] * 100:.3f}% "
+            f"(target < {JOURNAL_LIMIT * 100:.0f}%)",
             f"noise allowance applied   {noise * 100:.2f}%",
         ]
     )
@@ -132,6 +158,80 @@ def check(stats: Dict[str, float]) -> None:
         f"disabled obs overhead {stats['disabled_overhead']:.3%} exceeds "
         f"{DISABLED_LIMIT:.0%} target"
     )
+    assert stats["journal_disabled_overhead"] < JOURNAL_LIMIT, (
+        f"journal-off emit overhead "
+        f"{stats['journal_disabled_overhead']:.3%} exceeds "
+        f"{JOURNAL_LIMIT:.0%} target"
+    )
+
+
+def write_json(stats: Dict[str, float]) -> None:
+    JSON_PATH.write_text(
+        json.dumps(
+            {
+                "generated_by": "benchmarks/bench_obs_overhead.py",
+                "config": {
+                    "chunk": CHUNK,
+                    "pairs": PAIRS,
+                    "enabled_limit": ENABLED_LIMIT,
+                    "disabled_limit": DISABLED_LIMIT,
+                    "journal_limit": JOURNAL_LIMIT,
+                },
+                "headline": stats,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+
+def append_history(stats: Dict[str, float]) -> None:
+    """Record the overhead fractions in the bench-history ledger.
+
+    All three overheads are ratios of times measured in the same run,
+    so they transfer across machines and gate; the absolute per-solve
+    time is informational.
+    """
+    from repro.obs import ledger
+
+    digest = ledger.digest_config(
+        {"chunk": CHUNK, "pairs": PAIRS, "solver": "adaptive-utility"}
+    )
+    ledger.append_entries(
+        HISTORY_PATH,
+        [
+            ledger.make_entry(
+                "bench_obs",
+                "enabled_overhead",
+                stats["enabled_overhead"],
+                direction=ledger.LOWER_IS_BETTER,
+                config_digest=digest,
+            ),
+            ledger.make_entry(
+                "bench_obs",
+                "disabled_overhead",
+                stats["disabled_overhead"],
+                direction=ledger.LOWER_IS_BETTER,
+                config_digest=digest,
+            ),
+            ledger.make_entry(
+                "bench_obs",
+                "journal_disabled_overhead",
+                stats["journal_disabled_overhead"],
+                direction=ledger.LOWER_IS_BETTER,
+                config_digest=digest,
+            ),
+            ledger.make_entry(
+                "bench_obs",
+                "per_solve_us",
+                stats["per_solve_us"],
+                direction=ledger.LOWER_IS_BETTER,
+                config_digest=digest,
+                unit="us",
+                gated=False,
+            ),
+        ],
+    )
 
 
 def test_obs_overhead(benchmark, record):
@@ -139,19 +239,21 @@ def test_obs_overhead(benchmark, record):
 
     stats = run_once(benchmark, measure_overhead)
     record("obs_overhead", render(stats))
+    write_json(stats)
     check(stats)
+    append_history(stats)
 
 
 def main() -> int:
-    import pathlib
-
     stats = measure_overhead()
     text = render(stats)
     results = pathlib.Path(__file__).parent / "results"
     results.mkdir(exist_ok=True)
     (results / "obs_overhead.txt").write_text(f"# obs_overhead\n{text}\n")
+    write_json(stats)
     print(text)
     check(stats)
+    append_history(stats)
     print("overhead targets met")
     return 0
 

@@ -16,6 +16,12 @@ Usage::
     repro-experiments profile --json       # time every registered experiment
     repro-experiments export F3 --out fig  # CSV + gnuplot for Figure 3
     repro-experiments analyze-trace t.csv  # census verdict from a flow trace
+    repro-experiments run F3 --events-json run.jsonl   # + structured journal
+    repro-experiments obs tail run.jsonl --follow      # live event stream
+    repro-experiments obs hotspots trace.json          # per-span time table
+    repro-experiments obs chrome-trace trace.json --out t.trace.json
+    repro-experiments obs regress                      # bench-history gate
+    repro-experiments obs ledger-check                 # ledger schema check
 """
 
 from __future__ import annotations
@@ -28,6 +34,10 @@ from typing import Optional, Sequence
 from repro import obs
 from repro.experiments import checkpoints, registry, report
 from repro.experiments.params import DEFAULT_CONFIG, FAST_CONFIG
+from repro.obs import ledger
+
+#: Where gated benchmarks append their headline metrics.
+DEFAULT_HISTORY = "benchmarks/results/history.jsonl"
 
 
 def _add_cache_args(
@@ -108,6 +118,14 @@ def _add_profile_args(parser: argparse.ArgumentParser) -> None:
         "--trace-json",
         metavar="PATH",
         help="write the recorded span tree as JSON to PATH",
+    )
+    parser.add_argument(
+        "--events-json",
+        metavar="PATH",
+        help=(
+            "append a structured event journal (JSONL) to PATH; "
+            "inspect it with `obs tail`"
+        ),
     )
 
 
@@ -241,6 +259,111 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument(
         "--samples", type=int, default=4000, help="census samples for the fitters"
     )
+
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="telemetry tools: journal tail, trace export, hotspot tables, "
+        "bench-history regression gate",
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+
+    tail = obs_sub.add_parser(
+        "tail", help="print a journal's events, oldest first"
+    )
+    tail.add_argument("journal", help="journal path (a --events-json file)")
+    tail.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep following the file for new events (like tail -f)",
+    )
+    tail.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="poll interval while following (default 0.2)",
+    )
+    tail.add_argument(
+        "--event",
+        action="append",
+        metavar="NAME",
+        help="only show events with this name (repeatable)",
+    )
+
+    hot = obs_sub.add_parser(
+        "hotspots",
+        help="aggregate a span-tree JSON dump into a per-span time table",
+    )
+    hot.add_argument("trace", help="span-tree JSON written by --trace-json")
+    hot.add_argument(
+        "--wall",
+        type=float,
+        metavar="SECONDS",
+        help="wall time of the traced run, for a coverage figure",
+    )
+    hot.add_argument(
+        "--top", type=int, default=0, metavar="N", help="show only the top N rows"
+    )
+    hot.add_argument("--json", action="store_true", help="emit JSON instead of text")
+
+    ct = obs_sub.add_parser(
+        "chrome-trace",
+        help="convert a span-tree JSON dump to Chrome trace-event JSON "
+        "(loadable in Perfetto / chrome://tracing)",
+    )
+    ct.add_argument("trace", help="span-tree JSON written by --trace-json")
+    ct.add_argument("--out", required=True, metavar="PATH", help="output file")
+
+    regress = obs_sub.add_parser(
+        "regress",
+        help="gate the latest bench-history point of every metric series "
+        "against its rolling robust baseline",
+    )
+    regress.add_argument(
+        "--history",
+        default=DEFAULT_HISTORY,
+        metavar="PATH",
+        help=f"ledger path (default: {DEFAULT_HISTORY})",
+    )
+    regress.add_argument(
+        "--window",
+        type=int,
+        default=ledger.DEFAULT_WINDOW,
+        metavar="K",
+        help="baseline size: the K points before the latest "
+        f"(default {ledger.DEFAULT_WINDOW})",
+    )
+    regress.add_argument(
+        "--mad-sigmas",
+        type=float,
+        default=ledger.DEFAULT_MAD_SIGMAS,
+        metavar="S",
+        help="significance band in robust standard deviations "
+        f"(default {ledger.DEFAULT_MAD_SIGMAS:g})",
+    )
+    regress.add_argument(
+        "--rel-floor",
+        type=float,
+        default=ledger.DEFAULT_REL_FLOOR,
+        metavar="F",
+        help="minimum significant relative deviation "
+        f"(default {ledger.DEFAULT_REL_FLOOR:g})",
+    )
+    regress.add_argument(
+        "--json", action="store_true", help="emit the JSON report instead of text"
+    )
+
+    lc = obs_sub.add_parser(
+        "ledger-check",
+        help="strict schema validation of a bench-history ledger "
+        "(the CI schema-drift check)",
+    )
+    lc.add_argument(
+        "--history",
+        default=DEFAULT_HISTORY,
+        metavar="PATH",
+        help=f"ledger path (default: {DEFAULT_HISTORY})",
+    )
     return parser
 
 
@@ -287,9 +410,139 @@ def _render_run_all(batch) -> str:
     return "\n".join(lines)
 
 
+def _cmd_obs(args) -> int:
+    """The ``obs`` telemetry subcommands."""
+    import json as _json
+
+    from repro.obs import events, traceview
+
+    if args.obs_command == "tail":
+        wanted = set(args.event) if args.event else None
+
+        def show(record) -> None:
+            if wanted is None or record.get("event") in wanted:
+                print(events.render_event(record), flush=True)
+
+        try:
+            if args.follow:
+                for record in events.follow_events(
+                    args.journal, poll_seconds=args.poll
+                ):
+                    show(record)
+                return 0
+            records, damaged = events.read_journal(args.journal)
+            for record in records:
+                show(record)
+            if damaged:
+                print(f"-- {damaged} damaged line(s) skipped", file=sys.stderr)
+        except KeyboardInterrupt:
+            return 0
+        except BrokenPipeError:
+            # piped into head/less and the reader left — not an error
+            try:
+                sys.stdout.close()
+            except OSError:
+                pass
+            return 0
+        except OSError as exc:
+            print(f"cannot read journal {args.journal}: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    if args.obs_command in ("hotspots", "chrome-trace"):
+        try:
+            roots = traceview.load_trace_file(args.trace)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot load trace {args.trace}: {exc}", file=sys.stderr)
+            return 2
+        if args.obs_command == "hotspots":
+            table = traceview.hotspots(roots, wall_seconds=args.wall)
+            if args.json:
+                print(_json.dumps(table, indent=2))
+            else:
+                print(traceview.render_hotspots(table, top=args.top))
+            return 0
+        trace = traceview.chrome_trace(roots)
+        errors = traceview.validate_chrome_trace(trace)
+        if errors:
+            for err in errors:
+                print(err, file=sys.stderr)
+            return 1
+        from repro.ioutils import atomic_write_text
+
+        atomic_write_text(args.out, _json.dumps(trace))
+        print(
+            f"chrome trace written to {args.out} "
+            f"({len(trace['traceEvents'])} events); load it in "
+            "https://ui.perfetto.dev",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.obs_command == "regress":
+        try:
+            verdict = ledger.check_history(
+                args.history,
+                window=args.window,
+                mad_sigmas=args.mad_sigmas,
+                rel_floor=args.rel_floor,
+            )
+        except FileNotFoundError:
+            print(f"no ledger at {args.history}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(_json.dumps(verdict.to_dict(), indent=2))
+        else:
+            print(verdict.render())
+        return 0 if verdict.ok else 1
+
+    if args.obs_command == "ledger-check":
+        try:
+            entries, _ = ledger.load_history(args.history, strict=True)
+        except FileNotFoundError:
+            print(f"no ledger at {args.history}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"ledger schema drift: {exc}", file=sys.stderr)
+            return 1
+        print(f"{args.history}: {len(entries)} entries, schema ok")
+        return 0
+
+    raise AssertionError(
+        f"unhandled obs command {args.obs_command!r}"
+    )  # pragma: no cover
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI main; returns a process exit code."""
+    """CLI main: parse, open the journal if asked, dispatch, close.
+
+    The journal wraps the whole command so ``cli.start`` /
+    ``cli.finish`` bracket every other event, and the exit status is
+    recorded even when the command raises.
+    """
     args = build_parser().parse_args(argv)
+    path = getattr(args, "events_json", None)
+    if not path:
+        return _dispatch(args)
+    obs.open_journal(path, command=args.command)
+    obs.emit("cli.start", command=args.command)
+    status: Optional[int] = None
+    try:
+        status = _dispatch(args)
+        return status
+    finally:
+        obs.emit(
+            "cli.finish",
+            command=args.command,
+            status=2 if status is None else status,
+        )
+        obs.close_journal()
+
+
+def _dispatch(args) -> int:
+    """Execute one parsed command; returns a process exit code."""
+    if args.command == "obs":
+        return _cmd_obs(args)
 
     if args.command == "list":
         for exp in registry.EXPERIMENTS.values():

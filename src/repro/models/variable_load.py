@@ -257,8 +257,14 @@ class VariableLoadModel:
         def g(u: float) -> float:
             if u <= 0.0:
                 return 0.0
+            uu = u * u
+            if uu == 0.0:
+                # u below ~1.5e-154 squares to an exact 0.0 (subnormal
+                # underflow); the integrand itself tends to 0 there
+                # because the pmf decays faster than x^2 grows
+                return 0.0
             x = n0 / u
-            return f(x) * n0 / (u * u)
+            return f(x) * n0 / uu
 
         points = sorted(
             n0 * b / capacity
@@ -381,6 +387,7 @@ class VariableLoadModel:
             )
         return caps
 
+    @obs.timed("model.total_best_effort_batch")
     def total_best_effort_batch(self, capacities) -> np.ndarray:
         """``V_B`` over a capacity grid in a handful of numpy calls.
 
@@ -428,6 +435,7 @@ class VariableLoadModel:
                 self._b_cache.put(float(caps[i]), float(sums[j]))
         return totals
 
+    @obs.timed("model.total_reservation_batch")
     def total_reservation_batch(self, capacities) -> np.ndarray:
         """``V_R`` over a capacity grid: batch ``k_max`` + one masked sum."""
         caps = self._validated_grid(capacities)

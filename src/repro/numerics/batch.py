@@ -224,6 +224,7 @@ def expand_brackets_upward(
     return hi, f_hi, expanded, failed, evaluations
 
 
+@obs.timed("batch.find_roots")
 def find_roots(
     func: Callable[..., np.ndarray],
     lo,
@@ -456,6 +457,7 @@ def invert_monotone_batch(
     return result
 
 
+@obs.timed("batch.share_weighted_sums")
 def share_weighted_sums(
     capacities,
     weights: np.ndarray,
@@ -528,6 +530,7 @@ def share_weighted_sums(
     return totals
 
 
+@obs.timed("batch.adaptive_quad")
 def adaptive_quad_batch(
     integrand: Callable[[np.ndarray], np.ndarray],
     lo,

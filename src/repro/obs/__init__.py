@@ -28,12 +28,22 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Dict, List, Optional
 
+from repro.obs.events import (
+    EventJournal,
+    close_journal,
+    emit,
+    ensure_journal_from_env,
+    journal,
+    open_journal,
+)
+from repro.obs.events import share_env as share_journal_env
 from repro.obs.metrics import (
     CallCounter,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    MetricTypeMismatchError,
     merge_snapshots,
     share_lock,
 )
@@ -44,23 +54,31 @@ from repro.obs.tracing import NULL_SPAN, SpanRecord, Tracer
 __all__ = [
     "CallCounter",
     "Counter",
+    "EventJournal",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricTypeMismatchError",
     "SpanRecord",
     "Tracer",
+    "close_journal",
     "counter",
     "disable",
+    "emit",
     "enable",
     "enabled",
+    "ensure_journal_from_env",
     "gauge",
     "histogram",
+    "journal",
     "merge_snapshots",
+    "open_journal",
     "registry",
     "render_report",
     "render_span_tree",
     "reset",
     "session",
+    "share_journal_env",
     "share_lock",
     "snapshot",
     "span",

@@ -1,0 +1,454 @@
+"""Structured event journal: schema'd, append-only JSONL telemetry.
+
+Where metrics answer "how much" and spans answer "how long", the
+journal answers "what happened, in what order": every emitting site
+appends one self-describing JSON line (``repro.obs/events/v1``) with a
+per-journal sequence number, a monotonic timestamp, the wall clock,
+the run id, the emitting pid, and free-form event fields.  Journals
+are the longitudinal counterpart of a ``--profile`` report — they
+survive the process, concatenate across runs, and can be followed live
+(``repro obs tail --follow``).
+
+Design constraints, in priority order:
+
+1. **Free when closed.**  :func:`repro.obs.emit` is a module-global
+   ``None`` check when no journal is open; instrumented code never
+   pays for journaling it didn't ask for.
+2. **Crash-tolerant.**  Each event is a single ``write()`` of one
+   ``\\n``-terminated line to an ``O_APPEND`` handle, so concurrent
+   writers (runner workers share the journal path via
+   ``REPRO_EVENTS_JSON``) interleave whole lines, and a killed process
+   can truncate at most its own final line.  The reader side
+   (:func:`iter_events`) therefore treats undecodable lines as data
+   loss to be counted and skipped, never as a fatal error.
+3. **Self-describing.**  The first event of every journal session is
+   ``journal.open`` carrying the schema version, git sha, python/
+   package versions and argv, so a bare ``.jsonl`` file found on disk
+   months later still identifies what produced it.
+
+Rotation keeps unbounded appenders bounded: when ``max_bytes`` is set
+and an append would cross it, the live file is renamed to
+``<path>.1`` (shifting older generations up to ``backups``) and a
+fresh file is started with a ``journal.rotate`` marker.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pathlib
+import sys
+import threading
+import time
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+#: Schema tag stamped on every journal line.
+EVENT_SCHEMA = "repro.obs/events/v1"
+
+#: Environment variable that opens a journal in spawned worker
+#: processes (the runner and the pooled ensemble set it from the
+#: parent's journal path).
+EVENTS_ENV = "REPRO_EVENTS_JSON"
+
+PathLike = Union[str, os.PathLike]
+
+
+def new_run_id() -> str:
+    """A short random id correlating every event of one run."""
+    return "r-" + os.urandom(6).hex()
+
+
+def git_sha(default: str = "unknown") -> str:
+    """The current commit sha, or ``default`` when unknowable.
+
+    Tries ``GITHUB_SHA`` (present in CI even on shallow checkouts)
+    before shelling out to git; never raises — provenance stamping
+    must not take a run down.
+    """
+    env = os.environ.get("GITHUB_SHA")
+    if env:
+        return env
+    try:
+        import subprocess
+
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            cwd=pathlib.Path(__file__).parent,
+        )
+        sha = out.stdout.strip()
+        if out.returncode == 0 and sha:
+            return sha
+    except Exception:
+        pass
+    return default
+
+
+class EventJournal:
+    """An append-only JSONL event sink bound to one file path.
+
+    Thread-safe; multiple processes may append to the same path (each
+    opens its own handle in append mode).  Sequence numbers are
+    per-process — order across processes is established by the
+    monotonic ``t`` field and the ``pid``.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        *,
+        run_id: Optional[str] = None,
+        max_bytes: Optional[int] = None,
+        backups: int = 1,
+    ):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be > 0, got {max_bytes!r}")
+        if backups < 1:
+            raise ValueError(f"backups must be >= 1, got {backups!r}")
+        self.path = pathlib.Path(path)
+        self.run_id = run_id or new_run_id()
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._pid = os.getpid()
+        self._t0 = time.monotonic()
+        self._fh: Optional[io.TextIOWrapper] = None
+
+    # -- file plumbing -------------------------------------------------
+
+    def _handle(self) -> io.TextIOWrapper:
+        if self._fh is None or self._fh.closed:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8", newline="\n")
+        return self._fh
+
+    def _rotate_locked(self) -> None:
+        """Shift ``path -> path.1 -> ... -> path.<backups>`` (drop last)."""
+        if self._fh is not None and not self._fh.closed:
+            self._fh.close()
+        self._fh = None
+        oldest = self.path.with_name(self.path.name + f".{self.backups}")
+        try:
+            oldest.unlink()
+        except FileNotFoundError:
+            pass
+        for i in range(self.backups - 1, 0, -1):
+            src = self.path.with_name(self.path.name + f".{i}")
+            if src.exists():
+                os.replace(src, self.path.with_name(self.path.name + f".{i + 1}"))
+        if self.path.exists():
+            os.replace(self.path, self.path.with_name(self.path.name + ".1"))
+
+    # -- emitting ------------------------------------------------------
+
+    def emit(self, event: str, **fields) -> Dict[str, object]:
+        """Append one event line; returns the emitted record.
+
+        ``fields`` must be JSON-serialisable; anything that is not is
+        stringified rather than raised on — the journal records what
+        happened, it must never *change* what happens.
+        """
+        record: Dict[str, object] = {
+            "schema": EVENT_SCHEMA,
+            "event": event,
+            "run": self.run_id,
+            "pid": self._pid,
+        }
+        with self._lock:
+            self._seq += 1
+            record["seq"] = self._seq
+            record["t"] = round(time.monotonic() - self._t0, 9)
+            record["wall"] = time.time()
+            if fields:
+                record["fields"] = fields
+            try:
+                line = json.dumps(record, separators=(",", ":"))
+            except (TypeError, ValueError):
+                record["fields"] = {k: repr(v) for k, v in fields.items()}
+                line = json.dumps(record, separators=(",", ":"))
+            fh = self._handle()
+            if self.max_bytes is not None:
+                try:
+                    if fh.tell() + len(line) + 1 > self.max_bytes:
+                        self._rotate_locked()
+                        fh = self._handle()
+                        rotate = dict(record)
+                        rotate["event"] = "journal.rotate"
+                        rotate.pop("fields", None)
+                        fh.write(
+                            json.dumps(rotate, separators=(",", ":")) + "\n"
+                        )
+                except OSError:
+                    pass
+            fh.write(line + "\n")
+            fh.flush()
+        return record
+
+    def emit_open(self, **extra) -> Dict[str, object]:
+        """Emit the self-describing ``journal.open`` header event."""
+        from repro import __version__ as pkg_version
+
+        return self.emit(
+            "journal.open",
+            git_sha=git_sha(),
+            python=sys.version.split()[0],
+            package_version=pkg_version,
+            argv=list(sys.argv),
+            **extra,
+        )
+
+    def close(self) -> None:
+        """Flush and close the file handle (the journal can reopen)."""
+        with self._lock:
+            if self._fh is not None and not self._fh.closed:
+                self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "EventJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# module-level journal management (mirrors the registry/tracer pattern)
+# ----------------------------------------------------------------------
+
+_journal: Optional[EventJournal] = None
+
+
+def journal() -> Optional[EventJournal]:
+    """The active journal, or ``None`` when journaling is off."""
+    return _journal
+
+
+def open_journal(
+    path: PathLike,
+    *,
+    run_id: Optional[str] = None,
+    max_bytes: Optional[int] = None,
+    backups: int = 1,
+    header: bool = True,
+    **header_fields,
+) -> EventJournal:
+    """Open (and activate) the process-wide journal at ``path``.
+
+    Emits the ``journal.open`` header unless ``header=False``.  Any
+    previously active journal is closed first.
+    """
+    global _journal
+    if _journal is not None:
+        _journal.close()
+    _journal = EventJournal(
+        path, run_id=run_id, max_bytes=max_bytes, backups=backups
+    )
+    if header:
+        _journal.emit_open(**header_fields)
+    return _journal
+
+
+def close_journal() -> None:
+    """Close and deactivate the process-wide journal (idempotent)."""
+    global _journal
+    if _journal is not None:
+        _journal.emit("journal.close")
+        _journal.close()
+        _journal = None
+
+
+def emit(event: str, **fields) -> None:
+    """Emit onto the active journal; a single ``None`` check when off."""
+    j = _journal
+    if j is not None:
+        j.emit(event, **fields)
+
+
+class _ShareEnv:
+    """Context manager exporting the active journal's path via env.
+
+    Worker entry points (runner, pooled ensemble) pick the path up
+    with :func:`ensure_journal_from_env`; prior values are restored on
+    exit so a library caller's environment is left untouched.  A no-op
+    when no journal is active.
+    """
+
+    __slots__ = ("_saved",)
+
+    def __enter__(self) -> "_ShareEnv":
+        self._saved: Optional[Dict[str, Optional[str]]] = None
+        active = _journal
+        if active is None:
+            return self
+        keys = (EVENTS_ENV, EVENTS_ENV + "_RUN")
+        self._saved = {key: os.environ.get(key) for key in keys}
+        os.environ[EVENTS_ENV] = str(active.path)
+        os.environ[EVENTS_ENV + "_RUN"] = active.run_id
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._saved is None:
+            return
+        for key, value in self._saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def share_env() -> _ShareEnv:
+    """See :class:`_ShareEnv` — wrap pool creation in this."""
+    return _ShareEnv()
+
+
+def ensure_journal_from_env() -> Optional[EventJournal]:
+    """Open the journal named by ``REPRO_EVENTS_JSON`` if not already.
+
+    Called by worker entry points so spawned processes join the
+    parent's journal.  The worker session skips the ``journal.open``
+    header (the parent already wrote one) and announces itself with a
+    ``worker.online`` heartbeat instead.
+    """
+    global _journal
+    path = os.environ.get(EVENTS_ENV)
+    if not path:
+        return None
+    if _journal is not None and str(_journal.path) == path:
+        if _journal._pid == os.getpid():
+            return _journal
+        # forked child: the inherited journal carries the parent's pid
+        # and shares its file descriptor — take over the record but
+        # stamp this process and open a handle of our own
+        _journal._pid = os.getpid()
+        _journal._fh = None
+        _journal._lock = threading.Lock()
+        return _journal
+    run_id = os.environ.get(EVENTS_ENV + "_RUN") or None
+    _journal = EventJournal(path, run_id=run_id)
+    _journal.emit("worker.online", argv0=sys.argv[0] if sys.argv else "")
+    return _journal
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+
+
+def parse_events(
+    lines: Iterable[str], *, strict: bool = False
+) -> Iterator[Dict[str, object]]:
+    """Decode journal lines, skipping (or raising on) damaged ones.
+
+    A half-written trailing line — the expected artifact of a killed
+    writer — decodes as invalid JSON and is silently dropped unless
+    ``strict``; so is an event missing the schema tag.  Damaged-line
+    counts are available via :func:`read_journal`.
+    """
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            if strict:
+                raise
+            continue
+        if not isinstance(record, dict) or record.get("schema") != EVENT_SCHEMA:
+            if strict:
+                raise ValueError(
+                    f"not a {EVENT_SCHEMA} event: {line[:120]!r}"
+                )
+            continue
+        yield record
+
+
+def read_journal(path: PathLike) -> Tuple[List[Dict[str, object]], int]:
+    """Read a journal file; returns ``(events, damaged_line_count)``."""
+    events: List[Dict[str, object]] = []
+    damaged = 0
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        for line in fh:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            got = list(parse_events([stripped]))
+            if got:
+                events.append(got[0])
+            else:
+                damaged += 1
+    return events, damaged
+
+
+def iter_events(path: PathLike) -> Iterator[Dict[str, object]]:
+    """Iterate a journal's valid events (damaged lines skipped)."""
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        yield from parse_events(fh)
+
+
+def follow_events(
+    path: PathLike,
+    *,
+    poll_seconds: float = 0.2,
+    stop: Optional[Callable] = None,
+) -> Iterator[Dict[str, object]]:
+    """``tail -f`` for a journal: yield events as they are appended.
+
+    Starts from the beginning of the file, then polls for growth.
+    Rotation is handled by detecting the file shrinking or changing
+    inode.  ``stop()`` (when given) is consulted between polls so
+    callers and tests can terminate the generator.
+    """
+    position = 0
+    ino: Optional[int] = None
+    buffer = ""
+    while True:
+        try:
+            stat = os.stat(path)
+        except FileNotFoundError:
+            stat = None
+        if stat is not None:
+            if ino is None:
+                ino = stat.st_ino
+            if stat.st_ino != ino or stat.st_size < position:
+                # rotated or truncated under us: restart from the top
+                position = 0
+                buffer = ""
+                ino = stat.st_ino
+            if stat.st_size > position:
+                with open(path, "r", encoding="utf-8", errors="replace") as fh:
+                    fh.seek(position)
+                    chunk = fh.read()
+                    position = fh.tell()
+                buffer += chunk
+                *complete, buffer = buffer.split("\n")
+                yield from parse_events(complete)
+        if stop is not None and stop():
+            yield from parse_events([buffer])
+            return
+        time.sleep(poll_seconds)
+
+
+def render_event(record: Dict[str, object]) -> str:
+    """One journal event as a compact human-readable line."""
+    fields = record.get("fields") or {}
+    detail = " ".join(f"{k}={_compact(v)}" for k, v in fields.items())
+    t = record.get("t", 0.0)
+    return (
+        f"[{t:10.3f}s] {record.get('run', '?'):>14s} "
+        f"pid={record.get('pid', '?')} {record.get('event', '?')}"
+        + (f"  {detail}" if detail else "")
+    )
+
+
+def _compact(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, (list, dict)):
+        text = json.dumps(value, separators=(",", ":"))
+        return text if len(text) <= 60 else text[:57] + "..."
+    return str(value)

@@ -1,0 +1,405 @@
+"""Bench-history ledger: longitudinal record of gated benchmark metrics.
+
+Every gated benchmark appends its headline metrics to an append-only
+JSONL ledger (``benchmarks/results/history.jsonl``), one line per
+(bench id, metric) pair, keyed by git sha and config digest
+(``repro.obs/ledger/v1``).  The ledger is the repo's performance
+memory: where ``BENCH_*.json`` files are the *latest* snapshot, the
+ledger is the *trajectory*, and ``repro obs regress`` walks it to
+answer "did this commit regress the Poisson kernel?" with a number
+instead of a feeling.
+
+Regression gating is deliberately robust rather than clever: for each
+(bench id, metric, config digest) series the latest point is compared
+against the **median** of the previous ``window`` points, with a
+significance band of ``mad_sigmas`` robust standard deviations
+(1.4826·MAD) — the median/MAD pair shrugs off the single-run outliers
+that wall-clock benches produce, and because CI machines and developer
+laptops both append to the same series, the MAD *learns* cross-machine
+variance instead of hard-coding it.  A relative floor (``rel_floor``)
+keeps near-zero-MAD series (ratios that repeat to 4 digits) from
+flagging noise.  Only *adverse* deviations gate: slower where lower is
+better, smaller where higher is better.  Metrics appended with
+``gated=False`` are recorded and reported but never fail the gate —
+use that for raw wall-clock timings, which are machine facts rather
+than code facts; the gated metrics should be ratios (speedups,
+overhead fractions) that transfer across machines.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.events import PathLike, git_sha
+
+#: Schema tag on every ledger line.
+LEDGER_SCHEMA = "repro.obs/ledger/v1"
+
+#: Metric directions (which way is worse).
+LOWER_IS_BETTER = "lower_is_better"
+HIGHER_IS_BETTER = "higher_is_better"
+DIRECTIONS = (LOWER_IS_BETTER, HIGHER_IS_BETTER)
+
+#: Keys every ledger line must carry (the schema-drift contract).
+REQUIRED_KEYS = (
+    "schema",
+    "ts",
+    "git_sha",
+    "bench_id",
+    "metric",
+    "value",
+    "direction",
+    "config_digest",
+    "gated",
+)
+
+#: Gate defaults — see the module docstring for the reasoning.
+DEFAULT_WINDOW = 8
+DEFAULT_MAD_SIGMAS = 5.0
+DEFAULT_REL_FLOOR = 0.10
+DEFAULT_MIN_HISTORY = 3
+
+
+def digest_config(payload: object) -> str:
+    """Short stable digest of a bench configuration object.
+
+    Ledger series are keyed by this digest, so changing a bench's
+    configuration starts a fresh series instead of comparing
+    incomparable numbers.
+    """
+    import hashlib
+
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:12]
+
+
+def make_entry(
+    bench_id: str,
+    metric: str,
+    value: float,
+    *,
+    direction: str,
+    config_digest: str,
+    unit: str = "",
+    gated: bool = True,
+    sha: Optional[str] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """One schema-complete ledger line, ready to append."""
+    if direction not in DIRECTIONS:
+        raise ValueError(
+            f"direction must be one of {DIRECTIONS}, got {direction!r}"
+        )
+    entry: Dict[str, object] = {
+        "schema": LEDGER_SCHEMA,
+        "ts": time.time(),
+        "git_sha": sha if sha is not None else git_sha(),
+        "bench_id": bench_id,
+        "metric": metric,
+        "value": float(value),
+        "unit": unit,
+        "direction": direction,
+        "config_digest": config_digest,
+        "gated": bool(gated),
+    }
+    if extra:
+        entry["extra"] = extra
+    return entry
+
+
+def append_entries(
+    path: PathLike, entries: Sequence[Dict[str, object]]
+) -> int:
+    """Append ledger lines (validated first); returns how many."""
+    for entry in entries:
+        problems = validate_entry(entry)
+        if problems:
+            raise ValueError(
+                f"refusing to append malformed ledger entry: {problems[0]}"
+            )
+    import pathlib
+
+    p = pathlib.Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with open(p, "a", encoding="utf-8", newline="\n") as fh:
+        for entry in entries:
+            fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
+    return len(entries)
+
+
+def validate_entry(entry: object) -> List[str]:
+    """Schema-drift check for one ledger line; returns violations."""
+    if not isinstance(entry, dict):
+        return [f"not an object: {type(entry).__name__}"]
+    problems = []
+    for key in REQUIRED_KEYS:
+        if key not in entry:
+            problems.append(f"missing key {key!r}")
+    if entry.get("schema") not in (None, LEDGER_SCHEMA):
+        problems.append(
+            f"schema {entry.get('schema')!r} != {LEDGER_SCHEMA!r}"
+        )
+    if "value" in entry and not isinstance(entry["value"], (int, float)):
+        problems.append(f"value must be numeric, got {entry['value']!r}")
+    if "direction" in entry and entry["direction"] not in DIRECTIONS:
+        problems.append(f"direction {entry['direction']!r} unknown")
+    if "gated" in entry and not isinstance(entry["gated"], bool):
+        problems.append(f"gated must be boolean, got {entry['gated']!r}")
+    return problems
+
+
+def load_history(
+    path: PathLike, *, strict: bool = False
+) -> Tuple[List[Dict[str, object]], int]:
+    """Read a ledger; returns ``(entries, damaged_line_count)``.
+
+    ``strict`` raises on the first malformed line instead of skipping
+    — that mode is the CI schema-drift check.
+    """
+    entries: List[Dict[str, object]] = []
+    damaged = 0
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError as exc:
+                if strict:
+                    raise ValueError(
+                        f"{path}:{lineno}: not JSON ({exc})"
+                    ) from None
+                damaged += 1
+                continue
+            problems = validate_entry(entry)
+            if problems:
+                if strict:
+                    raise ValueError(f"{path}:{lineno}: {problems[0]}")
+                damaged += 1
+                continue
+            entries.append(entry)
+    return entries, damaged
+
+
+# ----------------------------------------------------------------------
+# regression detection
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricVerdict:
+    """The gate's decision for one (bench, metric, config) series."""
+
+    bench_id: str
+    metric: str
+    config_digest: str
+    status: str  # "ok" | "regression" | "insufficient-history" | "informational"
+    latest: float
+    baseline_median: float = float("nan")
+    baseline_mad: float = float("nan")
+    baseline_points: int = 0
+    deviation: float = float("nan")  # latest - median, adverse-signed
+    threshold: float = float("nan")
+    direction: str = LOWER_IS_BETTER
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "regression"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "bench_id": self.bench_id,
+            "metric": self.metric,
+            "config_digest": self.config_digest,
+            "status": self.status,
+            "latest": self.latest,
+            "baseline_median": self.baseline_median,
+            "baseline_mad": self.baseline_mad,
+            "baseline_points": self.baseline_points,
+            "deviation": self.deviation,
+            "threshold": self.threshold,
+            "direction": self.direction,
+        }
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """Every series' verdict plus the overall gate decision."""
+
+    verdicts: Tuple[MetricVerdict, ...]
+    window: int
+    mad_sigmas: float
+    rel_floor: float
+    damaged_lines: int = 0
+    checked_path: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return all(v.ok for v in self.verdicts)
+
+    @property
+    def regressions(self) -> List[MetricVerdict]:
+        return [v for v in self.verdicts if not v.ok]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": "repro.obs/regress-report/v1",
+            "ok": self.ok,
+            "window": self.window,
+            "mad_sigmas": self.mad_sigmas,
+            "rel_floor": self.rel_floor,
+            "damaged_lines": self.damaged_lines,
+            "history": self.checked_path,
+            "series": [v.to_dict() for v in self.verdicts],
+        }
+
+    def render(self) -> str:
+        if not self.verdicts:
+            return "(empty ledger: nothing to gate)"
+        lines = []
+        width = max(
+            len(f"{v.bench_id}:{v.metric}") for v in self.verdicts
+        )
+        for v in self.verdicts:
+            key = f"{v.bench_id}:{v.metric}"
+            if v.status == "insufficient-history":
+                detail = (
+                    f"latest {v.latest:g} "
+                    f"({v.baseline_points} baseline pts, need more)"
+                )
+            else:
+                detail = (
+                    f"latest {v.latest:g} vs median {v.baseline_median:g} "
+                    f"(adverse dev {v.deviation:+g}, threshold {v.threshold:g})"
+                )
+            lines.append(f"{key:<{width}}  {v.status:<22} {detail}")
+        verdict = "OK" if self.ok else f"{len(self.regressions)} REGRESSION(S)"
+        lines.append(
+            f"-- {len(self.verdicts)} series, window {self.window}, "
+            f"{self.mad_sigmas:g} robust sigmas, rel floor "
+            f"{self.rel_floor:.0%}: {verdict}"
+        )
+        return "\n".join(lines)
+
+
+def _series_key(entry: Dict[str, object]) -> Tuple[str, str, str]:
+    return (
+        str(entry["bench_id"]),
+        str(entry["metric"]),
+        str(entry["config_digest"]),
+    )
+
+
+def detect_regressions(
+    entries: Sequence[Dict[str, object]],
+    *,
+    window: int = DEFAULT_WINDOW,
+    mad_sigmas: float = DEFAULT_MAD_SIGMAS,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+    min_history: int = DEFAULT_MIN_HISTORY,
+) -> RegressionReport:
+    """Gate each series' newest point against its rolling robust baseline.
+
+    The baseline for a series is the up-to-``window`` points preceding
+    the latest one (file order = append order = time order).  The
+    significance threshold is::
+
+        max(mad_sigmas * 1.4826 * MAD, rel_floor * |median|)
+
+    and only adverse deviations beyond it flag.  Fewer than
+    ``min_history`` baseline points yields ``insufficient-history``
+    (reported, never failing) — a brand-new bench cannot regress.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window!r}")
+    series: Dict[Tuple[str, str, str], List[Dict[str, object]]] = {}
+    for entry in entries:
+        series.setdefault(_series_key(entry), []).append(entry)
+
+    verdicts: List[MetricVerdict] = []
+    for key in sorted(series):
+        bench_id, metric, digest = key
+        points = series[key]
+        latest = points[-1]
+        value = float(latest["value"])
+        direction = str(latest.get("direction", LOWER_IS_BETTER))
+        gated = bool(latest.get("gated", True))
+        baseline = [
+            float(p["value"]) for p in points[:-1][-window:]
+        ]
+        common = dict(
+            bench_id=bench_id,
+            metric=metric,
+            config_digest=digest,
+            latest=value,
+            direction=direction,
+            baseline_points=len(baseline),
+        )
+        if len(baseline) < min_history:
+            verdicts.append(
+                MetricVerdict(status="insufficient-history", **common)
+            )
+            continue
+        median = statistics.median(baseline)
+        mad = statistics.median(abs(b - median) for b in baseline)
+        threshold = max(
+            mad_sigmas * 1.4826 * mad, rel_floor * abs(median)
+        )
+        if direction == LOWER_IS_BETTER:
+            adverse = value - median  # positive = got worse
+        else:
+            adverse = median - value
+        significant = adverse > threshold
+        status = (
+            "regression"
+            if (significant and gated)
+            else ("informational" if (significant and not gated) else "ok")
+        )
+        verdicts.append(
+            MetricVerdict(
+                status=status,
+                baseline_median=median,
+                baseline_mad=mad,
+                deviation=adverse,
+                threshold=threshold,
+                **common,
+            )
+        )
+    return RegressionReport(
+        verdicts=tuple(verdicts),
+        window=window,
+        mad_sigmas=mad_sigmas,
+        rel_floor=rel_floor,
+    )
+
+
+def check_history(
+    path: PathLike,
+    *,
+    window: int = DEFAULT_WINDOW,
+    mad_sigmas: float = DEFAULT_MAD_SIGMAS,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+    min_history: int = DEFAULT_MIN_HISTORY,
+) -> RegressionReport:
+    """Load a ledger file and run :func:`detect_regressions` on it."""
+    entries, damaged = load_history(path)
+    report = detect_regressions(
+        entries,
+        window=window,
+        mad_sigmas=mad_sigmas,
+        rel_floor=rel_floor,
+        min_history=min_history,
+    )
+    return RegressionReport(
+        verdicts=report.verdicts,
+        window=report.window,
+        mad_sigmas=report.mad_sigmas,
+        rel_floor=report.rel_floor,
+        damaged_lines=damaged,
+        checked_path=str(path),
+    )

@@ -25,8 +25,21 @@ from typing import Dict, List, Optional
 HISTOGRAM_SAMPLE_CAP = 512
 
 
+class MetricTypeMismatchError(TypeError):
+    """A metric name was used as two different instrument kinds.
+
+    Raised both on direct registry access (``counter("x")`` after
+    ``gauge("x")``) and — the case that used to be easy to miss — when
+    merging a worker snapshot whose instrument kind disagrees with the
+    local registry's.  Subclasses ``TypeError`` for backward
+    compatibility with callers catching the old generic error.
+    """
+
+
 class Counter:
     """A monotonically increasing count (events, iterations, calls)."""
+
+    kind = "counter"
 
     __slots__ = ("name", "_value", "_lock")
 
@@ -65,6 +78,8 @@ class Counter:
 class Gauge:
     """A point-in-time value that can move both ways (rates, sizes)."""
 
+    kind = "gauge"
+
     __slots__ = ("name", "_value", "_lock")
 
     def __init__(self, name: str):
@@ -94,6 +109,8 @@ class Histogram:
     of recent samples for approximate percentiles, so memory stays
     O(1) no matter how hot the instrumented path is.
     """
+
+    kind = "histogram"
 
     __slots__ = ("name", "_count", "_sum", "_min", "_max", "_samples", "_lock")
 
@@ -232,7 +249,7 @@ class MetricsRegistry:
                     instrument = cls(name)
                     self._instruments[name] = instrument
         if not isinstance(instrument, cls):
-            raise TypeError(
+            raise MetricTypeMismatchError(
                 f"metric {name!r} already registered as "
                 f"{type(instrument).__name__}, not {cls.__name__}"
             )
@@ -264,11 +281,18 @@ class MetricsRegistry:
             self.generation += 1
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
-        """Plain-dict export grouped by instrument kind, names sorted."""
+        """Plain-dict export grouped by instrument kind, names sorted.
+
+        Includes a ``"types"`` map (name -> instrument kind) so a
+        snapshot is self-describing: :meth:`absorb_snapshot` uses it
+        to reject kind clashes explicitly instead of relying on which
+        section a name happens to sit in.
+        """
         out: Dict[str, Dict[str, object]] = {
             "counters": {},
             "gauges": {},
             "histograms": {},
+            "types": {},
         }
         for name in sorted(self._instruments):
             instrument = self._instruments[name]
@@ -278,6 +302,7 @@ class MetricsRegistry:
                 out["gauges"][name] = instrument.export()
             else:
                 out["histograms"][name] = instrument.export()
+            out["types"][name] = instrument.kind
         return out
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -291,7 +316,14 @@ class MetricsRegistry:
         wins), histogram summary stats merge via
         :meth:`Histogram.absorb`.  This is how the parallel runner
         merges per-worker registries into the parent's one aggregate.
+
+        Kind clashes raise :class:`MetricTypeMismatchError` *before*
+        any value is folded in: a worker histogram must never be
+        coerced into (or silently shadowed by) a parent counter of the
+        same name, and a snapshot whose ``types`` tag disagrees with
+        the section a name sits in is rejected as corrupt.
         """
+        self._check_snapshot_types(snapshot)
         for name, value in snapshot.get("counters", {}).items():
             self.counter(name).inc(float(value))
         for name, value in snapshot.get("gauges", {}).items():
@@ -300,6 +332,33 @@ class MetricsRegistry:
                 self.gauge(name).set(value)
         for name, stats in snapshot.get("histograms", {}).items():
             self.histogram(name).absorb(stats)
+
+    _SECTION_KINDS = (
+        ("counters", "counter"),
+        ("gauges", "gauge"),
+        ("histograms", "histogram"),
+    )
+
+    def _check_snapshot_types(
+        self, snapshot: Dict[str, Dict[str, object]]
+    ) -> None:
+        """Validate an incoming snapshot's kinds against tags and self."""
+        declared = snapshot.get("types") or {}
+        for section, kind in self._SECTION_KINDS:
+            for name in snapshot.get(section, {}):
+                tagged = declared.get(name)
+                if tagged is not None and tagged != kind:
+                    raise MetricTypeMismatchError(
+                        f"snapshot tags metric {name!r} as {tagged!r} but "
+                        f"lists it under {section!r} — snapshot is corrupt"
+                    )
+                existing = self._instruments.get(name)
+                if existing is not None and existing.kind != kind:
+                    raise MetricTypeMismatchError(
+                        f"cannot merge snapshot: metric {name!r} is a "
+                        f"{kind} in the snapshot but a {existing.kind} "
+                        f"in this registry"
+                    )
 
     def render_text(self) -> str:
         """Aligned text table of every instrument (for --profile output)."""

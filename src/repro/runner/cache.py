@@ -227,17 +227,20 @@ class ResultCache:
             text = path.read_text(encoding="utf-8")
         except (FileNotFoundError, OSError):
             _count("runner.cache.misses")
+            obs.emit("cache.miss", id=exp.exp_id)
             return None
         entry = self._validate(exp, config, text)
         if entry is None:
             _count("runner.cache.corrupt")
             _count("runner.cache.misses")
+            obs.emit("cache.miss", id=exp.exp_id, corrupt=True)
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         _count("runner.cache.hits")
+        obs.emit("cache.hit", id=exp.exp_id)
         return entry
 
     def _validate(
@@ -268,6 +271,7 @@ class ResultCache:
         entry = build_entry(exp, config, result)
         atomic_write_text(self.entry_path(exp, config), _canonical_json(entry))
         _count("runner.cache.writes")
+        obs.emit("cache.write", id=exp.exp_id)
         return entry
 
     def sweep(self) -> List[pathlib.Path]:

@@ -133,6 +133,7 @@ def _compute_one(
     exp = registry.get(exp_id)
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     start = time.perf_counter()
+    obs.emit("runner.task.start", id=exp_id, worker=pid)
     try:
         with obs.span("experiment", id=exp_id, worker=pid):
             result = exp.run(config)
@@ -143,19 +144,36 @@ def _compute_one(
 
             entry = build_entry(exp, config, result)
     except Exception as exc:  # a batch survives one broken experiment
+        seconds = time.perf_counter() - start
+        obs.emit(
+            "runner.task.finish",
+            id=exp_id,
+            worker=pid,
+            status=STATUS_ERROR,
+            seconds=seconds,
+            error=f"{type(exc).__name__}: {exc}",
+        )
         return {
             "exp_id": exp_id,
             "ok": False,
             "error": f"{type(exc).__name__}: {exc}",
-            "seconds": time.perf_counter() - start,
+            "seconds": seconds,
             "worker": pid,
             "entry": None,
         }
+    seconds = time.perf_counter() - start
+    obs.emit(
+        "runner.task.finish",
+        id=exp_id,
+        worker=pid,
+        status=STATUS_COMPUTED,
+        seconds=seconds,
+    )
     return {
         "exp_id": exp_id,
         "ok": True,
         "error": None,
-        "seconds": time.perf_counter() - start,
+        "seconds": seconds,
         "worker": pid,
         "entry": entry,
     }
@@ -171,17 +189,27 @@ def _worker_main(
 
     Each worker collects into its **own** registry and tracer (never a
     sink inherited from the parent's fork image), and ships the
-    snapshot/spans home in the return value for merging.
+    snapshot/spans home in the return value for merging.  When the
+    parent has a journal open it shares the path via
+    ``REPRO_EVENTS_JSON``; the worker appends to the same file
+    (line-atomic), emitting a heartbeat around each task so a hung or
+    killed worker is visible in the journal as a heartbeat with no
+    matching ``runner.task.finish``.
     """
     if observe:
         obs.enable(MetricsRegistry(), Tracer())
     else:
         obs.disable()
+    obs.ensure_journal_from_env()
+    obs.emit("runner.worker.heartbeat", worker=os.getpid(), task=exp_id)
     out = _compute_one(exp_id, config, cache_dir)
     if observe:
         out["metrics"] = obs.snapshot()
         out["spans"] = [root.to_dict() for root in obs.trace_roots()]
         obs.disable()
+    journal = obs.journal()
+    if journal is not None:
+        journal.close()
     return out
 
 
@@ -242,6 +270,13 @@ def run_many(
     effective_dir = str(cache.root) if cache is not None else None
 
     wall_start = time.perf_counter()
+    obs.emit(
+        "runner.batch.start",
+        ids=list(ids),
+        jobs=jobs,
+        cache_dir=effective_dir,
+        force=force,
+    )
     outcomes: Dict[str, RunOutcome] = {}
     misses: List[str] = []
     if cache is not None:
@@ -275,7 +310,9 @@ def run_many(
             raw = _compute_one(exp_id, config, effective_dir)
             collect(raw)
     else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
+        with obs.share_journal_env(), ProcessPoolExecutor(
+            max_workers=jobs
+        ) as pool:
             futures = {
                 pool.submit(
                     _worker_main, exp_id, config, effective_dir, observe
@@ -293,6 +330,16 @@ def run_many(
             obs.registry().absorb_snapshot(snap)
         for span_dict in worker_spans:
             obs.tracer().adopt(SpanRecord.from_dict(span_dict))
+
+    counts: Dict[str, int] = {}
+    for o in outcomes.values():
+        counts[o.status] = counts.get(o.status, 0) + 1
+    obs.emit(
+        "runner.batch.finish",
+        jobs=jobs,
+        wall_seconds=time.perf_counter() - wall_start,
+        counts=counts,
+    )
 
     return RunReport(
         outcomes=[outcomes[exp_id] for exp_id in ids],

@@ -435,7 +435,21 @@ class EnsembleSimulator:
                 )
             stat.push(values)
             used += batch
-            if used >= min_replications and stat.ci_halfwidth(level) <= ci_halfwidth:
+            stop = (
+                used >= min_replications
+                and stat.ci_halfwidth(level) <= ci_halfwidth
+            )
+            # each stopping decision is journalled so an adaptive run's
+            # precision trajectory can be audited after the fact
+            obs.emit(
+                "ensemble.adaptive.decision",
+                replications=used,
+                batch=batch,
+                ci_halfwidth=float(stat.ci_halfwidth(level)),
+                target=float(ci_halfwidth),
+                stop=stop,
+            )
+            if stop:
                 break
         halfwidth = stat.ci_halfwidth(level)
         converged = used >= min_replications and halfwidth <= ci_halfwidth
@@ -622,6 +636,31 @@ class EnsembleSimulator:
         initial_census: Optional[int],
         max_events: int,
     ) -> EnsembleResult:
+        """Span- and resource-profiled wrapper of the batched loop."""
+        from repro.obs import resources
+
+        with obs.span(
+            "ensemble.run_vectorized", replications=len(children)
+        ), resources.profile_block(
+            "ensemble.run_vectorized", replications=len(children)
+        ):
+            return self._run_vectorized_inner(
+                children,
+                horizon,
+                warmup=warmup,
+                initial_census=initial_census,
+                max_events=max_events,
+            )
+
+    def _run_vectorized_inner(
+        self,
+        children: Sequence[np.random.SeedSequence],
+        horizon: float,
+        *,
+        warmup: float,
+        initial_census: Optional[int],
+        max_events: int,
+    ) -> EnsembleResult:
         """The batched Gillespie loop; see the module docstring."""
         process = self._process
         capacity = self._link.capacity
@@ -680,6 +719,16 @@ class EnsembleSimulator:
                 eras.append((rows, offset, t_buf[:step], n_buf[:step], m_buf[:step]))
                 offset += step
                 step = 0
+                # replication-block progress marker: one event per era,
+                # so a long run's journal shows the live/active-row
+                # decay without paying per-event costs
+                obs.emit(
+                    "ensemble.era",
+                    active=int(rows.size),
+                    replications=reps,
+                    records=int(offset),
+                    steps_total=int(steps_total),
+                )
 
         exp_blk = streams.exp
         uni_blk = streams.uni

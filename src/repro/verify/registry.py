@@ -211,16 +211,35 @@ class InvariantRegistry:
         chosen = self.select(suite, ids=ids)
         outcomes: List[InvariantOutcome] = []
         start = time.perf_counter()
+        obs.emit(
+            "verify.suite.start",
+            suite=suite,
+            invariants=[inv.inv_id for inv in chosen],
+        )
         with obs.span("verify.suite", suite=suite):
             for inv in chosen:
                 with obs.span("verify.invariant", id=inv.inv_id):
                     outcome = inv.evaluate(config)
                 outcomes.append(outcome)
+                obs.emit(
+                    "verify.invariant",
+                    id=inv.inv_id,
+                    passed=outcome.passed,
+                    residual=outcome.residual,
+                    seconds=outcome.seconds,
+                )
                 if obs.enabled():
                     obs.counter("verify.invariants.evaluated").inc()
                     if not outcome.passed:
                         obs.counter("verify.invariants.failed").inc()
         wall = time.perf_counter() - start
+        obs.emit(
+            "verify.suite.finish",
+            suite=suite,
+            passed=all(o.passed for o in outcomes),
+            failed=[o.inv_id for o in outcomes if not o.passed],
+            wall_seconds=wall,
+        )
         return VerificationReport(
             suite=suite, outcomes=tuple(outcomes), wall_seconds=wall
         )

@@ -1,0 +1,227 @@
+"""CLI: the ``obs`` telemetry subcommands and ``--events-json`` wiring."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs import ledger
+from repro.obs.events import read_journal
+from repro.obs.traceview import validate_chrome_trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.reset()
+    obs.close_journal()
+    yield
+    obs.disable()
+    obs.reset()
+    obs.close_journal()
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    """A real --trace-json dump from one fast experiment run."""
+    path = tmp_path_factory.mktemp("trace") / "spans.json"
+    assert main(["run", "F1", "--fast", "--trace-json", str(path)]) == 0
+    obs.disable()
+    obs.reset()
+    return path
+
+
+def _ledger_with(tmp_path, values, *, direction=ledger.HIGHER_IS_BETTER):
+    path = tmp_path / "history.jsonl"
+    ledger.append_entries(
+        path,
+        [
+            ledger.make_entry(
+                "bench_t",
+                "metric",
+                v,
+                direction=direction,
+                config_digest="cfg000000000",
+                sha="test",
+            )
+            for v in values
+        ],
+    )
+    return path
+
+
+class TestTail:
+    def test_tail_renders_journal(self, tmp_path, capsys):
+        path = tmp_path / "j.jsonl"
+        obs.open_journal(path, command="unit")
+        obs.emit("cache.hit", experiment="F1")
+        obs.close_journal()
+        assert main(["obs", "tail", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "journal.open" in out
+        assert "cache.hit" in out
+        assert "experiment=F1" in out
+
+    def test_tail_event_filter(self, tmp_path, capsys):
+        path = tmp_path / "j.jsonl"
+        obs.open_journal(path, command="unit")
+        obs.emit("keep.me")
+        obs.emit("drop.me")
+        obs.close_journal()
+        assert main(["obs", "tail", str(path), "--event", "keep.me"]) == 0
+        out = capsys.readouterr().out
+        assert "keep.me" in out
+        assert "drop.me" not in out
+
+    def test_tail_reports_damaged_lines(self, tmp_path, capsys):
+        path = tmp_path / "j.jsonl"
+        obs.open_journal(path, header=False)
+        obs.emit("fine")
+        obs.close_journal()
+        with open(path, "a") as fh:
+            fh.write("{broken\n")
+        assert main(["obs", "tail", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "fine" in captured.out
+        assert "1 damaged line(s) skipped" in captured.err
+
+    def test_tail_missing_journal_exits_2(self, tmp_path, capsys):
+        assert main(["obs", "tail", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read journal" in capsys.readouterr().err
+
+
+class TestHotspotsCommand:
+    def test_hotspots_table(self, trace_file, capsys):
+        assert main(["obs", "hotspots", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "experiment" in out
+        assert "spans" in out
+
+    def test_hotspots_json_with_wall(self, trace_file, capsys):
+        assert (
+            main(["obs", "hotspots", str(trace_file), "--json",
+                  "--wall", "1000"]) == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.obs/hotspots/v1"
+        assert payload["hotspots"]
+        assert 0.0 <= payload["coverage"] <= 1.0
+
+    def test_bad_trace_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"not": "an array"}')
+        assert main(["obs", "hotspots", str(bad)]) == 2
+        assert "cannot load trace" in capsys.readouterr().err
+        assert main(["obs", "hotspots", str(tmp_path / "absent.json")]) == 2
+
+
+class TestChromeTraceCommand:
+    def test_export_validates_and_writes(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "chrome.json"
+        assert (
+            main(["obs", "chrome-trace", str(trace_file),
+                  "--out", str(out_path)]) == 0
+        )
+        assert "perfetto" in capsys.readouterr().err
+        trace = json.loads(out_path.read_text())
+        assert validate_chrome_trace(trace) == []
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "experiment" in names
+
+
+class TestRegressCommand:
+    def test_ok_ledger_exits_0(self, tmp_path, capsys):
+        path = _ledger_with(tmp_path, [10.0, 10.1, 9.9, 10.0, 10.05])
+        assert main(["obs", "regress", "--history", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regression_exits_1(self, tmp_path, capsys):
+        path = _ledger_with(tmp_path, [10.0, 10.0, 10.0, 10.0, 8.0])
+        assert main(["obs", "regress", "--history", str(path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_json_report(self, tmp_path, capsys):
+        path = _ledger_with(tmp_path, [10.0, 10.0, 10.0, 8.0])
+        assert (
+            main(["obs", "regress", "--history", str(path), "--json"]) == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["series"][0]["status"] == "regression"
+
+    def test_knobs_change_the_verdict(self, tmp_path):
+        # the same 8% dip passes at the default 10% floor and fails
+        # with the floor tightened to 5%
+        path = _ledger_with(tmp_path, [10.0, 10.0, 10.0, 9.2])
+        assert main(["obs", "regress", "--history", str(path)]) == 0
+        assert (
+            main(["obs", "regress", "--history", str(path),
+                  "--rel-floor", "0.05"]) == 1
+        )
+
+    def test_missing_ledger_exits_2(self, tmp_path, capsys):
+        missing = tmp_path / "none.jsonl"
+        assert main(["obs", "regress", "--history", str(missing)]) == 2
+        assert "no ledger" in capsys.readouterr().err
+
+
+class TestLedgerCheckCommand:
+    def test_clean_ledger_passes(self, tmp_path, capsys):
+        path = _ledger_with(tmp_path, [1.0, 2.0])
+        assert main(["obs", "ledger-check", "--history", str(path)]) == 0
+        assert "2 entries, schema ok" in capsys.readouterr().out
+
+    def test_schema_drift_exits_1(self, tmp_path, capsys):
+        path = _ledger_with(tmp_path, [1.0])
+        with open(path, "a") as fh:
+            fh.write(json.dumps({"schema": "repro.obs/ledger/v1"}) + "\n")
+        assert main(["obs", "ledger-check", "--history", str(path)]) == 1
+        assert "schema drift" in capsys.readouterr().err
+
+    def test_missing_ledger_exits_2(self, tmp_path):
+        assert (
+            main(["obs", "ledger-check", "--history",
+                  str(tmp_path / "none.jsonl")]) == 2
+        )
+
+
+class TestEventsJsonWiring:
+    def test_run_journal_brackets_command(self, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        assert (
+            main(["run", "F1", "--fast", "--events-json", str(journal)]) == 0
+        )
+        capsys.readouterr()
+        events, damaged = read_journal(journal)
+        assert damaged == 0
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "journal.open"
+        assert kinds[1] == "cli.start"
+        assert kinds[-2] == "cli.finish"
+        assert kinds[-1] == "journal.close"
+        finish = events[-2]["fields"]
+        assert finish == {"command": "run", "status": 0}
+        # one run id correlates every event
+        assert len({e["run"] for e in events}) == 1
+
+    def test_verify_emits_suite_events(self, tmp_path, capsys):
+        journal = tmp_path / "verify.jsonl"
+        assert (
+            main(["verify", "--only", "B1", "--events-json",
+                  str(journal)]) == 0
+        )
+        capsys.readouterr()
+        events, _ = read_journal(journal)
+        kinds = [e["event"] for e in events]
+        assert "verify.suite.start" in kinds
+        assert "verify.invariant" in kinds
+        assert "verify.suite.finish" in kinds
+        inv = next(e for e in events if e["event"] == "verify.invariant")
+        assert inv["fields"]["id"] == "B1"
+        assert inv["fields"]["passed"] is True
+        finish = next(
+            e for e in events if e["event"] == "verify.suite.finish"
+        )
+        assert finish["fields"]["passed"] is True
+        assert finish["fields"]["failed"] == []

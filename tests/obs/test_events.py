@@ -1,0 +1,284 @@
+"""Event journal: round-trip, rotation, damage tolerance, env sharing."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs import events
+from repro.obs.events import (
+    EVENT_SCHEMA,
+    EVENTS_ENV,
+    EventJournal,
+    follow_events,
+    new_run_id,
+    parse_events,
+    read_journal,
+    render_event,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Every test starts and ends with observability off and empty."""
+    obs.disable()
+    obs.reset()
+    obs.close_journal()
+    yield
+    obs.disable()
+    obs.reset()
+    obs.close_journal()
+
+
+class TestEventJournal:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventJournal(path, run_id="r-test") as j:
+            j.emit("alpha", x=1)
+            j.emit("beta", label="hi", value=2.5)
+        got, damaged = read_journal(path)
+        assert damaged == 0
+        assert [e["event"] for e in got] == ["alpha", "beta"]
+        assert all(e["schema"] == EVENT_SCHEMA for e in got)
+        assert all(e["run"] == "r-test" for e in got)
+        assert all(e["pid"] == os.getpid() for e in got)
+        assert got[0]["fields"] == {"x": 1}
+        assert got[1]["fields"] == {"label": "hi", "value": 2.5}
+
+    def test_seq_and_monotonic_t_increase(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventJournal(path) as j:
+            for _ in range(5):
+                j.emit("tick")
+        got, _ = read_journal(path)
+        seqs = [e["seq"] for e in got]
+        assert seqs == sorted(seqs) and len(set(seqs)) == 5
+        ts = [e["t"] for e in got]
+        assert ts == sorted(ts)
+        assert all(t >= 0.0 for t in ts)
+
+    def test_unserialisable_fields_stringified_not_raised(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventJournal(path) as j:
+            j.emit("weird", payload=object())
+        got, damaged = read_journal(path)
+        assert damaged == 0
+        assert "object" in got[0]["fields"]["payload"]
+
+    def test_emit_open_header_is_self_describing(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventJournal(path) as j:
+            j.emit_open(command="test")
+        (header,), _ = read_journal(path)
+        assert header["event"] == "journal.open"
+        fields = header["fields"]
+        assert {"git_sha", "python", "package_version", "argv"} <= set(fields)
+        assert fields["command"] == "test"
+
+    def test_thread_safe_appends(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventJournal(path) as j:
+
+            def hammer():
+                for _ in range(200):
+                    j.emit("hit")
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        got, damaged = read_journal(path)
+        assert damaged == 0
+        assert len(got) == 800
+        assert sorted(e["seq"] for e in got) == list(range(1, 801))
+
+    def test_bad_constructor_args_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            EventJournal(tmp_path / "x.jsonl", max_bytes=0)
+        with pytest.raises(ValueError):
+            EventJournal(tmp_path / "x.jsonl", backups=0)
+
+
+class TestRotation:
+    def test_rotation_shifts_backups_and_marks(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventJournal(path, max_bytes=600, backups=2) as j:
+            for i in range(40):
+                j.emit("fill", i=i, pad="x" * 40)
+        assert path.exists()
+        assert path.with_name("events.jsonl.1").exists()
+        assert path.with_name("events.jsonl.2").exists()
+        assert not path.with_name("events.jsonl.3").exists()
+        live, damaged = read_journal(path)
+        assert damaged == 0
+        # a fresh generation always starts with the rotate marker
+        assert live[0]["event"] == "journal.rotate"
+        # nothing vanished except generations beyond the backup cap
+        total = len(live)
+        for i in (1, 2):
+            gen, d = read_journal(path.with_name(f"events.jsonl.{i}"))
+            assert d == 0
+            total += len(gen)
+        assert total <= 40 + 40  # events + rotate markers
+        assert os.path.getsize(path) <= 600 + 200  # one line of slack
+
+    def test_no_rotation_without_max_bytes(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventJournal(path) as j:
+            for i in range(200):
+                j.emit("fill", i=i)
+        assert not path.with_name("events.jsonl.1").exists()
+        got, _ = read_journal(path)
+        assert len(got) == 200
+
+
+class TestDamageTolerance:
+    def test_truncated_trailing_line_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventJournal(path) as j:
+            j.emit("ok.one")
+            j.emit("ok.two")
+        # simulate a writer killed mid-line
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"schema":"repro.obs/events/v1","event":"half')
+        got, damaged = read_journal(path)
+        assert [e["event"] for e in got] == ["ok.one", "ok.two"]
+        assert damaged == 1
+
+    def test_foreign_and_blank_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        lines = [
+            "",
+            "not json at all",
+            json.dumps({"schema": "other/v9", "event": "foreign"}),
+            json.dumps({"schema": EVENT_SCHEMA, "event": "mine"}),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        got, damaged = read_journal(path)
+        assert [e["event"] for e in got] == ["mine"]
+        assert damaged == 2  # blank lines are not damage
+
+    def test_parse_events_strict_raises(self):
+        with pytest.raises(ValueError):
+            list(parse_events(["{bad json"], strict=True))
+        with pytest.raises(ValueError):
+            list(parse_events([json.dumps({"schema": "other"})], strict=True))
+
+
+class TestModuleJournal:
+    def test_emit_noop_without_journal(self):
+        obs.emit("nobody.listening", x=1)  # must not raise
+
+    def test_open_emit_close_cycle(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        obs.open_journal(path, command="unit")
+        obs.emit("during", n=7)
+        obs.close_journal()
+        got, _ = read_journal(path)
+        assert [e["event"] for e in got] == [
+            "journal.open",
+            "during",
+            "journal.close",
+        ]
+        # close is idempotent and deactivates
+        obs.close_journal()
+        assert events.journal() is None
+
+    def test_share_env_exports_and_restores(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(EVENTS_ENV, raising=False)
+        monkeypatch.delenv(EVENTS_ENV + "_RUN", raising=False)
+        path = tmp_path / "events.jsonl"
+        j = obs.open_journal(path, header=False)
+        with obs.share_journal_env():
+            assert os.environ[EVENTS_ENV] == str(path)
+            assert os.environ[EVENTS_ENV + "_RUN"] == j.run_id
+        assert EVENTS_ENV not in os.environ
+        assert EVENTS_ENV + "_RUN" not in os.environ
+
+    def test_share_env_noop_without_journal(self, monkeypatch):
+        monkeypatch.delenv(EVENTS_ENV, raising=False)
+        with obs.share_journal_env():
+            assert EVENTS_ENV not in os.environ
+
+    def test_ensure_journal_from_env_joins_run(self, tmp_path, monkeypatch):
+        path = tmp_path / "events.jsonl"
+        monkeypatch.setenv(EVENTS_ENV, str(path))
+        monkeypatch.setenv(EVENTS_ENV + "_RUN", "r-parent")
+        j = obs.ensure_journal_from_env()
+        assert j is not None and j.run_id == "r-parent"
+        # idempotent: same journal object on repeat calls
+        assert obs.ensure_journal_from_env() is j
+        obs.close_journal()
+        got, _ = read_journal(path)
+        # workers announce themselves instead of re-writing the header
+        assert got[0]["event"] == "worker.online"
+        assert got[0]["run"] == "r-parent"
+
+    def test_ensure_journal_from_env_without_env(self, monkeypatch):
+        monkeypatch.delenv(EVENTS_ENV, raising=False)
+        assert obs.ensure_journal_from_env() is None
+
+
+class TestFollow:
+    def test_follow_yields_appended_events_until_stopped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        j = EventJournal(path, run_id="r-follow")
+        j.emit("first")
+        seen = []
+        done = threading.Event()
+
+        def consume():
+            for event in follow_events(
+                path, poll_seconds=0.01, stop=done.is_set
+            ):
+                seen.append(event["event"])
+
+        t = threading.Thread(target=consume)
+        t.start()
+        j.emit("second")
+        j.close()
+        for _ in range(200):
+            if len(seen) >= 2:
+                break
+            threading.Event().wait(0.01)
+        done.set()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+        assert seen[:2] == ["first", "second"]
+
+    def test_follow_survives_missing_file_then_stop(self, tmp_path):
+        done = threading.Event()
+        done.set()
+        got = list(
+            follow_events(tmp_path / "never.jsonl", poll_seconds=0.01,
+                          stop=done.is_set)
+        )
+        assert got == []
+
+
+class TestRendering:
+    def test_render_event_compact_line(self):
+        record = {
+            "schema": EVENT_SCHEMA,
+            "event": "cache.hit",
+            "run": "r-abc",
+            "pid": 123,
+            "seq": 4,
+            "t": 1.5,
+            "fields": {"experiment": "F1", "ratio": 0.123456789,
+                       "tags": ["a", "b"]},
+        }
+        line = render_event(record)
+        assert "cache.hit" in line
+        assert "r-abc" in line
+        assert "pid=123" in line
+        assert "experiment=F1" in line
+        assert "0.123457" in line  # floats compacted to 6 significant digits
+
+    def test_new_run_id_unique(self):
+        ids = {new_run_id() for _ in range(50)}
+        assert len(ids) == 50
+        assert all(i.startswith("r-") for i in ids)

@@ -1,0 +1,239 @@
+"""Bench-history ledger: schema, robust regression gate, CLI contract."""
+
+import json
+import pathlib
+import shutil
+
+import pytest
+
+from repro.obs import ledger
+from repro.obs.ledger import (
+    HIGHER_IS_BETTER,
+    LEDGER_SCHEMA,
+    LOWER_IS_BETTER,
+    append_entries,
+    check_history,
+    detect_regressions,
+    digest_config,
+    load_history,
+    make_entry,
+    validate_entry,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+REAL_HISTORY = REPO_ROOT / "benchmarks" / "results" / "history.jsonl"
+
+
+def _entry(value, *, metric="speedup", direction=HIGHER_IS_BETTER,
+           gated=True, digest="abc123def456"):
+    return make_entry(
+        "bench_x",
+        metric,
+        value,
+        direction=direction,
+        config_digest=digest,
+        gated=gated,
+        sha="deadbeef",
+    )
+
+
+class TestEntries:
+    def test_make_entry_is_schema_complete(self):
+        entry = _entry(12.5)
+        assert validate_entry(entry) == []
+        assert entry["schema"] == LEDGER_SCHEMA
+        assert entry["value"] == 12.5
+        assert entry["git_sha"] == "deadbeef"
+
+    def test_make_entry_rejects_bad_direction(self):
+        with pytest.raises(ValueError, match="direction"):
+            make_entry("b", "m", 1.0, direction="sideways",
+                       config_digest="x")
+
+    def test_validate_entry_flags_each_defect(self):
+        assert validate_entry("not a dict")
+        assert any("missing key" in p for p in validate_entry({}))
+        bad = _entry(1.0)
+        bad["value"] = "fast"
+        assert any("numeric" in p for p in validate_entry(bad))
+        bad = _entry(1.0)
+        bad["gated"] = "yes"
+        assert any("boolean" in p for p in validate_entry(bad))
+        bad = _entry(1.0)
+        bad["schema"] = "repro.obs/ledger/v99"
+        assert any("schema" in p for p in validate_entry(bad))
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        n = append_entries(path, [_entry(1.0), _entry(2.0)])
+        assert n == 2
+        entries, damaged = load_history(path)
+        assert damaged == 0
+        assert [e["value"] for e in entries] == [1.0, 2.0]
+
+    def test_append_refuses_malformed(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        bad = _entry(1.0)
+        del bad["direction"]
+        with pytest.raises(ValueError, match="malformed"):
+            append_entries(path, [bad])
+        assert not path.exists()
+
+    def test_load_skips_damage_unless_strict(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_entries(path, [_entry(1.0)])
+        with open(path, "a") as fh:
+            fh.write("{truncated\n")
+            fh.write(json.dumps({"schema": LEDGER_SCHEMA}) + "\n")
+        entries, damaged = load_history(path)
+        assert len(entries) == 1 and damaged == 2
+        with pytest.raises(ValueError, match=":2:"):
+            load_history(path, strict=True)
+
+    def test_digest_config_stable_and_order_independent(self):
+        a = digest_config({"x": 1, "y": [2, 3]})
+        b = digest_config({"y": [2, 3], "x": 1})
+        assert a == b
+        assert len(a) == 12
+        assert digest_config({"x": 2}) != a
+
+
+class TestRegressionGate:
+    def _series(self, values, **kwargs):
+        return [_entry(v, **kwargs) for v in values]
+
+    def test_stable_series_ok(self):
+        report = detect_regressions(self._series([10.0, 10.1, 9.9, 10.05]))
+        assert report.ok
+        (verdict,) = report.verdicts
+        assert verdict.status == "ok"
+        assert verdict.baseline_points == 3
+
+    def test_twenty_percent_drop_flags_higher_is_better(self):
+        report = detect_regressions(self._series([10.0, 10.1, 9.9, 8.0]))
+        assert not report.ok
+        (verdict,) = report.regressions
+        assert verdict.deviation == pytest.approx(2.0)
+        assert verdict.status == "regression"
+
+    def test_twenty_percent_rise_flags_lower_is_better(self):
+        report = detect_regressions(
+            self._series([5.0, 5.05, 4.95, 6.0],
+                         direction=LOWER_IS_BETTER)
+        )
+        assert not report.ok
+
+    def test_improvement_never_flags(self):
+        # a 50% speedup gain is not a regression
+        report = detect_regressions(self._series([10.0, 10.0, 10.0, 15.0]))
+        assert report.ok
+        # nor is a 50% drop in a lower-is-better metric
+        report = detect_regressions(
+            self._series([5.0, 5.0, 5.0, 2.5], direction=LOWER_IS_BETTER)
+        )
+        assert report.ok
+
+    def test_ungated_series_reports_informational(self):
+        report = detect_regressions(
+            self._series([10.0, 10.0, 10.0, 5.0], gated=False)
+        )
+        assert report.ok
+        (verdict,) = report.verdicts
+        assert verdict.status == "informational"
+
+    def test_insufficient_history_passes(self):
+        report = detect_regressions(self._series([10.0, 1.0]))
+        assert report.ok
+        (verdict,) = report.verdicts
+        assert verdict.status == "insufficient-history"
+
+    def test_noisy_series_needs_mad_scaled_deviation(self):
+        # baseline MAD is large; a deviation inside the robust band
+        # must not flag even though it exceeds the relative floor
+        noisy = [10.0, 14.0, 6.0, 13.0, 7.0, 12.0, 8.0, 11.0, 7.6]
+        report = detect_regressions(self._series(noisy))
+        assert report.ok
+
+    def test_rel_floor_absorbs_tiny_mad(self):
+        # near-identical baselines make MAD ~ 0; the relative floor
+        # keeps a 5% wiggle from flagging
+        report = detect_regressions(
+            self._series([10.0, 10.0, 10.0, 10.0, 9.5])
+        )
+        assert report.ok
+
+    def test_window_limits_baseline(self):
+        # old bad epoch beyond the window must not drag the median
+        values = [1.0] * 10 + [10.0] * 8 + [9.8]
+        report = detect_regressions(self._series(values), window=8)
+        assert report.ok
+        (verdict,) = report.verdicts
+        assert verdict.baseline_median == pytest.approx(10.0)
+
+    def test_series_keyed_by_config_digest(self):
+        # same metric under two digests = two independent series
+        entries = self._series([10.0, 10.0, 10.0, 10.0], digest="aaa") + \
+            self._series([2.0, 2.0, 2.0, 2.0], digest="bbb")
+        report = detect_regressions(entries)
+        assert len(report.verdicts) == 2
+        assert report.ok
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            detect_regressions([], window=0)
+
+    def test_report_render_and_dict(self):
+        report = detect_regressions(self._series([10.0, 10.0, 10.0, 8.0]))
+        text = report.render()
+        assert "REGRESSION" in text
+        assert "bench_x:speedup" in text
+        payload = report.to_dict()
+        assert payload["ok"] is False
+        assert payload["series"][0]["status"] == "regression"
+        empty = detect_regressions([])
+        assert "empty ledger" in empty.render()
+
+
+@pytest.mark.skipif(
+    not REAL_HISTORY.exists(), reason="committed ledger not present"
+)
+class TestRealLedger:
+    def test_real_ledger_passes_the_gate(self):
+        report = check_history(REAL_HISTORY)
+        assert report.ok, report.render()
+        assert report.damaged_lines == 0
+        assert len(report.verdicts) >= 3
+
+    def test_synthetic_slowdown_detected_in_copied_ledger(self, tmp_path):
+        """Acceptance criterion: copy the real ledger, degrade every
+        gated series by 20%, and the gate must flag each one."""
+        copy = tmp_path / "history.jsonl"
+        shutil.copy(REAL_HISTORY, copy)
+        entries, _ = load_history(copy)
+        gated = {}
+        for e in entries:
+            if e["gated"]:
+                gated[(e["bench_id"], e["metric"], e["config_digest"])] = e
+        assert gated, "committed ledger has no gated series"
+        degraded = []
+        for (bench, metric, digest), last in gated.items():
+            # stabilise the baseline at the latest value, then append
+            # a point 20% worse in the series' adverse direction
+            stable = [
+                make_entry(bench, metric, float(last["value"]),
+                           direction=last["direction"],
+                           config_digest=digest, sha="stab")
+                for _ in range(ledger.DEFAULT_WINDOW)
+            ]
+            factor = (
+                0.8 if last["direction"] == HIGHER_IS_BETTER else 1.2
+            )
+            worse = make_entry(bench, metric, float(last["value"]) * factor,
+                               direction=last["direction"],
+                               config_digest=digest, sha="slow")
+            degraded.append((bench, metric))
+            append_entries(copy, stable + [worse])
+        report = check_history(copy)
+        assert not report.ok
+        flagged = {(v.bench_id, v.metric) for v in report.regressions}
+        assert flagged == set(degraded), report.render()

@@ -13,6 +13,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    MetricTypeMismatchError,
     share_lock,
 )
 
@@ -141,6 +142,52 @@ class TestMetricsRegistry:
 
     def test_render_text_empty(self):
         assert "no metrics" in MetricsRegistry().render_text()
+
+
+class TestSnapshotTypeTags:
+    def test_snapshot_tags_every_instrument_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("calls").inc()
+        reg.gauge("rate").set(1.0)
+        reg.histogram("resid").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["types"] == {
+            "calls": "counter",
+            "rate": "gauge",
+            "resid": "histogram",
+        }
+
+    def test_kind_clash_is_the_dedicated_error(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(MetricTypeMismatchError):
+            reg.histogram("x")
+        # and it still is a TypeError for legacy catchers
+        assert issubclass(MetricTypeMismatchError, TypeError)
+
+    def test_absorb_rejects_kind_clash_with_local_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("m").inc(2)
+        incoming = {"gauges": {"m": 1.0}, "types": {"m": "gauge"}}
+        with pytest.raises(MetricTypeMismatchError, match="gauge"):
+            reg.absorb_snapshot(incoming)
+        # nothing was folded in before the failure
+        assert reg.counter("m").value == 2.0
+
+    def test_absorb_rejects_internally_inconsistent_snapshot(self):
+        reg = MetricsRegistry()
+        corrupt = {
+            "counters": {"m": 3.0},
+            "types": {"m": "histogram"},  # tag disagrees with section
+        }
+        with pytest.raises(MetricTypeMismatchError, match="corrupt"):
+            reg.absorb_snapshot(corrupt)
+
+    def test_absorb_accepts_untagged_legacy_snapshot(self):
+        # snapshots from before the types section must still merge
+        reg = MetricsRegistry()
+        reg.absorb_snapshot({"counters": {"m": 3.0}})
+        assert reg.counter("m").value == 3.0
 
 
 class TestSharedLockBatches:

@@ -1,0 +1,107 @@
+"""Resource profiling: peak RSS, gauges, tracemalloc opt-in, no-op path."""
+
+import pytest
+
+from repro import obs
+from repro.obs import resources
+from repro.obs.events import read_journal
+from repro.obs.tracing import NULL_SPAN
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.reset()
+    obs.close_journal()
+    resources.disable_alloc_tracing()
+    yield
+    obs.disable()
+    obs.reset()
+    obs.close_journal()
+    resources.disable_alloc_tracing()
+
+
+class TestPeakRss:
+    def test_positive_and_monotone(self):
+        first = resources.peak_rss_bytes()
+        assert first > 0
+        ballast = bytearray(8 * 1024 * 1024)
+        second = resources.peak_rss_bytes()
+        assert second >= first
+        del ballast
+
+
+class TestProfileBlock:
+    def test_disabled_path_is_the_shared_null_span(self):
+        assert resources.profile_block("x") is NULL_SPAN
+
+    def test_enabled_sets_peak_rss_gauge(self):
+        obs.enable()
+        with resources.profile_block("kernel"):
+            pass
+        value = obs.gauge("resources.kernel.peak_rss_bytes").value
+        assert value > 0
+
+    def test_journal_only_emits_sample_event(self, tmp_path):
+        # metrics off but journal open: the block must still record
+        path = tmp_path / "events.jsonl"
+        obs.open_journal(path, header=False)
+        with resources.profile_block("era", replications=32):
+            pass
+        obs.close_journal()
+        events, _ = read_journal(path)
+        sample = next(e for e in events if e["event"] == "resources.sample")
+        assert sample["fields"]["label"] == "era"
+        assert sample["fields"]["replications"] == 32
+        assert sample["fields"]["peak_rss_bytes"] > 0
+
+    def test_tracemalloc_fields_when_tracing(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        obs.open_journal(path, header=False)
+        obs.enable()
+        resources.enable_alloc_tracing()
+        with resources.profile_block("alloc"):
+            junk = [bytes(1024) for _ in range(200)]
+        del junk
+        obs.close_journal()
+        assert (
+            obs.gauge("resources.alloc.alloc_peak_bytes").value > 0
+        )
+        events, _ = read_journal(path)
+        sample = next(e for e in events if e["event"] == "resources.sample")
+        fields = sample["fields"]
+        assert fields["alloc_peak_bytes"] >= 200 * 1024
+        assert "alloc_net_bytes" in fields
+        assert fields["top_allocations"]
+        assert all(
+            {"site", "size_bytes", "count"} <= set(row)
+            for row in fields["top_allocations"]
+        )
+
+    def test_env_var_opts_in(self, monkeypatch):
+        monkeypatch.setenv(resources.TRACEMALLOC_ENV, "1")
+        obs.enable()
+        with resources.profile_block("envblock"):
+            data = list(range(1000))
+        del data
+        assert obs.gauge("resources.envblock.alloc_peak_bytes").value > 0
+        # the block started tracemalloc; clean it up
+        assert resources.alloc_tracing_active()
+
+    def test_exceptions_propagate(self):
+        obs.enable()
+        with pytest.raises(RuntimeError):
+            with resources.profile_block("boom"):
+                raise RuntimeError("no")
+        # the sample was still taken on the way out
+        assert obs.gauge("resources.boom.peak_rss_bytes").value > 0
+
+
+class TestTracingToggles:
+    def test_enable_disable_idempotent(self):
+        resources.enable_alloc_tracing()
+        resources.enable_alloc_tracing()
+        assert resources.alloc_tracing_active()
+        resources.disable_alloc_tracing()
+        resources.disable_alloc_tracing()
+        assert not resources.alloc_tracing_active()

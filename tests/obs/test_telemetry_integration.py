@@ -1,0 +1,105 @@
+"""End-to-end telemetry: multi-process journal, hotspot attribution."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.experiments.params import DEFAULT_CONFIG
+from repro.models import VariableLoadModel
+from repro.obs.events import read_journal
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.reset()
+    obs.close_journal()
+    yield
+    obs.disable()
+    obs.reset()
+    obs.close_journal()
+
+
+class TestRunnerJournal:
+    def test_pool_workers_share_the_journal(self, tmp_path, capsys):
+        journal = tmp_path / "runner.jsonl"
+        cache = tmp_path / "cache"
+        assert (
+            main(
+                [
+                    "run-all", "F1", "T1", "--fast", "--jobs", "2",
+                    "--cache-dir", str(cache),
+                    "--events-json", str(journal),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        events, damaged = read_journal(journal)
+        assert damaged == 0
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "journal.open"
+        assert "runner.batch.start" in kinds
+        assert "runner.batch.finish" in kinds
+        assert kinds.count("cache.miss") == 2
+        assert kinds.count("runner.task.start") == 2
+        assert kinds.count("runner.task.finish") == 2
+        # worker processes joined the journal and stamped their own pids
+        parent_pid = events[0]["pid"]
+        heartbeats = [
+            e for e in events if e["event"] == "runner.worker.heartbeat"
+        ]
+        assert heartbeats
+        assert all(e["pid"] != parent_pid for e in heartbeats)
+        task_events = [
+            e for e in events if e["event"] == "runner.task.start"
+        ]
+        assert all(e["pid"] != parent_pid for e in task_events)
+        # one run id spans parent and workers
+        assert len({e["run"] for e in events}) == 1
+
+    def test_second_pass_journals_cache_hits(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        args = ["run-all", "F1", "--fast", "--cache-dir", str(cache)]
+        assert main(args) == 0
+        journal = tmp_path / "warm.jsonl"
+        assert main(args + ["--events-json", str(journal)]) == 0
+        capsys.readouterr()
+        events, _ = read_journal(journal)
+        kinds = [e["event"] for e in events]
+        assert "cache.hit" in kinds
+        assert "cache.miss" not in kinds
+
+
+class TestHotspotAttribution:
+    def test_algebraic_delta_sweep_attributes_most_wall_time(
+        self, tmp_path, capsys
+    ):
+        """Acceptance criterion: on a 128-point algebraic delta(C)
+        sweep, `repro obs hotspots` attributes >= 80% of wall time to
+        named spans."""
+        cfg = DEFAULT_CONFIG
+        model = VariableLoadModel(
+            cfg.load("algebraic"), cfg.utility("adaptive")
+        )
+        caps = np.linspace(20.0, 220.0, 128)
+        obs.enable()
+        t0 = time.perf_counter()
+        model.performance_gap_batch(caps)
+        wall = time.perf_counter() - t0
+        trace_path = tmp_path / "sweep.json"
+        trace_path.write_text(obs.trace_json())
+        obs.disable()
+        assert (
+            main(["obs", "hotspots", str(trace_path), "--json",
+                  "--wall", str(wall)]) == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["coverage"] >= 0.80, report
+        names = {row["name"] for row in report["hotspots"]}
+        assert "model.total_best_effort_batch" in names
+        assert "batch.share_weighted_sums" in names

@@ -1,0 +1,226 @@
+"""Trace export: Chrome trace schema, hotspot math, trace-file loading."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.tracing import SpanRecord, Tracer
+from repro.obs.traceview import (
+    TRACE_SCHEMA,
+    chrome_trace,
+    hotspots,
+    load_trace_file,
+    render_hotspots,
+    spans_from_trace_json,
+    validate_chrome_trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _span(name, start, end, children=(), **labels):
+    record = SpanRecord(name, labels or None)
+    record.start = start
+    record.end = end
+    record.children = list(children)
+    return record
+
+
+def _recorded_forest():
+    """A real (live-clock) forest from the tracer."""
+    tracer = Tracer()
+    with tracer.span("experiment", experiment="F2"):
+        with tracer.span("batch.find_roots"):
+            pass
+        with tracer.span("batch.find_roots"):
+            pass
+        with tracer.span("model.total"):
+            with tracer.span("quad"):
+                pass
+    with tracer.span("verify"):
+        pass
+    return tracer.roots()
+
+
+class TestChromeTrace:
+    def test_exported_trace_validates_against_schema(self):
+        # the acceptance-criterion test: exporter output passes its
+        # own schema validator with zero violations
+        trace = chrome_trace(_recorded_forest(), run_id="r-x")
+        assert validate_chrome_trace(trace) == []
+        assert trace["otherData"] == {"schema": TRACE_SCHEMA, "run": "r-x"}
+        assert trace["displayTimeUnit"] == "ms"
+
+    def test_trace_json_serialisable_and_structure(self):
+        trace = chrome_trace(_recorded_forest())
+        payload = json.loads(json.dumps(trace))
+        events = payload["traceEvents"]
+        # one metadata track-name event per root, X events for spans
+        metas = [e for e in events if e["ph"] == "M"]
+        xs = [e for e in events if e["ph"] == "X"]
+        assert [m["args"]["name"] for m in metas] == [
+            "root:experiment",
+            "root:verify",
+        ]
+        assert {e["name"] for e in xs} >= {
+            "experiment",
+            "batch.find_roots",
+            "model.total",
+            "quad",
+            "verify",
+        }
+        # each root is its own track, starting at ts = 0
+        roots = [e for e in xs if e["name"] in ("experiment", "verify")]
+        assert sorted(e["tid"] for e in roots) == [0, 1]
+        assert all(e["ts"] == 0.0 for e in roots)
+
+    def test_live_children_keep_true_offsets(self):
+        trace = chrome_trace(_recorded_forest())
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        by_name = {}
+        for e in xs:
+            by_name.setdefault(e["name"], []).append(e)
+        parent = by_name["experiment"][0]
+        for child in by_name["batch.find_roots"] + by_name["model.total"]:
+            assert child["ts"] >= parent["ts"]
+            assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"] + 1.0
+
+    def test_pinned_children_pack_sequentially(self):
+        # rehydrated spans (from worker JSON) have start pinned to 0
+        child_a = _span("a", 0.0, 0.002)
+        child_b = _span("b", 0.0, 0.003)
+        root = _span("root", 0.0, 0.006, [child_a, child_b])
+        trace = chrome_trace([root])
+        assert validate_chrome_trace(trace) == []
+        xs = {e["name"]: e for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert xs["a"]["ts"] == 0.0
+        # b starts where a ended, not on top of it
+        assert xs["b"]["ts"] == pytest.approx(xs["a"]["dur"])
+
+    def test_worker_label_becomes_pid(self):
+        root = _span("chunk", 0.0, 0.001, worker=3)
+        trace = chrome_trace([root])
+        xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert xs[0]["pid"] == 3
+        assert xs[0]["args"]["worker"] == 3
+
+    def test_empty_forest(self):
+        trace = chrome_trace([])
+        assert validate_chrome_trace(trace) == []
+        assert trace["traceEvents"] == []
+
+
+class TestValidateChromeTrace:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([1, 2]) != []
+        assert validate_chrome_trace({"traceEvents": "nope"}) != []
+
+    def test_flags_bad_events(self):
+        trace = {
+            "traceEvents": [
+                {"name": "ok", "ph": "X", "ts": 0, "dur": 1, "pid": 0, "tid": 0},
+                {"name": "", "ph": "X", "ts": 0, "dur": 1, "pid": 0, "tid": 0},
+                {"name": "neg", "ph": "X", "ts": -1, "dur": 1, "pid": 0, "tid": 0},
+                {"name": "nan", "ph": "X", "ts": 0, "dur": float("nan"),
+                 "pid": 0, "tid": 0},
+                {"name": "badpid", "ph": "X", "ts": 0, "dur": 1, "pid": "x",
+                 "tid": 0},
+                {"name": "phase", "ph": "B", "pid": 0, "tid": 0},
+                "not an object",
+            ]
+        }
+        errors = validate_chrome_trace(trace)
+        assert len(errors) == 6
+        assert any("empty name" in e for e in errors)
+        assert any("unsupported phase" in e for e in errors)
+
+
+class TestHotspots:
+    def test_self_time_subtracts_children_and_sums_to_traced(self):
+        quad = _span("quad", 0.0, 0.3)
+        solve = _span("solve", 0.0, 0.7, [quad])
+        root = _span("sweep", 0.0, 1.0, [solve])
+        report = hotspots([root])
+        rows = {r["name"]: r for r in report["hotspots"]}
+        assert rows["sweep"]["self_seconds"] == pytest.approx(0.3)
+        assert rows["solve"]["self_seconds"] == pytest.approx(0.4)
+        assert rows["quad"]["self_seconds"] == pytest.approx(0.3)
+        total_self = sum(r["self_seconds"] for r in report["hotspots"])
+        assert total_self == pytest.approx(report["traced_seconds"])
+        assert report["traced_seconds"] == pytest.approx(1.0)
+        assert report["spans"] == 3
+
+    def test_rows_sorted_by_self_time_descending(self):
+        report = hotspots(
+            [
+                _span("big", 0.0, 1.0),
+                _span("small", 0.0, 0.1),
+                _span("medium", 0.0, 0.5),
+            ]
+        )
+        names = [r["name"] for r in report["hotspots"]]
+        assert names == ["big", "medium", "small"]
+
+    def test_same_name_spans_aggregate(self):
+        report = hotspots([_span("f", 0.0, 0.2), _span("f", 0.0, 0.4)])
+        (row,) = report["hotspots"]
+        assert row["count"] == 2
+        assert row["cumulative_seconds"] == pytest.approx(0.6)
+        assert row["mean_seconds"] == pytest.approx(0.3)
+        assert row["p50_seconds"] in (pytest.approx(0.2), pytest.approx(0.4))
+        assert row["p99_seconds"] == pytest.approx(0.4)
+
+    def test_clock_skew_clamped_at_zero(self):
+        # a child reported longer than its parent must not go negative
+        child = _span("child", 0.0, 0.5)
+        root = _span("root", 0.0, 0.3, [child])
+        report = hotspots([root])
+        rows = {r["name"]: r for r in report["hotspots"]}
+        assert rows["root"]["self_seconds"] == 0.0
+
+    def test_coverage_against_wall_clock(self):
+        report = hotspots([_span("r", 0.0, 0.8)], wall_seconds=1.0)
+        assert report["coverage"] == pytest.approx(0.8)
+        over = hotspots([_span("r", 0.0, 2.0)], wall_seconds=1.0)
+        assert over["coverage"] == 1.0  # capped
+
+    def test_render_mentions_rows_and_totals(self):
+        report = hotspots([_span("kernel", 0.0, 0.5)], wall_seconds=1.0)
+        text = render_hotspots(report)
+        assert "kernel" in text
+        assert "coverage 50.0%" in text
+        assert render_hotspots(hotspots([])) == "(no spans recorded)"
+
+    def test_render_top_limits_rows(self):
+        report = hotspots([_span(f"s{i}", 0.0, 0.1 * (i + 1)) for i in range(5)])
+        text = render_hotspots(report, top=2)
+        assert "s4" in text and "s3" in text
+        assert "s0" not in text
+
+
+class TestTraceFileLoading:
+    def test_round_trip_through_trace_json(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", experiment="F1"):
+            with tracer.span("inner"):
+                pass
+        path = tmp_path / "spans.json"
+        path.write_text(tracer.to_json())
+        roots = load_trace_file(path)
+        assert [r.name for r in roots] == ["outer"]
+        assert roots[0].labels == {"experiment": "F1"}
+        assert [c.name for c in roots[0].children] == ["inner"]
+        # rehydrated forests export a valid trace
+        assert validate_chrome_trace(chrome_trace(roots)) == []
+
+    def test_non_array_payload_rejected(self):
+        with pytest.raises(ValueError, match="JSON array"):
+            spans_from_trace_json({"not": "a list"})
