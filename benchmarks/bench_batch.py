@@ -43,6 +43,28 @@ from repro.models import VariableLoadModel
 #: The acceptance target for the headline case.
 TARGET_SPEEDUP = 10.0
 
+#: Every per-load case must clear this speedup (ISSUE 7): the shared
+#: zeta-tail tables make the heavy-tailed loads as batchable as the
+#: Poisson headline, and the gate keeps them that way.
+PER_LOAD_FLOOR = 8.0
+
+#: Cases exempt from the per-load floor.  The continuum closed forms
+#: are already microsecond-scale scalar calls — their batch win is
+#: bounded by numpy dispatch overhead, not series work.
+FLOOR_EXEMPT = {"continuum rigid/exp gamma(p) sweep"}
+
+#: Ledger series appended per case (repro.obs/ledger/v1), so
+#: ``obs regress`` guards every per-load speedup longitudinally.
+CASE_METRICS = {
+    "poisson delta(C) sweep": "poisson_delta_speedup",
+    "poisson Delta(C) sweep": "poisson_bandwidth_gap_speedup",
+    "exponential delta(C) sweep": "exponential_delta_speedup",
+    "exponential Delta(C) sweep": "exponential_bandwidth_gap_speedup",
+    "algebraic delta(C) sweep": "algebraic_delta_speedup",
+    "algebraic Delta(C) sweep": "algebraic_bandwidth_gap_speedup",
+    "continuum rigid/exp gamma(p) sweep": "continuum_gamma_speedup",
+}
+
 #: Relative agreement required between the scalar and batch paths.
 RTOL = 1e-9
 
@@ -58,10 +80,23 @@ JSON_PATH = ROOT / "BENCH_batch.json"
 HISTORY_PATH = ROOT / "benchmarks" / "results" / "history.jsonl"
 
 
+#: Fresh-state repetitions per timed path; the minimum is reported.
+#: Each repetition rebuilds its model (the per-capacity caches would
+#: otherwise make later passes cache-hot and meaningless) while the
+#: process-wide shared tables stay warm, exactly like a long-running
+#: sweep workload.  min-of-N suppresses scheduler noise that would
+#: otherwise flap the per-load floor gate.
+REPEATS = 2
+
+
 def _time(fn: Callable[[], np.ndarray]) -> tuple:
-    t0 = time.perf_counter()
-    out = fn()
-    return time.perf_counter() - t0, out
+    best = float("inf")
+    out = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
 
 
 def _case(
@@ -73,8 +108,10 @@ def _case(
 ) -> Dict:
     """Time one scalar/batch pair and check numerical agreement.
 
-    ``shift`` turns a gap comparison into a solver-root comparison:
-    ``Δ`` values are checked as ``C + Δ`` (see module docstring).
+    ``scalar_fn`` and ``batch_fn`` must build any per-case state (model
+    instances) internally so every repetition starts cold.  ``shift``
+    turns a gap comparison into a solver-root comparison: ``Δ`` values
+    are checked as ``C + Δ`` (see module docstring).
     """
     t_scalar, ref = _time(scalar_fn)
     t_batch, out = _time(batch_fn)
@@ -108,13 +145,14 @@ def _warmup() -> None:
     runs first and distort small-grid timings.
     """
     caps = np.linspace(60.0, 120.0, 8)
-    m = _model("poisson")
-    m.performance_gap_batch(caps)
-    m.bandwidth_gap_batch(caps)
-    m2 = _model("poisson")
-    for c in caps[:2]:
-        m2.performance_gap(float(c))
-        m2.bandwidth_gap(float(c))
+    for load_name in ("poisson", "exponential", "algebraic"):
+        m = _model(load_name)
+        m.performance_gap_batch(caps)
+        m.bandwidth_gap_batch(caps)
+        m2 = _model(load_name)
+        for c in caps[:2]:
+            m2.performance_gap(float(c))
+            m2.bandwidth_gap(float(c))
     cont = RigidExponentialContinuum(1.0)
     cont.equalizing_ratio_batch(np.array([1e-3, 1e-2]))
     cont.equalizing_ratio(1e-3)
@@ -127,28 +165,32 @@ def measure() -> Dict:
     caps_delta = np.linspace(20.0, 220.0, DELTA_POINTS)
     caps_gap = np.linspace(60.0, 220.0, GAP_POINTS)
 
+    def scalar_delta(name: str) -> np.ndarray:
+        m = _model(name)
+        return np.array([m.performance_gap(float(c)) for c in caps_delta])
+
+    def scalar_gap(name: str) -> np.ndarray:
+        m = _model(name)
+        return np.array([m.bandwidth_gap(float(c)) for c in caps_gap])
+
     for load_name in ("poisson", "exponential", "algebraic"):
-        m_scalar = _model(load_name)
-        m_batch = _model(load_name)
         cases.append(
             _case(
                 f"{load_name} delta(C) sweep",
-                lambda m=m_scalar: np.array(
-                    [m.performance_gap(float(c)) for c in caps_delta]
+                lambda name=load_name: scalar_delta(name),
+                lambda name=load_name: _model(name).performance_gap_batch(
+                    caps_delta
                 ),
-                lambda m=m_batch: m.performance_gap_batch(caps_delta),
                 DELTA_POINTS,
             )
         )
-        m_scalar2 = _model(load_name)
-        m_batch2 = _model(load_name)
         cases.append(
             _case(
                 f"{load_name} Delta(C) sweep",
-                lambda m=m_scalar2: np.array(
-                    [m.bandwidth_gap(float(c)) for c in caps_gap]
+                lambda name=load_name: scalar_gap(name),
+                lambda name=load_name: _model(name).bandwidth_gap_batch(
+                    caps_gap
                 ),
-                lambda m=m_batch2: m.bandwidth_gap_batch(caps_gap),
                 GAP_POINTS,
                 shift=caps_gap,
             )
@@ -177,6 +219,8 @@ def measure() -> Dict:
             "rtol": RTOL,
             "atol": ATOL,
             "target_speedup": TARGET_SPEEDUP,
+            "per_load_floor": PER_LOAD_FLOOR,
+            "repeats": REPEATS,
         },
         "headline": headline,
         "cases": cases,
@@ -209,6 +253,11 @@ def check(stats: Dict) -> None:
             f"{c['case']}: batch diverged from scalar "
             f"(max rel err {c['max_rel_err']:.3e}, rtol {RTOL:g})"
         )
+        if c["case"] not in FLOOR_EXEMPT:
+            assert c["speedup"] >= PER_LOAD_FLOOR, (
+                f"{c['case']} speedup {c['speedup']:.1f}x below the "
+                f"per-load {PER_LOAD_FLOOR:.0f}x floor"
+            )
     h = stats["headline"]
     assert h["speedup"] >= TARGET_SPEEDUP, (
         f"headline {h['case']} speedup {h['speedup']:.1f}x below the "
@@ -221,49 +270,41 @@ def write_json(stats: Dict) -> None:
 
 
 def append_history(stats: Dict) -> None:
-    """Record the headline metrics in the bench-history ledger.
+    """Record every per-load speedup in the bench-history ledger.
 
-    Speedup ratios transfer across machines, so they gate; the raw
-    batch wall time is a machine fact and rides along ``gated=False``
-    for trend plots only.
+    Speedup ratios transfer across machines, so each case's series
+    gates (``obs regress`` guards them longitudinally); the raw batch
+    wall time of the headline is a machine fact and rides along
+    ``gated=False`` for trend plots only.
     """
     from repro.obs import ledger
 
     digest = ledger.digest_config(stats["config"])
+    entries = [
+        ledger.make_entry(
+            "bench_batch",
+            CASE_METRICS[c["case"]],
+            c["speedup"],
+            direction=ledger.HIGHER_IS_BETTER,
+            config_digest=digest,
+            unit="x",
+        )
+        for c in stats["cases"]
+        if c["case"] in CASE_METRICS
+    ]
     h = stats["headline"]
-    alg = next(
-        c for c in stats["cases"] if c["case"] == "algebraic delta(C) sweep"
+    entries.append(
+        ledger.make_entry(
+            "bench_batch",
+            "poisson_delta_batch_ms",
+            h["batch_ms"],
+            direction=ledger.LOWER_IS_BETTER,
+            config_digest=digest,
+            unit="ms",
+            gated=False,
+        )
     )
-    ledger.append_entries(
-        HISTORY_PATH,
-        [
-            ledger.make_entry(
-                "bench_batch",
-                "poisson_delta_speedup",
-                h["speedup"],
-                direction=ledger.HIGHER_IS_BETTER,
-                config_digest=digest,
-                unit="x",
-            ),
-            ledger.make_entry(
-                "bench_batch",
-                "algebraic_delta_speedup",
-                alg["speedup"],
-                direction=ledger.HIGHER_IS_BETTER,
-                config_digest=digest,
-                unit="x",
-            ),
-            ledger.make_entry(
-                "bench_batch",
-                "poisson_delta_batch_ms",
-                h["batch_ms"],
-                direction=ledger.LOWER_IS_BETTER,
-                config_digest=digest,
-                unit="ms",
-                gated=False,
-            ),
-        ],
-    )
+    ledger.append_entries(HISTORY_PATH, entries)
 
 
 def test_batch_speedup(benchmark, record):

@@ -350,6 +350,15 @@ def build_parser() -> argparse.ArgumentParser:
         f"(default {ledger.DEFAULT_REL_FLOOR:g})",
     )
     regress.add_argument(
+        "--min-history",
+        type=int,
+        default=ledger.DEFAULT_MIN_HISTORY,
+        metavar="N",
+        help="series shorter than N points are reported informationally "
+        f"instead of gated (default {ledger.DEFAULT_MIN_HISTORY}); raise "
+        "it to keep freshly (re)keyed series in a warm-up window",
+    )
+    regress.add_argument(
         "--json", action="store_true", help="emit the JSON report instead of text"
     )
 
@@ -486,6 +495,7 @@ def _cmd_obs(args) -> int:
                 window=args.window,
                 mad_sigmas=args.mad_sigmas,
                 rel_floor=args.rel_floor,
+                min_history=args.min_history,
             )
         except FileNotFoundError:
             print(f"no ledger at {args.history}", file=sys.stderr)

@@ -162,14 +162,26 @@ class TwoClassModel:
             raise ValueError(f"capacity must be >= 0, got {capacity!r}")
         if capacity == 0.0:
             return 0.0
-        states = self._state_utilities_reservation(capacity)
+        # The greedy density-ordered packing never overbooks, so in
+        # census states where squeezing one more flow below its nominal
+        # demand beats boosting the packed set (e.g. 9 flows at 99% of
+        # demand vs 8 boosted ones) it loses to plain equal sharing.  A
+        # reservation-capable network can always fall back to exactly
+        # the best-effort allocation — reservations equal to the
+        # equal-share levels — so the architecture's value is the
+        # state-wise better of the two policies.  This also makes
+        # reservation dominance (delta >= 0) hold exactly rather than
+        # "in practice".
+        states = np.maximum(
+            self._state_utilities_reservation(capacity),
+            self._state_utilities_best_effort(capacity),
+        )
         return float(np.sum(self._weights * states)) / self._mean_total
 
     def performance_gap(self, capacity: float) -> float:
-        """``delta(C)`` across both classes (not clipped; the greedy
-        reservation can lose to best effort when the admission ordering
-        misjudges a state — in practice it stays nonnegative for the
-        inelastic utilities this model targets)."""
+        """``delta(C)`` across both classes (nonnegative: the
+        reservation side falls back to the equal-share allocation in
+        any census state where the greedy packing would lose to it)."""
         return self.reservation(capacity) - self.best_effort(capacity)
 
     def bandwidth_gap(

@@ -16,6 +16,18 @@ import abc
 
 import numpy as np
 
+#: Hard ceiling on brute-force moment-table summation, matching the
+#: models' ``BRUTE_FORCE_CAP``: past this many terms the default
+#: :meth:`LoadDistribution.moment_tail_table` gives up and returns None.
+_MOMENT_TABLE_CAP = 1 << 22
+
+#: Chunk size for the brute-force moment-table summation.
+_MOMENT_TABLE_CHUNK = 8192
+
+#: Relative stop threshold for the brute-force table (one ulp of the
+#: leading tail, so the truncated remainder is below roundoff).
+_MOMENT_TABLE_EPS = 2.220446049250313e-16
+
 
 class LoadDistribution(abc.ABC):
     """A stationary distribution over the number of active flows."""
@@ -123,6 +135,47 @@ class LoadDistribution(abc.ABC):
         return np.array([self.sf(int(k)) for k in np.asarray(ks).ravel()]).reshape(
             np.asarray(ks).shape
         )
+
+    def moment_tail_table(self, n: int, degree: int):
+        """Moment tails ``S_j(n) = sum_{k >= n} k**(1-j) P(k)``, j = 0..degree.
+
+        These are the capacity-independent coefficients that turn a deep
+        utility-series tail into a short polynomial: if ``pi`` has a
+        Maclaurin expansion ``sum_j a_j b**j``, then
+        ``sum_{k >= n} P(k) k pi(C/k) = sum_j a_j C**j S_j(n)``.  One
+        table serves every capacity in a sweep (and every sweep sharing
+        the load), which is the whole point — see
+        ``repro.numerics.series.shared_moment_tail_table``.
+
+        The default sums brute force in chunks, stopping once the
+        remaining first-moment tail is below one ulp of the accumulated
+        ``S_0`` (``|k**(1-j)| <= k`` for ``k >= 1`` bounds every row by
+        the same remainder).  Returns ``None`` if convergence would need
+        more than ``_MOMENT_TABLE_CAP`` terms — callers must fall back
+        to their dense/integral paths.  Heavy-tailed families override
+        this with closed forms.
+        """
+        if n < 1:
+            raise ValueError(f"table start must be >= 1, got {n!r}")
+        if degree < 0:
+            raise ValueError(f"degree must be >= 0, got {degree!r}")
+        table = np.zeros(degree + 1)
+        if self.mean_tail(n) <= 0.0:
+            return table
+        k = int(n)
+        stop = int(n) + _MOMENT_TABLE_CAP
+        while k < stop:
+            ks = np.arange(k, k + _MOMENT_TABLE_CHUNK, dtype=float)
+            terms = ks * self.pmf_array(ks)  # j = 0 row: k**1 * P(k)
+            inv = 1.0 / ks
+            for j in range(degree + 1):
+                table[j] += terms.sum()
+                if j < degree:
+                    terms *= inv
+            k += _MOMENT_TABLE_CHUNK
+            if self.mean_tail(k) <= _MOMENT_TABLE_EPS * table[0] + 1e-300:
+                return table
+        return None
 
     def validate_k(self, k: int) -> None:
         """Raise if ``k`` is not a nonnegative integer."""

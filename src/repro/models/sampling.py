@@ -121,18 +121,14 @@ class SamplingModel:
         return s * sf1 - 0.5 * s * (s - 1.0) * sf1 * sf1
 
     def _truncation_point(self, capacity: float) -> int:
-        """N with ``pi(C/N) * P(max > N) < tol`` (max-of-S tail bound)."""
-        n = 1024
-        while True:
-            bound = min(1.0, self._utility.value(capacity / n)) * self._sf_q_pow(n)
-            if bound < self._tol:
-                return n
-            if n > 1 << 26:
-                raise RuntimeError(
-                    f"sampling-model truncation exceeded 2^26 terms at C={capacity}; "
-                    "loosen tol or reduce the capacity range"
-                )
-            n <<= 1
+        """N with ``pi(C/N) * P(max > N) < tol`` (max-of-S tail bound).
+
+        Delegates to the batch routine on a one-element grid so the
+        scalar and batch paths cannot diverge at decision boundaries
+        (libm vs numpy ``exp`` disagree by an ulp on occasion, which
+        used to flip the level between the two mirrored loops).
+        """
+        return int(self._truncation_points_batch(np.array([float(capacity)]))[0])
 
     def _truncation_points_batch(self, caps: np.ndarray) -> np.ndarray:
         """Per-capacity truncation points, one tail evaluation per level.

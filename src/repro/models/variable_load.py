@@ -30,6 +30,7 @@ pmf extension — exact integrand, no model-specific approximation.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Optional
 
 import numpy as np
@@ -39,6 +40,7 @@ from repro.caching import BoundedCache
 from repro.errors import ConvergenceError
 from repro.loads.base import LoadDistribution
 from repro.models.fixed_load import FixedLoadModel
+from repro.numerics import series
 from repro.numerics.batch import invert_monotone_batch, share_weighted_sums
 from repro.numerics.quadrature import integrate
 from repro.numerics.solvers import invert_monotone
@@ -54,6 +56,51 @@ BRUTE_FORCE_CAP = 1 << 22
 #: when solving for the bandwidth gap (they are below the numerical
 #: noise floor of the truncated sums).
 GAP_FLOOR = 1e-12
+
+#: Evaluation modes chosen by the series planner (:meth:`_plan_batch`):
+#: full dense summation up to a level, dense head + shared polynomial
+#: tail at a level, or the Euler-Maclaurin integral fallback.
+_MODE_DENSE = 0
+_MODE_TAIL = 1
+_MODE_EM = 2
+
+#: Smallest series level the planner will consider.  Levels below the
+#: historical 1024 matter once the polynomial tail exists: a solver
+#: probe at C ~ 80 clears the certified remainder bound already at
+#: n = 256, quartering its dense head.  Loads whose tails die fast
+#: (Poisson) become DENSE at 256 too — the omitted terms are below one
+#: ulp of the total, so reported values do not move.
+_PLAN_MIN_LEVEL = 256
+
+#: Process-wide memo of planner capacity ceilings keyed by
+#: ``(load, utility, tol)`` — loads and utilities hash by value, so
+#: every model over the same family shares one table (and the bisection
+#: cost below is paid once per family, not once per model instance).
+_PLAN_CEILINGS: BoundedCache = BoundedCache(maxsize=128)
+
+
+def _capacity_ceiling(predicate: Callable[[float], bool], b_hi: float) -> float:
+    """``sup { b >= 0 : predicate(b) }`` for a monotone predicate.
+
+    ``predicate`` must hold on ``[0, b*)`` and fail on ``(b*, b_hi]``
+    (tail-bound predicates are monotone in the per-flow bandwidth).
+    Returns ``inf`` when it holds everywhere up to ``b_hi``.  The
+    bisection keeps the invariant ``predicate(lo) == True``, so any
+    residual slack only sends capacities to a *higher* level — it can
+    never admit a capacity whose tail bound misses the tolerance.
+    """
+    if predicate(b_hi):
+        return math.inf
+    lo, hi = 0.0, float(b_hi)
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        if predicate(mid):
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= 1e-12 * max(1.0, lo):
+            break
+    return lo
 
 
 def solve_bandwidth_gaps(
@@ -137,6 +184,12 @@ class VariableLoadModel:
         self._load = load
         self._utility = utility
         self._tol = float(tol)
+        # certified Maclaurin expansion of pi (None for rigid/ramp
+        # utilities) — enables the shared polynomial-tail evaluation
+        self._maclaurin = utility.maclaurin(series.TAIL_DEGREE)
+        # per-level planner ceilings, resolved lazily from the shared
+        # process-wide memo (see _plan_ceilings)
+        self._ceilings: Optional[tuple] = None
         self._fixed = FixedLoadModel(
             utility, k_max_limit=k_max_limit, k_max_override=k_max_override
         )
@@ -206,13 +259,17 @@ class VariableLoadModel:
         return min(1.0, self._utility.value(capacity / n)) * mt
 
     def _truncation_point(self, capacity: float) -> Optional[int]:
-        """Smallest power-of-two N with tail bound < tol, or None if > cap."""
-        n = 1024
-        while n <= BRUTE_FORCE_CAP:
-            if self._tail_bound(n, capacity) < self._tol:
-                return n
-            n <<= 1
-        return None
+        """Smallest power-of-two N with tail bound < tol, or None if > cap.
+
+        Delegates to the batch routine on a one-element grid so the two
+        paths *cannot* diverge: the scalar loop previously went through
+        ``utility.value`` (libm ``exp``) while the batch went through
+        the vectorised ``numpy`` ``exp``, and a one-ulp disagreement at
+        a decision boundary flipped the truncation level between the
+        two paths for the same capacity.
+        """
+        n = int(self._truncation_points_batch(np.array([float(capacity)]))[0])
+        return None if n < 0 else n
 
     def _truncation_points_batch(self, caps: np.ndarray) -> np.ndarray:
         """Per-capacity truncation points with one ``mean_tail`` per level.
@@ -239,6 +296,108 @@ class VariableLoadModel:
             n <<= 1
         return out
 
+    def _plan_ceilings(self) -> tuple:
+        """Per-level capacity ceilings ``(levels, c_dense, c_tail)``.
+
+        Level ``n`` closes a capacity as DENSE when ``C <= c_dense``
+        (the plain tail bound ``min(1, pi(C/n)) * mean_tail(n)`` clears
+        the tolerance — the historical truncation rule) and as TAIL
+        when ``C <= c_tail`` (the certified Maclaurin remainder bound
+        fits in half the tolerance).  Both bounds are monotone in
+        ``C/n``, so each rule collapses to one capacity threshold per
+        level, found once by bisection and shared process-wide across
+        every model over the same ``(load, utility, tol)``.  Planning a
+        grid is then pure comparisons — no utility evaluations on the
+        hot path at all.
+        """
+        cached = self._ceilings
+        if cached is not None:
+            return cached
+        key = (self._load, self._utility, self._tol)
+        cached = _PLAN_CEILINGS.get(key)
+        if cached is None:
+            levels, c_dense, c_tail = [], [], []
+            n = _PLAN_MIN_LEVEL
+            while n <= BRUTE_FORCE_CAP:
+                mt = self._load.mean_tail(n)
+                if mt <= 0.0:
+                    cd, ct = math.inf, -math.inf
+                else:
+                    cd = n * _capacity_ceiling(
+                        lambda b: min(1.0, self._utility.value(b)) * mt
+                        < self._tol,
+                        1e9,
+                    )
+                    if self._maclaurin is None:
+                        ct = -math.inf
+                    else:
+                        mac = self._maclaurin
+                        ct = n * _capacity_ceiling(
+                            lambda b: float(mac.remainder_bound(b)) * mt
+                            <= 0.5 * self._tol,
+                            mac.radius,
+                        )
+                levels.append(n)
+                c_dense.append(cd)
+                c_tail.append(ct)
+                if cd == math.inf:
+                    # this level closes every capacity as DENSE; higher
+                    # levels are unreachable
+                    break
+                n <<= 1
+            cached = (
+                np.asarray(levels, dtype=np.int64),
+                np.asarray(c_dense, dtype=float),
+                np.asarray(c_tail, dtype=float),
+            )
+            _PLAN_CEILINGS.put(key, cached)
+        self._ceilings = cached
+        return cached
+
+    def _plan_batch(self, caps: np.ndarray) -> tuple:
+        """Choose an evaluation mode and series level per capacity.
+
+        Walks the power-of-two levels once for the whole grid, closing
+        capacities against the precomputed ceilings: DENSE when the
+        plain tail bound clears the tolerance, else TAIL when the
+        utility's certified Maclaurin remainder fits in half the
+        tolerance *and* the load can supply a moment-tail table at that
+        level — the dense head then stops at ``n`` and the rest is the
+        shared polynomial.  Whatever is still open past
+        ``BRUTE_FORCE_CAP`` falls to the Euler-Maclaurin integral.
+        DENSE is tested first so loads whose tails die fast (Poisson)
+        keep plans equivalent to the historical truncation rule.
+
+        Both the scalar and batch entry points evaluate through this
+        one planner, so their results differ only by summation-order
+        roundoff — never by plan.
+        """
+        level_arr, c_dense, c_tail = self._plan_ceilings()
+        modes = np.full(caps.size, _MODE_EM, dtype=np.int64)
+        levels = np.full(caps.size, -1, dtype=np.int64)
+        open_ = np.ones(caps.size, dtype=bool)
+        for i, n in enumerate(level_arr):
+            if not np.any(open_):
+                break
+            dense_ok = open_ & (caps <= c_dense[i])
+            tail_ok = open_ & ~dense_ok & (caps <= c_tail[i])
+            if np.any(tail_ok) and (
+                series.shared_moment_tail_table(self._load, int(n)) is None
+            ):
+                tail_ok = np.zeros_like(tail_ok)
+            closed = dense_ok | tail_ok
+            if np.any(closed):
+                modes[dense_ok] = _MODE_DENSE
+                modes[tail_ok] = _MODE_TAIL
+                levels[closed] = n
+                open_ &= ~closed
+        return modes, levels
+
+    def _plan(self, capacity: float) -> tuple:
+        """Scalar view of :meth:`_plan_batch` (one-element grid)."""
+        modes, levels = self._plan_batch(np.array([float(capacity)]))
+        return int(modes[0]), int(levels[0])
+
     def _euler_maclaurin_tail(self, n0: int, capacity: float) -> float:
         """``sum_{k>=n0} P(k) k pi(C/k)`` via integral + EM correction.
 
@@ -247,6 +406,13 @@ class VariableLoadModel:
         pmf extension and the *exact* utility; quadrature is split at
         the utility's breakpoints mapped into flow counts.
         """
+        if self._utility.value(capacity / n0) == 0.0:
+            # pi is nondecreasing and every share beyond n0 is smaller
+            # than capacity/n0, so the whole tail is exactly zero: skip
+            # the substitution entirely rather than hand quadrature an
+            # identically-zero integrand whose breakpoints have mapped
+            # outside (0, 1] (degenerate/empty split intervals).
+            return 0.0
 
         def f(x: float) -> float:
             return self._load.continuous_pmf(x) * x * self._utility.value(capacity / x)
@@ -267,9 +433,11 @@ class VariableLoadModel:
             return f(x) * n0 / uu
 
         points = sorted(
-            n0 * b / capacity
-            for b in self._utility.breakpoints()
-            if 0.0 < n0 * b / capacity < 1.0
+            {
+                n0 * b / capacity
+                for b in self._utility.breakpoints()
+                if 0.0 < n0 * b / capacity < 1.0
+            }
         )
         tail = integrate(
             g,
@@ -283,6 +451,14 @@ class VariableLoadModel:
         f_prime = (f(n0 + h) - f(n0 - h)) / (2.0 * h)
         return tail + 0.5 * f(float(n0)) - f_prime / 12.0
 
+    def _dense_total(self, capacity: float, n: int) -> float:
+        """Dense ``sum_{k<n} P(k) k pi(C/k)`` (the head of every mode)."""
+        self._ensure_terms(n)
+        shares = np.empty(n)
+        shares[0] = 0.0  # k = 0 contributes nothing (kpk = 0)
+        shares[1:] = capacity / self._ks[1:n]
+        return float(np.dot(self._kpk[:n], self._utility(shares)))
+
     def total_best_effort(self, capacity: float) -> float:
         """Unnormalised ``V_B(C) = sum_k P(k) k pi(C/k)``."""
         if capacity < 0.0:
@@ -293,13 +469,17 @@ class VariableLoadModel:
         if cached is not None:
             return cached
 
-        n = self._truncation_point(capacity)
-        if n is not None:
-            self._ensure_terms(n)
-            shares = np.empty(n)
-            shares[0] = 0.0  # k = 0 contributes nothing (kpk = 0)
-            shares[1:] = capacity / self._ks[1:n]
-            total = float(np.dot(self._kpk[:n], self._utility(shares)))
+        mode, n = self._plan(capacity)
+        if mode == _MODE_DENSE:
+            total = self._dense_total(capacity, n)
+        elif mode == _MODE_TAIL:
+            table = series.shared_moment_tail_table(self._load, n)
+            tail = float(
+                series.power_series_tail(
+                    self._maclaurin.coefficients, table, capacity
+                )
+            )
+            total = self._dense_total(capacity, n) + tail
         else:
             n0 = min(BRUTE_FORCE_CAP, 1 << max(12, int(32 * capacity).bit_length()))
             try:
@@ -309,11 +489,7 @@ class VariableLoadModel:
                     f"V_B(C={capacity}) needs a tail correction but the load "
                     f"has no smooth pmf extension: {exc}"
                 ) from exc
-            self._ensure_terms(n0)
-            shares = np.empty(n0)
-            shares[0] = 0.0
-            shares[1:] = capacity / self._ks[1:n0]
-            total = float(np.dot(self._kpk[:n0], self._utility(shares))) + em
+            total = self._dense_total(capacity, n0) + em
 
         self._b_cache.put(capacity, total)
         return total
@@ -388,39 +564,48 @@ class VariableLoadModel:
         return caps
 
     @obs.timed("model.total_best_effort_batch")
-    def total_best_effort_batch(self, capacities) -> np.ndarray:
+    def total_best_effort_batch(self, capacities, *, cache: bool = True) -> np.ndarray:
         """``V_B`` over a capacity grid in a handful of numpy calls.
 
-        Capacities are grouped by their series truncation point (a
-        power of two, so grids share a few groups) and each group's
-        sum runs as one chunked matrix product — identical terms to
-        the scalar path, evaluated together.  Capacities needing the
-        Euler-Maclaurin tail fall back to the scalar path (counted as
-        ``batch.fallback_scalar``).  Results land in the same
-        per-capacity cache the scalar path uses, so gap solvers mixing
-        both paths never recompute.
+        Capacities are grouped by the planner's (mode, level) — levels
+        are powers of two, so grids share a few groups — and each
+        group's dense head runs as one chunked matrix product over
+        terms identical to the scalar path's.  TAIL groups then add the
+        shared polynomial tail, one Horner pass over the group's grid
+        from the memoised moment table (no per-point series work).
+        Capacities needing the Euler-Maclaurin integral fall back to
+        the scalar path (counted as ``batch.fallback_scalar``).
+        Results land in the same per-capacity cache the scalar path
+        uses, so gap solvers mixing both paths never recompute.
+
+        ``cache=False`` bypasses the per-capacity LRU entirely (neither
+        read nor written).  The bandwidth-gap solver uses it for its
+        Chandrupatla probes: each probe point is evaluated exactly once
+        per solve, so caching them buys nothing and evicts the sweep's
+        reusable entries; the per-point Python cache traffic is also a
+        measurable slice of a solve's wall time.
         """
         caps = self._validated_grid(capacities)
         totals = np.zeros(caps.size)
-        todo = []
-        for i, c in enumerate(caps):
-            if c == 0.0:
-                continue
-            cached = self._b_cache.get(float(c))
-            if cached is not None:
-                totals[i] = cached
-            else:
-                todo.append(i)
-        if not todo:
+        if cache:
+            todo = []
+            for i, c in enumerate(caps):
+                if c == 0.0:
+                    continue
+                cached = self._b_cache.get(float(c))
+                if cached is not None:
+                    totals[i] = cached
+                else:
+                    todo.append(i)
+            todo_idx = np.asarray(todo, dtype=np.int64)
+        else:
+            todo_idx = np.flatnonzero(caps != 0.0)
+        if todo_idx.size == 0:
             return totals
-        todo_idx = np.asarray(todo, dtype=np.int64)
-        points = self._truncation_points_batch(caps[todo_idx])
-        groups: dict = {}
-        for i, n in zip(todo_idx, points):
-            groups.setdefault(None if n < 0 else int(n), []).append(int(i))
-        for n, members in groups.items():
-            idx = np.asarray(members, dtype=np.int64)
-            if n is None:
+        modes, levels = self._plan_batch(caps[todo_idx])
+        for mode, n in sorted(set(zip(modes.tolist(), levels.tolist()))):
+            idx = todo_idx[(modes == mode) & (levels == n)]
+            if mode == _MODE_EM:
                 if obs.enabled():
                     obs.counter("batch.fallback_scalar").inc(int(idx.size))
                 for i in idx:
@@ -430,9 +615,15 @@ class VariableLoadModel:
             sums = share_weighted_sums(
                 caps[idx], self._kpk[:n], self._utility, k_start=1, k_stop=n
             )
+            if mode == _MODE_TAIL:
+                table = series.shared_moment_tail_table(self._load, n)
+                sums = sums + series.power_series_tail(
+                    self._maclaurin.coefficients, table, caps[idx]
+                )
             totals[idx] = sums
-            for j, i in enumerate(idx):
-                self._b_cache.put(float(caps[i]), float(sums[j]))
+            if cache:
+                for j, i in enumerate(idx):
+                    self._b_cache.put(float(caps[i]), float(sums[j]))
         return totals
 
     @obs.timed("model.total_reservation_batch")
@@ -506,7 +697,8 @@ class VariableLoadModel:
         """``Delta`` over a capacity grid via one vectorised inversion."""
         caps = self._validated_grid(capacities)
         return solve_bandwidth_gaps(
-            self.best_effort_batch,
+            lambda probes: self.total_best_effort_batch(probes, cache=False)
+            / self._kbar,
             caps,
             self.reservation_batch(caps),
             self.best_effort_batch(caps),

@@ -16,15 +16,24 @@ rigid case and making the two utility classes directly comparable.
 from __future__ import annotations
 
 import math
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.errors import CalibrationError
 from repro.numerics.solvers import find_root
-from repro.utility.base import UtilityFunction
+from repro.utility.base import MaclaurinExpansion, UtilityFunction
 
 #: The paper's calibrated constant (footnote 4).
 KAPPA_PAPER = 0.62086
+
+#: Fraction of ``kappa`` used as the certified coefficient-envelope
+#: radius.  ``pi`` is analytic in the disc ``|b| < kappa`` (the only
+#: singularity is the essential one at ``b = -kappa``), so a Cauchy
+#: estimate on the circle ``|b| = 0.8 kappa`` bounds every Maclaurin
+#: coefficient by ``M / (0.8 kappa)**j`` with
+#: ``M = 1 + exp(rho^2 / (kappa - rho))``.
+_ENVELOPE_FRACTION = 0.8
 
 
 class AdaptiveUtility(UtilityFunction):
@@ -36,6 +45,7 @@ class AdaptiveUtility(UtilityFunction):
         if kappa <= 0.0:
             raise ValueError(f"kappa must be > 0, got {kappa!r}")
         self._kappa = float(kappa)
+        self._maclaurin_cache: Dict[int, MaclaurinExpansion] = {}
 
     @property
     def kappa(self) -> float:
@@ -63,6 +73,41 @@ class AdaptiveUtility(UtilityFunction):
         k = self._kappa
         exponent = math.exp(-b * b / (k + b))
         return exponent * (b * b + 2.0 * k * b) / ((k + b) ** 2)
+
+    def maclaurin(self, degree: int) -> Optional[MaclaurinExpansion]:
+        """Exact Maclaurin coefficients of ``1 - exp(-b^2/(kappa+b))``.
+
+        Composed from the geometric series of the exponent,
+        ``e(b) = b^2/(kappa+b) = sum_{m>=0} (-1)^m b^{m+2}/kappa^{m+1}``,
+        through ``pi = sum_{i>=1} (-1)^{i+1} e^i / i!`` with every
+        product truncated at ``degree`` — so the retained coefficients
+        are the true ones up to float roundoff, and the envelope
+        certificate is the Cauchy estimate described at
+        :data:`_ENVELOPE_FRACTION`.
+        """
+        if degree < 2:
+            return None
+        cached = self._maclaurin_cache.get(int(degree))
+        if cached is not None:
+            return cached
+        kappa = self._kappa
+        exponent = np.zeros(degree + 1)
+        for m in range(degree - 1):
+            exponent[m + 2] = (-1.0) ** m / kappa ** (m + 1)
+        coeffs = np.zeros(degree + 1)
+        power = exponent.copy()  # e(b)^i, truncated at `degree`
+        factorial = 1.0
+        for i in range(1, degree + 1):
+            coeffs += ((-1.0) ** (i + 1) / factorial) * power
+            if 2 * (i + 1) > degree:
+                break  # e^i starts at degree 2i: higher powers vanish
+            factorial *= i + 1
+            power = np.convolve(power, exponent)[: degree + 1]
+        rho = _ENVELOPE_FRACTION * kappa
+        bound = 1.0 + math.exp(rho * rho / (kappa - rho))
+        expansion = MaclaurinExpansion(coeffs, radius=rho, bound=bound)
+        self._maclaurin_cache[int(degree)] = expansion
+        return expansion
 
     def __repr__(self) -> str:
         return f"AdaptiveUtility(kappa={self._kappa!r})"

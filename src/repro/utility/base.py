@@ -12,7 +12,7 @@ derivative, and vectorised evaluation.
 from __future__ import annotations
 
 import abc
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -20,6 +20,58 @@ ArrayLike = Union[float, np.ndarray]
 
 #: Step used by the default central-difference derivative.
 _DIFF_STEP = 1e-6
+
+
+class MaclaurinExpansion:
+    """A truncated power series ``pi(b) ~ sum_j a_j b^j`` with a certificate.
+
+    The discrete models use this to replace deep series tails: because a
+    monomial separates capacity and flow count
+    (``(C/k)^j = C^j * k^-j``), a utility with a Maclaurin expansion
+    turns ``sum_{k>=M} P(k) k pi(C/k)`` into a short polynomial in ``C``
+    whose coefficients are capacity-independent moment tails of the load
+    (see :meth:`LoadDistribution.moment_tail_table`).
+
+    The certificate is a geometric coefficient envelope: the supplying
+    utility guarantees ``|a_j| <= bound / radius**j`` for *all* ``j``
+    (typically a Cauchy estimate on a circle of that radius inside the
+    true convergence disc), so the truncation error after degree ``J``
+    is at most ``bound * t**(J+1) / (1 - t)`` with ``t = b/radius``.
+    :meth:`remainder_bound` evaluates that bound (``inf`` once ``t``
+    approaches 1 — callers shrink ``b`` by raising the series split
+    point until the bound fits their tolerance).
+    """
+
+    __slots__ = ("coefficients", "radius", "bound")
+
+    def __init__(self, coefficients, radius: float, bound: float):
+        self.coefficients = np.asarray(coefficients, dtype=float)
+        if radius <= 0.0:
+            raise ValueError(f"envelope radius must be > 0, got {radius!r}")
+        if bound <= 0.0:
+            raise ValueError(f"envelope bound must be > 0, got {bound!r}")
+        self.radius = float(radius)
+        self.bound = float(bound)
+
+    @property
+    def degree(self) -> int:
+        """Highest retained power of ``b``."""
+        return int(self.coefficients.size - 1)
+
+    def remainder_bound(self, b: ArrayLike) -> np.ndarray:
+        """Upper bound on ``|pi(b) - poly(b)|`` for ``0 <= b`` (vectorised)."""
+        t = np.asarray(b, dtype=float) / self.radius
+        with np.errstate(over="ignore", divide="ignore", invalid="ignore"):
+            out = self.bound * t ** (self.degree + 1) / (1.0 - t)
+        return np.where(t < 0.96875, out, np.inf)
+
+    def __call__(self, b: ArrayLike) -> np.ndarray:
+        """Evaluate the truncated polynomial by Horner's rule."""
+        x = np.asarray(b, dtype=float)
+        out = np.zeros_like(x)
+        for a in self.coefficients[::-1]:
+            out = out * x + a
+        return out
 
 
 class UtilityFunction(abc.ABC):
@@ -77,6 +129,17 @@ class UtilityFunction(abc.ABC):
         if b < h:
             return (self.value(b + h) - self.value(b)) / h
         return (self.value(b + h) - self.value(b - h)) / (2.0 * h)
+
+    def maclaurin(self, degree: int) -> Optional[MaclaurinExpansion]:
+        """Certified Maclaurin expansion of ``pi`` up to ``degree``.
+
+        Returns ``None`` when the utility has no useful power series at
+        the origin (rigid steps, kinked ramps) — the models then keep
+        their dense summation paths.  Implementations must return
+        coefficients of the *exact* Maclaurin series together with a
+        sound geometric envelope (see :class:`MaclaurinExpansion`).
+        """
+        return None
 
     def breakpoints(self) -> tuple:
         """Bandwidths where ``pi`` is non-smooth (kinks or jumps).

@@ -10,6 +10,9 @@ kappa = 0.62086, z = 3) at ~10 canonical grid points each:
 - ``delta``  — performance gap δ(C) = R(C) − B(C), Figures 2–4;
 - ``Delta``  — bandwidth gap Δ(C) with B(C + Δ) = R(C), Figures 2–4;
 - ``gamma``  — discrete welfare price-ratio curve γ(p) per figure;
+- ``algebraic_shared_tables`` — B(C), δ(C) and Δ(C) for the algebraic
+  load at capacities straddling the shared zeta-table series levels,
+  pinning the memoised polynomial-tail evaluation path end to end;
 - ``continuum_gamma`` — closed-form rigid/exponential γ(p) overlay;
 - ``sampling_T4`` — Section 5.1 worst-of-S curves behind checkpoints
   T4.1–T4.5 (exp/adaptive, S from the config) plus the closed-form
@@ -63,6 +66,13 @@ FIGURES = {"figure2": "poisson", "figure3": "exponential", "figure4": "algebraic
 #: for C comfortably above the intrinsic mean (C >= ~1.2 k_bar).
 RETRY_CAPACITIES = [130.0, 150.0, 200.0, 250.0, 300.0, 400.0]
 
+#: Capacity grid for the shared-table pins (heavy-tailed algebraic
+#: load through the memoised zeta-table / polynomial-tail path):
+#: chosen to straddle the planner's series levels — TAIL at n = 512
+#: for small capacities, n = 1024 past ~200 — including capacities
+#: outside the figure grids above.
+SHARED_TABLE_CAPACITIES = [20.0, 60.0, 100.0, 160.0, 220.0]
+
 
 def main() -> int:
     cfg = DEFAULT_CONFIG
@@ -88,6 +98,15 @@ def main() -> int:
             "price": PRICES,
             "gamma": [None if not np.isfinite(g) else float(g) for g in curve["gamma"]],
         }
+    shared = VariableLoadModel(cfg.load("algebraic"), cfg.utility("adaptive"))
+    payload["algebraic_shared_tables"] = {
+        "load": "algebraic",
+        "capacity": SHARED_TABLE_CAPACITIES,
+        "best_effort": [shared.best_effort(c) for c in SHARED_TABLE_CAPACITIES],
+        "delta": [shared.performance_gap(c) for c in SHARED_TABLE_CAPACITIES],
+        "Delta": [shared.bandwidth_gap(c) for c in SHARED_TABLE_CAPACITIES],
+    }
+
     cont = RigidExponentialContinuum(1.0)
     payload["continuum_rigid_exp"] = {
         "price": CONTINUUM_PRICES,

@@ -1,0 +1,111 @@
+"""Moment-tail tables ``S_j(n) = sum_{k>=n} k**(1-j) P(k)``.
+
+These capacity-independent tables are the load half of the shared tail
+series; a silent error in any entry moves every TAIL-mode ``B(C)`` in
+every sweep.  The first two rows have closed-form anchors for *any*
+load (``S_0(n) = mean_tail(n)``, ``S_1(n) = sf(n-1)``), and the whole
+table obeys the exact downward recurrence
+
+    S_j(n) = sum_{n <= k < 2n} k**(1-j) P(k) + S_j(2n)
+
+which cross-checks the algebraic load's zeta-expansion closed form
+against direct finite summation — the two paths share no code.
+"""
+
+import numpy as np
+import pytest
+
+from repro.loads import AlgebraicLoad, GeometricLoad, PoissonLoad
+from repro.numerics.series import TAIL_DEGREE
+
+Z_PAPER = 3.0
+KBAR = 100.0
+
+
+def _block_sums(load, n, degree):
+    """Direct ``sum_{n <= k < 2n} k**(1-j) P(k)`` for j = 0..degree."""
+    ks = np.arange(n, 2 * n, dtype=float)
+    terms = ks * np.asarray(load.pmf_array(ks), dtype=float)
+    out = np.empty(degree + 1)
+    for j in range(degree + 1):
+        out[j] = terms.sum()
+        terms /= ks
+    return out
+
+
+class TestAnchors:
+    @pytest.mark.parametrize(
+        "load,level",
+        [
+            (GeometricLoad.from_mean(10.0), 64),
+            (GeometricLoad.from_mean(KBAR), 1024),
+            (AlgebraicLoad.from_mean(Z_PAPER, KBAR), 512),
+            (AlgebraicLoad.from_mean(Z_PAPER, KBAR), 2048),
+        ],
+    )
+    def test_first_two_rows(self, load, level):
+        table = load.moment_tail_table(level, TAIL_DEGREE)
+        assert table is not None
+        assert table[0] == pytest.approx(load.mean_tail(level), rel=1e-11)
+        assert table[1] == pytest.approx(load.sf(level - 1), rel=1e-11)
+
+    def test_rows_decrease_geometrically(self):
+        # S_{j+1}(n) <= S_j(n) / n for k >= n >= 1: each extra power of
+        # 1/k costs at least a factor n
+        load = AlgebraicLoad.from_mean(Z_PAPER, KBAR)
+        table = load.moment_tail_table(512, TAIL_DEGREE)
+        assert np.all(table[1:] <= table[:-1] / 512.0 * (1.0 + 1e-12))
+        assert np.all(table >= 0.0)
+
+
+class TestDownwardRecurrence:
+    @pytest.mark.parametrize("level", [512, 1024])
+    def test_algebraic_closed_form(self, level):
+        """zeta-expansion tables at n and 2n agree through direct sums."""
+        load = AlgebraicLoad.from_mean(Z_PAPER, KBAR)
+        near = load.moment_tail_table(level, TAIL_DEGREE)
+        far = load.moment_tail_table(2 * level, TAIL_DEGREE)
+        block = _block_sums(load, level, TAIL_DEGREE)
+        # rows the tail polynomial actually feels hold to roundoff; the
+        # deepest rows (magnitudes ~ n**(1-j), down near 1e-280) pick up
+        # a few digits of high-order Hurwitz-zeta error but enter the
+        # polynomial damped by ~2**-j, so ppb agreement is ample there
+        np.testing.assert_allclose(
+            near[:49], (block + far)[:49], rtol=5e-13, atol=0.0
+        )
+        np.testing.assert_allclose(near, block + far, rtol=1e-7, atol=0.0)
+
+    def test_geometric_brute_table(self):
+        load = GeometricLoad.from_mean(KBAR)
+        near = load.moment_tail_table(1024, TAIL_DEGREE)
+        far = load.moment_tail_table(2048, TAIL_DEGREE)
+        block = _block_sums(load, 1024, TAIL_DEGREE)
+        np.testing.assert_allclose(near, block + far, rtol=1e-10, atol=1e-300)
+
+
+class TestInfeasibleLevels:
+    def test_algebraic_below_shift_guard_is_none(self):
+        # below n ~ 4*lam the binomial expansion is uncertified and the
+        # z = 3 brute fallback provably cannot converge within the array
+        # cap, so the load must report None rather than burn millions of
+        # pmf evaluations discovering it
+        load = AlgebraicLoad.from_mean(Z_PAPER, KBAR)
+        assert load.lam > 64.0  # the guard is active at this level
+        assert load.moment_tail_table(256, TAIL_DEGREE) is None
+
+    def test_poisson_exhausted_tail_is_zeros(self):
+        # at n = 1024 a mean-100 Poisson tail underflows to exactly 0;
+        # the contract is an all-zero table, not None (the polynomial
+        # path stays valid, the tail simply contributes nothing)
+        load = PoissonLoad(KBAR)
+        assert load.mean_tail(1024) == 0.0
+        table = load.moment_tail_table(1024, TAIL_DEGREE)
+        assert table is not None
+        np.testing.assert_array_equal(table, np.zeros(TAIL_DEGREE + 1))
+
+    def test_invalid_arguments_rejected(self):
+        load = GeometricLoad.from_mean(10.0)
+        with pytest.raises(ValueError):
+            load.moment_tail_table(0, TAIL_DEGREE)
+        with pytest.raises(ValueError):
+            load.moment_tail_table(64, -1)

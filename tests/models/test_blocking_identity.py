@@ -1,0 +1,115 @@
+"""Blocked-mass identity behind ``blocking_fraction``.
+
+``theta(C)`` rests on the closed-form rearrangement
+
+    sum_{k > kmax} P(k) (k - kmax) = mean_tail(kmax + 1) - kmax * sf(kmax)
+
+whose two terms cancel to a small difference once ``kmax`` is deep in
+the tail — exactly where a sign or off-by-one error would hide.  The
+cross-check is a direct truncated sum; for the heavy-tailed algebraic
+load the truncated sum is itself corrected by the analytic integral
+remainder (Euler–Maclaurin midpoint rule)
+
+    sum_{k > K} (k - kmax) P(k) ~ A * (1/U - (lam + kmax) / (2 U^2)),
+    U = lam + K + 1/2,  A = 1/norm
+
+so the reference is meaningful even though the z = 3 tail keeps ~0.5%
+of the blocked mass beyond any affordable truncation.  The identity
+was verified correct during PR 7 — this file keeps it that way.
+"""
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro.loads import AlgebraicLoad, GeometricLoad, PoissonLoad
+
+KBAR = 100.0
+
+#: Truncation length of the direct reference sums (in flows past kmax).
+_BRUTE_TERMS = 1 << 22
+
+
+def _identity(load, kmax: int) -> float:
+    return load.mean_tail(kmax + 1) - kmax * load.sf(kmax)
+
+
+def _brute_blocked_mass(load, kmax: int, terms: int) -> float:
+    """``sum_{kmax < k <= kmax + terms} P(k) (k - kmax)``, chunked."""
+    total = 0.0
+    chunk = 1 << 19
+    for start in range(kmax + 1, kmax + terms + 1, chunk):
+        ks = np.arange(start, min(start + chunk, kmax + terms + 1), dtype=float)
+        pmf = np.asarray(load.pmf_array(ks), dtype=float)
+        total += float(np.dot(pmf, ks - kmax))
+    return total
+
+
+class TestLightTails:
+    """Poisson/geometric tails die fast: the plain truncated sum is exact."""
+
+    @pytest.mark.parametrize("kmax", [1, 10, 80, 100, 130, 200])
+    def test_poisson(self, kmax):
+        load = PoissonLoad(KBAR)
+        brute = _brute_blocked_mass(load, kmax, 4096)
+        assert _identity(load, kmax) == pytest.approx(
+            brute, rel=1e-10, abs=1e-300
+        )
+
+    @pytest.mark.parametrize("kmax", [1, 10, 100, 500, 1500])
+    def test_geometric(self, kmax):
+        load = GeometricLoad.from_mean(KBAR)
+        brute = _brute_blocked_mass(load, kmax, 8192)
+        assert _identity(load, kmax) == pytest.approx(
+            brute, rel=1e-10, abs=1e-300
+        )
+
+
+class TestAlgebraicHeavyTail:
+    """z = 3: the cancellation regime plus a corrected deep reference."""
+
+    @pytest.mark.parametrize("kmax", [1, 100, 1000, 100_000])
+    def test_identity_matches_corrected_brute(self, kmax):
+        load = AlgebraicLoad.from_mean(3.0, KBAR)
+        brute = _brute_blocked_mass(load, kmax, _BRUTE_TERMS)
+        # analytic remainder past K = kmax + _BRUTE_TERMS (see module
+        # docstring): at kmax = 1e5 it carries ~5% of the blocked mass,
+        # so an error in either closed-form term would not survive this
+        amplitude = 1.0 / special.zeta(load.z, load.lam + 1.0)
+        big_u = load.lam + kmax + _BRUTE_TERMS + 0.5
+        remainder = amplitude * (
+            1.0 / big_u - (load.lam + kmax) / (2.0 * big_u**2)
+        )
+        assert _identity(load, kmax) == pytest.approx(
+            brute + remainder, rel=1e-9
+        )
+
+    def test_remainder_is_material_at_deep_kmax(self):
+        # guard against the reference degenerating into "identity vs
+        # itself": the correction must be a visible share of the total
+        load = AlgebraicLoad.from_mean(3.0, KBAR)
+        kmax = 100_000
+        brute = _brute_blocked_mass(load, kmax, _BRUTE_TERMS)
+        assert (_identity(load, kmax) - brute) / _identity(load, kmax) > 0.01
+
+
+class TestBlockingFractionEndToEnd:
+    def test_uses_the_identity(self):
+        from repro.models import VariableLoadModel
+        from repro.utility import AdaptiveUtility
+
+        load = GeometricLoad.from_mean(KBAR)
+        model = VariableLoadModel(load, AdaptiveUtility())
+        capacity = 90.0
+        kmax = model.k_max(capacity)
+        brute = _brute_blocked_mass(load, kmax, 8192)
+        assert model.blocking_fraction(capacity) == pytest.approx(
+            brute / KBAR, rel=1e-10
+        )
+
+    def test_saturates_at_one_for_tiny_capacity(self):
+        from repro.models import VariableLoadModel
+        from repro.utility import AdaptiveUtility
+
+        model = VariableLoadModel(GeometricLoad.from_mean(KBAR), AdaptiveUtility())
+        assert model.blocking_fraction(0.0) == 1.0

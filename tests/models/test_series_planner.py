@@ -1,0 +1,147 @@
+"""Planner-level guarantees of the shared tail series.
+
+Two properties carry the whole refactor:
+
+1. **Scalar/batch plans cannot diverge.**  The scalar entry points
+   delegate to the batch planner on one-element grids, so a grid and
+   its individual points must receive identical (mode, level) plans
+   and identical truncation points — the historical bug was a one-ulp
+   libm/numpy disagreement at a decision boundary flipping the level
+   between the two paths.
+2. **Plans are sound.**  Whatever mode the planner picks, the value it
+   produces must match a deep dense reference within the model's
+   tolerance, and the precomputed per-level capacity ceilings must sit
+   on the conservative side of the bounds they summarise.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.loads import AlgebraicLoad
+from repro.models import VariableLoadModel
+from repro.models.variable_load import _MODE_DENSE, _MODE_TAIL
+from repro.utility import AdaptiveUtility, RigidUtility
+from repro.verify import strategies
+
+_ALG = AlgebraicLoad.from_mean(3.0, 100.0)
+_ADAPTIVE = AdaptiveUtility()
+
+
+class TestPlanParity:
+    """Grid plans equal the per-point plans, elementwise (satellite 1)."""
+
+    @given(
+        model=strategies.models(),
+        caps=st.lists(
+            strategies.capacities(0.5, 400.0), min_size=1, max_size=6
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_plan_batch_matches_singletons(self, model, caps):
+        grid = np.asarray(caps, dtype=float)
+        modes, levels = model._plan_batch(grid)
+        for i, c in enumerate(caps):
+            mode_i, level_i = model._plan(float(c))
+            assert (int(modes[i]), int(levels[i])) == (mode_i, level_i)
+
+    @given(
+        model=strategies.models(),
+        caps=st.lists(
+            strategies.capacities(0.5, 400.0), min_size=1, max_size=6
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_truncation_batch_matches_scalar(self, model, caps):
+        grid = np.asarray(caps, dtype=float)
+        batch = model._truncation_points_batch(grid)
+        for i, c in enumerate(caps):
+            scalar = model._truncation_point(float(c))
+            assert int(batch[i]) == (-1 if scalar is None else scalar)
+
+    @given(
+        model=strategies.models(),
+        capacity=strategies.capacities(0.5, 400.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_scalar_and_batch_values_agree(self, model, capacity):
+        scalar = model.total_best_effort(capacity)
+        batch = float(model.total_best_effort_batch(np.array([capacity]))[0])
+        assert batch == pytest.approx(scalar, rel=1e-11, abs=1e-13)
+
+
+class TestPlanSoundness:
+    def test_tail_mode_matches_deep_dense_reference(self):
+        """TAIL-mode B(C) agrees with brute summation to the tolerance.
+
+        The reference head stops at 2^21 flows, where the omitted
+        algebraic tail is bounded by pi(C/2^21) * mean_tail(2^21)
+        ~ 3e-11 — well under the model tolerance the plan promises.
+        """
+        model = VariableLoadModel(_ALG, _ADAPTIVE)
+        deep = 1 << 21
+        for capacity in (60.0, 150.0, 300.0):
+            mode, level = model._plan(capacity)
+            assert mode == _MODE_TAIL  # the case under test
+            assert level < deep
+            reference = model._dense_total(capacity, deep)
+            slack = model._tail_bound(deep, capacity)
+            got = model.total_best_effort(capacity)
+            assert got == pytest.approx(
+                reference, abs=2.0 * model._tol + slack
+            )
+
+    def test_ceilings_sit_on_the_conservative_side(self):
+        model = VariableLoadModel(_ALG, _ADAPTIVE)
+        levels, c_dense, c_tail = model._plan_ceilings()
+        mac = model._maclaurin
+        for n, cd, ct in zip(levels, c_dense, c_tail):
+            mt = _ALG.mean_tail(int(n))
+            if np.isfinite(cd):
+                # just inside the DENSE ceiling the plain bound clears tol
+                b = (cd / n) * (1.0 - 1e-9)
+                assert min(1.0, _ADAPTIVE.value(b)) * mt < model._tol
+            if np.isfinite(ct) and ct > 0.0:
+                b = (ct / n) * (1.0 - 1e-9)
+                assert float(mac.remainder_bound(b)) * mt <= 0.5 * model._tol
+                # and just outside it does not (the bisection is tight)
+                b_out = (ct / n) * (1.0 + 1e-6)
+                assert float(mac.remainder_bound(b_out)) * mt > 0.5 * model._tol
+
+    def test_ceilings_shared_across_equal_models(self):
+        a = VariableLoadModel(_ALG, _ADAPTIVE)
+        b = VariableLoadModel(AlgebraicLoad.from_mean(3.0, 100.0), _ADAPTIVE)
+        assert a._plan_ceilings() is b._plan_ceilings()
+
+    def test_dense_mode_for_light_tails(self):
+        # a mean-100 Poisson tail is gone by n = 256: every figure-range
+        # capacity must plan DENSE at the lowest level, never TAIL/EM
+        from repro.loads import PoissonLoad
+
+        model = VariableLoadModel(PoissonLoad(100.0), _ADAPTIVE)
+        modes, levels = model._plan_batch(np.linspace(20.0, 220.0, 9))
+        assert np.all(modes == _MODE_DENSE)
+        assert np.all(levels == 256)
+
+
+class TestEulerMaclaurinDegenerateBreakpoints:
+    def test_analytically_zero_tail_short_circuits(self):
+        """Rigid utility, tiny capacity: the whole tail is exactly zero.
+
+        Every share beyond the split point is below the rigid threshold,
+        so the tail must come back 0.0 without handing quadrature an
+        identically-zero integrand whose breakpoints map outside (0, 1]
+        (the degenerate-interval warning this regression test pins down).
+        """
+        model = VariableLoadModel(_ALG, RigidUtility(1.0))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert model._euler_maclaurin_tail(4096, 1.0) == 0.0
+            assert model._euler_maclaurin_tail(4096, 4095.0) == 0.0
+
+    def test_just_above_threshold_is_positive(self):
+        model = VariableLoadModel(_ALG, RigidUtility(1.0))
+        assert model._euler_maclaurin_tail(4096, 4200.0) > 0.0

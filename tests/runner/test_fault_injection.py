@@ -50,10 +50,13 @@ class TestKillMidRun:
     def test_sigkill_leaves_no_partial_entries(self, tmp_path):
         ids = ["T1", "F2", "T5", "F3"]
         proc = _spawn_run_all(tmp_path, ids, jobs=2)
-        # wait for the pre-work banner, then let computation begin
+        # wait for the pre-work banner, then let computation begin.
+        # The pause must stay well under the post-banner runtime (the
+        # shared-tail tables made the fast sweeps sub-second) or the
+        # run finishes cleanly before the kill lands.
         banner = proc.stderr.readline()
         assert b"run-all" in banner
-        time.sleep(0.8)
+        time.sleep(0.15)
         os.killpg(proc.pid, signal.SIGKILL)
         proc.wait(timeout=30)
         assert proc.returncode != 0
@@ -69,7 +72,7 @@ class TestKillMidRun:
 
         proc = _spawn_run_all(tmp_path, ids, jobs=2)
         proc.stderr.readline()
-        time.sleep(0.5)
+        time.sleep(0.15)
         os.killpg(proc.pid, signal.SIGKILL)
         proc.wait(timeout=30)
         surviving = {p.name for p in _assert_cache_is_clean(tmp_path)}

@@ -102,6 +102,41 @@ def test_gamma_curve(figure, golden):
     _assert_pointwise(figure, "gamma(p)", prices, batch, want, "batch")
 
 
+@pytest.mark.parametrize("quantity", ["best_effort", "delta", "Delta"])
+def test_algebraic_shared_tables_scalar_and_batch(quantity, golden):
+    """Pin the shared zeta-table / polynomial-tail path end to end.
+
+    The capacities straddle the planner's series levels (TAIL at
+    n = 512 below ~200, n = 1024 above), so these pins exercise the
+    memoised moment-tail tables, the certified Maclaurin polynomial
+    and the level-grouping of the batch path — on the heavy-tailed
+    algebraic load where a regression in any of them moves B(C) far
+    beyond the 1e-7 pin.
+    """
+    entry = golden["algebraic_shared_tables"]
+    caps = entry["capacity"]
+    model = _models(entry["load"])
+    scalar_fn = {
+        "best_effort": model.best_effort,
+        "delta": model.performance_gap,
+        "Delta": model.bandwidth_gap,
+    }[quantity]
+    scalar = [scalar_fn(float(c)) for c in caps]
+    _assert_pointwise(
+        "algebraic_shared_tables", quantity, caps, scalar, entry[quantity], "scalar"
+    )
+    fresh = _models(entry["load"])
+    batch_fn = {
+        "best_effort": fresh.best_effort_batch,
+        "delta": fresh.performance_gap_batch,
+        "Delta": fresh.bandwidth_gap_batch,
+    }[quantity]
+    batch = batch_fn(np.asarray(caps))
+    _assert_pointwise(
+        "algebraic_shared_tables", quantity, caps, batch, entry[quantity], "batch"
+    )
+
+
 def test_continuum_gamma_scalar_and_batch(golden):
     entry = golden["continuum_rigid_exp"]
     prices = entry["price"]

@@ -1,0 +1,112 @@
+"""Certified Maclaurin machinery behind the shared tail series.
+
+The models replace deep series tails with the polynomial identity
+``sum_{k>=n} P(k) k pi(C/k) = sum_j a_j C**j S_j(n)``, which is only
+sound if (a) the retained coefficients ``a_j`` are the *exact* Maclaurin
+coefficients and (b) the geometric-envelope remainder certificate really
+bounds the truncation error — the planner's TAIL ceilings trust it
+blindly.  These tests pin both, plus the ``maclaurin() is None``
+contract for non-smooth utilities that must keep their dense paths.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.numerics.series import TAIL_DEGREE
+from repro.utility import AdaptiveUtility, RigidUtility
+from repro.utility.base import MaclaurinExpansion
+
+
+class TestMaclaurinExpansion:
+    def test_horner_evaluation(self):
+        exp = MaclaurinExpansion([1.0, -2.0, 3.0], radius=1.0, bound=4.0)
+        b = np.array([0.0, 0.25, 0.5])
+        np.testing.assert_allclose(exp(b), 1.0 - 2.0 * b + 3.0 * b * b)
+        assert exp.degree == 2
+
+    def test_remainder_bound_formula(self):
+        exp = MaclaurinExpansion([0.0, 0.0, 1.0], radius=2.0, bound=5.0)
+        t = 0.5 / 2.0
+        assert exp.remainder_bound(0.5) == pytest.approx(5.0 * t**3 / (1.0 - t))
+
+    def test_remainder_bound_inf_near_radius(self):
+        exp = MaclaurinExpansion([0.0, 1.0], radius=1.0, bound=2.0)
+        # past t = 0.96875 the geometric bound is declared useless
+        assert np.isinf(exp.remainder_bound(0.97))
+        assert np.isinf(exp.remainder_bound(1.5))
+        assert np.isfinite(exp.remainder_bound(0.9))
+
+    def test_invalid_envelope_rejected(self):
+        with pytest.raises(ValueError):
+            MaclaurinExpansion([1.0], radius=0.0, bound=1.0)
+        with pytest.raises(ValueError):
+            MaclaurinExpansion([1.0], radius=1.0, bound=-1.0)
+
+
+class TestAdaptiveMaclaurin:
+    def test_low_order_coefficients_exact(self):
+        # pi(b) = 1 - exp(-b^2/(kappa+b)) = b^2/kappa - b^3/kappa^2 + ...
+        u = AdaptiveUtility()
+        a = u.maclaurin(TAIL_DEGREE).coefficients
+        assert a[0] == 0.0
+        assert a[1] == 0.0
+        assert a[2] == pytest.approx(1.0 / u.kappa, rel=1e-14)
+        assert a[3] == pytest.approx(-1.0 / u.kappa**2, rel=1e-14)
+        # e^2/2 kicks in at b^4: a_4 = 1/kappa^3 - 1/(2 kappa^2)
+        assert a[4] == pytest.approx(
+            1.0 / u.kappa**3 - 0.5 / u.kappa**2, rel=1e-13
+        )
+
+    def test_envelope_bounds_every_coefficient(self):
+        mac = AdaptiveUtility().maclaurin(TAIL_DEGREE)
+        j = np.arange(mac.coefficients.size, dtype=float)
+        assert np.all(
+            np.abs(mac.coefficients) <= mac.bound / mac.radius**j * (1.0 + 1e-12)
+        )
+
+    def test_certificate_is_sound(self):
+        """|pi(b) - poly(b)| <= remainder_bound(b) across the usable range."""
+        u = AdaptiveUtility()
+        mac = u.maclaurin(TAIL_DEGREE)
+        b = np.linspace(0.0, 0.95 * 0.96875 * mac.radius, 200)
+        err = np.abs(u(b) - mac(b))
+        assert np.all(err <= mac.remainder_bound(b) + 1e-16)
+
+    def test_polynomial_is_machine_accurate_well_inside(self):
+        # where the planner actually operates (b <= ~0.45) the truncated
+        # series is exact to roundoff, not merely within the certificate
+        u = AdaptiveUtility()
+        mac = u.maclaurin(TAIL_DEGREE)
+        b = np.linspace(0.0, 0.45, 64)
+        np.testing.assert_allclose(mac(b), u(b), rtol=0.0, atol=5e-15)
+
+    def test_radius_is_a_fraction_of_kappa(self):
+        u = AdaptiveUtility()
+        mac = u.maclaurin(TAIL_DEGREE)
+        assert 0.0 < mac.radius < u.kappa
+        rho = mac.radius
+        assert mac.bound == pytest.approx(
+            1.0 + math.exp(rho * rho / (u.kappa - rho)), rel=1e-13
+        )
+
+    def test_expansion_is_cached_per_degree(self):
+        u = AdaptiveUtility()
+        assert u.maclaurin(TAIL_DEGREE) is u.maclaurin(TAIL_DEGREE)
+
+    def test_too_small_degree_returns_none(self):
+        assert AdaptiveUtility().maclaurin(1) is None
+
+
+class TestNonSmoothUtilities:
+    def test_rigid_has_no_expansion(self):
+        # a step function has no power series at the origin: the models
+        # must see None and keep their dense/integral paths
+        assert RigidUtility(1.0).maclaurin(TAIL_DEGREE) is None
+
+    def test_base_default_is_none(self):
+        class _Minimal(RigidUtility):
+            pass
+
+        assert _Minimal(1.0).maclaurin(TAIL_DEGREE) is None
