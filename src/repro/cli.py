@@ -22,6 +22,9 @@ Usage::
     repro-experiments obs chrome-trace trace.json --out t.trace.json
     repro-experiments obs regress                      # bench-history gate
     repro-experiments obs ledger-check                 # ledger schema check
+    repro-experiments emulate fit --out bank.json      # certify surfaces
+    repro-experiments emulate check --bank bank.json   # re-verify bounds
+    repro-experiments serve --port 8321                # HTTP query service
 """
 
 from __future__ import annotations
@@ -373,6 +376,116 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help=f"ledger path (default: {DEFAULT_HISTORY})",
     )
+
+    emulate = sub.add_parser(
+        "emulate",
+        help="fit / re-check the certified Chebyshev emulator surfaces "
+        "for delta(C), Delta(C), gamma(p) (see docs/SERVICE.md)",
+    )
+    em_sub = emulate.add_subparsers(dest="emulate_command", required=True)
+
+    em_fit = em_sub.add_parser(
+        "fit", help="fit every surface, certify its error bound, print a table"
+    )
+    em_fit.add_argument(
+        "--out", metavar="PATH", help="also write the fitted bank as JSON"
+    )
+    em_fit.add_argument(
+        "--include-2d",
+        action="store_true",
+        help="also fit the delta(C, kbar) what-if surfaces (slower)",
+    )
+    em_fit.add_argument(
+        "--fast-config",
+        action="store_true",
+        help="fit under the reduced config (quick look)",
+    )
+    em_fit.add_argument(
+        "--json", action="store_true", help="emit the bank summary as JSON"
+    )
+    _add_profile_args(em_fit)
+
+    em_check = em_sub.add_parser(
+        "check",
+        help="re-verify every surface's certified bound on a fresh probe "
+        "grid against the exact solvers",
+    )
+    em_check.add_argument(
+        "--bank",
+        metavar="PATH",
+        help="bank JSON written by `emulate fit --out` (default: fit fresh)",
+    )
+    em_check.add_argument(
+        "--include-2d",
+        action="store_true",
+        help="include the delta(C, kbar) surfaces when fitting fresh",
+    )
+    em_check.add_argument(
+        "--fast-config",
+        action="store_true",
+        help="check under the reduced config (quick look)",
+    )
+    em_check.add_argument(
+        "--probes",
+        type=int,
+        default=41,
+        metavar="N",
+        help="fresh probe points per surface (default 41)",
+    )
+    em_check.add_argument(
+        "--json", action="store_true", help="emit the check report as JSON"
+    )
+    _add_profile_args(em_check)
+
+    srv = sub.add_parser(
+        "serve",
+        help="serve delta/Delta/gamma point and batch queries over HTTP "
+        "from the certified surfaces (exact-solver fallback through the "
+        "result cache; see docs/SERVICE.md)",
+    )
+    srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    srv.add_argument(
+        "--port", type=int, default=8321, help="bind port (0: ephemeral)"
+    )
+    srv.add_argument(
+        "--bank",
+        metavar="PATH",
+        help="serve a pre-fitted bank JSON instead of fitting at startup",
+    )
+    srv.add_argument(
+        "--include-2d",
+        action="store_true",
+        help="also fit and serve the delta(C, kbar) what-if surfaces",
+    )
+    srv.add_argument(
+        "--fast-config",
+        action="store_true",
+        help="serve the reduced config (quick look; re-addresses the cache)",
+    )
+    srv.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="threads for exact-fallback queries (default 4)",
+    )
+    srv.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=".repro-cache",
+        help="result-cache directory for exact fallbacks "
+        "(default: .repro-cache)",
+    )
+    srv.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute exact fallbacks instead of using the result cache",
+    )
+    srv.add_argument(
+        "--events-json",
+        metavar="PATH",
+        help="append service journal events (JSONL) to PATH",
+    )
     return parser
 
 
@@ -523,6 +636,132 @@ def _cmd_obs(args) -> int:
     )  # pragma: no cover
 
 
+def _cmd_emulate(args) -> int:
+    """The ``emulate fit`` / ``emulate check`` subcommands."""
+    import json as _json
+
+    from repro.emulator import (
+        SurfaceBank,
+        check_bank,
+        fit_bank,
+        surfaces_summary,
+    )
+    from repro.errors import CertificationError
+
+    config = FAST_CONFIG if args.fast_config else DEFAULT_CONFIG
+    observing = args.profile or bool(args.trace_json)
+    if observing:
+        obs.reset()
+        obs.enable()
+
+    if args.emulate_command == "fit":
+        try:
+            bank = fit_bank(config, include_2d=args.include_2d)
+        except CertificationError as exc:
+            print(f"certification refused: {exc}", file=sys.stderr)
+            return 1
+        if args.out:
+            path = bank.save(args.out)
+            print(f"bank written to {path}", file=sys.stderr)
+        if args.json:
+            print(_json.dumps(bank.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(surfaces_summary(bank.all_surfaces()))
+        if observing:
+            return _finish_observed(args)
+        return 0
+
+    if args.emulate_command == "check":
+        if args.bank:
+            try:
+                bank = SurfaceBank.load(args.bank)
+            except (OSError, ValueError, KeyError) as exc:
+                print(f"cannot load bank {args.bank}: {exc}", file=sys.stderr)
+                return 2
+        else:
+            try:
+                bank = fit_bank(config, include_2d=args.include_2d)
+            except CertificationError as exc:
+                print(f"certification refused: {exc}", file=sys.stderr)
+                return 1
+        rows = check_bank(bank, config, probes=args.probes)
+        ok = all(row["ok"] for row in rows)
+        if args.json:
+            print(_json.dumps({"ok": ok, "surfaces": rows}, indent=2))
+        else:
+            for row in rows:
+                mark = "ok  " if row["ok"] else "FAIL"
+                print(
+                    f"{mark} {row['surface']:34s} residual "
+                    f"{row['residual']:8.3f} of bound "
+                    f"{row['certified_bound']:.3e}"
+                )
+        status = _finish_observed(args) if observing else 0
+        if status:
+            return status
+        return 0 if ok else 1
+
+    raise AssertionError(
+        f"unhandled emulate command {args.emulate_command!r}"
+    )  # pragma: no cover
+
+
+def _cmd_serve(args) -> int:
+    """The ``serve`` command: run the HTTP service until interrupted."""
+    import asyncio
+
+    from repro.emulator import SurfaceBank, fit_bank
+    from repro.errors import CertificationError
+    from repro.service import DEFAULT_EXECUTOR_WORKERS, EmulatorService
+    from repro.service import serve as serve_async
+
+    config = FAST_CONFIG if args.fast_config else DEFAULT_CONFIG
+    # metrics are always on for a server: /v1/metrics exposes the
+    # counters and per-endpoint latency histograms
+    obs.reset()
+    obs.enable()
+    if args.bank:
+        try:
+            bank = SurfaceBank.load(args.bank)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot load bank {args.bank}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        print("fitting surfaces...", file=sys.stderr, flush=True)
+        try:
+            bank = fit_bank(config, include_2d=args.include_2d)
+        except CertificationError as exc:
+            print(f"certification refused: {exc}", file=sys.stderr)
+            return 1
+    cache = None
+    if args.cache_dir and not args.no_cache:
+        from repro.runner import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+    service = EmulatorService(config, bank=bank, cache=cache)
+    print(
+        f"serving {len(bank)} surface(s) on http://{args.host}:{args.port} "
+        f"(cache: {args.cache_dir if cache is not None else 'off'})",
+        file=sys.stderr,
+        flush=True,
+    )
+    workers = args.workers if args.workers else DEFAULT_EXECUTOR_WORKERS
+    try:
+        asyncio.run(
+            serve_async(
+                service,
+                host=args.host,
+                port=args.port,
+                executor_workers=workers,
+            )
+        )
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    finally:
+        obs.disable()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI main: parse, open the journal if asked, dispatch, close.
 
@@ -553,6 +792,12 @@ def _dispatch(args) -> int:
     """Execute one parsed command; returns a process exit code."""
     if args.command == "obs":
         return _cmd_obs(args)
+
+    if args.command == "emulate":
+        return _cmd_emulate(args)
+
+    if args.command == "serve":
+        return _cmd_serve(args)
 
     if args.command == "list":
         for exp in registry.EXPERIMENTS.values():

@@ -54,6 +54,32 @@ class ModelError(ReproError):
     """A model was constructed or queried with inconsistent inputs."""
 
 
+class EmulatorError(ReproError):
+    """Base class for emulator-surface errors (:mod:`repro.emulator`)."""
+
+
+class CertificationError(EmulatorError):
+    """A fitted surface could not be certified within tolerance.
+
+    Raised when dense residual sampling against the exact solver finds
+    a deviation too large for the declared error allowance.  The
+    surface is *refused*, never served: a certified bound that the
+    emulator cannot honour would silently corrupt every downstream
+    query.  The message carries the observed residual and the
+    allowance so the degree/domain can be retuned.
+    """
+
+
+class OutOfDomainError(EmulatorError):
+    """An emulator surface was queried outside its fitted domain.
+
+    Certified error bounds hold only on the fitted interval; instead
+    of extrapolating (Chebyshev polynomials diverge fast outside
+    [-1, 1]) the surface refuses, and the service layer falls back to
+    the exact solvers through the result cache.
+    """
+
+
 class SimulationBudgetError(ModelError):
     """A simulation exhausted its event budget before the horizon.
 

@@ -1,0 +1,138 @@
+"""A small keep-alive JSON client for the emulator service.
+
+Used by the load-test bench and the service tests; also convenient
+interactively::
+
+    from repro.service import ServiceClient
+    with ServiceClient("127.0.0.1", 8321) as client:
+        client.point("delta", "poisson", "adaptive", 120.0)
+
+One :class:`ServiceClient` wraps one persistent HTTP/1.1 connection
+(``http.client`` under the hood), so per-request overhead is a single
+round trip — the load bench runs many of these concurrently to model
+independent users.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+
+
+class ServiceClientError(ReproError):
+    """A non-2xx response from the service (carries the status)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """One persistent connection to one service instance."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+
+    def request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> dict:
+        """One JSON round trip; reconnects once on a dropped socket."""
+        payload = None if body is None else json.dumps(body)
+        headers = {} if payload is None else {"Content-Type": "application/json"}
+        for attempt in (0, 1):
+            try:
+                self._conn.request(method, path, body=payload, headers=headers)
+                response = self._conn.getresponse()
+                data = response.read()
+                break
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                BrokenPipeError,
+            ):
+                self._conn.close()
+                if attempt:
+                    raise
+        try:
+            decoded = json.loads(data.decode("utf-8"))
+        except ValueError:
+            raise ServiceClientError(
+                response.status, f"non-JSON response: {data[:200]!r}"
+            ) from None
+        if response.status != 200:
+            raise ServiceClientError(
+                response.status, str(decoded.get("error", decoded))
+            )
+        return decoded
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def surfaces(self) -> dict:
+        return self.request("GET", "/v1/surfaces")
+
+    def metrics(self) -> dict:
+        return self.request("GET", "/v1/metrics")
+
+    def point(
+        self,
+        quantity: str,
+        load: str,
+        utility: str,
+        x: float,
+        *,
+        kbar: Optional[float] = None,
+    ) -> dict:
+        body = {
+            "quantity": quantity,
+            "load": load,
+            "utility": utility,
+            "x": x,
+        }
+        if kbar is not None:
+            body["kbar"] = kbar
+        return self.request("POST", "/v1/point", body)
+
+    def batch(
+        self,
+        quantity: str,
+        load: str,
+        utility: str,
+        xs: Sequence[float],
+        *,
+        kbar: Optional[float] = None,
+    ) -> dict:
+        body = {
+            "quantity": quantity,
+            "load": load,
+            "utility": utility,
+            "x": list(xs),
+        }
+        if kbar is not None:
+            body["kbar"] = kbar
+        return self.request("POST", "/v1/batch", body)
+
+
+__all__ = ["ServiceClient", "ServiceClientError"]

@@ -60,6 +60,7 @@ from repro.verify.oracles import (
 )
 from repro.verify.registry import REGISTRY, CheckResult
 from repro.verify.tolerance import (
+    EMULATOR,
     EXACT,
     GOLDEN,
     LIMIT,
@@ -972,6 +973,149 @@ def _s5(config: PaperConfig) -> CheckResult:
         cases.append((f"C={capacity:g}", residual))
     residual, where = worst_over_domain(cases)
     return CheckResult(residual, f"worst case {where}")
+
+
+# ----------------------------------------------------------------------
+# EM* — certified emulator surfaces (the service layer's error contract;
+# see docs/SERVICE.md).  Residuals are in *certified-bound units*: each
+# surface promises |emulated - exact| <= certified_bound everywhere on
+# its fitted domain, so a fresh differential probe dividing out that
+# bound must stay at or below 1.0 under the EMULATOR policy.
+# ----------------------------------------------------------------------
+
+
+@lru_cache(maxsize=4)
+def _emulator_rows(config: PaperConfig) -> Tuple[Tuple[str, float], ...]:
+    """Fresh-probe residuals for every 1-D surface (memoised per config)."""
+    from repro.emulator import check_bank, default_bank
+
+    return tuple(
+        (row["surface"], float(row["residual"]))
+        for row in check_bank(default_bank(config), config)
+    )
+
+
+def _emulator_worst(config: PaperConfig, quantity: str) -> CheckResult:
+    cases = [
+        (surface, residual)
+        for surface, residual in _emulator_rows(config)
+        if surface.startswith(f"{quantity}/")
+    ]
+    residual, where = worst_over_domain(cases)
+    return CheckResult(residual, f"worst surface {where} (certified-bound units)")
+
+
+@REGISTRY.invariant(
+    "EM1",
+    "delta(C) emulator surfaces stay within their certified bounds",
+    paper_ref="S3.1 (delta = R - B) served via certified Chebyshev surrogate",
+    engines=("batch",),
+    tolerance=EMULATOR,
+)
+def _em1(config: PaperConfig) -> CheckResult:
+    return _emulator_worst(config, "delta")
+
+
+@REGISTRY.invariant(
+    "EM2",
+    "Delta(C) emulator surfaces stay within their certified bounds",
+    paper_ref="S3.1 (B(C + Delta) = R(C)) served via certified surrogate",
+    engines=("batch",),
+    tolerance=EMULATOR,
+)
+def _em2(config: PaperConfig) -> CheckResult:
+    return _emulator_worst(config, "Delta")
+
+
+@REGISTRY.invariant(
+    "EM3",
+    "gamma(p) emulator surfaces stay within their certified bounds",
+    paper_ref="S4 (equalizing price ratio) served via certified surrogate",
+    engines=("batch",),
+    tolerance=EMULATOR,
+)
+def _em3(config: PaperConfig) -> CheckResult:
+    return _emulator_worst(config, "gamma")
+
+
+@REGISTRY.invariant(
+    "EM4",
+    "surfaces refuse out-of-domain queries and uncertifiable fits",
+    paper_ref="service error contract (docs/SERVICE.md): bounds never "
+    "extrapolate, uncertified surfaces are never built",
+    engines=("scalar",),
+    tolerance=STRUCTURAL,
+)
+def _em4(config: PaperConfig) -> CheckResult:
+    from repro.emulator import (
+        CertificationError,
+        ErrorBudget,
+        OutOfDomainError,
+        default_bank,
+        exact_values,
+        fit_surface,
+    )
+
+    surface = default_bank(config).lookup("delta", "poisson", "adaptive")
+    if surface is None:
+        return CheckResult(float("inf"), "delta/poisson/adaptive missing")
+    failures = []
+    for bad in (surface.lo * 0.5, surface.hi * 2.0):
+        try:
+            surface.eval_scalar(bad)
+            failures.append(f"eval_scalar({bad:g}) extrapolated")
+        except OutOfDomainError:
+            pass
+        try:
+            surface.evaluate([surface.lo, bad])
+            failures.append(f"evaluate([... {bad:g}]) extrapolated")
+        except OutOfDomainError:
+            pass
+    try:
+        fit_surface(
+            lambda xs: exact_values("delta", config, "poisson", "adaptive", xs),
+            quantity="delta",
+            load="poisson",
+            utility="adaptive",
+            xname="capacity",
+            lo=surface.lo,
+            hi=surface.hi,
+            degree=4,
+            budget=ErrorBudget(atol=1e-10),
+        )
+        failures.append("a degree-4 fit certified under a 1e-10 budget")
+    except CertificationError:
+        pass
+    if failures:
+        return CheckResult(float("inf"), "; ".join(failures))
+    return CheckResult(0.0, "refused out-of-domain and uncertifiable as required")
+
+
+@lru_cache(maxsize=2)
+def _emulator_rows_2d(config: PaperConfig) -> Tuple[Tuple[str, float], ...]:
+    from repro.emulator import check_bank, fit_bank
+
+    bank = fit_bank(
+        config, quantities=("delta",), loads=("poisson",), include_2d=True
+    )
+    return tuple(
+        (row["surface"], float(row["residual"]))
+        for row in check_bank(bank, config)
+        if row["surface"].startswith("delta2d/")
+    )
+
+
+@REGISTRY.invariant(
+    "EM5",
+    "the 2-D delta(C, kbar) surface stays within its certified bound",
+    paper_ref="S3.1 delta swept over the mean load (what-if axis)",
+    engines=("batch",),
+    tolerance=EMULATOR,
+    suites=("deep",),
+)
+def _em5(config: PaperConfig) -> CheckResult:
+    residual, where = worst_over_domain(_emulator_rows_2d(config))
+    return CheckResult(residual, f"worst surface {where} (certified-bound units)")
 
 
 def catalogue_size() -> int:

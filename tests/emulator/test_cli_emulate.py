@@ -1,0 +1,77 @@
+"""The ``emulate fit`` / ``emulate check`` CLI round trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.emulator import SCHEMA
+
+
+@pytest.fixture(scope="module")
+def bank_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("emulate") / "bank.json"
+    assert main(["emulate", "fit", "--out", str(path)]) == 0
+    return path
+
+
+class TestFit:
+    def test_bank_file_is_schema_tagged_and_complete(self, bank_path):
+        payload = json.loads(bank_path.read_text())
+        assert payload["schema"] == SCHEMA
+        # three quantities x three loads, adaptive utility only
+        assert len(payload["surfaces"]) == 9
+        keys = {
+            f"{s['quantity']}/{s['load']}/{s['utility']}"
+            for s in payload["surfaces"]
+        }
+        assert "delta/poisson/adaptive" in keys
+        assert "gamma/algebraic/adaptive" in keys
+        for surf in payload["surfaces"]:
+            assert surf["certified_bound"] > 0.0
+
+
+class TestCheck:
+    def test_saved_bank_passes_fresh_probes(self, bank_path, capsys):
+        assert (
+            main(["emulate", "check", "--bank", str(bank_path), "--probes", "13"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "ok  " in out
+        assert "delta/poisson/adaptive" in out
+        assert "FAIL" not in out
+
+    def test_json_report(self, bank_path, capsys):
+        assert (
+            main(
+                [
+                    "emulate",
+                    "check",
+                    "--bank",
+                    str(bank_path),
+                    "--probes",
+                    "13",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert len(payload["surfaces"]) == 9
+        assert all(row["residual"] <= 1.0 for row in payload["surfaces"])
+
+    def test_unreadable_bank_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bank.json"
+        bad.write_text("{not json")
+        assert main(["emulate", "check", "--bank", str(bad)]) == 2
+        assert "cannot load bank" in capsys.readouterr().err
+
+    def test_wrong_schema_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bank.json"
+        bad.write_text(json.dumps({"schema": "repro.emulator/v999", "surfaces": []}))
+        assert main(["emulate", "check", "--bank", str(bad)]) == 2
+        assert "cannot load bank" in capsys.readouterr().err

@@ -1,0 +1,163 @@
+"""The service query engine: surface fast path, cache fallback, locks.
+
+The fixture bank fits only ``delta``/``gamma`` over the poisson load so
+the module stays fast; every other triple exercises the exact-fallback
+ladder, which is precisely what these tests are about.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.emulator import DOMAINS, exact_scalar, fit_bank
+from repro.experiments.params import DEFAULT_CONFIG
+from repro.runner.cache import ResultCache
+from repro.service import EmulatorService, QueryError
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return fit_bank(quantities=("delta", "gamma"), loads=("poisson",))
+
+
+@pytest.fixture()
+def service(bank, tmp_path):
+    return EmulatorService(bank=bank, cache=ResultCache(tmp_path / "cache"))
+
+
+class TestPointQueries:
+    def test_in_domain_point_comes_from_the_surface(self, service):
+        reply = service.point("delta", "poisson", "adaptive", 120.0)
+        assert reply["source"] == "surface"
+        exact = exact_scalar("delta", DEFAULT_CONFIG, "poisson", "adaptive", 120.0)
+        assert abs(reply["value"] - exact) <= reply["certified_bound"]
+
+    def test_out_of_domain_point_falls_back_to_exact(self, service):
+        hi = DOMAINS["delta"][1]
+        reply = service.point("delta", "poisson", "adaptive", hi * 2.0)
+        assert reply["source"] == "exact"
+        assert reply["certified_bound"] is None
+        exact = exact_scalar("delta", DEFAULT_CONFIG, "poisson", "adaptive", hi * 2.0)
+        assert reply["value"] == pytest.approx(exact, rel=1e-9, abs=1e-12)
+
+    def test_unfitted_utility_is_always_exact(self, service):
+        reply = service.point("delta", "poisson", "rigid", 120.0)
+        assert reply["source"] == "exact"
+
+    def test_surface_values_are_clipped_nonnegative(self, service):
+        # delta and Delta are gaps (>= 0 exactly); any fit wiggle below
+        # zero must not leak out of the service
+        lo, hi = DOMAINS["delta"]
+        replies = service.batch(
+            "delta", "poisson", "adaptive", np.linspace(lo, hi, 101)
+        )
+        assert min(replies["values"]) >= 0.0
+
+    @pytest.mark.parametrize("x", [0.0, -5.0, float("inf"), float("nan")])
+    def test_bad_points_are_rejected(self, service, x):
+        with pytest.raises(QueryError):
+            service.point("delta", "poisson", "adaptive", x)
+
+    @pytest.mark.parametrize(
+        "triple",
+        [
+            ("theta", "poisson", "adaptive"),
+            ("delta", "bimodal", "adaptive"),
+            ("delta", "poisson", "elastic"),
+        ],
+    )
+    def test_unknown_names_are_rejected(self, service, triple):
+        with pytest.raises(QueryError):
+            service.point(*triple, 120.0)
+
+
+class TestBatchQueries:
+    def test_mixed_grid_splits_by_domain(self, service):
+        hi = DOMAINS["delta"][1]
+        reply = service.batch("delta", "poisson", "adaptive", [100.0, hi * 2.0])
+        assert reply["source"] == "mixed"
+        assert reply["sources"] == {"surface": 1, "exact": 1}
+        assert reply["certified_bound"] is not None
+        exact_out = exact_scalar(
+            "delta", DEFAULT_CONFIG, "poisson", "adaptive", hi * 2.0
+        )
+        assert reply["values"][1] == pytest.approx(exact_out, rel=1e-9, abs=1e-12)
+
+    def test_empty_grid_rejected(self, service):
+        with pytest.raises(QueryError):
+            service.batch("delta", "poisson", "adaptive", [])
+
+    def test_kbar_what_if_routes_to_exact_without_a_2d_surface(self, service):
+        reply = service.batch(
+            "delta", "poisson", "adaptive", [100.0, 150.0], kbar=80.0
+        )
+        assert reply["source"] == "exact"
+        assert len(reply["values"]) == 2
+
+    def test_gamma_served_from_its_log_surface(self, service):
+        reply = service.batch("gamma", "poisson", "adaptive", [1e-3, 0.01, 0.3])
+        assert reply["source"] == "surface"
+        # gamma in (1, e) per the paper's welfare bound
+        assert all(1.0 < v < np.e for v in reply["values"])
+
+
+class TestCacheFallback:
+    def test_second_miss_is_a_disk_hit(self, service):
+        hi = DOMAINS["delta"][1]
+        grid = [hi * 1.5, hi * 2.0]
+        first = service.batch("delta", "poisson", "adaptive", grid)
+        entries = list(service.cache.root.rglob("*.json"))
+        assert len(entries) == 1  # the miss was stored
+        mtime = entries[0].stat().st_mtime_ns
+        second = service.batch("delta", "poisson", "adaptive", grid)
+        assert second["values"] == first["values"]
+        # served from the entry, not recomputed-and-rewritten
+        assert entries[0].stat().st_mtime_ns == mtime
+
+    def test_concurrent_cold_misses_agree(self, service):
+        # the per-triple lock serialises the thundering herd; every
+        # thread must see the same exact answer and no exceptions
+        hi = DOMAINS["delta"][1]
+        grid = [hi * 3.0, hi * 4.0]
+        results, errors = [], []
+
+        def query():
+            try:
+                results.append(
+                    tuple(service.batch("delta", "poisson", "adaptive", grid)["values"])
+                )
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=query) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(set(results)) == 1
+        expected = tuple(
+            exact_scalar("delta", DEFAULT_CONFIG, "poisson", "adaptive", x)
+            for x in grid
+        )
+        assert results[0] == pytest.approx(expected, rel=1e-9)
+        # the herd resolved to a single stored computation
+        assert len(list(service.cache.root.rglob("*.json"))) == 1
+
+    def test_service_without_a_cache_still_answers(self, bank):
+        svc = EmulatorService(bank=bank, cache=None)
+        hi = DOMAINS["delta"][1]
+        reply = svc.point("delta", "poisson", "adaptive", hi * 2.0)
+        assert reply["source"] == "exact"
+
+
+class TestDescribe:
+    def test_metadata_without_coefficients(self, service):
+        info = service.describe()
+        assert info["config_digest"] == service.bank.config_digest
+        assert len(info["surfaces"]) == 2
+        assert all("coefficients" not in s for s in info["surfaces"])
+        assert info["cache"] is True

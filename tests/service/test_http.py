@@ -1,0 +1,160 @@
+"""The async HTTP surface end to end: real sockets, real clients.
+
+A single background server (ephemeral port) is shared per module;
+every test talks to it through :class:`ServiceClient` or a raw
+request, including a concurrent burst that forces the cache-miss
+fallback path under parallel load.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.emulator import DOMAINS, exact_scalar, fit_bank
+from repro.experiments.params import DEFAULT_CONFIG
+from repro.runner.cache import ResultCache
+from repro.service import (
+    BackgroundServer,
+    EmulatorService,
+    ServiceClient,
+    ServiceClientError,
+)
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    bank = fit_bank(quantities=("delta", "gamma"), loads=("poisson",))
+    cache = ResultCache(tmp_path_factory.mktemp("svc-cache"))
+    service = EmulatorService(bank=bank, cache=cache)
+    with BackgroundServer(service) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(server):
+    host, port = server.address
+    with ServiceClient(host, port) as c:
+        yield c
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        reply = client.health()
+        assert reply["ok"] is True
+        assert reply["surfaces"] == 2
+
+    def test_surfaces_metadata(self, client):
+        info = client.surfaces()
+        keys = {s["quantity"] + "/" + s["load"] for s in info["surfaces"]}
+        assert keys == {"delta/poisson", "gamma/poisson"}
+        assert all("coefficients" not in s for s in info["surfaces"])
+
+    def test_point_get_roundtrip(self, client):
+        reply = client.request(
+            "GET", "/v1/point?quantity=delta&load=poisson&utility=adaptive&x=120"
+        )
+        assert reply["source"] == "surface"
+        exact = exact_scalar("delta", DEFAULT_CONFIG, "poisson", "adaptive", 120.0)
+        assert abs(reply["value"] - exact) <= reply["certified_bound"]
+
+    def test_point_post_roundtrip(self, client):
+        reply = client.point("gamma", "poisson", "adaptive", 0.01)
+        assert reply["source"] == "surface"
+        assert 1.0 < reply["value"] < 2.8
+
+    def test_batch_post_mixed_sources(self, client):
+        hi = DOMAINS["delta"][1]
+        reply = client.batch("delta", "poisson", "adaptive", [100.0, hi * 2.0])
+        assert reply["source"] == "mixed"
+        assert reply["sources"] == {"surface": 1, "exact": 1}
+
+    def test_metrics_counts_requests(self, client):
+        # metering is live only while obs is enabled (the `repro serve`
+        # entry enables it; tests opt in explicitly)
+        obs.reset()
+        obs.enable()
+        try:
+            client.point("delta", "poisson", "adaptive", 100.0)
+            metrics = client.metrics()
+            counters = metrics["metrics"]["counters"]
+            assert metrics["enabled"] is True
+            assert counters.get("service.http.point.requests", 0) >= 1
+            assert counters.get("service.points.surface", 0) >= 1
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_keep_alive_reuses_one_connection(self, client):
+        # several requests through the same client must not reconnect
+        for x in (50.0, 100.0, 200.0):
+            assert client.point("delta", "poisson", "adaptive", x)["value"] >= 0.0
+
+
+class TestErrorMapping:
+    def test_unknown_path_is_404(self, client):
+        with pytest.raises(ServiceClientError) as exc:
+            client.request("GET", "/v1/nope")
+        assert exc.value.status == 404
+
+    def test_wrong_method_is_405(self, client):
+        with pytest.raises(ServiceClientError) as exc:
+            client.request("GET", "/v1/batch")
+        assert exc.value.status == 405
+
+    def test_bad_quantity_is_400(self, client):
+        with pytest.raises(ServiceClientError) as exc:
+            client.point("theta", "poisson", "adaptive", 100.0)
+        assert exc.value.status == 400
+
+    def test_malformed_body_is_400(self, client):
+        with pytest.raises(ServiceClientError) as exc:
+            client.request("POST", "/v1/point", {"quantity": "delta"})
+        assert exc.value.status == 400
+
+    def test_non_numeric_x_is_400(self, client):
+        with pytest.raises(ServiceClientError) as exc:
+            client.request(
+                "GET", "/v1/point?quantity=delta&load=poisson&utility=adaptive&x=abc"
+            )
+        assert exc.value.status == 400
+
+
+class TestConcurrency:
+    def test_parallel_clients_hitting_the_fallback(self, server):
+        # every worker sends a mix of surface hits and *uncached*
+        # out-of-domain points, so the exact-fallback ladder runs under
+        # real request concurrency
+        host, port = server.address
+        hi = DOMAINS["delta"][1]
+        errors = []
+        replies = []
+
+        def worker(idx: int):
+            try:
+                with ServiceClient(host, port) as c:
+                    for i in range(10):
+                        x = 50.0 + 7.0 * ((idx * 10 + i) % 40)
+                        replies.append(c.point("delta", "poisson", "adaptive", x))
+                    burst = c.batch(
+                        "delta", "poisson", "adaptive", [hi * 2.0, hi * 2.5]
+                    )
+                    assert burst["source"] == "exact"
+                    replies.append(burst)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(replies) == 6 * 11
+        exact = exact_scalar("delta", DEFAULT_CONFIG, "poisson", "adaptive", hi * 2.0)
+        bursts = [r for r in replies if r.get("source") == "exact"]
+        assert bursts and all(
+            r["values"][0] == pytest.approx(exact, rel=1e-9) for r in bursts
+        )
