@@ -215,6 +215,49 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_args(verify, cache_dir_default=None)
     _add_profile_args(verify)
 
+    mf = sub.add_parser(
+        "meanfield",
+        help="evaluate B(C)/R(C)/gap through the fluid-diffusion engine "
+        "(O(1) in the population; refuses outside its validity envelope; "
+        "see docs/MEANFIELD.md)",
+    )
+    mf.add_argument(
+        "--load",
+        choices=["poisson", "exponential", "algebraic"],
+        default="poisson",
+        help="census distribution (default: poisson; heavy tails are "
+        "outside the envelope and refused)",
+    )
+    mf.add_argument(
+        "--utility",
+        choices=["adaptive", "rigid"],
+        default="adaptive",
+        help="utility function (default: adaptive)",
+    )
+    mf.add_argument(
+        "--population",
+        type=float,
+        metavar="N",
+        help="census mean (default: the config's kbar; re-addresses the cache)",
+    )
+    mf.add_argument(
+        "--capacities",
+        type=float,
+        nargs="+",
+        metavar="C",
+        help="capacity grid (default: the config's capacity axis)",
+    )
+    mf.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    mf.add_argument(
+        "--fast-config",
+        action="store_true",
+        help="use the reduced grids (quick look; re-addresses the cache)",
+    )
+    _add_cache_args(mf, cache_dir_default=None)
+    _add_profile_args(mf)
+
     prof = sub.add_parser(
         "profile",
         help="time every registered experiment and report per-experiment "
@@ -706,6 +749,117 @@ def _cmd_emulate(args) -> int:
     )  # pragma: no cover
 
 
+def _render_meanfield(series, *, load: str, utility: str) -> str:
+    """Human-readable sweep table + the diffusion point estimate."""
+    lines = [
+        (
+            f"mean-field engine: load={load} utility={utility} "
+            f"N={float(series['population'][0]):g} "
+            f"CV={float(series['cv'][0]):.4f} "
+            f"tau={float(series['relaxation_time'][0]):.3g}"
+        ),
+        f"{'C':>10s}  {'B(C)':>9s}  {'R(C)':>9s}  {'gap':>10s}",
+    ]
+    for c, b, r, g in zip(
+        series["capacity"],
+        series["best_effort"],
+        series["reservation"],
+        series["gap"],
+    ):
+        lines.append(f"{c:10.1f}  {b:9.5f}  {r:9.5f}  {g:10.6f}")
+    level = float(series["point_level"][0])
+    lines.append(
+        f"point estimate at C={float(series['point_capacity'][0]):g} "
+        f"(R={int(series['point_replications'][0])}, "
+        f"t={float(series['point_horizon'][0]):g}, "
+        f"warmup={float(series['point_warmup'][0]):g}, "
+        f"{level:.0%} CI):"
+    )
+    for name, key in (
+        ("B", "point_best_effort"),
+        ("R", "point_reservation"),
+        ("gap", "point_gap"),
+    ):
+        lines.append(
+            f"  {name:>3s} = {float(series[key][0]):.6f} "
+            f"+/- {float(series[key + '_ci'][0]):.6f}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_meanfield(args) -> int:
+    """The ``meanfield`` command: cache-addressed fluid-diffusion sweep."""
+    import dataclasses
+
+    from repro.errors import OutOfDomainError
+    from repro.meanfield.sweep import sweep_experiment
+
+    config = FAST_CONFIG if args.fast_config else DEFAULT_CONFIG
+    overrides = {}
+    if args.population is not None:
+        if args.population <= 0.0:
+            raise SystemExit("--population must be > 0")
+        overrides["kbar"] = args.population
+    if args.capacities:
+        if any(c <= 0.0 for c in args.capacities):
+            raise SystemExit("--capacities must be > 0")
+        overrides["capacities"] = tuple(float(c) for c in args.capacities)
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    observing = args.profile or bool(args.trace_json)
+    if observing:
+        obs.reset()
+        obs.enable()
+    exp = sweep_experiment(args.load, args.utility)
+    cache = None
+    if args.cache_dir and not args.no_cache:
+        from repro.runner import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+    cache_status = None
+    start = time.perf_counter()
+    entry = None
+    if cache is not None and not args.force:
+        entry = cache.load(exp, config)
+    if entry is not None:
+        from repro.runner import decode_result
+
+        series = decode_result(entry["result_kind"], entry["result"])
+        cache_status = "hit"
+    else:
+        try:
+            with obs.span("meanfield.sweep", load=args.load, utility=args.utility):
+                series = exp.run(config)
+        except OutOfDomainError as exc:
+            # refuse-don't-extrapolate: the envelope verdict is the
+            # answer, and it is never cached
+            print(str(exc), file=sys.stderr)
+            if observing:
+                _finish_observed(args)
+            return 1
+        if cache is not None:
+            cache.store(exp, config, series)
+            cache_status = "miss"
+    elapsed = time.perf_counter() - start
+    if args.json:
+        meta = {
+            "load": args.load,
+            "utility": args.utility,
+            "elapsed_seconds": elapsed,
+            "config": "fast" if args.fast_config else "default",
+        }
+        if cache is not None:
+            meta["cache"] = cache_status
+        if observing:
+            meta["metrics"] = obs.snapshot()
+        print(report.to_json(series, meta=meta))
+    else:
+        print(_render_meanfield(series, load=args.load, utility=args.utility))
+    if observing:
+        return _finish_observed(args)
+    return 0
+
+
 def _cmd_serve(args) -> int:
     """The ``serve`` command: run the HTTP service until interrupted."""
     import asyncio
@@ -798,6 +952,9 @@ def _dispatch(args) -> int:
 
     if args.command == "serve":
         return _cmd_serve(args)
+
+    if args.command == "meanfield":
+        return _cmd_meanfield(args)
 
     if args.command == "list":
         for exp in registry.EXPERIMENTS.values():

@@ -87,15 +87,39 @@ class SimulationBudgetError(ModelError):
     how many events were executed, how far simulated time got, and the
     horizon that was requested.  Raised instead of silently truncating
     so a partial trajectory can never be mistaken for a full run.
+
+    ``partial`` optionally carries whatever completed state the caller
+    accumulated before the budget ran out — adaptive ensemble runs
+    attach the Welford estimate over the replications that *did*
+    finish, so an equal-budget comparison can still read the partial
+    answer instead of discarding paid-for work.
     """
 
-    def __init__(self, *, events: int, reached_t: float, horizon: float):
+    def __init__(
+        self,
+        *,
+        events: int,
+        reached_t: float,
+        horizon: float,
+        partial=None,
+    ):
         self.events = int(events)
         self.reached_t = float(reached_t)
         self.horizon = float(horizon)
-        super().__init__(
+        self.partial = partial
+        message = (
             f"exceeded {self.events} events at simulated time "
             f"{self.reached_t:.6g} of horizon {self.horizon:.6g} "
             f"({100.0 * self.reached_t / self.horizon:.1f}% covered); "
             "reduce the horizon or raise max_events"
         )
+        if partial is not None:
+            replications = getattr(partial, "replications", None)
+            if replications:
+                message += (
+                    f" (partial estimate over {replications} completed "
+                    "replications preserved on .partial)"
+                )
+            else:
+                message += " (partial state preserved on .partial)"
+        super().__init__(message)

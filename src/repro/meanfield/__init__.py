@@ -1,0 +1,83 @@
+"""Fluid-diffusion mean-field engine (fifth peer engine).
+
+Large populations make event-driven simulation slow exactly where it
+is least necessary: the census process of the paper's flow model
+concentrates on a deterministic fluid ODE trajectory with Gaussian
+O(1/sqrt(N)) corrections (Fayolle et al.; Kang-Kelly-Lee).  This
+package evaluates B, R, and the paired best-effort-vs-reservation gap
+from one fixed-point solve plus quadrature — O(1) in the population —
+while mirroring the ensemble engine's estimator contract so results
+are drop-in comparable.
+
+Layers
+------
+``fluid``
+    :class:`DriftField` derives ``b(n) = lambda(n) - delta(n)`` from
+    the *simulator's own* process rate functions; a stiff-aware
+    adaptive RK23 / exponential-Euler integrator reaches the fixed
+    point, Newton-polished.
+``diffusion``
+    :class:`GaussianCensus` linearises around the fixed point
+    (Ornstein-Uhlenbeck), evaluates census functionals by
+    Gauss-Hermite quadrature, and prices finite-budget CIs from the
+    OU autocovariance.
+``engine``
+    :class:`MeanFieldSimulator` and :func:`meanfield_gap` — the
+    ensemble-shaped API, capacity-grid batch entry points, and the
+    refuse-don't-extrapolate validity envelope
+    (:class:`~repro.errors.OutOfDomainError`).
+``scaling``
+    :class:`PopulationScale` and the canonical scaling sweeps shared
+    by the L-block invariants, property tests, and the crossover
+    bench.
+"""
+
+from repro.meanfield.diffusion import (
+    GH_ORDER,
+    GaussianCensus,
+    MeanFieldEstimate,
+    window_variance_factor,
+    z_quantile,
+)
+from repro.meanfield.engine import (
+    MAX_CV,
+    MeanFieldGapResult,
+    MeanFieldSimulator,
+    meanfield_gap,
+)
+from repro.meanfield.fluid import (
+    DriftField,
+    FluidFixedPoint,
+    FluidTrajectory,
+    default_initial_census,
+    integrate,
+    solve_fixed_point,
+)
+from repro.meanfield.scaling import (
+    BASE_POPULATION,
+    CANONICAL_SCALES,
+    PopulationScale,
+    SCALING_REGIMES,
+)
+
+__all__ = [
+    "BASE_POPULATION",
+    "CANONICAL_SCALES",
+    "DriftField",
+    "FluidFixedPoint",
+    "FluidTrajectory",
+    "GH_ORDER",
+    "GaussianCensus",
+    "MAX_CV",
+    "MeanFieldEstimate",
+    "MeanFieldGapResult",
+    "MeanFieldSimulator",
+    "PopulationScale",
+    "SCALING_REGIMES",
+    "default_initial_census",
+    "integrate",
+    "meanfield_gap",
+    "solve_fixed_point",
+    "window_variance_factor",
+    "z_quantile",
+]

@@ -1,0 +1,438 @@
+"""The mean-field engine: fluid + diffusion with the ensemble's contract.
+
+:class:`MeanFieldSimulator` takes the exact configuration the ensemble
+engine takes — a demand process, a link, admission policies — and
+answers the same questions (``B_hat``, ``R_hat``, the CRN-paired gap)
+from one ODE solve plus Gauss-Hermite quadrature instead of
+O(events x replications) Gillespie stepping.  The census dynamics in
+the paper's basic model do not depend on the link capacity, so a
+single equilibrium serves an entire capacity grid: the ``*_batch``
+entry points are vectorized functional evaluations over
+``(quadrature node, capacity)``.
+
+Validity is policed, never extrapolated: configurations whose census
+law is not approximately Gaussian (heavy-tailed algebraic loads),
+whose fixed point the fluid ODE cannot certify, or whose process the
+drift field cannot represent (stateful, batch arrivals) raise
+:class:`~repro.errors.OutOfDomainError` — the same
+refuse-don't-extrapolate contract the emulator surfaces use — so the
+caller can fall back to the ensemble.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ConvergenceError, ModelError, OutOfDomainError
+from repro.meanfield.diffusion import (
+    GaussianCensus,
+    MeanFieldEstimate,
+    window_variance_factor,
+    z_quantile,
+)
+from repro.meanfield.fluid import (
+    DriftField,
+    FluidFixedPoint,
+    default_initial_census,
+    solve_fixed_point,
+)
+from repro.simulation.admission import AdmissionPolicy, AdmitAll, ThresholdAdmission
+from repro.simulation.link import Link
+from repro.simulation.processes import DemandProcess
+from repro.utility.base import UtilityFunction
+
+#: Default ceiling on the census coefficient of variation.  The
+#: diffusion replaces the exact census law with a Gaussian; once
+#: fluctuations reach a quarter of the mean, Gaussian tails misstate
+#: the blocking functionals by more than the LIMIT tolerance budget
+#: (geometric loads sit at CV ~ 1 and are refused; Poisson at
+#: ``kbar >= 16`` passes).
+MAX_CV = 0.25
+
+
+def _admitted_values(
+    census: np.ndarray,
+    capacity,
+    utility: UtilityFunction,
+    kmax,
+) -> np.ndarray:
+    """``g(n) = m pi(C/m)`` with ``m = min(n, kmax)`` (0 when empty).
+
+    ``m pi(C/m)`` is total admitted utility at census ``n``; dividing
+    its census expectation by ``E[N]`` reproduces the ensemble's
+    flow-time average (readmitting threshold admission keeps the
+    admitted count pinned at ``min(N, k_max)``).  Broadcasts over any
+    common shape of ``census``/``capacity``/``kmax``.
+    """
+    m = np.minimum(census, kmax)
+    shares = np.where(m > 0, capacity / np.maximum(m, 1.0), 0.0)
+    scores = np.where(m > 0, utility(shares), 0.0)
+    return m * scores
+
+
+@dataclass(frozen=True)
+class MeanFieldGapResult:
+    """Paired BE/RES estimates and their gap, ensemble-summary shaped."""
+
+    best_effort: MeanFieldEstimate
+    reservation: MeanFieldEstimate
+    gap: MeanFieldEstimate
+    fixed_point: FluidFixedPoint
+
+    def summary(self) -> dict:
+        """Same keys as ``PairedGapResult.summary()`` — drop-in rows."""
+        return {
+            "replications": self.gap.replications,
+            "level": self.gap.level,
+            "best_effort": self.best_effort.mean,
+            "best_effort_ci": self.best_effort.ci_halfwidth,
+            "reservation": self.reservation.mean,
+            "reservation_ci": self.reservation.ci_halfwidth,
+            "gap": self.gap.mean,
+            "gap_ci": self.gap.ci_halfwidth,
+        }
+
+
+class MeanFieldSimulator:
+    """Fluid-diffusion twin of :class:`EnsembleSimulator`.
+
+    One instance owns one equilibrium solve (cached); every utility
+    functional, capacity grid, and budget-matched CI is evaluated
+    against it in O(quadrature) time, independent of the population
+    size the configuration represents.
+    """
+
+    def __init__(
+        self,
+        process: DemandProcess,
+        link: Link,
+        *,
+        max_cv: float = MAX_CV,
+    ):
+        try:
+            self._field = DriftField(process)
+        except ModelError as exc:
+            raise OutOfDomainError(
+                f"mean-field engine cannot represent this process: {exc}"
+            ) from exc
+        self._process = process
+        self._link = link
+        self._max_cv = float(max_cv)
+        self._fixed_point: Optional[FluidFixedPoint] = None
+        self._census: Optional[GaussianCensus] = None
+
+    @property
+    def process(self) -> DemandProcess:
+        """The demand process this engine was built over."""
+        return self._process
+
+    @property
+    def link(self) -> Link:
+        """The bottleneck link."""
+        return self._link
+
+    @property
+    def field(self) -> DriftField:
+        """The drift field derived from the process."""
+        return self._field
+
+    def equilibrium(self) -> FluidFixedPoint:
+        """The (cached) fluid fixed point, solved on first use."""
+        if self._fixed_point is None:
+            with obs.span(
+                "meanfield.equilibrium", process=type(self._process).__name__
+            ):
+                try:
+                    trajectory_seed = default_initial_census(self._process)
+                    fp = solve_fixed_point(self._field, trajectory_seed)
+                except ConvergenceError as exc:
+                    if obs.enabled():
+                        obs.counter("meanfield.refusals").inc()
+                    raise OutOfDomainError(
+                        f"fluid census has no certifiable fixed point: {exc}"
+                    ) from exc
+            self._fixed_point = fp
+            if obs.enabled():
+                obs.counter("meanfield.solves").inc()
+                obs.emit(
+                    "meanfield.converged",
+                    census=fp.census,
+                    drift_jacobian=fp.drift_jacobian,
+                    variance=fp.variance if fp.stable else None,
+                    stable=fp.stable,
+                )
+        return self._fixed_point
+
+    def census(self) -> GaussianCensus:
+        """The (cached) stationary Gaussian census around the fixed point."""
+        if self._census is None:
+            self._require_envelope()
+            self._census = GaussianCensus(self.equilibrium())
+        return self._census
+
+    def validity(self) -> Dict[str, object]:
+        """The envelope verdict: ok flag, reasons, and diagnostics."""
+        reasons = []
+        diagnostics: Dict[str, object] = {"max_cv": self._max_cv}
+        try:
+            fp = self.equilibrium()
+        except OutOfDomainError as exc:
+            return {"ok": False, "reasons": [str(exc)], **diagnostics}
+        diagnostics.update(
+            census=fp.census,
+            drift_jacobian=fp.drift_jacobian,
+            relaxation_time=fp.relaxation_time,
+        )
+        if not fp.stable:
+            reasons.append(
+                f"fluid fixed point is not contracting (b'(n*) = "
+                f"{fp.drift_jacobian:.3g} >= 0)"
+            )
+        else:
+            cv = fp.stddev / fp.census if fp.census > 0.0 else float("inf")
+            diagnostics["cv"] = cv
+            if cv > self._max_cv:
+                reasons.append(
+                    f"census fluctuations too large for the Gaussian "
+                    f"closure (CV = {cv:.3g} > {self._max_cv:.3g})"
+                )
+        return {"ok": not reasons, "reasons": reasons, **diagnostics}
+
+    def _require_envelope(self) -> None:
+        verdict = self.validity()
+        if not verdict["ok"]:
+            if obs.enabled():
+                obs.counter("meanfield.refusals").inc()
+            raise OutOfDomainError(
+                "mean-field engine refuses this configuration: "
+                + "; ".join(verdict["reasons"])  # type: ignore[arg-type]
+            )
+
+    # ------------------------------------------------------------------
+    # point evaluations
+
+    def fluid_values(
+        self,
+        utility: UtilityFunction,
+        *,
+        best_effort: Optional[AdmissionPolicy] = None,
+        reservation: Optional[AdmissionPolicy] = None,
+    ) -> Dict[str, float]:
+        """Zeroth-order (pure fluid, no diffusion) B, R, and gap.
+
+        Evaluates the functionals at the deterministic fixed point
+        ``n*`` only — the N -> infinity limit the L-block invariants
+        pin against the exact stationary census.
+        """
+        self._require_envelope()
+        n_star = self.equilibrium().census
+        capacity = self._link.capacity
+        be_policy, res_policy = self._policies(utility, best_effort, reservation)
+        node = np.asarray([n_star])
+        be = float(
+            _admitted_values(node, capacity, utility, be_policy.threshold(capacity))[0]
+        ) / n_star
+        res = float(
+            _admitted_values(node, capacity, utility, res_policy.threshold(capacity))[0]
+        ) / n_star
+        return {"best_effort": be, "reservation": res, "gap": res - be}
+
+    def utility_estimates(
+        self,
+        utility: UtilityFunction,
+        *,
+        replications: int,
+        horizon: float,
+        warmup: float = 0.0,
+        level: float = 0.95,
+        best_effort: Optional[AdmissionPolicy] = None,
+        reservation: Optional[AdmissionPolicy] = None,
+    ) -> Tuple[MeanFieldEstimate, MeanFieldEstimate]:
+        """Diffusion-corrected ``(B_hat, R_hat)`` at an ensemble budget.
+
+        The CI half-widths answer "what would a CRN ensemble run with
+        this ``(replications, horizon, warmup)`` budget report?" — the
+        delta-method variance of the flow-time-average ratio under the
+        OU autocovariance, per independent replication window.
+        """
+        be, res, _ = self._estimates(
+            utility, replications, horizon, warmup, level, best_effort, reservation
+        )
+        return be, res
+
+    def paired_gap(
+        self,
+        utility: UtilityFunction,
+        replications: int,
+        horizon: float,
+        *,
+        warmup: float = 0.0,
+        level: float = 0.95,
+        best_effort: Optional[AdmissionPolicy] = None,
+        reservation: Optional[AdmissionPolicy] = None,
+    ) -> MeanFieldGapResult:
+        """CRN-paired gap estimate mirroring ``simulation.paired_gap``.
+
+        The gap CI is computed from the *paired* functional
+        ``g_res(N) - g_be(N)`` on the shared census trajectory — the
+        diffusion analogue of common random numbers, which is why it
+        is far tighter than the difference of the marginal CIs.
+        """
+        be, res, gap = self._estimates(
+            utility, replications, horizon, warmup, level, best_effort, reservation
+        )
+        return MeanFieldGapResult(
+            best_effort=be,
+            reservation=res,
+            gap=gap,
+            fixed_point=self.equilibrium(),
+        )
+
+    def _policies(
+        self,
+        utility: UtilityFunction,
+        best_effort: Optional[AdmissionPolicy],
+        reservation: Optional[AdmissionPolicy],
+    ) -> Tuple[AdmissionPolicy, AdmissionPolicy]:
+        be = best_effort if best_effort is not None else AdmitAll()
+        res = (
+            reservation
+            if reservation is not None
+            else ThresholdAdmission.from_utility(utility, readmit_waiting=True)
+        )
+        return be, res
+
+    def _estimates(
+        self,
+        utility: UtilityFunction,
+        replications: int,
+        horizon: float,
+        warmup: float,
+        level: float,
+        best_effort: Optional[AdmissionPolicy],
+        reservation: Optional[AdmissionPolicy],
+    ) -> Tuple[MeanFieldEstimate, MeanFieldEstimate, MeanFieldEstimate]:
+        if not 0.0 <= warmup < horizon:
+            raise ModelError(
+                f"warmup must be in [0, horizon): warmup={warmup!r}, "
+                f"horizon={horizon!r}"
+            )
+        census = self.census()
+        capacity = self._link.capacity
+        be_policy, res_policy = self._policies(utility, best_effort, reservation)
+        nodes, weights = census.nodes()
+        g_be = _admitted_values(nodes, capacity, utility, be_policy.threshold(capacity))
+        g_res = _admitted_values(
+            nodes, capacity, utility, res_policy.threshold(capacity)
+        )
+        mean_n = float(np.dot(weights, nodes))
+        window = horizon - warmup
+        factor = window_variance_factor(census.relaxation_time / window)
+        z = z_quantile(level)
+
+        def estimate(g: np.ndarray) -> MeanFieldEstimate:
+            value = float(np.dot(weights, g)) / mean_n
+            # delta-method influence of the ratio of time averages
+            phi = (g - value * nodes) / mean_n
+            var = float(np.dot(weights, phi**2)) - float(np.dot(weights, phi)) ** 2
+            sem = math.sqrt(max(var, 0.0) * factor / replications)
+            return MeanFieldEstimate(
+                mean=value,
+                ci_halfwidth=z * sem,
+                level=level,
+                replications=replications,
+                horizon=horizon,
+                warmup=warmup,
+            )
+
+        return estimate(g_be), estimate(g_res), estimate(g_res - g_be)
+
+    # ------------------------------------------------------------------
+    # capacity-grid evaluations
+
+    def best_effort_batch(
+        self, utility: UtilityFunction, capacities
+    ) -> np.ndarray:
+        """Diffusion-mean ``B(C)`` over a capacity grid (one solve)."""
+        return self._batch_values(utility, capacities, "best_effort")
+
+    def reservation_batch(
+        self, utility: UtilityFunction, capacities
+    ) -> np.ndarray:
+        """Diffusion-mean ``R(C)`` over a capacity grid (one solve)."""
+        return self._batch_values(utility, capacities, "reservation")
+
+    def gap_batch(self, utility: UtilityFunction, capacities) -> np.ndarray:
+        """Diffusion-mean ``delta(C) = R(C) - B(C)`` over a grid."""
+        return self._batch_values(utility, capacities, "gap")
+
+    def _batch_values(
+        self, utility: UtilityFunction, capacities, which: str
+    ) -> np.ndarray:
+        census = self.census()
+        caps = np.atleast_1d(np.asarray(capacities, dtype=float))
+        be_policy, res_policy = self._policies(utility, None, None)
+        with obs.span("meanfield.batch", points=int(caps.size), which=which):
+            nodes, weights = census.nodes()
+            mean_n = float(np.dot(weights, nodes))
+            grid = np.broadcast_to(nodes[:, None], (nodes.size, caps.size))
+
+            def values(policy: AdmissionPolicy) -> np.ndarray:
+                kmax = np.asarray(
+                    [policy.threshold(c) for c in caps], dtype=float
+                )
+                g = _admitted_values(grid, caps[None, :], utility, kmax[None, :])
+                return weights @ g / mean_n
+
+            if which == "best_effort":
+                out = values(be_policy)
+            elif which == "reservation":
+                out = values(res_policy)
+            else:
+                out = values(res_policy) - values(be_policy)
+        if obs.enabled():
+            obs.counter("meanfield.batch.points").inc(int(caps.size))
+        return out
+
+
+def meanfield_gap(
+    process: DemandProcess,
+    link: Link,
+    utility: UtilityFunction,
+    replications: int,
+    horizon: float,
+    *,
+    warmup: float = 0.0,
+    level: float = 0.95,
+    best_effort: Optional[AdmissionPolicy] = None,
+    reservation: Optional[AdmissionPolicy] = None,
+    max_cv: float = MAX_CV,
+) -> MeanFieldGapResult:
+    """Module-level twin of :func:`repro.simulation.paired_gap`.
+
+    Same positional signature and summary keys; ``seed`` and event
+    budgets have no analogue here because nothing is sampled.
+    """
+    sim = MeanFieldSimulator(process, link, max_cv=max_cv)
+    return sim.paired_gap(
+        utility,
+        replications,
+        horizon,
+        warmup=warmup,
+        level=level,
+        best_effort=best_effort,
+        reservation=reservation,
+    )
+
+
+__all__ = [
+    "MAX_CV",
+    "MeanFieldGapResult",
+    "MeanFieldSimulator",
+    "meanfield_gap",
+]

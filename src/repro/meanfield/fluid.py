@@ -1,0 +1,359 @@
+"""The fluid layer: census ODE derived from the simulator's processes.
+
+The ensemble engine executes the census birth-death chain event by
+event; at large populations the same chain concentrates on the
+deterministic *fluid* trajectory
+
+    dn/dt = b(n) = lambda(n) - delta(n),
+
+where ``lambda``/``delta`` are exactly the arrival/departure rate
+functions the simulator drives (:class:`~repro.simulation.processes
+.DemandProcess`).  Nothing is re-specified here: :class:`DriftField`
+evaluates the *process's own* vectorised rate tables at the two
+neighbouring integer census levels and interpolates linearly, so the
+fluid model and the event-driven model can never drift apart.
+
+:func:`integrate` follows the ODE with an adaptive embedded
+Bogacki-Shampine RK23 step and switches to an exponential-Euler step
+(exact for locally linear drift, unconditionally stable for
+contracting drift) whenever the local relaxation rate makes the
+explicit step stiff — the engineered birth-death chains relax at rate
+``~mu`` per flow, so near the fixed point ``|b'(n)| h`` easily exceeds
+the explicit stability limit.  The fixed point itself is polished with
+Newton iterations on ``b(n) = 0``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import ConvergenceError, ModelError
+from repro.simulation.processes import DemandProcess
+
+#: Lattice half-width used for the drift's finite-difference Jacobian:
+#: the drift is piecewise linear between integer census levels, so a
+#: full-cell secant is the meaningful derivative at fluid scale.
+JACOBIAN_STEP = 1.0
+
+#: Explicit RK23 stability guard: past this value of ``|b'(n)| h`` the
+#: step switches to the exponential-Euler branch.  Kept well under the
+#: RK23 stability limit (~2.5): for contracting drift the exponential
+#: step is exact on the linearisation, so switching early lets the
+#: step size grow geometrically through the terminal approach instead
+#: of crawling at the explicit accuracy boundary.
+STIFFNESS_SWITCH = 0.5
+
+
+def _as_scalar_or_array(raw, like: np.ndarray) -> np.ndarray:
+    """Broadcast a process rate result (scalar or array) to ``like``."""
+    return np.broadcast_to(np.asarray(raw, dtype=float), like.shape)
+
+
+class DriftField:
+    """``b(n) = lambda(n) - delta(n)`` lifted off a demand process.
+
+    Rates at a fractional census are linear interpolations of the
+    process's own integer-census rates — the fluid field is *defined*
+    by the simulator's dynamics, never re-modelled.
+
+    Parameters
+    ----------
+    process:
+        Any stationary, unit-arrival :class:`DemandProcess`.  Stateful
+        processes (regime switching) have no autonomous drift field
+        and batch-arrival processes would need the batch-size law
+        folded in; both are refused.
+    """
+
+    def __init__(self, process: DemandProcess):
+        if process.is_stateful():
+            raise ModelError(
+                "mean-field drift needs a time-homogeneous process; "
+                f"{type(process).__name__} mutates state during a run"
+            )
+        if getattr(process, "uses_batch_draw", False):
+            raise ModelError(
+                "mean-field drift assumes unit arrivals; "
+                f"{type(process).__name__} arrives in random batches"
+            )
+        self._process = process
+
+    @property
+    def process(self) -> DemandProcess:
+        """The demand process the field was derived from."""
+        return self._process
+
+    def _interp(self, rates: Callable, n) -> np.ndarray:
+        arr = np.maximum(np.atleast_1d(np.asarray(n, dtype=float)), 0.0)
+        lo = np.floor(arr)
+        frac = arr - lo
+        lo_i = lo.astype(np.int64)
+        r_lo = _as_scalar_or_array(rates(lo_i), arr)
+        r_hi = _as_scalar_or_array(rates(lo_i + 1), arr)
+        out = (1.0 - frac) * r_lo + frac * r_hi
+        if np.ndim(n) == 0:
+            return float(out[0])  # type: ignore[return-value]
+        return out
+
+    def arrival(self, n):
+        """Interpolated ``lambda(n)`` from the process's arrival rates."""
+        return self._interp(self._process.arrival_rates, n)
+
+    def departure(self, n):
+        """Interpolated ``delta(n)`` from the process's departure rates."""
+        return self._interp(self._process.departure_rates, n)
+
+    def drift(self, n):
+        """``b(n) = lambda(n) - delta(n)``."""
+        return self.arrival(n) - self.departure(n)
+
+    def intensity(self, n):
+        """``a(n) = lambda(n) + delta(n)`` — the diffusion coefficient.
+
+        Unit jumps up at rate ``lambda`` and down at rate ``delta``
+        give the CLT-scale variance flux ``lambda + delta`` (Kurtz's
+        diffusion approximation for density-dependent chains).
+        """
+        return self.arrival(n) + self.departure(n)
+
+    def jacobian(self, n: float, step: float = JACOBIAN_STEP) -> float:
+        """Centred secant ``b'(n)`` across one census lattice cell."""
+        lo = max(float(n) - step, 0.0)
+        hi = float(n) + step
+        if hi <= lo:
+            return 0.0
+        return float(self.drift(hi) - self.drift(lo)) / (hi - lo)
+
+
+@dataclass(frozen=True)
+class FluidFixedPoint:
+    """The equilibrium census of the fluid ODE, with its linearisation.
+
+    ``variance`` is the stationary variance of the Ornstein-Uhlenbeck
+    diffusion obtained by linearising the chain around the fixed
+    point: ``a(n*) / (2 |b'(n*)|)``.  For every linear-birth process
+    this reproduces the exact stationary census variance (Poisson:
+    ``n*``; geometric: ``n*/(1-q)``).
+    """
+
+    census: float
+    drift_jacobian: float
+    intensity: float
+    converged: bool
+
+    @property
+    def stable(self) -> bool:
+        """True when the linearised drift is contracting."""
+        return self.drift_jacobian < 0.0
+
+    @property
+    def relaxation_time(self) -> float:
+        """``1/|b'(n*)|`` — the census autocorrelation time."""
+        if self.drift_jacobian == 0.0:
+            return float("inf")
+        return 1.0 / abs(self.drift_jacobian)
+
+    @property
+    def variance(self) -> float:
+        """Stationary diffusion variance ``a(n*) / (2 |b'(n*)|)``."""
+        if not self.stable:
+            return float("inf")
+        return self.intensity / (2.0 * abs(self.drift_jacobian))
+
+    @property
+    def stddev(self) -> float:
+        """Stationary diffusion standard deviation."""
+        return math.sqrt(self.variance)
+
+
+@dataclass(frozen=True)
+class FluidTrajectory:
+    """One integrated fluid path (decimated to ``<= store`` samples)."""
+
+    times: np.ndarray
+    census: np.ndarray
+    fixed_point: FluidFixedPoint
+    steps: int
+    stiff_steps: int
+
+    @property
+    def horizon(self) -> float:
+        """Last integrated time."""
+        return float(self.times[-1])
+
+
+def _rk23_step(f: Callable[[float], float], n: float, h: float, k1: float):
+    """One Bogacki-Shampine 3(2) step: returns (n3, error, k4)."""
+    k2 = f(n + 0.5 * h * k1)
+    k3 = f(n + 0.75 * h * k2)
+    n3 = n + h * (2.0 * k1 + 3.0 * k2 + 4.0 * k3) / 9.0
+    k4 = f(n3)
+    n2 = n + h * (7.0 * k1 + 6.0 * k2 + 8.0 * k3 + 3.0 * k4) / 24.0
+    return n3, abs(n3 - n2), k4
+
+
+def _phi1(z: float) -> float:
+    """``(e^z - 1)/z`` with the small-``z`` limit handled."""
+    if abs(z) < 1e-8:
+        return 1.0 + 0.5 * z
+    return math.expm1(z) / z
+
+
+def integrate(
+    field: DriftField,
+    initial_census: float,
+    *,
+    horizon: Optional[float] = None,
+    rtol: float = 1e-6,
+    atol: float = 1e-9,
+    max_steps: int = 20_000,
+    store: int = 512,
+) -> FluidTrajectory:
+    """Integrate the census ODE to ``horizon`` (or to the fixed point).
+
+    With ``horizon=None`` the integration runs until the local
+    distance-to-equilibrium estimate ``|b(n)|/|b'(n)|`` drops under
+    the tolerance, then Newton-polishes ``b(n) = 0``; an unstable or
+    unreached fixed point raises :class:`ConvergenceError` rather than
+    returning a value the diffusion layer would silently trust.  The
+    default tolerances control the *path*; the fixed point itself is
+    always polished to near machine precision, so equilibrium queries
+    never need tighter settings.
+    """
+    if initial_census < 0.0:
+        raise ModelError(
+            f"initial census must be >= 0, got {initial_census!r}"
+        )
+    f = field.drift
+    n = float(initial_census)
+    t = 0.0
+    jac = field.jacobian(n)
+    # first step: a small fraction of the local relaxation time
+    h = 0.05 / max(abs(jac), 1e-6)
+    if horizon is not None:
+        h = min(h, horizon / 8.0) if horizon > 0.0 else 0.0
+    times = [t]
+    states = [n]
+    k1 = f(n)
+    steps = stiff_steps = 0
+    converged = horizon is not None and horizon == 0.0
+    while steps < max_steps and not converged:
+        if horizon is not None and t >= horizon:
+            break
+        if horizon is not None:
+            h = min(h, horizon - t)
+        jac = field.jacobian(n)
+        tol = atol + rtol * max(1.0, abs(n))
+        if horizon is None and abs(k1) <= tol * max(abs(jac), 1e-12):
+            converged = True
+            break
+        if jac < 0.0 and abs(jac) * h > STIFFNESS_SWITCH:
+            # stiff branch: exponential Euler, error from step doubling
+            full = n + h * k1 * _phi1(jac * h)
+            half_h = 0.5 * h
+            mid = n + half_h * k1 * _phi1(jac * half_h)
+            jac_mid = field.jacobian(mid)
+            halves = mid + half_h * f(mid) * _phi1(jac_mid * half_h)
+            err = abs(full - halves)
+            accept = err <= tol
+            if accept:
+                t += h
+                n = halves
+                k1 = f(n)
+                stiff_steps += 1
+            h *= min(5.0, max(0.2, 0.9 * math.sqrt(tol / max(err, 1e-300))))
+        else:
+            n3, err, k4 = _rk23_step(f, n, h, k1)
+            accept = err <= tol
+            if accept:
+                t += h
+                n = max(n3, 0.0)
+                k1 = k4 if n3 >= 0.0 else f(n)
+            h *= min(5.0, max(0.2, 0.9 * (tol / max(err, 1e-300)) ** (1.0 / 3.0)))
+        if accept:
+            steps += 1
+            times.append(t)
+            states.append(n)
+    if horizon is None:
+        if not converged:
+            raise ConvergenceError(
+                f"fluid census did not reach equilibrium within {max_steps} "
+                f"steps (reached n={n:.6g}, drift={k1:.3g}); the process "
+                "may have no stable fixed point"
+            )
+        n = _newton_polish(field, n)
+        times.append(t)
+        states.append(n)
+    jac_star = field.jacobian(n)
+    fixed_point = FluidFixedPoint(
+        census=float(n),
+        drift_jacobian=float(jac_star),
+        intensity=float(field.intensity(n)),
+        converged=bool(converged or horizon is not None),
+    )
+    times_arr = np.asarray(times, dtype=float)
+    states_arr = np.asarray(states, dtype=float)
+    if len(times_arr) > store:
+        keep = np.unique(
+            np.linspace(0, len(times_arr) - 1, store).round().astype(int)
+        )
+        times_arr, states_arr = times_arr[keep], states_arr[keep]
+    return FluidTrajectory(
+        times=times_arr,
+        census=states_arr,
+        fixed_point=fixed_point,
+        steps=steps,
+        stiff_steps=stiff_steps,
+    )
+
+
+def _newton_polish(field: DriftField, n: float, iterations: int = 50) -> float:
+    """Newton iterations on ``b(n) = 0`` from an integrated seed."""
+    for _ in range(iterations):
+        jac = field.jacobian(n)
+        if jac == 0.0:
+            break
+        step = field.drift(n) / jac
+        n = max(n - step, 0.0)
+        if abs(step) <= 1e-13 * max(1.0, abs(n)):
+            break
+    return n
+
+
+def solve_fixed_point(
+    field: DriftField,
+    initial_census: Optional[float] = None,
+    **kwargs,
+) -> FluidFixedPoint:
+    """Integrate-then-polish to the stable equilibrium census.
+
+    ``initial_census`` defaults to the process's stationary mean hint
+    (``mean_census`` or its load's mean) — the same default the
+    ensemble engine seeds replications with.
+    """
+    if initial_census is None:
+        initial_census = default_initial_census(field.process)
+    return integrate(field, initial_census, horizon=None, **kwargs).fixed_point
+
+
+def default_initial_census(process: DemandProcess) -> float:
+    """The ensemble engine's warm-start census, as a float."""
+    mean = getattr(process, "mean_census", None)
+    if mean is None:
+        load = getattr(process, "load", None)
+        mean = load.mean if load is not None else 1.0
+    return max(float(mean), 1.0)
+
+
+__all__ = [
+    "DriftField",
+    "FluidFixedPoint",
+    "FluidTrajectory",
+    "default_initial_census",
+    "integrate",
+    "solve_fixed_point",
+]

@@ -1,0 +1,83 @@
+"""Population scaling regimes shared by invariants, tests, and benches.
+
+The mean-field engine's accuracy claims are statements about *limits*:
+fluid error is O(1/N), diffusion CIs are O(1/sqrt(N)).  Checking them
+requires a common vocabulary for "a population scale" — the mean flow
+count N, how many replications a matched ensemble run would use, and
+which error regime the scale is probing.  This module is that
+vocabulary; ``repro.verify.strategies.populations()`` draws from it
+and the L-block invariants sweep :data:`CANONICAL_SCALES`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+#: Scaling regimes a population scale can probe:
+#:  - ``fluid``: N grows, replication budget fixed — tests the O(1/N)
+#:    bias of the fluid fixed point.
+#:  - ``diffusion``: N grows, per-replication window fixed — tests the
+#:    O(1/sqrt(N)) Gaussian correction and CI calibration.
+#:  - ``fixed_budget``: total simulated events held constant — the
+#:    crossover-bench regime where the ensemble's cost grows with N.
+SCALING_REGIMES = ("fluid", "diffusion", "fixed_budget")
+
+#: Reference population against which replication budgets scale.
+BASE_POPULATION = 50.0
+
+
+@dataclass(frozen=True)
+class PopulationScale:
+    """One point on a population-scaling sweep."""
+
+    population: float
+    replications: int
+    regime: str = "fluid"
+
+    def __post_init__(self) -> None:
+        if self.population <= 0.0:
+            raise ModelError(f"population must be positive, got {self.population!r}")
+        if self.replications <= 0:
+            raise ModelError(f"replications must be positive, got {self.replications!r}")
+        if self.regime not in SCALING_REGIMES:
+            raise ModelError(
+                f"unknown scaling regime {self.regime!r}; expected one of {SCALING_REGIMES}"
+            )
+
+    def capacity(self, provisioning: float = 1.1) -> float:
+        """Link capacity provisioned at ``provisioning`` x the mean census."""
+        if provisioning <= 0.0:
+            raise ModelError(f"provisioning factor must be positive, got {provisioning!r}")
+        return provisioning * self.population
+
+    def scaled_replications(self) -> int:
+        """Replication budget adjusted for the regime.
+
+        ``fixed_budget`` shrinks the replication count as N grows so
+        the total simulated-event budget stays roughly constant —
+        mirroring how the crossover bench matches budgets.
+        """
+        if self.regime != "fixed_budget":
+            return self.replications
+        scale = max(self.population / BASE_POPULATION, 1.0)
+        return max(int(round(self.replications / scale)), 1)
+
+
+#: Scales the L-block invariants sweep: geometric in N at a fixed
+#: small replication budget, probing the fluid O(1/N) regime without
+#: making `verify --suite fast` slow.
+CANONICAL_SCALES = (
+    PopulationScale(population=25.0, replications=8, regime="fluid"),
+    PopulationScale(population=100.0, replications=8, regime="fluid"),
+    PopulationScale(population=400.0, replications=8, regime="fluid"),
+)
+
+
+__all__ = [
+    "BASE_POPULATION",
+    "CANONICAL_SCALES",
+    "PopulationScale",
+    "SCALING_REGIMES",
+]

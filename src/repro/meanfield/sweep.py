@@ -1,0 +1,86 @@
+"""Config-facing capacity sweep: the CLI and cache entry point.
+
+The engine itself speaks processes and links; this module speaks
+:class:`~repro.experiments.params.PaperConfig`, so the ``repro
+meanfield`` subcommand can address the PR-2 result cache the same way
+every experiment does — the cache digest covers the code version and
+the whole config, and any ``--population``/``--capacities`` override
+re-addresses the entry automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.meanfield.engine import MeanFieldSimulator
+from repro.simulation import BirthDeathProcess, Link
+
+
+def capacity_sweep(
+    config, *, load: str = "poisson", utility: str = "adaptive"
+) -> Dict[str, np.ndarray]:
+    """Sweep ``B(C)``/``R(C)``/gap over the config's capacity grid.
+
+    One fluid solve serves the whole grid (the census dynamics never
+    see the capacity), plus a diffusion point estimate with CIs at the
+    config's simulation capacity under the simulation budget — the
+    mean-field twin of the S1 validation point.  Raises
+    :class:`~repro.errors.OutOfDomainError` outside the validity
+    envelope; refusals are never cached.
+    """
+    process = BirthDeathProcess(config.load(load))
+    utility_fn = config.utility(utility)
+    capacities = np.asarray(config.capacities, dtype=float)
+
+    sim = MeanFieldSimulator(process, Link(float(config.sim_capacity)))
+    verdict = sim.validity()
+    point = sim.paired_gap(
+        utility_fn,
+        config.sim_replications,
+        config.sim_horizon,
+        warmup=config.sim_warmup,
+    ).summary()
+    return {
+        "population": np.asarray([config.kbar]),
+        "cv": np.asarray([verdict["cv"]]),
+        "relaxation_time": np.asarray([verdict["relaxation_time"]]),
+        "capacity": capacities,
+        "best_effort": sim.best_effort_batch(utility_fn, capacities),
+        "reservation": sim.reservation_batch(utility_fn, capacities),
+        "gap": sim.gap_batch(utility_fn, capacities),
+        "point_capacity": np.asarray([config.sim_capacity]),
+        "point_replications": np.asarray([config.sim_replications]),
+        "point_horizon": np.asarray([config.sim_horizon]),
+        "point_warmup": np.asarray([config.sim_warmup]),
+        "point_level": np.asarray([point["level"]]),
+        "point_best_effort": np.asarray([point["best_effort"]]),
+        "point_best_effort_ci": np.asarray([point["best_effort_ci"]]),
+        "point_reservation": np.asarray([point["reservation"]]),
+        "point_reservation_ci": np.asarray([point["reservation_ci"]]),
+        "point_gap": np.asarray([point["gap"]]),
+        "point_gap_ci": np.asarray([point["gap_ci"]]),
+    }
+
+
+def sweep_experiment(load: str, utility: str):
+    """The cache-addressing shim for one ``(load, utility)`` sweep.
+
+    Mirrors :func:`repro.verify.runner.suite_experiment`: the
+    ``exp_id`` carries the pair into the cache key and the digest
+    target is :func:`capacity_sweep` itself.
+    """
+    from repro.experiments.registry import Experiment
+
+    return Experiment(
+        exp_id=f"MF.{load}.{utility}",
+        description=f"mean-field capacity sweep ({load}/{utility})",
+        run=lambda config, _l=load, _u=utility: capacity_sweep(
+            config, load=_l, utility=_u
+        ),
+        target=capacity_sweep,
+    )
+
+
+__all__ = ["capacity_sweep", "sweep_experiment"]

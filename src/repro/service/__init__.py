@@ -11,7 +11,7 @@ provides the matching keep-alive client used by the load bench.
 """
 
 from repro.service.client import ServiceClient, ServiceClientError
-from repro.service.core import UTILITIES, EmulatorService, QueryError
+from repro.service.core import ENGINE_HINTS, UTILITIES, EmulatorService, QueryError
 from repro.service.http import (
     DEFAULT_EXECUTOR_WORKERS,
     MAX_BODY_BYTES,
@@ -21,6 +21,7 @@ from repro.service.http import (
 )
 
 __all__ = [
+    "ENGINE_HINTS",
     "EmulatorService",
     "QueryError",
     "UTILITIES",

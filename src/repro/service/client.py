@@ -104,6 +104,7 @@ class ServiceClient:
         x: float,
         *,
         kbar: Optional[float] = None,
+        engine: Optional[str] = None,
     ) -> dict:
         body = {
             "quantity": quantity,
@@ -113,6 +114,8 @@ class ServiceClient:
         }
         if kbar is not None:
             body["kbar"] = kbar
+        if engine is not None:
+            body["engine"] = engine
         return self.request("POST", "/v1/point", body)
 
     def batch(
@@ -123,6 +126,7 @@ class ServiceClient:
         xs: Sequence[float],
         *,
         kbar: Optional[float] = None,
+        engine: Optional[str] = None,
     ) -> dict:
         body = {
             "quantity": quantity,
@@ -132,6 +136,8 @@ class ServiceClient:
         }
         if kbar is not None:
             body["kbar"] = kbar
+        if engine is not None:
+            body["engine"] = engine
         return self.request("POST", "/v1/batch", body)
 
 

@@ -45,6 +45,13 @@ from repro.runner.cache import ResultCache, decode_result
 #: Utilities the service accepts (rigid is always exact-path).
 UTILITIES: Tuple[str, ...] = ("rigid", "adaptive")
 
+#: Engines a query may explicitly request instead of the default
+#: surface/exact ladder.  The mean-field engine answers ``delta``
+#: queries from the fluid-diffusion fixed point in O(1) per capacity —
+#: and *refuses* (HTTP 400) outside its validity envelope rather than
+#: extrapolating.
+ENGINE_HINTS: Tuple[str, ...] = ("meanfield",)
+
 
 class QueryError(ReproError):
     """A malformed query (unknown quantity/load/utility, bad grid).
@@ -107,6 +114,7 @@ class EmulatorService:
         self.cache = cache
         self._locks: Dict[str, threading.Lock] = {}
         self._locks_guard = threading.Lock()
+        self._meanfield_sims: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # public queries
@@ -120,18 +128,20 @@ class EmulatorService:
         x: float,
         *,
         kbar: Optional[float] = None,
+        engine: Optional[str] = None,
     ) -> dict:
         """One point — the latency-critical path.
 
         Inside a fitted domain this is a pure-Python Clenshaw
         evaluation (no numpy, no locks); everything else routes
-        through :meth:`batch`.
+        through :meth:`batch`.  An explicit ``engine`` hint bypasses
+        the surface ladder entirely.
         """
         _validate_triple(quantity, load, utility)
         x = float(x)
         if not (np.isfinite(x) and x > 0.0):
             raise QueryError("query point must be finite and > 0")
-        if kbar is None:
+        if kbar is None and engine is None:
             surface = self.bank.lookup(quantity, load, utility)
             if surface is not None and surface.lo <= x <= surface.hi:
                 value = surface.eval_scalar(x)
@@ -148,7 +158,7 @@ class EmulatorService:
                     "source": "surface",
                     "certified_bound": surface.certified_bound,
                 }
-        result = self.batch(quantity, load, utility, [x], kbar=kbar)
+        result = self.batch(quantity, load, utility, [x], kbar=kbar, engine=engine)
         return {
             "quantity": quantity,
             "load": load,
@@ -167,6 +177,7 @@ class EmulatorService:
         xs: Sequence[float],
         *,
         kbar: Optional[float] = None,
+        engine: Optional[str] = None,
     ) -> dict:
         """A grid query: surface where certified, exact elsewhere.
 
@@ -175,10 +186,19 @@ class EmulatorService:
         utility) fall back to the exact batch solver through the
         result cache.  The response says how many points took each
         path and carries the certified bound whenever *any* point came
-        from a surface (``None`` means all-exact).
+        from a surface (``None`` means all-exact).  An explicit
+        ``engine="meanfield"`` hint answers from the fluid-diffusion
+        engine instead (``delta`` only; refusals propagate).
         """
         _validate_triple(quantity, load, utility)
         arr = _validate_grid(xs)
+        if engine is not None:
+            if engine not in ENGINE_HINTS:
+                raise QueryError(
+                    f"unknown engine {engine!r}; expected one of "
+                    f"{sorted(ENGINE_HINTS)}"
+                )
+            return self._meanfield_batch(quantity, load, utility, arr, kbar)
         if kbar is not None:
             return self._batch_kbar(quantity, load, utility, arr, float(kbar))
         surface = self.bank.lookup(quantity, load, utility)
@@ -222,6 +242,7 @@ class EmulatorService:
             "quantities": list(QUANTITIES),
             "loads": list(LOADS),
             "utilities": list(UTILITIES),
+            "engines": list(ENGINE_HINTS),
             "surfaces": [strip(s.to_dict()) for s in self.bank.all_surfaces()],
             "cache": self.cache is not None,
         }
@@ -283,6 +304,83 @@ class EmulatorService:
             "certified_bound": None,
         }
 
+    def _meanfield_batch(
+        self,
+        quantity: str,
+        load: str,
+        utility: str,
+        arr: np.ndarray,
+        kbar: Optional[float],
+    ) -> dict:
+        """Answer a batch through the fluid-diffusion engine.
+
+        Explicit opt-in only.  The quantity is restricted to ``delta``
+        (the paired gap is what the engine computes to O(1/N)); every
+        other quantity, and any configuration outside the validity
+        envelope, is refused — the engine never extrapolates, and the
+        HTTP layer maps the :class:`OutOfDomainError` to a 400.
+        """
+        if quantity != "delta":
+            raise QueryError(
+                f"engine=meanfield serves only quantity 'delta', "
+                f"not {quantity!r}"
+            )
+        if kbar is not None and not (np.isfinite(kbar) and kbar > 0.0):
+            raise QueryError("kbar must be finite and > 0")
+        population = float(kbar) if kbar is not None else self.config.kbar
+        sim = self._meanfield_sim(load, population)
+        values = sim.gap_batch(self.config.utility(utility), arr)
+        if obs.enabled():
+            obs.counter("service.points.meanfield").inc(arr.size)
+        obs.emit(
+            "service.meanfield",
+            load=load,
+            utility=utility,
+            population=population,
+            points=int(arr.size),
+        )
+        response = {
+            "quantity": quantity,
+            "load": load,
+            "utility": utility,
+            "x": arr.tolist(),
+            "values": values.tolist(),
+            "source": "meanfield",
+            "sources": {"surface": 0, "exact": 0, "meanfield": int(arr.size)},
+            "certified_bound": None,
+        }
+        if kbar is not None:
+            response["kbar"] = population
+        return response
+
+    def _meanfield_sim(self, load: str, population: float):
+        """One memoised simulator per ``(load, population)``.
+
+        The fluid solve is capacity-independent, so a single cached
+        equilibrium serves every query grid at this pair; the lock
+        serialises concurrent first solves the same way the fallback
+        locks serialise cold cache misses.
+        """
+        import dataclasses
+
+        from repro.meanfield import MeanFieldSimulator
+        from repro.simulation import BirthDeathProcess, Link
+
+        key = f"{load}/{population:g}"
+        with self._lock_for(f"meanfield/{key}"):
+            sim = self._meanfield_sims.get(key)
+            if sim is None:
+                config = (
+                    dataclasses.replace(self.config, kbar=population)
+                    if population != self.config.kbar
+                    else self.config
+                )
+                sim = MeanFieldSimulator(
+                    BirthDeathProcess(config.load(load)), Link(population)
+                )
+                self._meanfield_sims[key] = sim
+        return sim
+
     def _lock_for(self, key: str) -> threading.Lock:
         with self._locks_guard:
             lock = self._locks.get(key)
@@ -340,4 +438,4 @@ class EmulatorService:
         return np.asarray(series["value"], dtype=float)
 
 
-__all__ = ["EmulatorService", "QueryError", "UTILITIES"]
+__all__ = ["ENGINE_HINTS", "EmulatorService", "QueryError", "UTILITIES"]

@@ -243,9 +243,13 @@ class ServiceServer:
             return 200, await self._answer(endpoint, params)
         except QueryError as exc:
             return 400, {"error": str(exc)}
-        except (OutOfDomainError, ReproError) as exc:
-            # surfaces never raise OutOfDomainError through the service
-            # ladder (the core falls back), so any ReproError here is a
+        except OutOfDomainError as exc:
+            # the mean-field engine refuses rather than extrapolates;
+            # a refusal is the client's answer, not a server fault
+            return 400, {"error": f"OutOfDomainError: {exc}"}
+        except ReproError as exc:
+            # surfaces never raise through the default service ladder
+            # (the core falls back), so any ReproError here is a
             # solver-side failure on a valid-looking query
             return 500, {"error": f"{type(exc).__name__}: {exc}"}
         except (TypeError, ValueError, KeyError) as exc:
@@ -264,12 +268,15 @@ class ServiceServer:
         utility = str(params.get("utility", "adaptive"))
         kbar = params.get("kbar")
         kbar_f = None if kbar is None else float(kbar)
+        engine = params.get("engine")
+        engine_s = None if engine is None else str(engine)
         if endpoint == "point":
             if "x" not in params:
                 raise QueryError("missing required parameter: x")
             x = float(params["x"])
             surface_only = (
                 kbar_f is None
+                and engine_s is None
                 and (s := self.service.bank.lookup(quantity, load, utility))
                 is not None
                 and s.lo <= x <= s.hi
@@ -279,7 +286,7 @@ class ServiceServer:
                 return self.service.point(quantity, load, utility, x)
             return await self._offload(
                 lambda: self.service.point(
-                    quantity, load, utility, x, kbar=kbar_f
+                    quantity, load, utility, x, kbar=kbar_f, engine=engine_s
                 )
             )
         xs = params.get("x")
@@ -289,12 +296,15 @@ class ServiceServer:
         surface = self.service.bank.lookup(quantity, load, utility)
         if (
             kbar_f is None
+            and engine_s is None
             and surface is not None
             and all(surface.lo <= v <= surface.hi for v in grid)
         ):
             return self.service.batch(quantity, load, utility, grid)
         return await self._offload(
-            lambda: self.service.batch(quantity, load, utility, grid, kbar=kbar_f)
+            lambda: self.service.batch(
+                quantity, load, utility, grid, kbar=kbar_f, engine=engine_s
+            )
         )
 
     async def _offload(self, call):

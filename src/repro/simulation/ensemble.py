@@ -419,14 +419,40 @@ class EnsembleSimulator:
         used = 0
         while used < max_replications:
             batch = min(batch_size, max_replications - used)
-            result = self._run(
-                children[used : used + batch],
-                horizon,
-                warmup=warmup,
-                initial_census=initial_census,
-                max_events=max_events,
-                jobs=jobs,
-            )
+            try:
+                result = self._run(
+                    children[used : used + batch],
+                    horizon,
+                    warmup=warmup,
+                    initial_census=initial_census,
+                    max_events=max_events,
+                    jobs=jobs,
+                )
+            except SimulationBudgetError as exc:
+                # completed batches are paid for: surface the Welford
+                # state so equal-budget comparisons can still read it
+                if used > 0:
+                    partial = AdaptiveEstimate(
+                        mean=stat.mean,
+                        ci_halfwidth=stat.ci_halfwidth(level),
+                        level=level,
+                        replications=used,
+                        converged=False,
+                        target=ci_halfwidth,
+                    )
+                    obs.emit(
+                        "ensemble.adaptive.partial",
+                        replications=used,
+                        ci_halfwidth=float(partial.ci_halfwidth),
+                        target=float(ci_halfwidth),
+                    )
+                    raise SimulationBudgetError(
+                        events=exc.events,
+                        reached_t=exc.reached_t,
+                        horizon=exc.horizon,
+                        partial=partial,
+                    ) from exc
+                raise
             values = np.asarray(statistic(result), dtype=float).ravel()
             if len(values) != batch:
                 raise ValueError(

@@ -8,7 +8,8 @@ grouped by family:
   ``X*`` Section 5 extension identities, ``P*`` scalar-vs-batch
   differential parity, ``C*`` continuum closed forms and limits,
   ``W*`` welfare, ``K*`` the EXPERIMENTS.md checkpoint table,
-  ``S*`` ensemble Monte Carlo oracles.
+  ``S*`` ensemble Monte Carlo oracles, ``EM*`` certified emulator
+  surfaces, ``L*`` mean-field fluid-diffusion limits.
 
 Each entry cites where in Breslau & Shenker (SIGCOMM 1998) the
 property comes from; ``docs/VERIFY.md`` carries the longer catalogue.
@@ -1116,6 +1117,189 @@ def _emulator_rows_2d(config: PaperConfig) -> Tuple[Tuple[str, float], ...]:
 def _em5(config: PaperConfig) -> CheckResult:
     residual, where = worst_over_domain(_emulator_rows_2d(config))
     return CheckResult(residual, f"worst surface {where} (certified-bound units)")
+
+
+# ----------------------------------------------------------------------
+# L* — mean-field fluid-diffusion limits.  The fifth engine's accuracy
+# claims are *limit* statements (fluid bias O(1/N), Gaussian corrections
+# O(1/sqrt(N))), so the block probes them at finite populations under
+# the LIMIT policy and differentially against the scalar and ensemble
+# engines; see docs/MEANFIELD.md for the validity envelope.
+# ----------------------------------------------------------------------
+
+
+@REGISTRY.invariant(
+    "L1",
+    "fluid fixed point matches the exact stationary census mean",
+    paper_ref="(Fayolle et al. fluid limit; census drift b(n) = 0 at E[N])",
+    engines=("meanfield", "scalar"),
+    tolerance=LIMIT,
+)
+def _l1(config: PaperConfig) -> CheckResult:
+    from repro.loads import GeometricLoad
+    from repro.meanfield import DriftField, solve_fixed_point
+    from repro.meanfield.scaling import CANONICAL_SCALES
+    from repro.simulation import BirthDeathProcess, PoissonProcess
+
+    cases = []
+    for scale in CANONICAL_SCALES:
+        mean = scale.population
+        for label, process in (
+            ("poisson", PoissonProcess(mean)),
+            ("poisson-bd", BirthDeathProcess(PoissonLoad(mean))),
+            ("geometric-bd", BirthDeathProcess(GeometricLoad.from_mean(mean))),
+        ):
+            fp = solve_fixed_point(DriftField(process))
+            # normalise per flow: the limit statement is about the
+            # census *density*, so the bias budget must not grow with N
+            residual = LIMIT.residual(fp.census / mean, 1.0)
+            cases.append((f"{label} N={mean:g}", residual))
+    residual, where = worst_over_domain(cases)
+    return CheckResult(residual, f"worst case {where}")
+
+
+@REGISTRY.invariant(
+    "L2",
+    "diffusion-corrected B and R converge to the exact model as N grows",
+    paper_ref="S3.1 (B(C), R(C)) in the Gaussian large-population limit",
+    engines=("meanfield", "scalar"),
+    tolerance=LIMIT,
+)
+def _l2(config: PaperConfig) -> CheckResult:
+    from repro.meanfield import MeanFieldSimulator
+    from repro.meanfield.scaling import CANONICAL_SCALES
+    from repro.simulation import Link, PoissonProcess
+
+    utility = config.utility("adaptive")
+    cases = []
+    errors_b = []
+    errors_r = []
+    for scale in CANONICAL_SCALES:
+        mean = scale.population
+        capacity = scale.capacity()
+        sim = MeanFieldSimulator(PoissonProcess(mean), Link(capacity))
+        got_b = float(sim.best_effort_batch(utility, [capacity])[0])
+        got_r = float(sim.reservation_batch(utility, [capacity])[0])
+        model = VariableLoadModel(PoissonLoad(mean), utility)
+        ref_b = model.best_effort(capacity)
+        ref_r = model.reservation(capacity)
+        errors_b.append(abs(got_b - ref_b))
+        errors_r.append(abs(got_r - ref_r))
+        cases.append((f"B N={mean:g}", LIMIT.residual(got_b, ref_b)))
+        cases.append((f"R N={mean:g}", LIMIT.residual(got_r, ref_r)))
+    # the Gaussian closure must *improve* with N, not merely stay small
+    cases.append(
+        ("B error decay", monotone_residual(errors_b, increasing=False, atol=1e-4))
+    )
+    cases.append(
+        ("R error decay", monotone_residual(errors_r, increasing=False, atol=1e-4))
+    )
+    residual, where = worst_over_domain(cases)
+    return CheckResult(residual, f"worst case {where}")
+
+
+@REGISTRY.invariant(
+    "L3",
+    "diffusion CIs agree with ensemble CRN runs at a matched budget",
+    paper_ref="S3.1 (delta via CRN pairing) priced by the OU autocovariance",
+    engines=("meanfield", "ensemble"),
+    tolerance=LIMIT,
+)
+def _l3(config: PaperConfig) -> CheckResult:
+    from repro.meanfield import MeanFieldSimulator
+    from repro.simulation import Link, PoissonProcess, paired_gap
+
+    utility = config.utility("adaptive")
+    replications, horizon = 12, 200.0
+    mf = MeanFieldSimulator(
+        PoissonProcess(config.sim_kbar), Link(config.sim_capacity)
+    ).paired_gap(
+        utility, replications, horizon, warmup=config.sim_warmup
+    ).summary()
+    ens = paired_gap(
+        PoissonProcess(config.sim_kbar),
+        Link(config.sim_capacity),
+        utility,
+        replications,
+        horizon,
+        warmup=config.sim_warmup,
+        seed=config.sim_seed,
+    ).summary()
+    cases = []
+    for key in ("best_effort", "reservation", "gap"):
+        # both estimates carry sampling/closure error: widen the LIMIT
+        # allowance by the two CI half-widths, as MONTE_CARLO would
+        allowance = LIMIT.allowance(ens[key]) + mf[f"{key}_ci"] + ens[f"{key}_ci"]
+        cases.append((key, abs(mf[key] - ens[key]) / allowance))
+        # the diffusion CI must price the same budget at the same
+        # order of magnitude as the Welford CI it mirrors
+        ratio = mf[f"{key}_ci"] / max(ens[f"{key}_ci"], 1e-12)
+        cases.append((f"{key} ci ratio", bound_residual([ratio], lower=0.2, upper=5.0, atol=1.0)))
+    residual, where = worst_over_domain(cases)
+    return CheckResult(residual, f"worst case {where}")
+
+
+@REGISTRY.invariant(
+    "L4",
+    "mean-field gap is non-negative and decays with over-provisioning",
+    paper_ref="S3.1 (R >= B; delta -> 0 as C grows past the load)",
+    engines=("meanfield",),
+    tolerance=LIMIT,
+)
+def _l4(config: PaperConfig) -> CheckResult:
+    from repro.meanfield import MeanFieldSimulator
+    from repro.simulation import Link, PoissonProcess
+
+    utility = config.utility("adaptive")
+    sim = MeanFieldSimulator(
+        PoissonProcess(config.sim_kbar), Link(config.sim_capacity)
+    )
+    capacities = np.linspace(0.6 * config.sim_kbar, 2.4 * config.sim_kbar, 19)
+    gaps = sim.gap_batch(utility, capacities)
+    best_effort = sim.best_effort_batch(utility, capacities)
+    tail = gaps[capacities >= config.sim_kbar]
+    cases = [
+        ("gap >= 0", bound_residual(gaps, lower=0.0, atol=1e-9)),
+        ("gap tail decay", monotone_residual(tail, increasing=False, atol=1e-9)),
+        ("B monotone in C", monotone_residual(best_effort, increasing=True, atol=1e-9)),
+    ]
+    residual, where = worst_over_domain(cases)
+    return CheckResult(residual, f"worst case {where}")
+
+
+@REGISTRY.invariant(
+    "L5",
+    "degenerate (zero-variance) fluid census reduces to the fixed-load model",
+    paper_ref="S2 (fixed-load comparison) as the single-link reduction",
+    engines=("meanfield", "scalar"),
+    tolerance=LIMIT,
+)
+def _l5(config: PaperConfig) -> CheckResult:
+    from repro.models.fixed_load import FixedLoadModel
+    from repro.meanfield import MeanFieldSimulator
+    from repro.simulation import Link, PoissonProcess
+
+    utility = config.utility("adaptive")
+    fixed = FixedLoadModel(utility)
+    cases = []
+    for flows, capacity in ((60.0, 40.0), (50.0, 55.0), (30.0, 80.0)):
+        sim = MeanFieldSimulator(PoissonProcess(flows), Link(capacity))
+        values = sim.fluid_values(utility)
+        comparison = fixed.compare(flows, capacity)
+        cases.append((
+            f"BE m={flows:g} C={capacity:g}",
+            LIMIT.residual(
+                values["best_effort"] * flows, comparison.best_effort_total
+            ),
+        ))
+        cases.append((
+            f"RES m={flows:g} C={capacity:g}",
+            LIMIT.residual(
+                values["reservation"] * flows, comparison.reservation_total
+            ),
+        ))
+    residual, where = worst_over_domain(cases)
+    return CheckResult(residual, f"worst case {where}")
 
 
 def catalogue_size() -> int:

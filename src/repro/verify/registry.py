@@ -20,8 +20,8 @@ from repro.experiments.params import PaperConfig
 from repro.verify.report import InvariantOutcome, VerificationReport
 from repro.verify.tolerance import TolerancePolicy
 
-#: The four computation engines an invariant can exercise.
-ENGINES = ("scalar", "batch", "ensemble", "continuum")
+#: The five computation engines an invariant can exercise.
+ENGINES = ("scalar", "batch", "ensemble", "continuum", "meanfield")
 
 #: Recognised suite names, cheapest first.
 SUITES = ("fast", "deep")
@@ -37,6 +37,11 @@ class CheckResult:
 
     residual: float
     detail: str = ""
+
+    def __post_init__(self) -> None:
+        # checks often hand back numpy scalars; coerce once here so the
+        # JSON report never sees a non-serialisable np.float64/np.bool_
+        object.__setattr__(self, "residual", float(self.residual))
 
     @property
     def passed(self) -> bool:

@@ -20,6 +20,7 @@ from repro.caching import BoundedCache
 from repro.experiments.params import PaperConfig
 from repro.loads import AlgebraicLoad, GeometricLoad, PoissonLoad
 from repro.loads.base import LoadDistribution
+from repro.meanfield.scaling import SCALING_REGIMES, PopulationScale
 from repro.models import SamplingModel, VariableLoadModel
 from repro.utility import (
     AdaptiveUtility,
@@ -149,6 +150,31 @@ def paper_configs(draw) -> PaperConfig:
         samples=draw(st.integers(min_value=2, max_value=12)),
         ramp_a=draw(st.floats(min_value=0.1, max_value=0.9)),
         sim_seed=draw(seeds()),
+    )
+
+
+@st.composite
+def populations(
+    draw,
+    regimes: Tuple[str, ...] = SCALING_REGIMES,
+    max_population: float = 1000.0,
+) -> PopulationScale:
+    """A population scale for mean-field limit properties.
+
+    Draws the mean flow count N, a replication budget, and which
+    scaling regime the example probes — the shared vocabulary of the
+    L-block invariants, the ensemble property tests, and the crossover
+    bench (see ``repro.meanfield.scaling``).
+    """
+    population = draw(
+        st.sampled_from(
+            tuple(p for p in (25.0, 50.0, 100.0, 400.0, 1000.0) if p <= max_population)
+        )
+    )
+    replications = draw(st.sampled_from((4, 8, 16)))
+    regime = draw(st.sampled_from(regimes))
+    return PopulationScale(
+        population=population, replications=replications, regime=regime
     )
 
 

@@ -1,0 +1,143 @@
+"""Extreme-capacity (C >= 10^4) coverage for the continuum asymptotics.
+
+The continuum closed forms were exercised at figure-scale capacities
+(C <= ~10^3); the mean-field engine's crossover story is about
+populations and capacities orders of magnitude beyond that.  These
+tests drive the asymptotic entry points at C in {10^4, 10^5, 10^6},
+check the closed forms stay finite and ordered out there, and pin the
+continuum values against the mean-field fluid fixed point — two
+independent large-N routes that must land on the same answers.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.continuum import (
+    AdaptiveAlgebraicContinuum,
+    AdaptiveExponentialContinuum,
+    RigidAlgebraicContinuum,
+    RigidExponentialContinuum,
+)
+from repro.experiments import DEFAULT_CONFIG
+from repro.meanfield import MeanFieldSimulator
+from repro.simulation import Link, PoissonProcess
+
+EXTREME_CAPACITIES = (1.0e4, 1.0e5, 1.0e6)
+
+
+class TestRigidExponentialExtreme:
+    @pytest.mark.parametrize("capacity", EXTREME_CAPACITIES)
+    def test_values_saturate_and_stay_ordered(self, capacity):
+        model = RigidExponentialContinuum()
+        best_effort = model.best_effort(capacity)
+        reservation = model.reservation(capacity)
+        assert 0.0 <= best_effort <= reservation <= 1.0
+        assert reservation == pytest.approx(1.0, abs=1e-12)
+        assert model.performance_gap(capacity) == pytest.approx(0.0, abs=1e-12)
+
+    @pytest.mark.parametrize("capacity", EXTREME_CAPACITIES)
+    def test_bandwidth_gap_tracks_its_asymptotic_form(self, capacity):
+        model = RigidExponentialContinuum()
+        exact = model.bandwidth_gap(capacity)
+        asymptotic = model.bandwidth_gap_asymptotic(capacity)
+        # Delta ~ ln(beta C): relative agreement tightens with C
+        assert exact == pytest.approx(asymptotic, rel=0.15)
+
+    def test_bandwidth_gap_asymptotic_error_decreases_with_capacity(self):
+        model = RigidExponentialContinuum()
+        errors = [
+            abs(model.bandwidth_gap(c) - model.bandwidth_gap_asymptotic(c))
+            / model.bandwidth_gap(c)
+            for c in EXTREME_CAPACITIES
+        ]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_batch_kernels_agree_with_scalars_at_extreme_capacity(self):
+        model = RigidExponentialContinuum()
+        caps = np.asarray(EXTREME_CAPACITIES)
+        np.testing.assert_allclose(
+            model.bandwidth_gap_batch(caps),
+            [model.bandwidth_gap(c) for c in caps],
+            rtol=1e-9,
+        )
+
+
+class TestAdaptiveExponentialExtreme:
+    def test_bandwidth_gap_approaches_its_finite_limit(self):
+        model = AdaptiveExponentialContinuum(DEFAULT_CONFIG.ramp_a)
+        errors = [
+            abs(model.bandwidth_gap(c) - model.bandwidth_gap_limit())
+            for c in (5.0, 10.0, 15.0, 20.0)
+        ]
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] < 1e-6
+
+    @pytest.mark.parametrize("capacity", EXTREME_CAPACITIES)
+    def test_bandwidth_gap_saturates_to_zero_past_float_resolution(self, capacity):
+        # beyond C ~ 30/beta the utility gap underflows the solver's
+        # floor: the architectures are float-indistinguishable, and the
+        # contract is a clean zero rather than cancellation noise
+        model = AdaptiveExponentialContinuum(DEFAULT_CONFIG.ramp_a)
+        assert model.bandwidth_gap(capacity) == 0.0
+
+    @pytest.mark.parametrize("capacity", EXTREME_CAPACITIES)
+    def test_gap_vanishes_at_extreme_capacity(self, capacity):
+        model = AdaptiveExponentialContinuum(DEFAULT_CONFIG.ramp_a)
+        assert model.performance_gap(capacity) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestAlgebraicExtreme:
+    @pytest.mark.parametrize("capacity", EXTREME_CAPACITIES)
+    def test_rigid_algebraic_stays_finite_and_ordered(self, capacity):
+        model = RigidAlgebraicContinuum(DEFAULT_CONFIG.z)
+        best_effort = model.best_effort(capacity)
+        reservation = model.reservation(capacity)
+        assert 0.0 <= best_effort <= reservation <= 1.0
+        assert math.isfinite(model.bandwidth_gap(capacity))
+        # power-law tail: Delta grows linearly in C, unlike the
+        # exponential case's logarithm
+        assert model.bandwidth_gap(capacity) > model.bandwidth_gap(capacity / 10.0)
+
+    @pytest.mark.parametrize("capacity", EXTREME_CAPACITIES)
+    def test_adaptive_algebraic_gap_decays_polynomially(self, capacity):
+        model = AdaptiveAlgebraicContinuum(DEFAULT_CONFIG.z, DEFAULT_CONFIG.ramp_a)
+        gap = model.performance_gap(capacity)
+        assert 0.0 <= gap < (1.0 / capacity) ** (DEFAULT_CONFIG.z - 2.0)
+
+
+class TestFluidCrossAnchor:
+    """Continuum closed forms vs the mean-field fluid fixed point.
+
+    For a Poisson census at mean ``kbar`` the fluid engine collapses
+    the population onto ``n* = kbar``; at extreme capacity the
+    continuum's census integral is equally dominated by its mean.
+    Two independent large-N reductions — quadrature over a continuum
+    density vs an ODE fixed point — must agree out here.
+    """
+
+    @pytest.mark.parametrize("capacity", EXTREME_CAPACITIES)
+    def test_exponential_continuum_agrees_with_the_fluid_point(self, capacity):
+        kbar = DEFAULT_CONFIG.sim_kbar
+        continuum = AdaptiveExponentialContinuum(
+            DEFAULT_CONFIG.ramp_a, beta=1.0 / kbar
+        )
+        sim = MeanFieldSimulator(PoissonProcess(kbar), Link(capacity))
+        fluid = sim.fluid_values(DEFAULT_CONFIG.utility("adaptive"))
+        assert continuum.best_effort(capacity) == pytest.approx(
+            fluid["best_effort"], abs=1e-6
+        )
+        assert continuum.reservation(capacity) == pytest.approx(
+            fluid["reservation"], abs=1e-6
+        )
+
+    def test_fluid_point_is_capacity_independent(self):
+        # the census dynamics never see C: one solve must serve any grid
+        sim = MeanFieldSimulator(PoissonProcess(DEFAULT_CONFIG.sim_kbar), Link(1.0e4))
+        equilibrium = sim.equilibrium()
+        assert equilibrium.census == pytest.approx(DEFAULT_CONFIG.sim_kbar, abs=1e-9)
+        values = sim.best_effort_batch(
+            DEFAULT_CONFIG.utility("adaptive"), np.asarray(EXTREME_CAPACITIES)
+        )
+        np.testing.assert_allclose(values, 1.0, atol=1e-9)

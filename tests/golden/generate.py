@@ -20,7 +20,11 @@ kappa = 0.62086, z = 3) at ~10 canonical grid points each:
 - ``retrying_T5`` — Section 5.2 retry curves behind checkpoints
   T5.1–T5.6 (alg/adaptive, alpha from the config; capacities start at
   1.3 k̄ because the retry fixed point needs C ≳ 1.2 k̄) plus the
-  closed-form ``((z-1)/alpha)^{1/(z-2)}`` ratios.
+  closed-form ``((z-1)/alpha)^{1/(z-2)}`` ratios;
+- ``meanfield`` — the fluid-diffusion engine's B̂(C)/R̂(C)/gap over the
+  canonical capacities (Poisson census, Gauss–Hermite closure): the
+  quadrature is deterministic, so the pins hold the whole fluid solve +
+  diffusion functional chain bit-stable.
 
 Values come from the *scalar* code path on purpose: the golden test
 then holds both the scalar and the vectorised batch paths to the same
@@ -138,6 +142,25 @@ def main() -> int:
         "delta": [retry.performance_gap(c) for c in RETRY_CAPACITIES],
         "rigid_ratio": retrying_rigid_ratio(cfg.z, cfg.alpha),
         "rigid_ratio_z2p1": retrying_rigid_ratio(2.1, cfg.alpha),
+    }
+
+    from repro.meanfield import MeanFieldSimulator
+    from repro.simulation import BirthDeathProcess, Link
+
+    meanfield = MeanFieldSimulator(
+        BirthDeathProcess(cfg.load("poisson")), Link(cfg.kbar)
+    )
+    adaptive = cfg.utility("adaptive")
+    payload["meanfield"] = {
+        "load": "poisson",
+        "capacity": CAPACITIES,
+        "best_effort": [
+            float(v) for v in meanfield.best_effort_batch(adaptive, CAPACITIES)
+        ],
+        "reservation": [
+            float(v) for v in meanfield.reservation_batch(adaptive, CAPACITIES)
+        ],
+        "gap": [float(v) for v in meanfield.gap_batch(adaptive, CAPACITIES)],
     }
     OUT.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {OUT}")

@@ -1,0 +1,118 @@
+"""The ``meanfield`` CLI subcommand: rendering, caching, refusals."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+CAPS = ["--capacities", "60", "80", "120"]
+
+
+class TestRendering:
+    def test_text_table_and_point_estimate(self, capsys):
+        assert main(["meanfield", *CAPS]) == 0
+        out = capsys.readouterr().out
+        assert "load=poisson utility=adaptive N=100" in out
+        assert "point estimate at C=55" in out
+        assert "+/-" in out
+
+    def test_json_envelope(self, capsys):
+        assert main(["meanfield", *CAPS, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["_meta"]["load"] == "poisson"
+        assert payload["_meta"]["utility"] == "adaptive"
+        result = payload["result"]
+        assert result["capacity"] == [60.0, 80.0, 120.0]
+        assert len(result["best_effort"]) == 3
+        # monotone blocking relief along the sweep
+        assert result["best_effort"] == sorted(result["best_effort"])
+        assert result["point_gap"][0] >= 0.0
+
+    def test_population_override_rescales_the_fluid_point(self, capsys):
+        assert main(["meanfield", *CAPS, "--population", "50", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result"]["population"] == [50.0]
+        assert payload["result"]["cv"][0] == pytest.approx(50.0**-0.5)
+
+    def test_point_matches_the_engine_contract(self, capsys):
+        from repro.experiments import DEFAULT_CONFIG
+        from repro.meanfield import MeanFieldSimulator
+        from repro.simulation import BirthDeathProcess, Link
+
+        assert main(["meanfield", *CAPS, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        expected = (
+            MeanFieldSimulator(
+                BirthDeathProcess(DEFAULT_CONFIG.load("poisson")),
+                Link(DEFAULT_CONFIG.sim_capacity),
+            )
+            .paired_gap(
+                DEFAULT_CONFIG.utility("adaptive"),
+                DEFAULT_CONFIG.sim_replications,
+                DEFAULT_CONFIG.sim_horizon,
+                warmup=DEFAULT_CONFIG.sim_warmup,
+            )
+            .summary()
+        )
+        assert payload["result"]["point_best_effort"][0] == pytest.approx(
+            expected["best_effort"], rel=1e-12
+        )
+        assert payload["result"]["point_gap_ci"][0] == pytest.approx(
+            expected["gap_ci"], rel=1e-12
+        )
+
+
+class TestCaching:
+    def test_cold_then_warm_cache(self, tmp_path, capsys):
+        cache = str(tmp_path)
+        assert main(["meanfield", *CAPS, "--cache-dir", cache, "--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["_meta"]["cache"] == "miss"
+        assert main(["meanfield", *CAPS, "--cache-dir", cache, "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["_meta"]["cache"] == "hit"
+        assert warm["result"] == cold["result"]
+
+    def test_population_override_readdresses_the_cache(self, tmp_path, capsys):
+        cache = str(tmp_path)
+        assert main(["meanfield", *CAPS, "--cache-dir", cache, "--json"]) == 0
+        capsys.readouterr()
+        assert main(
+            ["meanfield", *CAPS, "--population", "64", "--cache-dir", cache, "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["_meta"]["cache"] == "miss"
+        assert payload["result"]["population"] == [64.0]
+
+
+class TestRefusals:
+    def test_heavy_tail_refused_with_exit_1(self, tmp_path, capsys):
+        cache = str(tmp_path)
+        assert main(["meanfield", "--load", "exponential", "--cache-dir", cache]) == 1
+        err = capsys.readouterr().err
+        assert "CV" in err
+        # refusals are never cached
+        assert not any(tmp_path.iterdir())
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["meanfield", "--population", "-5"],
+            ["meanfield", "--capacities", "0"],
+        ],
+    )
+    def test_invalid_arguments_exit_nonzero(self, argv):
+        with pytest.raises(SystemExit):
+            main(argv)

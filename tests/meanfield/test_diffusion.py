@@ -1,0 +1,125 @@
+"""Tests for the Gaussian census and OU-priced confidence intervals."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.meanfield import (
+    DriftField,
+    GaussianCensus,
+    MeanFieldEstimate,
+    solve_fixed_point,
+    window_variance_factor,
+    z_quantile,
+)
+from repro.meanfield.fluid import FluidFixedPoint
+from repro.simulation import PoissonProcess
+
+
+def _census(mean: float = 50.0) -> GaussianCensus:
+    return GaussianCensus(solve_fixed_point(DriftField(PoissonProcess(mean))))
+
+
+class TestWindowVarianceFactor:
+    def test_long_window_limit_is_two_tau_over_t(self):
+        # tau/T -> 0: c(r) ~ 2r (the classic 2 tau / T variance decay)
+        r = 1e-4
+        assert window_variance_factor(r) == pytest.approx(2.0 * r, rel=1e-3)
+
+    def test_short_window_limit_is_one(self):
+        assert window_variance_factor(1e9) == pytest.approx(1.0)
+
+    def test_monotone_increasing_in_ratio(self):
+        ratios = np.geomspace(1e-4, 1e3, 30)
+        values = [window_variance_factor(r) for r in ratios]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_zero_ratio_gives_zero(self):
+        assert window_variance_factor(0.0) == 0.0
+
+    def test_never_exceeds_one(self):
+        assert all(window_variance_factor(r) <= 1.0 for r in (0.1, 1.0, 10.0))
+
+
+class TestGaussianCensus:
+    def test_expectation_of_identity_is_the_mean(self):
+        census = _census(50.0)
+        assert census.expect(lambda n: n) == pytest.approx(50.0, rel=1e-9)
+
+    def test_moments_reproduce_the_variance(self):
+        census = _census(50.0)
+        mean, var = census.moments(lambda n: n)
+        assert mean == pytest.approx(50.0, rel=1e-9)
+        assert var == pytest.approx(50.0, rel=1e-6)
+
+    def test_nodes_are_clamped_nonnegative(self):
+        nodes, weights = _census(4.0).nodes()
+        assert np.all(nodes >= 0.0)
+        assert np.sum(weights) == pytest.approx(1.0, rel=1e-12)
+
+    def test_coefficient_of_variation(self):
+        census = _census(100.0)
+        assert census.coefficient_of_variation == pytest.approx(0.1, rel=1e-6)
+
+    def test_sem_scales_with_inverse_sqrt_replications(self):
+        census = _census(50.0)
+        sem4 = census.time_average_sem(lambda n: n, window=100.0, replications=4)
+        sem16 = census.time_average_sem(lambda n: n, window=100.0, replications=16)
+        assert sem4 / sem16 == pytest.approx(2.0, rel=1e-9)
+
+    def test_sem_shrinks_with_longer_windows(self):
+        census = _census(50.0)
+        short = census.time_average_sem(lambda n: n, window=10.0, replications=8)
+        long = census.time_average_sem(lambda n: n, window=1000.0, replications=8)
+        assert long < short
+
+    def test_degenerate_budget_gives_infinite_sem(self):
+        census = _census(50.0)
+        assert census.time_average_sem(lambda n: n, window=0.0, replications=8) == math.inf
+
+    def test_unstable_fixed_point_refused(self):
+        bad = FluidFixedPoint(
+            census=10.0, drift_jacobian=0.5, intensity=20.0, converged=True
+        )
+        with pytest.raises(ModelError, match="unstable"):
+            GaussianCensus(bad)
+
+    def test_unconverged_fixed_point_refused(self):
+        bad = FluidFixedPoint(
+            census=10.0, drift_jacobian=-1.0, intensity=20.0, converged=False
+        )
+        with pytest.raises(ModelError, match="unconverged"):
+            GaussianCensus(bad)
+
+
+class TestMeanFieldEstimate:
+    def test_contract_fields(self):
+        est = MeanFieldEstimate(
+            mean=0.5,
+            ci_halfwidth=0.01,
+            level=0.95,
+            replications=8,
+            horizon=100.0,
+            warmup=10.0,
+        )
+        assert est.effective_window == pytest.approx(90.0)
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ModelError, match="level"):
+            MeanFieldEstimate(
+                mean=0.5, ci_halfwidth=0.01, level=1.5,
+                replications=8, horizon=100.0, warmup=0.0,
+            )
+
+    def test_invalid_replications_rejected(self):
+        with pytest.raises(ModelError, match="replications"):
+            MeanFieldEstimate(
+                mean=0.5, ci_halfwidth=0.01, level=0.95,
+                replications=0, horizon=100.0, warmup=0.0,
+            )
+
+    def test_z_quantile_matches_the_normal_table(self):
+        assert z_quantile(0.95) == pytest.approx(1.959964, abs=1e-5)
+        assert z_quantile(0.99) == pytest.approx(2.575829, abs=1e-5)

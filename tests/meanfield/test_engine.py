@@ -1,0 +1,128 @@
+"""Tests for the mean-field engine: contract parity and the envelope."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, OutOfDomainError
+from repro.experiments import DEFAULT_CONFIG
+from repro.loads import PoissonLoad
+from repro.meanfield import MeanFieldSimulator, meanfield_gap
+from repro.models import VariableLoadModel
+from repro.simulation import BirthDeathProcess, Link, PoissonProcess
+from repro.simulation.processes import ParetoBatchProcess
+
+UTILITY = DEFAULT_CONFIG.utility("adaptive")
+
+
+def _sim(mean: float = 50.0, capacity: float = 55.0) -> MeanFieldSimulator:
+    return MeanFieldSimulator(PoissonProcess(mean), Link(capacity))
+
+
+class TestEnvelope:
+    def test_poisson_load_is_inside_the_envelope(self):
+        verdict = _sim().validity()
+        assert verdict["ok"] is True
+        assert verdict["reasons"] == []
+        assert verdict["cv"] == pytest.approx(np.sqrt(50.0) / 50.0)
+
+    def test_heavy_tailed_census_is_refused(self):
+        # geometric census: CV ~ 1, far beyond the Gaussian closure
+        load = DEFAULT_CONFIG.load("exponential")
+        sim = MeanFieldSimulator(BirthDeathProcess(load), Link(110.0))
+        assert sim.validity()["ok"] is False
+        with pytest.raises(OutOfDomainError, match="CV"):
+            sim.paired_gap(UTILITY, 8, 100.0)
+
+    def test_batch_arrival_process_is_refused_at_construction(self):
+        with pytest.raises(OutOfDomainError, match="batch"):
+            MeanFieldSimulator(ParetoBatchProcess(5.0), Link(10.0))
+
+    def test_refusal_is_an_out_of_domain_error(self):
+        # the service layer keys its 400-vs-500 mapping on this type
+        load = DEFAULT_CONFIG.load("algebraic")
+        sim = MeanFieldSimulator(BirthDeathProcess(load), Link(110.0))
+        with pytest.raises(OutOfDomainError):
+            sim.gap_batch(UTILITY, [100.0])
+
+
+class TestEstimatorContract:
+    def test_summary_keys_match_the_ensemble_contract(self):
+        from repro.simulation.ensemble import PairedGapResult
+
+        mf = _sim().paired_gap(UTILITY, 12, 200.0, warmup=50.0).summary()
+        ens = PairedGapResult(
+            best_effort=np.full(4, 0.5),
+            reservation=np.full(4, 0.5),
+            gap=np.zeros(4),
+        ).summary()
+        assert set(mf) == set(ens)
+        assert mf["replications"] == 12
+        assert mf["level"] == 0.95
+
+    def test_values_match_the_analytic_model(self):
+        result = _sim().paired_gap(UTILITY, 12, 200.0, warmup=50.0)
+        model = VariableLoadModel(PoissonLoad(50.0), UTILITY)
+        summary = result.summary()
+        assert summary["best_effort"] == pytest.approx(
+            model.best_effort(55.0), abs=2e-4
+        )
+        assert summary["reservation"] == pytest.approx(
+            model.reservation(55.0), abs=2e-4
+        )
+        assert summary["gap"] == pytest.approx(
+            model.performance_gap(55.0), abs=5e-5
+        )
+
+    def test_paired_gap_ci_is_tighter_than_marginals(self):
+        # the CRN analogue: the paired functional cancels shared
+        # census noise, so its CI must beat both marginal CIs
+        result = _sim().paired_gap(UTILITY, 12, 200.0, warmup=50.0)
+        assert result.gap.ci_halfwidth < 0.2 * result.best_effort.ci_halfwidth
+        assert result.gap.ci_halfwidth < 0.2 * result.reservation.ci_halfwidth
+
+    def test_ci_scales_with_budget(self):
+        small = _sim().paired_gap(UTILITY, 4, 100.0, warmup=50.0)
+        large = _sim().paired_gap(UTILITY, 16, 100.0, warmup=50.0)
+        assert large.gap.ci_halfwidth == pytest.approx(
+            small.gap.ci_halfwidth / 2.0, rel=1e-9
+        )
+
+    def test_invalid_warmup_rejected(self):
+        with pytest.raises(ModelError, match="warmup"):
+            _sim().utility_estimates(UTILITY, replications=8, horizon=10.0, warmup=10.0)
+
+    def test_module_level_gap_matches_the_method(self):
+        direct = meanfield_gap(
+            PoissonProcess(50.0), Link(55.0), UTILITY, 12, 200.0, warmup=50.0
+        ).summary()
+        method = _sim().paired_gap(UTILITY, 12, 200.0, warmup=50.0).summary()
+        assert direct == method
+
+
+class TestBatchEntryPoints:
+    def test_gap_is_reservation_minus_best_effort(self):
+        sim = _sim()
+        caps = np.linspace(40.0, 90.0, 6)
+        np.testing.assert_allclose(
+            sim.gap_batch(UTILITY, caps),
+            sim.reservation_batch(UTILITY, caps) - sim.best_effort_batch(UTILITY, caps),
+            atol=1e-14,
+        )
+
+    def test_one_solve_serves_the_whole_grid(self):
+        sim = _sim()
+        first = sim.equilibrium()
+        sim.gap_batch(UTILITY, np.linspace(30.0, 120.0, 50))
+        assert sim.equilibrium() is first
+
+    def test_batch_agrees_with_scalar_evaluation(self):
+        sim = _sim()
+        batch = sim.best_effort_batch(UTILITY, [55.0, 70.0])
+        single = sim.best_effort_batch(UTILITY, [55.0])
+        assert batch[0] == pytest.approx(float(single[0]), rel=1e-12)
+
+    def test_fluid_values_gap_vanishes_when_capacity_exceeds_kmax(self):
+        # at C where k_max(C) >= n*, both architectures admit everyone
+        values = _sim(50.0, 80.0).fluid_values(UTILITY)
+        assert values["gap"] == 0.0
+        assert values["best_effort"] == values["reservation"]

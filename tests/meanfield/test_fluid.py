@@ -1,0 +1,136 @@
+"""Tests for the fluid layer: drift derivation and the ODE integrator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, ModelError
+from repro.loads import GeometricLoad, PoissonLoad
+from repro.meanfield import (
+    DriftField,
+    default_initial_census,
+    integrate,
+    solve_fixed_point,
+)
+from repro.simulation import BirthDeathProcess, PoissonProcess
+from repro.simulation.processes import DemandProcess, ParetoBatchProcess
+
+
+class _ExplosiveProcess(DemandProcess):
+    """Super-linear births: drift is positive everywhere, no fixed point."""
+
+    def arrival_rate(self, census: int) -> float:
+        return 2.0 * census + 1.0
+
+    def departure_rate(self, census: int) -> float:
+        return float(census)
+
+    def batch_size(self, rng) -> int:
+        return 1
+
+
+class _StatefulProcess(_ExplosiveProcess):
+    def advance_to(self, t: float) -> None:
+        self._t = t
+
+
+class TestDriftField:
+    def test_rates_match_process_on_the_lattice(self):
+        process = BirthDeathProcess(PoissonLoad(10.0))
+        field = DriftField(process)
+        census = np.arange(0, 30)
+        np.testing.assert_allclose(
+            field.arrival(census.astype(float)), process.arrival_rates(census)
+        )
+        np.testing.assert_allclose(
+            field.departure(census.astype(float)), process.departure_rates(census)
+        )
+
+    def test_fractional_census_interpolates_linearly(self):
+        field = DriftField(BirthDeathProcess(PoissonLoad(10.0)))
+        lo, hi = field.arrival(7.0), field.arrival(8.0)
+        assert field.arrival(7.25) == pytest.approx(0.75 * lo + 0.25 * hi)
+
+    def test_scalar_and_array_evaluation_agree(self):
+        field = DriftField(PoissonProcess(25.0))
+        assert field.drift(12.5) == pytest.approx(float(field.drift(np.array([12.5]))[0]))
+
+    def test_negative_census_clamped_to_zero(self):
+        field = DriftField(PoissonProcess(25.0))
+        assert field.drift(-3.0) == field.drift(0.0)
+
+    def test_stateful_process_refused(self):
+        with pytest.raises(ModelError, match="state"):
+            DriftField(_StatefulProcess())
+
+    def test_batch_arrival_process_refused(self):
+        with pytest.raises(ModelError, match="batch"):
+            DriftField(ParetoBatchProcess(5.0))
+
+    def test_jacobian_is_negative_at_stable_point(self):
+        field = DriftField(PoissonProcess(50.0))
+        assert field.jacobian(50.0) == pytest.approx(-1.0)
+
+
+class TestFixedPoint:
+    def test_poisson_process_fixed_point_is_exact(self):
+        fp = solve_fixed_point(DriftField(PoissonProcess(50.0)))
+        assert fp.census == pytest.approx(50.0, abs=1e-9)
+        assert fp.converged and fp.stable
+        # OU variance reproduces the exact Poisson census variance
+        assert fp.variance == pytest.approx(50.0, rel=1e-9)
+        assert fp.relaxation_time == pytest.approx(1.0, rel=1e-9)
+
+    @pytest.mark.parametrize("mean", [25.0, 100.0, 400.0])
+    def test_birth_death_poisson_matches_load_mean(self, mean):
+        fp = solve_fixed_point(DriftField(BirthDeathProcess(PoissonLoad(mean))))
+        assert fp.census == pytest.approx(mean, rel=1e-9)
+
+    def test_birth_death_geometric_matches_load_mean(self):
+        load = GeometricLoad.from_mean(40.0)
+        fp = solve_fixed_point(DriftField(BirthDeathProcess(load)))
+        assert fp.census == pytest.approx(load.mean, rel=1e-9)
+        # geometric census variance is n*/(1-q); detailed balance gives
+        # birth rate (k+1)P(k+1)/P(k) = q(k+1), so sigma^2 = mean/(1-q)
+        q = 1.0 - 1.0 / (1.0 + load.mean)
+        assert fp.variance == pytest.approx(load.mean / (1.0 - q), rel=1e-6)
+
+    def test_explosive_process_raises_convergence_error(self):
+        with pytest.raises(ConvergenceError):
+            solve_fixed_point(DriftField(_ExplosiveProcess()), max_steps=500)
+
+    def test_default_initial_census_prefers_mean_hint(self):
+        assert default_initial_census(PoissonProcess(30.0)) == 30.0
+        assert default_initial_census(BirthDeathProcess(PoissonLoad(12.0))) == 12.0
+
+
+class TestIntegrator:
+    def test_trajectory_follows_the_linear_ode_exactly(self):
+        # PoissonProcess drift is b(n) = m - n: n(t) = m + (n0 - m) e^-t
+        field = DriftField(PoissonProcess(50.0))
+        traj = integrate(field, 10.0, horizon=3.0, rtol=1e-9, atol=1e-9)
+        expected = 50.0 + (10.0 - 50.0) * np.exp(-traj.times)
+        np.testing.assert_allclose(traj.census, expected, rtol=1e-6, atol=1e-6)
+        assert traj.horizon == pytest.approx(3.0)
+
+    def test_equilibrium_run_engages_the_stiff_branch(self):
+        # contraction rate ~1: once h grows past ~1.5 the exponential-
+        # Euler branch must take over (it is exact for this linear ODE)
+        traj = integrate(DriftField(PoissonProcess(50.0)), 10.0)
+        assert traj.stiff_steps > 0
+        assert traj.fixed_point.census == pytest.approx(50.0, abs=1e-9)
+
+    def test_negative_initial_census_rejected(self):
+        with pytest.raises(ModelError, match=">= 0"):
+            integrate(DriftField(PoissonProcess(5.0)), -1.0)
+
+    def test_trajectory_is_decimated_to_store_budget(self):
+        traj = integrate(DriftField(PoissonProcess(50.0)), 10.0, horizon=5.0, store=16)
+        assert len(traj.times) <= 16
+        assert len(traj.times) == len(traj.census)
+
+    def test_unstable_fixed_point_reported_unstable(self):
+        fp = solve_fixed_point(DriftField(PoissonProcess(50.0)))
+        assert fp.stable
+        assert math.isfinite(fp.stddev)

@@ -1,0 +1,53 @@
+"""Tests for the population-scaling vocabulary."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.meanfield import (
+    BASE_POPULATION,
+    CANONICAL_SCALES,
+    PopulationScale,
+    SCALING_REGIMES,
+)
+
+
+class TestPopulationScale:
+    def test_capacity_scales_with_provisioning(self):
+        scale = PopulationScale(population=100.0, replications=8)
+        assert scale.capacity() == pytest.approx(110.0)
+        assert scale.capacity(provisioning=2.0) == pytest.approx(200.0)
+
+    def test_fixed_budget_regime_shrinks_replications(self):
+        scale = PopulationScale(
+            population=4 * BASE_POPULATION, replications=8, regime="fixed_budget"
+        )
+        assert scale.scaled_replications() == 2
+
+    def test_fixed_budget_never_drops_below_one_replication(self):
+        scale = PopulationScale(
+            population=1e6, replications=4, regime="fixed_budget"
+        )
+        assert scale.scaled_replications() == 1
+
+    def test_other_regimes_keep_the_budget(self):
+        for regime in ("fluid", "diffusion"):
+            scale = PopulationScale(population=400.0, replications=8, regime=regime)
+            assert scale.scaled_replications() == 8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"population": 0.0, "replications": 8},
+            {"population": 100.0, "replications": 0},
+            {"population": 100.0, "replications": 8, "regime": "warp"},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ModelError):
+            PopulationScale(**kwargs)
+
+    def test_canonical_scales_probe_the_fluid_regime(self):
+        assert len(CANONICAL_SCALES) >= 3
+        populations = [scale.population for scale in CANONICAL_SCALES]
+        assert populations == sorted(populations)
+        assert all(scale.regime in SCALING_REGIMES for scale in CANONICAL_SCALES)

@@ -7,6 +7,7 @@ ladder, which is precisely what these tests are about.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 
 import numpy as np
@@ -161,3 +162,75 @@ class TestDescribe:
         assert len(info["surfaces"]) == 2
         assert all("coefficients" not in s for s in info["surfaces"])
         assert info["cache"] is True
+
+
+class TestMeanFieldEngine:
+    def test_explicit_hint_answers_from_the_engine(self, service):
+        from repro.meanfield import MeanFieldSimulator
+        from repro.simulation import BirthDeathProcess, Link
+
+        grid = [100.0, 110.0, 130.0]
+        reply = service.batch(
+            "delta", "poisson", "adaptive", grid, engine="meanfield"
+        )
+        assert reply["source"] == "meanfield"
+        assert reply["sources"] == {"surface": 0, "exact": 0, "meanfield": 3}
+        assert reply["certified_bound"] is None
+        expected = MeanFieldSimulator(
+            BirthDeathProcess(DEFAULT_CONFIG.load("poisson")),
+            Link(DEFAULT_CONFIG.kbar),
+        ).gap_batch(DEFAULT_CONFIG.utility("adaptive"), grid)
+        assert reply["values"] == pytest.approx(list(expected), rel=1e-12)
+
+    def test_meanfield_gap_tracks_the_exact_delta(self, service):
+        # the O(1/N) diffusion answer vs the exact solver at N = 100:
+        # close, but served without any simulation or series sum
+        reply = service.point(
+            "delta", "poisson", "adaptive", 110.0, engine="meanfield"
+        )
+        assert reply["source"] == "meanfield"
+        exact = exact_scalar("delta", DEFAULT_CONFIG, "poisson", "adaptive", 110.0)
+        assert reply["value"] == pytest.approx(exact, abs=2e-3)
+
+    def test_kbar_override_scales_the_population(self, service):
+        reply = service.batch(
+            "delta", "poisson", "adaptive", [55.0], kbar=50.0, engine="meanfield"
+        )
+        assert reply["kbar"] == 50.0
+        exact = exact_scalar(
+            "delta",
+            dataclasses.replace(DEFAULT_CONFIG, kbar=50.0),
+            "poisson",
+            "adaptive",
+            55.0,
+        )
+        assert reply["values"][0] == pytest.approx(exact, abs=2e-3)
+
+    def test_simulator_is_memoised_per_load_and_population(self, service):
+        service.batch("delta", "poisson", "adaptive", [100.0], engine="meanfield")
+        first = dict(service._meanfield_sims)
+        service.batch("delta", "poisson", "rigid", [120.0], engine="meanfield")
+        assert dict(service._meanfield_sims) == first
+        service.batch(
+            "delta", "poisson", "adaptive", [55.0], kbar=50.0, engine="meanfield"
+        )
+        assert len(service._meanfield_sims) == len(first) + 1
+
+    def test_non_delta_quantities_are_refused(self, service):
+        with pytest.raises(QueryError, match="delta"):
+            service.batch("gamma", "poisson", "adaptive", [100.0], engine="meanfield")
+
+    def test_unknown_engine_is_refused(self, service):
+        with pytest.raises(QueryError, match="engine"):
+            service.batch("delta", "poisson", "adaptive", [100.0], engine="warp")
+
+    def test_out_of_envelope_load_is_refused_not_extrapolated(self, service):
+        from repro.errors import OutOfDomainError
+
+        with pytest.raises(OutOfDomainError):
+            service.batch(
+                "delta", "exponential", "adaptive", [100.0], engine="meanfield"
+            )
+
+    def test_describe_advertises_the_engine_hint(self, service):
+        assert service.describe()["engines"] == ["meanfield"]

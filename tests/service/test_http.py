@@ -158,3 +158,46 @@ class TestConcurrency:
         assert bursts and all(
             r["values"][0] == pytest.approx(exact, rel=1e-9) for r in bursts
         )
+
+
+class TestMeanFieldEngineHint:
+    def test_point_roundtrip_with_engine_hint(self, client):
+        reply = client.point(
+            "delta", "poisson", "adaptive", 110.0, engine="meanfield"
+        )
+        assert reply["source"] == "meanfield"
+        exact = exact_scalar("delta", DEFAULT_CONFIG, "poisson", "adaptive", 110.0)
+        assert reply["value"] == pytest.approx(exact, abs=2e-3)
+
+    def test_batch_roundtrip_with_engine_hint(self, client):
+        reply = client.batch(
+            "delta", "poisson", "adaptive", [100.0, 120.0], engine="meanfield"
+        )
+        assert reply["source"] == "meanfield"
+        assert reply["sources"]["meanfield"] == 2
+
+    def test_engine_hint_via_query_string(self, client):
+        reply = client.request(
+            "GET",
+            "/v1/point?quantity=delta&load=poisson&utility=adaptive"
+            "&x=110&engine=meanfield",
+        )
+        assert reply["source"] == "meanfield"
+
+    def test_out_of_envelope_refusal_maps_to_400(self, client):
+        with pytest.raises(ServiceClientError) as exc:
+            client.point(
+                "delta", "exponential", "adaptive", 110.0, engine="meanfield"
+            )
+        assert exc.value.status == 400
+        assert "OutOfDomainError" in str(exc.value)
+
+    def test_unknown_engine_is_400(self, client):
+        with pytest.raises(ServiceClientError) as exc:
+            client.point("delta", "poisson", "adaptive", 110.0, engine="warp")
+        assert exc.value.status == 400
+
+    def test_non_delta_quantity_with_engine_is_400(self, client):
+        with pytest.raises(ServiceClientError) as exc:
+            client.point("gamma", "poisson", "adaptive", 110.0, engine="meanfield")
+        assert exc.value.status == 400

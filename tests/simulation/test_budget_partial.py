@@ -1,0 +1,112 @@
+"""Regression tests: budget exhaustion must not discard finished work.
+
+``run_until`` grows the ensemble batch by batch; before the fix, a
+:class:`SimulationBudgetError` raised by any batch threw away the
+Welford state of every *completed* batch.  The error now carries an
+``AdaptiveEstimate`` over the replications that did finish, so
+equal-budget comparisons (the mean-field crossover bench) can read the
+partial answer instead of re-simulating.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationBudgetError
+from repro.simulation import EnsembleSimulator, Link, PoissonProcess
+from repro.simulation.stats import AdaptiveEstimate
+
+
+class _BudgetAfterFirstBatch(EnsembleSimulator):
+    """Runs the first ``_run`` normally, exhausts the budget on the next.
+
+    Batches are statistically identical, so a deterministic failure
+    point needs engineering: real budget blowups depend on the drawn
+    event counts and cannot be pinned to the second batch reliably.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.calls = 0
+
+    def _run(self, children, horizon, **kwargs):
+        self.calls += 1
+        if self.calls > 1:
+            raise SimulationBudgetError(
+                events=999, reached_t=horizon / 2.0, horizon=horizon
+            )
+        return super()._run(children, horizon, **kwargs)
+
+
+def test_partial_welford_state_survives_budget_exhaustion():
+    ens = _BudgetAfterFirstBatch(PoissonProcess(5.0), Link(6.0))
+    with pytest.raises(SimulationBudgetError) as excinfo:
+        ens.run_until(
+            lambda r: r.mean_census(),
+            20.0,
+            ci_halfwidth=1e-9,  # unreachable: forces a second batch
+            seed=7,
+            batch_size=4,
+            min_replications=2,
+            max_replications=16,
+        )
+    partial = excinfo.value.partial
+    assert isinstance(partial, AdaptiveEstimate)
+    assert partial.replications == 4  # exactly the completed first batch
+    assert not partial.converged
+    assert partial.target == 1e-9
+    assert np.isfinite(partial.mean) and partial.mean > 0.0
+    assert np.isfinite(partial.ci_halfwidth)
+    # the preserved state is advertised, not silent
+    assert "partial estimate over 4" in str(excinfo.value)
+
+
+def test_first_batch_failure_carries_no_partial():
+    ens = _BudgetAfterFirstBatch(PoissonProcess(5.0), Link(6.0))
+    ens.calls = 1  # next _run call is the first batch and it fails
+    with pytest.raises(SimulationBudgetError) as excinfo:
+        ens.run_until(
+            lambda r: r.mean_census(),
+            20.0,
+            ci_halfwidth=1e-9,
+            seed=7,
+            batch_size=4,
+            min_replications=2,
+            max_replications=16,
+        )
+    assert excinfo.value.partial is None
+
+
+def test_real_budget_exhaustion_still_raises():
+    ens = EnsembleSimulator(PoissonProcess(5.0), Link(6.0))
+    with pytest.raises(SimulationBudgetError):
+        ens.run_until(
+            lambda r: r.mean_census(),
+            200.0,
+            ci_halfwidth=1e-9,
+            seed=7,
+            batch_size=4,
+            min_replications=2,
+            max_replications=8,
+            max_events=10,
+        )
+
+
+def test_partial_preserves_the_batch_statistics():
+    # the partial mean must equal the Welford mean of batch one's
+    # statistic values, bit for bit
+    probe = EnsembleSimulator(PoissonProcess(5.0), Link(6.0))
+    reference = probe.run(4, 20.0, seed=7).mean_census()
+    ens = _BudgetAfterFirstBatch(PoissonProcess(5.0), Link(6.0))
+    with pytest.raises(SimulationBudgetError) as excinfo:
+        ens.run_until(
+            lambda r: r.mean_census(),
+            20.0,
+            ci_halfwidth=1e-9,
+            seed=7,
+            batch_size=4,
+            min_replications=2,
+            max_replications=16,
+        )
+    assert excinfo.value.partial.mean == pytest.approx(
+        float(np.mean(reference)), rel=1e-12
+    )

@@ -228,3 +228,26 @@ def test_retrying_T5_closed_form_ratios(golden):
     assert retrying_rigid_ratio(2.1, entry["alpha"]) == pytest.approx(
         entry["rigid_ratio_z2p1"], rel=RTOL
     )
+
+
+@pytest.mark.parametrize("quantity", ["best_effort", "reservation", "gap"])
+def test_meanfield_fluid_surfaces(quantity, golden):
+    # the fluid solve + Gauss-Hermite diffusion functionals are fully
+    # deterministic, so the engine must reproduce its pins bit-for-bit
+    # (within RTOL) on every machine
+    from repro.meanfield import MeanFieldSimulator
+    from repro.simulation import BirthDeathProcess, Link
+
+    entry = golden["meanfield"]
+    caps = np.asarray(entry["capacity"], dtype=float)
+    cfg = DEFAULT_CONFIG
+    sim = MeanFieldSimulator(
+        BirthDeathProcess(cfg.load(entry["load"])), Link(cfg.kbar)
+    )
+    adaptive = cfg.utility("adaptive")
+    batch = {
+        "best_effort": lambda: sim.best_effort_batch(adaptive, caps),
+        "reservation": lambda: sim.reservation_batch(adaptive, caps),
+        "gap": lambda: sim.gap_batch(adaptive, caps),
+    }[quantity]()
+    _assert_pointwise("meanfield", quantity, caps, batch, entry[quantity], "batch")

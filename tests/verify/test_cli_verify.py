@@ -62,7 +62,9 @@ class TestSuiteRuns:
         assert cold["ok"] is True
         assert cold["counts"]["passed"] >= 25
         assert cold["counts"]["failed"] == 0
-        assert set(cold["engines"]) == {"scalar", "batch", "ensemble", "continuum"}
+        assert set(cold["engines"]) == {
+            "scalar", "batch", "ensemble", "continuum", "meanfield"
+        }
 
         assert main(["verify", "--cache-dir", cache, "--json"]) == 0
         warm = json.loads(capsys.readouterr().out)

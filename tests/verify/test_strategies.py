@@ -1,10 +1,14 @@
 """Sanity of the shared strategy library itself."""
 
+import pytest
 from hypothesis import given, settings
 
 from repro.experiments.params import PaperConfig
 from repro.loads.base import LoadDistribution
+from repro.meanfield import DriftField, solve_fixed_point
+from repro.meanfield.scaling import SCALING_REGIMES, PopulationScale
 from repro.models import SamplingModel, VariableLoadModel
+from repro.simulation import PoissonProcess
 from repro.verify import strategies
 
 
@@ -51,6 +55,24 @@ class TestDomainStrategies:
         assert isinstance(config, PaperConfig)
         model = VariableLoadModel(config.load("poisson"), config.utility("adaptive"))
         assert 0.0 <= model.best_effort(config.kbar) <= 1.0
+
+    @given(scale=strategies.populations())
+    @settings(max_examples=25, deadline=None)
+    def test_populations_are_valid_scales(self, scale):
+        assert isinstance(scale, PopulationScale)
+        assert scale.population > 0.0
+        assert scale.regime in SCALING_REGIMES
+        assert 1 <= scale.scaled_replications() <= scale.replications
+        assert scale.capacity() > scale.population
+
+    @given(scale=strategies.populations(regimes=("fluid",), max_population=400.0))
+    @settings(max_examples=8, deadline=None)
+    def test_fluid_fixed_point_tracks_any_drawn_population(self, scale):
+        # the property the L-block checks at canonical scales, drawn
+        # from the whole strategy domain: the fluid census density is
+        # exact for linear-birth processes at every population
+        fixed_point = solve_fixed_point(DriftField(PoissonProcess(scale.population)))
+        assert fixed_point.census == pytest.approx(scale.population, rel=1e-9)
 
 
 @given(model=strategies.models())
