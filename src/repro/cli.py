@@ -16,6 +16,11 @@ Usage::
     repro-experiments profile --json       # time every registered experiment
     repro-experiments export F3 --out fig  # CSV + gnuplot for Figure 3
     repro-experiments analyze-trace t.csv  # census verdict from a flow trace
+    repro-experiments traces generate diurnal t.csv --rate 40 --horizon 240
+    repro-experiments traces replay t.csv --capacity 44    # CRN-paired B/R/gap
+    repro-experiments traces analyze t.csv                 # streamed verdict
+    repro-experiments provenance freeze provenance         # snapshot + manifest
+    repro-experiments provenance verify provenance         # recompute-verify
     repro-experiments run F3 --events-json run.jsonl   # + structured journal
     repro-experiments obs tail run.jsonl --follow      # live event stream
     repro-experiments obs hotspots trace.json          # per-span time table
@@ -305,6 +310,130 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument(
         "--samples", type=int, default=4000, help="census samples for the fitters"
     )
+
+    traces_cmd = sub.add_parser(
+        "traces",
+        help="streaming flow traces: generate synthetic workloads, replay "
+        "them through CRN-paired best-effort/reservation, analyze at "
+        "constant memory",
+    )
+    traces_sub = traces_cmd.add_subparsers(dest="traces_command", required=True)
+
+    tg = traces_sub.add_parser(
+        "generate", help="write a seeded synthetic workload trace"
+    )
+    tg.add_argument(
+        "workload",
+        choices=["poisson", "diurnal", "bursty", "batch"],
+        help="arrival-process shape",
+    )
+    tg.add_argument("out", help="output path (.csv file, or directory with --npz)")
+    tg.add_argument("--rate", type=float, default=40.0, help="mean arrival rate")
+    tg.add_argument("--horizon", type=float, default=240.0, help="trace horizon")
+    tg.add_argument("--mu", type=float, default=1.0, help="flow departure rate")
+    tg.add_argument("--seed", type=int, default=0, help="generator seed")
+    tg.add_argument(
+        "--chunk-flows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="flows per generated chunk (default 65536)",
+    )
+    tg.add_argument(
+        "--npz",
+        action="store_true",
+        help="write an npz segment directory instead of CSV",
+    )
+
+    trp = traces_sub.add_parser(
+        "replay",
+        help="stream a trace through the CRN-paired estimators and print "
+        "B/R/gap with confidence intervals",
+    )
+    trp.add_argument("trace", help="trace path (CSV file or npz segment dir)")
+    trp.add_argument(
+        "--capacity", type=float, required=True, help="link capacity C"
+    )
+    trp.add_argument(
+        "--utility",
+        choices=["adaptive", "rigid"],
+        default="adaptive",
+        help="application utility class",
+    )
+    trp.add_argument(
+        "--windows",
+        type=int,
+        default=16,
+        help="measurement windows (= synthetic replications)",
+    )
+    trp.add_argument(
+        "--warmup",
+        type=float,
+        default=None,
+        help="transient to exclude (default: 10%% of the horizon)",
+    )
+    trp.add_argument(
+        "--chunk-flows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="flows per streamed chunk when reading CSV (default 65536)",
+    )
+    trp.add_argument("--json", action="store_true", help="emit JSON")
+
+    ta = traces_sub.add_parser(
+        "analyze",
+        help="streamed trace -> census identification -> architecture "
+        "verdict (constant memory; accepts CSV or npz)",
+    )
+    ta.add_argument("trace", help="trace path (CSV file or npz segment dir)")
+    ta.add_argument("--price", type=float, default=0.05, help="bandwidth price")
+    ta.add_argument(
+        "--utility",
+        choices=["adaptive", "rigid"],
+        default="adaptive",
+        help="application utility class",
+    )
+    ta.add_argument(
+        "--samples", type=int, default=4000, help="census samples for the fitters"
+    )
+    ta.add_argument(
+        "--warmup",
+        type=float,
+        default=None,
+        help="transient to exclude (default: 10%% of the horizon)",
+    )
+
+    prov = sub.add_parser(
+        "provenance",
+        help="frozen result provenance: freeze published results into a "
+        "sha256-manifested snapshot, verify one by recompute",
+    )
+    prov_sub = prov.add_subparsers(dest="provenance_command", required=True)
+
+    pf = prov_sub.add_parser(
+        "freeze", help="snapshot golden pins, bench gates and replay summaries"
+    )
+    pf.add_argument("snapshot", help="snapshot directory to create/update")
+    pf.add_argument(
+        "--root", default=".", help="repository root holding the artifacts"
+    )
+    pf.add_argument(
+        "--include",
+        nargs="+",
+        choices=["golden", "bench", "traces"],
+        default=None,
+        metavar="COMPONENT",
+        help="artifact groups to freeze (default: all)",
+    )
+
+    pv = prov_sub.add_parser(
+        "verify",
+        help="re-hash artifacts and recompute manifested headline numbers; "
+        "exits nonzero on drift",
+    )
+    pv.add_argument("snapshot", help="snapshot directory holding MANIFEST.json")
+    pv.add_argument("--json", action="store_true", help="emit JSON")
 
     obs_cmd = sub.add_parser(
         "obs",
@@ -860,6 +989,150 @@ def _cmd_meanfield(args) -> int:
     return 0
 
 
+def _cmd_traces(args) -> int:
+    """The ``traces`` streaming subcommands."""
+    import json as _json
+
+    from repro.errors import ReproError
+    from repro.traces import (
+        DEFAULT_CHUNK_FLOWS,
+        default_workload,
+        open_trace,
+        replay_stream,
+        stream_census_samples,
+        write_trace_csv,
+        write_trace_npz,
+    )
+    from repro.utility import AdaptiveUtility, RigidUtility
+
+    chunk_flows = getattr(args, "chunk_flows", None) or DEFAULT_CHUNK_FLOWS
+
+    try:
+        if args.traces_command == "generate":
+            workload = default_workload(args.workload, args.rate, mu=args.mu)
+            stream = workload.stream(
+                args.horizon, seed=args.seed, chunk_flows=chunk_flows
+            )
+            if args.npz:
+                path = write_trace_npz(stream, args.out)
+            else:
+                path = write_trace_csv(stream, args.out)
+            print(path)
+            return 0
+
+        utility = (
+            AdaptiveUtility() if args.utility == "adaptive" else RigidUtility(1.0)
+        )
+        stream = open_trace(args.trace, chunk_flows=chunk_flows)
+        warmup = args.warmup
+        if warmup is None:
+            warmup = 0.1 * stream.horizon
+
+        if args.traces_command == "replay":
+            result = replay_stream(
+                stream,
+                utility,
+                args.capacity,
+                windows=args.windows,
+                warmup=warmup,
+            )
+            summary = result.summary()
+            if args.json:
+                print(_json.dumps(summary, indent=2))
+            else:
+                print(
+                    f"replayed {summary['flows']} flows over "
+                    f"{summary['windows']} windows "
+                    f"(horizon {summary['horizon']:g}, warmup "
+                    f"{summary['warmup']:g})"
+                )
+                print(
+                    f"  B_hat = {summary['best_effort']:.6f} "
+                    f"+/- {summary['best_effort_ci']:.6f}"
+                )
+                print(
+                    f"  R_hat = {summary['reservation']:.6f} "
+                    f"+/- {summary['reservation_ci']:.6f}  "
+                    f"(threshold {summary['threshold']:g})"
+                )
+                print(
+                    f"  gap   = {summary['gap']:.6f} "
+                    f"+/- {summary['gap_ci']:.6f}"
+                )
+                print(f"  mean census = {summary['mean_census']:.3f}")
+            return 0
+
+        if args.traces_command == "analyze":
+            from repro.inference import recommend_architecture
+
+            if stream.flows == 0:
+                print(
+                    "cannot analyze a zero-flow trace: the census is "
+                    "identically zero and no load can be identified",
+                    file=sys.stderr,
+                )
+                return 2
+            census = stream_census_samples(
+                stream, args.samples, warmup=warmup, seed=0
+            )
+            recommendation = recommend_architecture(
+                census, utility, price=args.price
+            )
+            print(recommendation.summary())
+            return 0
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    raise AssertionError(
+        f"unhandled traces command {args.traces_command!r}"
+    )  # pragma: no cover
+
+
+def _cmd_provenance(args) -> int:
+    """The ``provenance`` freeze/verify subcommands."""
+    import json as _json
+
+    from repro.errors import ProvenanceError
+    from repro.provenance import freeze, verify
+
+    try:
+        if args.provenance_command == "freeze":
+            include = args.include or ("golden", "bench", "traces")
+            manifest = freeze(
+                args.snapshot, source_root=args.root, include=include
+            )
+            print(
+                f"froze {len(manifest.artifacts)} artifact(s) into "
+                f"{args.snapshot} (git {manifest.git_sha[:12]})"
+            )
+            for rel in sorted(manifest.artifacts):
+                entry = manifest.artifacts[rel]
+                print(f"  {entry['sha256'][:12]}  {entry['bytes']:>9}  {rel}")
+            return 0
+
+        if args.provenance_command == "verify":
+            report_ = verify(args.snapshot)
+            if args.json:
+                print(_json.dumps(report_.to_dict(), indent=2))
+            else:
+                print(report_.render())
+            return 0 if report_.ok else 1
+    except ProvenanceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    raise AssertionError(
+        f"unhandled provenance command {args.provenance_command!r}"
+    )  # pragma: no cover
+
+
 def _cmd_serve(args) -> int:
     """The ``serve`` command: run the HTTP service until interrupted."""
     import asyncio
@@ -955,6 +1228,12 @@ def _dispatch(args) -> int:
 
     if args.command == "meanfield":
         return _cmd_meanfield(args)
+
+    if args.command == "traces":
+        return _cmd_traces(args)
+
+    if args.command == "provenance":
+        return _cmd_provenance(args)
 
     if args.command == "list":
         for exp in registry.EXPERIMENTS.values():

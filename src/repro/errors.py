@@ -54,6 +54,19 @@ class ModelError(ReproError):
     """A model was constructed or queried with inconsistent inputs."""
 
 
+class ProvenanceError(ReproError):
+    """A frozen result snapshot is malformed or cannot be processed.
+
+    Raised by :mod:`repro.provenance` for structural problems — a
+    missing or unparseable ``MANIFEST.json``, an unknown schema, an
+    artifact the manifest names that is absent from the snapshot.
+    *Drift* (artifacts whose hashes or recomputed headline numbers no
+    longer match) is not an exception: it is reported through the
+    verification report so every check runs and the full divergence is
+    visible at once.
+    """
+
+
 class EmulatorError(ReproError):
     """Base class for emulator-surface errors (:mod:`repro.emulator`)."""
 

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, NamedTuple, Optional
 
-from repro.experiments import checkpoints, figures, simulation
+from repro.experiments import checkpoints, figures, simulation, traces
 from repro.experiments.params import PaperConfig
 
 
@@ -88,6 +88,21 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "S1",
             "Ensemble simulation validation (CRN-paired B/R vs analytic)",
             simulation.ensemble_validation,
+        ),
+        Experiment(
+            "TR1",
+            "Poisson trace replay vs analytic delta (streaming sweep)",
+            traces.poisson_replay,
+        ),
+        Experiment(
+            "TR2",
+            "Diurnal (sinusoidal-rate) workload replay: gap vs capacity",
+            traces.diurnal_sweep,
+        ),
+        Experiment(
+            "TR3",
+            "Bursty (Markov on/off) workload replay: gap vs capacity",
+            traces.bursty_sweep,
         ),
     ]
 }

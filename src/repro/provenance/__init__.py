@@ -1,0 +1,33 @@
+"""Frozen result provenance: sha256-manifested, recompute-verified.
+
+Published result sets (golden figure pins, bench gate files, seeded
+trace-replay summaries) are frozen into a snapshot directory with a
+``MANIFEST.json`` (schema ``repro.provenance/v1``) recording the
+sha256 of every artifact plus the producing config digest, package
+fingerprint and git sha.  ``repro provenance verify`` then re-hashes
+the artifacts, re-evaluates the bench gate predicates, and *recomputes*
+the headline numbers from scratch under the PR-5 tolerance policies —
+exiting nonzero on any drift.
+"""
+
+from repro.provenance.freeze import COMPONENTS, freeze, verify
+from repro.provenance.manifest import (
+    MANIFEST_NAME,
+    PROVENANCE_SCHEMA,
+    Manifest,
+    ProvenanceCheck,
+    ProvenanceReport,
+    sha256_file,
+)
+
+__all__ = [
+    "COMPONENTS",
+    "MANIFEST_NAME",
+    "PROVENANCE_SCHEMA",
+    "Manifest",
+    "ProvenanceCheck",
+    "ProvenanceReport",
+    "freeze",
+    "sha256_file",
+    "verify",
+]

@@ -1,0 +1,171 @@
+"""The frozen-result manifest: schema, hashing, load/save.
+
+A *snapshot* is a directory of published result artifacts plus one
+``MANIFEST.json`` describing them.  The manifest is the evidence chain:
+for every artifact it records the sha256 and byte count; for the whole
+set it records which config produced the numbers (``config_digest``),
+which code (``code_fingerprint``, informational — it changes on every
+source edit), and which commit (``git_sha``).  A ``recompute`` block
+tells :func:`repro.provenance.freeze.verify` which headline numbers to
+re-derive from scratch and under which tolerance they must agree.
+"""
+
+from __future__ import annotations
+
+import datetime
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ProvenanceError
+from repro.ioutils import atomic_write_text
+
+#: Manifest format version; a verifier refuses anything else.
+PROVENANCE_SCHEMA = "repro.provenance/v1"
+
+#: File name of the manifest inside a snapshot directory.
+MANIFEST_NAME = "MANIFEST.json"
+
+
+def sha256_file(path: pathlib.Path, *, chunk_bytes: int = 1 << 20) -> str:
+    """Streaming sha256 of a file (constant memory, any size)."""
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        while True:
+            block = handle.read(chunk_bytes)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """Parsed ``MANIFEST.json``: artifacts, fingerprints, recompute spec."""
+
+    schema: str
+    created: str
+    git_sha: str
+    config_digest: str
+    code_fingerprint: str
+    artifacts: Dict[str, Dict[str, object]]
+    recompute: Dict[str, object]
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "created": self.created,
+            "git_sha": self.git_sha,
+            "config_digest": self.config_digest,
+            "code_fingerprint": self.code_fingerprint,
+            "artifacts": self.artifacts,
+            "recompute": self.recompute,
+        }
+
+    def save(self, snapshot_dir) -> pathlib.Path:
+        path = pathlib.Path(snapshot_dir) / MANIFEST_NAME
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, snapshot_dir) -> "Manifest":
+        path = pathlib.Path(snapshot_dir) / MANIFEST_NAME
+        if not path.is_file():
+            raise ProvenanceError(
+                f"{snapshot_dir} is not a provenance snapshot "
+                f"(no {MANIFEST_NAME})"
+            )
+        try:
+            raw = json.loads(path.read_text())
+        except ValueError as exc:
+            raise ProvenanceError(f"corrupt manifest {path}: {exc}") from None
+        schema = raw.get("schema")
+        if schema != PROVENANCE_SCHEMA:
+            raise ProvenanceError(
+                f"{path}: schema {schema!r} is not {PROVENANCE_SCHEMA!r}"
+            )
+        for key in ("git_sha", "config_digest", "code_fingerprint", "artifacts"):
+            if key not in raw:
+                raise ProvenanceError(f"{path}: missing manifest key {key!r}")
+        return cls(
+            schema=schema,
+            created=str(raw.get("created", "")),
+            git_sha=str(raw["git_sha"]),
+            config_digest=str(raw["config_digest"]),
+            code_fingerprint=str(raw["code_fingerprint"]),
+            artifacts={
+                str(k): dict(v) for k, v in dict(raw["artifacts"]).items()
+            },
+            recompute=dict(raw.get("recompute", {})),
+        )
+
+
+def utc_now() -> str:
+    """ISO-8601 UTC timestamp for the ``created`` field."""
+    return (
+        datetime.datetime.now(datetime.timezone.utc)
+        .replace(microsecond=0)
+        .isoformat()
+    )
+
+
+@dataclass(frozen=True)
+class ProvenanceCheck:
+    """One verification step: hash, gate predicate, or recompute."""
+
+    check_id: str
+    passed: bool
+    residual: float
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "check_id": self.check_id,
+            "passed": bool(self.passed),
+            "residual": float(self.residual),
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class ProvenanceReport:
+    """Every check of one verification run, pass or fail."""
+
+    snapshot: str
+    checks: Tuple[ProvenanceCheck, ...]
+    notes: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> List[ProvenanceCheck]:
+        return [check for check in self.checks if not check.passed]
+
+    def to_dict(self) -> dict:
+        return {
+            "snapshot": self.snapshot,
+            "ok": self.ok,
+            "checks": [check.to_dict() for check in self.checks],
+            "notes": list(self.notes),
+        }
+
+    def render(self) -> str:
+        lines = [f"provenance verify: {self.snapshot}"]
+        for check in self.checks:
+            mark = "ok  " if check.passed else "FAIL"
+            line = f"  [{mark}] {check.check_id}"
+            if check.detail:
+                line += f"  {check.detail}"
+            lines.append(line)
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        verdict = "PASSED" if self.ok else "FAILED"
+        lines.append(
+            f"{verdict}: {len(self.checks) - len(self.failures)}"
+            f"/{len(self.checks)} checks passed"
+        )
+        return "\n".join(lines)

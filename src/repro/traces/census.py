@@ -31,10 +31,11 @@ def census_trajectory(trace: FlowTrace) -> Tuple[np.ndarray, np.ndarray]:
     order = np.argsort(times, kind="stable")
     times = times[order]
     counts = np.cumsum(deltas[order])
-    # merge simultaneous events
-    keep = np.append(np.diff(times) > 0.0, True)
-    times = times[keep]
-    counts = counts[keep]
+    # merge simultaneous events (empty traces have no events to merge)
+    if len(times):
+        keep = np.append(np.diff(times) > 0.0, True)
+        times = times[keep]
+        counts = counts[keep]
     if len(times) == 0 or times[0] > 0.0:
         times = np.concatenate([[0.0], times])
         counts = np.concatenate([[0.0], counts])

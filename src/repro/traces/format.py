@@ -13,11 +13,43 @@ from __future__ import annotations
 import csv
 import pathlib
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ModelError
+
+
+def _format_time(value: float) -> str:
+    """Shortest decimal string that round-trips the float64 exactly."""
+    if np.isinf(value):
+        return "inf"
+    return repr(float(value))
+
+
+def _parse_flow_row(
+    row: List[str], line_no: int, path
+) -> Tuple[float, float]:
+    """One CSV data row -> (arrival, departure), with a clear error."""
+    if len(row) < 2:
+        raise ModelError(
+            f"trace file {path} line {line_no}: expected "
+            f"'arrival,departure', got {','.join(row)!r}"
+        )
+    try:
+        arrival = float(row[0])
+        departure = float(row[1])
+    except ValueError:
+        raise ModelError(
+            f"trace file {path} line {line_no}: non-numeric flow row "
+            f"{','.join(row)!r}"
+        ) from None
+    if not np.isfinite(arrival) or arrival < 0.0 or departure < arrival:
+        raise ModelError(
+            f"trace file {path} line {line_no}: need 0 <= arrival <= "
+            f"departure, got arrival={arrival!r} departure={departure!r}"
+        )
+    return arrival, departure
 
 
 @dataclass(frozen=True)
@@ -65,29 +97,38 @@ class FlowTrace:
 
 
 def write_trace(trace: FlowTrace, path) -> pathlib.Path:
-    """Write a trace as commented-header CSV."""
+    """Write a trace as commented-header CSV.
+
+    Times are written with :func:`repr` (shortest round-trip form), so
+    reading the file back preserves every flow bit-for-bit.
+    """
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", newline="") as handle:
-        handle.write(f"# horizon={trace.horizon:.10g}\n")
+        handle.write(f"# horizon={_format_time(trace.horizon)}\n")
         for key, value in sorted(trace.metadata.items()):
             handle.write(f"# {key}={value}\n")
         writer = csv.writer(handle)
         writer.writerow(["arrival", "departure"])
         for a, d in zip(trace.arrival, trace.departure):
-            writer.writerow([f"{a:.10g}", "inf" if np.isinf(d) else f"{d:.10g}"])
+            writer.writerow([_format_time(a), _format_time(d)])
     return path
 
 
 def read_trace(path) -> FlowTrace:
-    """Read a trace written by :func:`write_trace`."""
+    """Read a trace written by :func:`write_trace`.
+
+    Malformed rows (too few fields, non-numeric times, negative
+    arrivals, ``departure < arrival``) raise
+    :class:`~repro.errors.ModelError` naming the file and line.
+    """
     path = pathlib.Path(path)
     horizon: Optional[float] = None
     metadata: Dict[str, str] = {}
     arrivals, departures = [], []
     with path.open() as handle:
         reader = csv.reader(handle)
-        for row in reader:
+        for line_no, row in enumerate(reader, start=1):
             if not row:
                 continue
             if row[0].startswith("#"):
@@ -95,14 +136,21 @@ def read_trace(path) -> FlowTrace:
                 if "=" in text:
                     key, _, value = text.partition("=")
                     if key.strip() == "horizon":
-                        horizon = float(value)
+                        try:
+                            horizon = float(value)
+                        except ValueError:
+                            raise ModelError(
+                                f"trace file {path} line {line_no}: "
+                                f"bad horizon {value!r}"
+                            ) from None
                     else:
                         metadata[key.strip()] = value.strip()
                 continue
             if row[0] == "arrival":
                 continue
-            arrivals.append(float(row[0]))
-            departures.append(float(row[1]))
+            a, d = _parse_flow_row(row, line_no, path)
+            arrivals.append(a)
+            departures.append(d)
     if horizon is None:
         raise ModelError(f"trace file {path} has no '# horizon=' header")
     return FlowTrace(

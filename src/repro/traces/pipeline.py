@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.errors import ModelError
 from repro.inference import Recommendation, recommend_architecture
 from repro.traces.census import census_samples
 from repro.traces.format import FlowTrace
@@ -40,7 +41,17 @@ def analyze_trace(
     warmup:
         Transient to exclude; defaults to 10% of the horizon.
     """
+    if len(trace) == 0:
+        raise ModelError(
+            "cannot analyze a zero-flow trace: the census is identically "
+            "zero and no load can be identified"
+        )
     if warmup is None:
         warmup = 0.1 * trace.horizon
+    if not 0.0 <= warmup < trace.horizon:
+        raise ModelError(
+            "warmup must be in [0, horizon) so the census can be sampled: "
+            f"warmup={warmup!r}, horizon={trace.horizon!r}"
+        )
     census = census_samples(trace, samples, warmup=warmup, seed=seed)
     return recommend_architecture(census, utility, price=price)

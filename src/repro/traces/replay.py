@@ -1,0 +1,429 @@
+"""Trace replay: drive the ensemble estimators from streamed flows.
+
+The PR-4 ensemble engine estimates ``B_hat``/``R_hat`` from
+piecewise-constant census trajectories; an operator's trace *is* such
+a trajectory, just too large to hold.  This module closes the gap at
+constant memory:
+
+1. **Occupancy sweep** (:func:`sweep_occupancy`).  One time-ordered
+   pass over an arrival-sorted stream folds the exact census
+   trajectory into per-window time-in-state histograms
+   ``occupancy[window, census_level]`` — the sufficient statistic for
+   every flow-time average the estimators compute.  Pending departures
+   live in one sorted array bounded by the peak census plus a chunk,
+   never by the flow count; every positive-duration segment is
+   accumulated in global time order, so the result is *byte-identical
+   for any chunk size*.
+2. **CRN-paired evaluation** (:meth:`TraceOccupancy.evaluate`).  Each
+   window's histogram is laid out as a synthetic replication row of a
+   real :class:`~repro.simulation.ensemble.EnsembleResult`, once under
+   best-effort accounting (``M = N``) and once under the paper's
+   reservation rule (``M = min(N, ceil(k_max))``, exactly the
+   ``ThresholdAdmission.from_utility(..., readmit_waiting=True)``
+   steady rule the ensemble engine applies) — both rows share the one
+   trace trajectory, the strongest possible common-random-numbers
+   pairing.  ``utility_estimates`` then produces per-window
+   ``(B_hat, R_hat)`` through the engine's own flow-time averaging and
+   a :class:`~repro.simulation.ensemble.PairedGapResult` carries the
+   Welford/Student-t confidence intervals.
+
+Windows double as replications: R disjoint spans of ``[warmup,
+horizon]`` give R weakly dependent estimates whose spread prices the
+CI — the block-resampling view of a single long trajectory.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ModelError
+from repro.simulation.admission import ThresholdAdmission
+from repro.simulation.ensemble import EnsembleResult, PairedGapResult
+from repro.traces.format import FlowTrace
+from repro.traces.stream import DEFAULT_CHUNK_FLOWS, TraceStream, stream_trace
+from repro.utility.base import UtilityFunction
+
+#: Default number of measurement windows (= synthetic replications).
+DEFAULT_WINDOWS = 16
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """One capacity's CRN-paired replay verdict plus trace statistics."""
+
+    capacity: float
+    threshold: float
+    windows: int
+    warmup: float
+    horizon: float
+    flows: int
+    events: int
+    max_pending: int
+    census_values: np.ndarray
+    census_pmf: np.ndarray
+    mean_census: float
+    paired: PairedGapResult
+
+    def summary(self) -> dict:
+        """JSON-ready headline numbers (the provenance-frozen surface)."""
+        out = {
+            key: (float(value) if isinstance(value, (int, float, np.floating)) else value)
+            for key, value in self.paired.summary().items()
+        }
+        out["replications"] = int(self.paired.gap.shape[0])
+        out.update(
+            capacity=float(self.capacity),
+            threshold=float(self.threshold),
+            windows=int(self.windows),
+            warmup=float(self.warmup),
+            horizon=float(self.horizon),
+            flows=int(self.flows),
+            events=int(self.events),
+            mean_census=float(self.mean_census),
+        )
+        return out
+
+
+@dataclass(frozen=True)
+class TraceOccupancy:
+    """Per-window time-in-state histograms: the replay's sufficient statistic.
+
+    ``occupancy[w, n]`` is the time within window ``w`` the census
+    spent at level ``n``; rows sum to the window widths exactly (up to
+    float round-off), columns span ``0..max_census``.
+    """
+
+    edges: np.ndarray
+    occupancy: np.ndarray
+    horizon: float
+    flows: int
+    events: int
+    max_pending: int
+
+    @property
+    def warmup(self) -> float:
+        return float(self.edges[0])
+
+    @property
+    def windows(self) -> int:
+        return int(len(self.edges) - 1)
+
+    @property
+    def max_census(self) -> int:
+        """Highest census level with positive dwell time (0 if none)."""
+        mass = np.flatnonzero(self.occupancy.sum(axis=0) > 0.0)
+        return int(mass.max()) if len(mass) else 0
+
+    def census_distribution(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Pooled time-weighted census pmf over ``[warmup, horizon]``."""
+        weights = self.occupancy.sum(axis=0)
+        keep = weights > 0.0
+        values = np.flatnonzero(keep)
+        probs = weights[keep]
+        total = probs.sum()
+        if total <= 0.0:
+            raise ModelError("no trajectory mass in the measurement window")
+        return values.astype(np.int64), probs / total
+
+    def mean_census(self) -> float:
+        """Time-average census over the measurement window."""
+        weights = self.occupancy.sum(axis=0)
+        total = weights.sum()
+        if total <= 0.0:
+            raise ModelError("no trajectory mass in the measurement window")
+        levels = np.arange(len(weights))
+        return float(np.dot(levels, weights) / total)
+
+    def _ensemble_rows(self, admitted_of, capacity: float) -> EnsembleResult:
+        """Windows as replication rows of a real :class:`EnsembleResult`.
+
+        Window ``w``'s histogram becomes a synthetic piecewise-constant
+        trajectory spanning ``[edges[w], edges[w+1])`` (levels in
+        ascending order — flow-time averages are order-free), closed by
+        a census-0 record to the horizon so the trailing span carries
+        zero flow-time and drops out of every estimate.
+        """
+        edges = self.edges
+        windows = self.windows
+        occ = self.occupancy
+        rows_levels = []
+        rows_durs = []
+        for w in range(windows):
+            present = np.flatnonzero(occ[w] > 0.0)
+            rows_levels.append(present)
+            rows_durs.append(occ[w, present])
+        length = max(len(lv) for lv in rows_levels) + 1
+        times = np.full((windows, length), self.horizon, dtype=float)
+        census = np.zeros((windows, length), dtype=float)
+        admitted = np.zeros((windows, length), dtype=float)
+        counts = np.zeros(windows, dtype=np.int64)
+        for w in range(windows):
+            levels = rows_levels[w]
+            durs = rows_durs[w]
+            k = len(levels)
+            starts = edges[w] + np.concatenate([[0.0], np.cumsum(durs[:-1])])
+            times[w, :k] = starts
+            census[w, :k] = levels
+            admitted[w, :k] = admitted_of(levels)
+            # close the window at level 0 so the span to the horizon
+            # carries no flow-time
+            times[w, k] = edges[w + 1]
+            counts[w] = k + 1
+        return EnsembleResult(
+            times=times,
+            census=census,
+            admitted=admitted,
+            counts=counts,
+            arrivals=np.zeros(windows, dtype=np.int64),
+            admissions=np.zeros(windows, dtype=np.int64),
+            capacity=capacity,
+            warmup=self.warmup,
+            horizon=self.horizon,
+            engine="trace-replay",
+        )
+
+    def evaluate(
+        self,
+        utility: UtilityFunction,
+        capacity: float,
+        *,
+        level: float = 0.95,
+    ) -> ReplayResult:
+        """CRN-paired best-effort vs reservation verdict at ``capacity``.
+
+        Both architectures are evaluated on the *same* per-window
+        census histograms through
+        :meth:`EnsembleResult.utility_estimates` — best-effort admits
+        everyone (``M = N``), reservations cap admission at the
+        utility's ``k_max`` exactly as the paper's threshold rule with
+        readmission does in steady state.
+        """
+        if capacity <= 0.0:
+            raise ModelError(f"capacity must be > 0, got {capacity!r}")
+        policy = ThresholdAdmission.from_utility(utility, readmit_waiting=True)
+        threshold = float(policy.threshold(capacity))
+        if math.isinf(threshold):
+            cap_m = None
+        else:
+            cap_m = max(0, int(math.ceil(threshold)))
+        be_rows = self._ensemble_rows(lambda levels: levels, capacity)
+        res_rows = self._ensemble_rows(
+            (lambda levels: levels)
+            if cap_m is None
+            else (lambda levels: np.minimum(levels, cap_m)),
+            capacity,
+        )
+        be_values, _ = be_rows.utility_estimates(utility)
+        _, res_values = res_rows.utility_estimates(utility)
+        paired = PairedGapResult(
+            best_effort=be_values,
+            reservation=res_values,
+            gap=res_values - be_values,
+            level=level,
+        )
+        values, pmf = self.census_distribution()
+        return ReplayResult(
+            capacity=float(capacity),
+            threshold=threshold,
+            windows=self.windows,
+            warmup=self.warmup,
+            horizon=self.horizon,
+            flows=self.flows,
+            events=self.events,
+            max_pending=self.max_pending,
+            census_values=values,
+            census_pmf=pmf,
+            mean_census=self.mean_census(),
+            paired=paired,
+        )
+
+
+def _grow_columns(occ: np.ndarray, needed: int) -> np.ndarray:
+    """Widen the level axis (values preserved bit-for-bit)."""
+    if needed <= occ.shape[1]:
+        return occ
+    wider = np.zeros((occ.shape[0], needed), dtype=float)
+    wider[:, : occ.shape[1]] = occ
+    return wider
+
+
+def sweep_occupancy(
+    stream: TraceStream,
+    *,
+    windows: int = DEFAULT_WINDOWS,
+    warmup: Optional[float] = None,
+) -> TraceOccupancy:
+    """Fold an arrival-sorted stream into per-window census occupancy.
+
+    One pass, exact: the trace's event-driven census trajectory is
+    reconstructed slab by slab (a slab spans up to the current chunk's
+    last arrival), with pending departures kept in one sorted array.
+    Positive-duration segments are clipped to their window and
+    accumulated in global time order, making the result independent of
+    the chunking — byte-identical occupancies for any ``chunk_flows``.
+
+    Raises :class:`~repro.errors.ModelError` if arrivals regress
+    across or within chunks (replay needs time order; sort the trace,
+    or use :func:`~repro.traces.stream.stream_trace`, first).
+    """
+    if windows < 2:
+        raise ModelError(
+            f"need windows >= 2 for a confidence interval, got {windows!r}"
+        )
+    horizon = stream.horizon
+    if warmup is None:
+        warmup = 0.1 * horizon
+    if not 0.0 <= warmup < horizon:
+        raise ModelError(
+            f"warmup must be in [0, horizon), got {warmup!r} vs {horizon!r}"
+        )
+    edges = np.linspace(warmup, horizon, windows + 1)
+
+    occ = np.zeros((windows, 8), dtype=float)
+    pending = np.empty(0, dtype=float)  # sorted departure times
+    t_cur = 0.0
+    n_cur = 0
+    last_arrival = 0.0
+    next_edge = 0  # edges[:next_edge] already injected as boundary events
+    flows = 0
+    events = 0
+    max_pending = 0
+    wall_start = time.perf_counter()
+
+    def process_slab(
+        arrivals: np.ndarray, ends: np.ndarray, slab_end: float
+    ) -> None:
+        """Fold all events up to ``slab_end`` into the occupancy."""
+        nonlocal occ, t_cur, n_cur, next_edge, events
+        edge_hi = next_edge
+        while edge_hi < len(edges) and edges[edge_hi] <= slab_end:
+            edge_hi += 1
+        boundaries = edges[next_edge:edge_hi]
+        next_edge = edge_hi
+        times = np.concatenate([arrivals, ends, boundaries])
+        deltas = np.concatenate(
+            [
+                np.ones(len(arrivals), dtype=np.int64),
+                -np.ones(len(ends), dtype=np.int64),
+                np.zeros(len(boundaries), dtype=np.int64),
+            ]
+        )
+        order = np.argsort(times, kind="stable")
+        times = times[order]
+        levels_after = n_cur + np.cumsum(deltas[order])
+        # segment i runs [seg_start[i], times[i]) at seg_level[i]
+        seg_start = np.concatenate([[t_cur], times[:-1]])
+        seg_level = np.concatenate([[n_cur], levels_after[:-1]])
+        lo = np.maximum(seg_start, warmup)
+        hi = np.minimum(times, horizon)
+        durs = hi - lo
+        keep = durs > 0.0
+        if np.any(keep):
+            lo = lo[keep]
+            durs = durs[keep]
+            levels = seg_level[keep].astype(np.int64)
+            w_idx = np.clip(
+                np.searchsorted(edges, lo, side="right") - 1, 0, windows - 1
+            )
+            top = int(levels.max())
+            if top >= occ.shape[1]:
+                occ = _grow_columns(occ, max(top + 1, 2 * occ.shape[1]))
+            np.add.at(occ, (w_idx, levels), durs)
+        events += len(times) - len(boundaries)
+        t_cur = slab_end
+        n_cur = int(levels_after[-1]) if len(levels_after) else n_cur
+
+    with obs.span("traces.sweep", windows=windows):
+        for chunk in stream:
+            arrivals = chunk.arrival
+            if arrivals[0] < last_arrival or np.any(np.diff(arrivals) < 0.0):
+                raise ModelError(
+                    "replay requires an arrival-ordered stream; sort the "
+                    "trace (stream_trace does) before sweeping"
+                )
+            last_arrival = float(arrivals[-1])
+            flows += len(arrivals)
+            ends_new = np.minimum(chunk.departure, horizon)
+            slab_end = last_arrival
+            due = pending[pending <= slab_end]
+            pending = pending[pending > slab_end]
+            new_due = ends_new[ends_new <= slab_end]
+            new_later = ends_new[ends_new > slab_end]
+            ends = np.sort(np.concatenate([due, new_due]))
+            process_slab(arrivals, ends, slab_end)
+            pending = np.sort(np.concatenate([pending, new_later]))
+            if len(pending) > max_pending:
+                max_pending = len(pending)
+        # drain: departures (and window edges) after the last arrival
+        process_slab(np.empty(0), pending[pending <= horizon], horizon)
+
+    # trim the level axis to the occupied range so the result is
+    # canonical (growth doubling would otherwise leak the chunking)
+    used = np.flatnonzero(occ.sum(axis=0) > 0.0)
+    occ = occ[:, : int(used.max()) + 1] if len(used) else occ[:, :1]
+
+    if obs.enabled():
+        wall = time.perf_counter() - wall_start
+        obs.counter("traces.replay.flows").inc(flows)
+        obs.counter("traces.replay.events").inc(events)
+        obs.gauge("traces.replay.max_pending").set(max_pending)
+        if wall > 0.0:
+            obs.gauge("traces.replay.flow_rate").set(flows / wall)
+    return TraceOccupancy(
+        edges=edges,
+        occupancy=occ,
+        horizon=horizon,
+        flows=flows,
+        events=events,
+        max_pending=max_pending,
+    )
+
+
+def replay_stream(
+    stream: TraceStream,
+    utility: UtilityFunction,
+    capacity: float,
+    *,
+    windows: int = DEFAULT_WINDOWS,
+    warmup: Optional[float] = None,
+    level: float = 0.95,
+) -> ReplayResult:
+    """Sweep a stream once and evaluate the paired verdict at ``capacity``.
+
+    Composes :func:`sweep_occupancy` and
+    :meth:`TraceOccupancy.evaluate`; sweeping once and evaluating many
+    capacities via the occupancy object is cheaper for sweeps (the
+    occupancy is capacity-independent).
+    """
+    from repro.obs import resources
+
+    with resources.profile_block("traces.replay"):
+        occupancy = sweep_occupancy(stream, windows=windows, warmup=warmup)
+        return occupancy.evaluate(utility, capacity, level=level)
+
+
+def replay_trace(
+    trace: FlowTrace,
+    utility: UtilityFunction,
+    capacity: float,
+    *,
+    windows: int = DEFAULT_WINDOWS,
+    warmup: Optional[float] = None,
+    level: float = 0.95,
+    chunk_flows: int = DEFAULT_CHUNK_FLOWS,
+) -> ReplayResult:
+    """In-memory convenience wrapper: chunk the trace and replay it."""
+    return replay_stream(
+        stream_trace(trace, chunk_flows=chunk_flows),
+        utility,
+        capacity,
+        windows=windows,
+        warmup=warmup,
+        level=level,
+    )

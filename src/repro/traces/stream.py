@@ -1,0 +1,402 @@
+"""Streaming flow-trace ingestion: millions of flows at constant memory.
+
+The in-memory :class:`~repro.traces.format.FlowTrace` holds every flow
+at once; operators hold traces that do not fit.  This module streams
+them instead:
+
+- :class:`TraceChunk` / :class:`TraceStream` — a trace as an iterator
+  of bounded arrival/departure chunks plus the up-front header
+  (horizon, metadata) every consumer needs before the first flow.
+- chunked persistence — the commented-header CSV of
+  :mod:`repro.traces.format` read and written chunk-by-chunk
+  (:func:`open_trace_csv` / :func:`write_trace_csv`), and an npz
+  *segment directory* (:func:`open_trace_npz` /
+  :func:`write_trace_npz`): one ``index.json`` plus one compressed
+  ``segment-NNNNN.npz`` per chunk, so a read never loads more than one
+  segment.
+- streaming census — :func:`stream_census_at` answers point queries by
+  counting ``#{arrival <= t} - #{end <= t}`` per chunk, which equals
+  the in-memory :func:`~repro.traces.census.census_at` *exactly*
+  (integer counts, byte-identical for any chunk size), and
+  :func:`stream_census_samples` replays the identical RNG draw as
+  :func:`~repro.traces.census.census_samples`.
+
+Memory is bounded by one chunk plus the query set, never by the flow
+count; the replay engine (:mod:`repro.traces.replay`) adds the
+time-ordered sweep that needs arrival-sorted streams.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ModelError
+from repro.ioutils import atomic_write_text
+from repro.traces.format import FlowTrace, _format_time, _parse_flow_row
+
+#: Default flows per chunk: large enough to amortise numpy dispatch,
+#: small enough that a chunk is a few MiB.
+DEFAULT_CHUNK_FLOWS = 65536
+
+#: Schema tag of the npz segment-directory index.
+SEGMENT_SCHEMA = "repro.traces.segments/v1"
+
+#: Index file name inside an npz segment directory.
+SEGMENT_INDEX = "index.json"
+
+
+@dataclass(frozen=True)
+class TraceChunk:
+    """A bounded run of flows: parallel arrival/departure arrays."""
+
+    arrival: np.ndarray
+    departure: np.ndarray
+
+    def __post_init__(self):
+        a = np.asarray(self.arrival, dtype=float)
+        d = np.asarray(self.departure, dtype=float)
+        if a.ndim != 1 or a.shape != d.shape:
+            raise ModelError(
+                "a trace chunk needs matching 1-D arrival/departure arrays"
+            )
+        if len(a) and (np.any(a < 0.0) or np.any(d < a)):
+            raise ModelError("need 0 <= arrival <= departure per flow")
+        object.__setattr__(self, "arrival", a)
+        object.__setattr__(self, "departure", d)
+
+    def __len__(self) -> int:
+        return len(self.arrival)
+
+
+class TraceStream:
+    """A flow trace as a one-shot iterator of :class:`TraceChunk`.
+
+    The header (``horizon``, ``metadata``) is available before any
+    chunk is consumed — exactly what the CSV/npz writers and the
+    census/replay consumers need up front.  ``flows`` is the total
+    count when the source knows it (persisted formats do; generators
+    do not).  Iterating a second time raises: a stream is a tap, not a
+    container — use :func:`materialize` (or re-open the source) when
+    you need the flows twice.
+    """
+
+    def __init__(
+        self,
+        chunks: Iterable[TraceChunk],
+        *,
+        horizon: float,
+        metadata: Optional[Dict[str, str]] = None,
+        flows: Optional[int] = None,
+    ):
+        if horizon <= 0.0:
+            raise ModelError(f"horizon must be > 0, got {horizon!r}")
+        self.horizon = float(horizon)
+        self.metadata: Dict[str, str] = dict(metadata or {})
+        self.flows = None if flows is None else int(flows)
+        self._chunks = iter(chunks)
+        self._consumed = False
+
+    def __iter__(self) -> Iterator[TraceChunk]:
+        if self._consumed:
+            raise ModelError(
+                "trace stream already consumed; streams are one-shot — "
+                "re-open the source or materialize() the trace"
+            )
+        self._consumed = True
+        for chunk in self._chunks:
+            if len(chunk):
+                yield chunk
+
+
+def stream_trace(
+    trace: FlowTrace, *, chunk_flows: int = DEFAULT_CHUNK_FLOWS
+) -> TraceStream:
+    """View an in-memory trace as an arrival-sorted chunked stream."""
+    if chunk_flows < 1:
+        raise ModelError(f"chunk_flows must be >= 1, got {chunk_flows!r}")
+    order = np.argsort(trace.arrival, kind="stable")
+    arrival = trace.arrival[order]
+    departure = trace.departure[order]
+
+    def chunks() -> Iterator[TraceChunk]:
+        for lo in range(0, len(arrival), chunk_flows):
+            hi = lo + chunk_flows
+            yield TraceChunk(arrival[lo:hi], departure[lo:hi])
+
+    return TraceStream(
+        chunks(),
+        horizon=trace.horizon,
+        metadata=dict(trace.metadata),
+        flows=len(trace),
+    )
+
+
+def materialize(stream: TraceStream) -> FlowTrace:
+    """Collect a stream into an in-memory :class:`FlowTrace`.
+
+    The one operation here that is *not* constant-memory — for tests,
+    small traces, and handing a stream to the in-memory pipeline.
+    """
+    arrivals: List[np.ndarray] = []
+    departures: List[np.ndarray] = []
+    for chunk in stream:
+        arrivals.append(chunk.arrival)
+        departures.append(chunk.departure)
+    return FlowTrace(
+        arrival=np.concatenate(arrivals) if arrivals else np.empty(0),
+        departure=np.concatenate(departures) if departures else np.empty(0),
+        horizon=stream.horizon,
+        metadata=stream.metadata,
+    )
+
+
+# -- streaming census ---------------------------------------------------
+
+
+def stream_census_at(stream: TraceStream, query_times) -> np.ndarray:
+    """Census at arbitrary instants, one pass over the stream.
+
+    The census at ``t`` is ``#{arrival <= t} - #{min(departure,
+    horizon) <= t}`` — the same counting the event-sorted
+    :func:`~repro.traces.census.census_at` performs, so the integer
+    results are byte-identical for any chunking of the same trace.
+    Memory is O(chunk + queries).
+    """
+    q = np.asarray(query_times, dtype=float)
+    if np.any(q < 0.0) or np.any(q > stream.horizon):
+        raise ModelError("query times must lie in [0, horizon]")
+    order = np.argsort(q, kind="stable")
+    sq = q[order]
+    counts = np.zeros(len(sq), dtype=np.int64)
+    for chunk in stream:
+        starts = np.sort(chunk.arrival)
+        ends = np.sort(np.minimum(chunk.departure, stream.horizon))
+        counts += np.searchsorted(starts, sq, side="right")
+        counts -= np.searchsorted(ends, sq, side="right")
+    out = np.empty(len(sq), dtype=np.int64)
+    out[order] = counts
+    return out
+
+
+def stream_census_samples(
+    stream: TraceStream,
+    n: int,
+    *,
+    warmup: float = 0.0,
+    seed: Optional[int] = None,
+) -> np.ndarray:
+    """Streaming twin of :func:`~repro.traces.census.census_samples`.
+
+    Draws the *identical* sample times (same RNG construction, same
+    call sequence) and answers them through :func:`stream_census_at`,
+    so the result is byte-identical to the in-memory function on the
+    same trace, seed and warmup.
+    """
+    if n < 1:
+        raise ModelError(f"need n >= 1 samples, got {n!r}")
+    if not 0.0 <= warmup < stream.horizon:
+        raise ModelError(f"warmup must be in [0, horizon), got {warmup!r}")
+    rng = np.random.default_rng(seed)
+    ts = warmup + rng.random(n) * (stream.horizon - warmup)
+    return stream_census_at(stream, ts).astype(int)
+
+
+def stream_mean_census(stream: TraceStream, *, warmup: float = 0.0) -> float:
+    """Time-average census over ``[warmup, horizon]``, one pass.
+
+    Little's-law accounting: each flow contributes its overlap with the
+    window, summed per chunk.  Agrees with the trajectory-based
+    :func:`~repro.traces.census.mean_census` to float round-off (the
+    summation order differs).
+    """
+    if not 0.0 <= warmup < stream.horizon:
+        raise ModelError(f"warmup must be in [0, horizon), got {warmup!r}")
+    total = 0.0
+    for chunk in stream:
+        seg_start = np.maximum(chunk.arrival, warmup)
+        seg_end = np.minimum(chunk.departure, stream.horizon)
+        total += float(np.maximum(0.0, seg_end - seg_start).sum())
+    return total / (stream.horizon - warmup)
+
+
+# -- chunked CSV --------------------------------------------------------
+
+
+def open_trace_csv(
+    path, *, chunk_flows: int = DEFAULT_CHUNK_FLOWS
+) -> TraceStream:
+    """Stream a commented-header CSV trace in bounded chunks.
+
+    Reads the same format :func:`~repro.traces.format.write_trace`
+    produces.  Header lines are parsed eagerly (the stream needs its
+    horizon up front); flow rows are parsed lazily, ``chunk_flows`` at
+    a time.  Malformed rows raise :class:`~repro.errors.ModelError`
+    naming the file and line.
+    """
+    if chunk_flows < 1:
+        raise ModelError(f"chunk_flows must be >= 1, got {chunk_flows!r}")
+    path = pathlib.Path(path)
+    horizon: Optional[float] = None
+    metadata: Dict[str, str] = {}
+    data_start = 0
+    with path.open() as handle:
+        for line_no, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text:
+                continue
+            if text.startswith("#"):
+                body = text.lstrip("#").strip()
+                if "=" in body:
+                    key, _, value = body.partition("=")
+                    if key.strip() == "horizon":
+                        try:
+                            horizon = float(value)
+                        except ValueError:
+                            raise ModelError(
+                                f"trace file {path} line {line_no}: "
+                                f"bad horizon {value!r}"
+                            ) from None
+                    else:
+                        metadata[key.strip()] = value.strip()
+                continue
+            data_start = line_no
+            break
+    if horizon is None:
+        raise ModelError(f"trace file {path} has no '# horizon=' header")
+
+    def chunks() -> Iterator[TraceChunk]:
+        arrivals: List[float] = []
+        departures: List[float] = []
+        with path.open() as handle:
+            reader = csv.reader(handle)
+            for line_no, row in enumerate(reader, start=1):
+                if line_no < data_start or not row:
+                    continue
+                if row[0].startswith("#") or row[0] == "arrival":
+                    continue
+                a, d = _parse_flow_row(row, line_no, path)
+                arrivals.append(a)
+                departures.append(d)
+                if len(arrivals) >= chunk_flows:
+                    yield TraceChunk(np.asarray(arrivals), np.asarray(departures))
+                    arrivals, departures = [], []
+        if arrivals:
+            yield TraceChunk(np.asarray(arrivals), np.asarray(departures))
+
+    return TraceStream(chunks(), horizon=horizon, metadata=metadata)
+
+
+def write_trace_csv(stream: TraceStream, path) -> pathlib.Path:
+    """Write a stream as commented-header CSV, chunk by chunk.
+
+    Times are written with :func:`repr` (shortest round-trip form), so
+    a CSV round-trip preserves every flow bit-for-bit.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    flows = 0
+    with path.open("w", newline="") as handle:
+        handle.write(f"# horizon={_format_time(stream.horizon)}\n")
+        for key, value in sorted(stream.metadata.items()):
+            handle.write(f"# {key}={value}\n")
+        writer = csv.writer(handle)
+        writer.writerow(["arrival", "departure"])
+        for chunk in stream:
+            for a, d in zip(chunk.arrival, chunk.departure):
+                writer.writerow([_format_time(a), _format_time(d)])
+            flows += len(chunk)
+    if obs.enabled():
+        obs.counter("traces.write.flows").inc(flows)
+    return path
+
+
+# -- npz segment directories --------------------------------------------
+
+
+def write_trace_npz(stream: TraceStream, path) -> pathlib.Path:
+    """Persist a stream as an npz segment directory.
+
+    Layout: ``path/index.json`` (schema, horizon, metadata, per-segment
+    manifest) plus ``path/segment-NNNNN.npz`` files holding one chunk's
+    float64 arrays each.  Writing consumes the stream one chunk at a
+    time; the index lands last (atomically), so a crash can never leave
+    a directory that parses as complete.
+    """
+    path = pathlib.Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    segments: List[Dict[str, object]] = []
+    total = 0
+    for i, chunk in enumerate(stream):
+        name = f"segment-{i:05d}.npz"
+        np.savez_compressed(
+            path / name,
+            arrival=chunk.arrival,
+            departure=chunk.departure,
+        )
+        segments.append({"file": name, "flows": len(chunk)})
+        total += len(chunk)
+    index = {
+        "schema": SEGMENT_SCHEMA,
+        "horizon": stream.horizon,
+        "metadata": stream.metadata,
+        "flows": total,
+        "segments": segments,
+    }
+    atomic_write_text(path / SEGMENT_INDEX, json.dumps(index, indent=2) + "\n")
+    if obs.enabled():
+        obs.counter("traces.write.flows").inc(total)
+        obs.counter("traces.write.segments").inc(len(segments))
+    return path
+
+
+def open_trace_npz(path) -> TraceStream:
+    """Stream an npz segment directory, one segment in memory at a time."""
+    path = pathlib.Path(path)
+    index_path = path / SEGMENT_INDEX
+    if not index_path.is_file():
+        raise ModelError(f"{path} is not a trace segment directory (no index.json)")
+    try:
+        index = json.loads(index_path.read_text())
+    except ValueError as exc:
+        raise ModelError(f"corrupt trace index {index_path}: {exc}") from None
+    if index.get("schema") != SEGMENT_SCHEMA:
+        raise ModelError(
+            f"{index_path}: schema {index.get('schema')!r} is not "
+            f"{SEGMENT_SCHEMA!r}"
+        )
+
+    def chunks() -> Iterator[TraceChunk]:
+        for seg in index["segments"]:
+            seg_path = path / seg["file"]
+            if not seg_path.is_file():
+                raise ModelError(f"trace segment missing: {seg_path}")
+            with np.load(seg_path) as data:
+                chunk = TraceChunk(data["arrival"], data["departure"])
+            if len(chunk) != int(seg["flows"]):
+                raise ModelError(
+                    f"trace segment {seg_path} holds {len(chunk)} flows, "
+                    f"index says {seg['flows']}"
+                )
+            yield chunk
+
+    return TraceStream(
+        chunks(),
+        horizon=float(index["horizon"]),
+        metadata={str(k): str(v) for k, v in index.get("metadata", {}).items()},
+        flows=int(index["flows"]),
+    )
+
+
+def open_trace(path, *, chunk_flows: int = DEFAULT_CHUNK_FLOWS) -> TraceStream:
+    """Open either persisted form by shape: directory -> npz, file -> CSV."""
+    p = pathlib.Path(path)
+    if p.is_dir():
+        return open_trace_npz(p)
+    return open_trace_csv(p, chunk_flows=chunk_flows)

@@ -1,0 +1,320 @@
+"""Synthetic workload generators: load shapes the paper never modeled.
+
+The analytic comparison assumes a stationary census; operators see
+diurnal cycles, bursts, and correlated arrivals.  Each generator here
+emits an arrival-ordered :class:`~repro.traces.stream.TraceStream` of
+flows over ``[0, horizon)`` at constant memory (one chunk buffered at
+a time), with exponential flow durations of rate ``mu`` throughout so
+the *census law* is the only thing that varies between shapes:
+
+- :class:`PoissonWorkload` — homogeneous Poisson arrivals, the M/M/inf
+  baseline whose stationary census is exactly the paper's Poisson
+  ``P(k)`` with mean ``rate/mu`` (the T1 replay invariant's anchor).
+- :class:`DiurnalWorkload` — sinusoidal-rate inhomogeneous Poisson
+  (thinned from the peak rate): the day/night cycle.
+- :class:`BurstyWorkload` — Markov-modulated on/off arrivals
+  (exponential sojourns; Poisson arrivals only while on).
+- :class:`BatchWorkload` — correlated batch arrivals: Poisson batch
+  epochs with geometrically sized batches arriving simultaneously.
+
+Generation is seeded and deterministic per ``(seed, chunk_flows)``;
+``WORKLOADS``/:func:`default_workload` give the CLI, experiments and
+golden pins one shared way to name a shape at a target mean rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ModelError
+from repro.traces.stream import DEFAULT_CHUNK_FLOWS, TraceChunk, TraceStream
+
+
+def _require_positive(**values: float) -> None:
+    for name, value in values.items():
+        if not value > 0.0:
+            raise ModelError(f"{name} must be > 0, got {value!r}")
+
+
+class Workload:
+    """Base class: a named arrival process with exponential holding."""
+
+    #: Shape name used in metadata, the CLI and the registry.
+    name: str = "workload"
+
+    mu: float = 1.0
+
+    @property
+    def mean_rate(self) -> float:
+        """Long-run mean arrival rate (for sizing horizons)."""
+        raise NotImplementedError
+
+    @property
+    def mean_census(self) -> float:
+        """Long-run mean census ``mean_rate / mu`` (Little's law)."""
+        return self.mean_rate / self.mu
+
+    def metadata(self) -> Dict[str, str]:
+        """Header key/values describing the shape (persisted with traces)."""
+        return {"workload": self.name, "mu": repr(float(self.mu))}
+
+    def _arrival_chunks(
+        self, horizon: float, rng: np.random.Generator, chunk_flows: int
+    ) -> Iterator[np.ndarray]:
+        """Nondecreasing arrival-time chunks covering ``[0, horizon)``."""
+        raise NotImplementedError
+
+    def stream(
+        self,
+        horizon: float,
+        *,
+        seed: Optional[int] = None,
+        chunk_flows: int = DEFAULT_CHUNK_FLOWS,
+    ) -> TraceStream:
+        """Generate flows over ``[0, horizon)`` as an arrival-sorted stream."""
+        _require_positive(horizon=horizon)
+        if chunk_flows < 1:
+            raise ModelError(f"chunk_flows must be >= 1, got {chunk_flows!r}")
+        rng = np.random.default_rng(seed)
+        mu = self.mu
+
+        def chunks() -> Iterator[TraceChunk]:
+            generated = 0
+            for arrivals in self._arrival_chunks(horizon, rng, chunk_flows):
+                if len(arrivals) == 0:
+                    continue
+                durations = rng.exponential(1.0 / mu, size=len(arrivals))
+                generated += len(arrivals)
+                yield TraceChunk(arrivals, arrivals + durations)
+            if obs.enabled():
+                obs.counter("traces.generate.flows").inc(generated)
+                obs.counter(f"traces.generate.{self.name}.flows").inc(generated)
+
+        metadata = self.metadata()
+        if seed is not None:
+            metadata["seed"] = str(int(seed))
+        return TraceStream(chunks(), horizon=horizon, metadata=metadata)
+
+
+@dataclass(frozen=True)
+class PoissonWorkload(Workload):
+    """Homogeneous Poisson arrivals: the stationary M/M/inf baseline."""
+
+    rate: float
+    mu: float = 1.0
+    name = "poisson"
+
+    def __post_init__(self):
+        _require_positive(rate=self.rate, mu=self.mu)
+
+    @property
+    def mean_rate(self) -> float:
+        return self.rate
+
+    def metadata(self) -> Dict[str, str]:
+        meta = super().metadata()
+        meta["rate"] = repr(float(self.rate))
+        return meta
+
+    def _arrival_chunks(self, horizon, rng, chunk_flows):
+        t = 0.0
+        while True:
+            gaps = rng.exponential(1.0 / self.rate, size=chunk_flows)
+            arrivals = t + np.cumsum(gaps)
+            if arrivals[-1] >= horizon:
+                yield arrivals[arrivals < horizon]
+                return
+            t = float(arrivals[-1])
+            yield arrivals
+
+
+@dataclass(frozen=True)
+class DiurnalWorkload(Workload):
+    """Sinusoidal-rate inhomogeneous Poisson (the day/night cycle).
+
+    Instantaneous rate ``base_rate * (1 + amplitude * sin(2 pi t /
+    period))``, realised by thinning a homogeneous process at the peak
+    rate — exact for any amplitude in ``[0, 1)``.
+    """
+
+    base_rate: float
+    amplitude: float = 0.6
+    period: float = 100.0
+    mu: float = 1.0
+    name = "diurnal"
+
+    def __post_init__(self):
+        _require_positive(
+            base_rate=self.base_rate, period=self.period, mu=self.mu
+        )
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ModelError(
+                f"amplitude must be in [0, 1), got {self.amplitude!r}"
+            )
+
+    @property
+    def mean_rate(self) -> float:
+        # the sinusoid averages out over whole periods
+        return self.base_rate
+
+    def metadata(self) -> Dict[str, str]:
+        meta = super().metadata()
+        meta.update(
+            base_rate=repr(float(self.base_rate)),
+            amplitude=repr(float(self.amplitude)),
+            period=repr(float(self.period)),
+        )
+        return meta
+
+    def _arrival_chunks(self, horizon, rng, chunk_flows):
+        peak = self.base_rate * (1.0 + self.amplitude)
+        omega = 2.0 * np.pi / self.period
+        t = 0.0
+        while True:
+            gaps = rng.exponential(1.0 / peak, size=chunk_flows)
+            candidates = t + np.cumsum(gaps)
+            accept = rng.random(chunk_flows) * peak <= self.base_rate * (
+                1.0 + self.amplitude * np.sin(omega * candidates)
+            )
+            if candidates[-1] >= horizon:
+                keep = accept & (candidates < horizon)
+                yield candidates[keep]
+                return
+            t = float(candidates[-1])
+            yield candidates[accept]
+
+
+@dataclass(frozen=True)
+class BurstyWorkload(Workload):
+    """Markov-modulated on/off arrivals (two-state MMPP).
+
+    Exponential on/off sojourns (means ``on_mean`` / ``off_mean``);
+    Poisson arrivals at ``on_rate`` while on, silence while off.  Mean
+    rate is ``on_rate * on_mean / (on_mean + off_mean)``.
+    """
+
+    on_rate: float
+    on_mean: float = 10.0
+    off_mean: float = 10.0
+    mu: float = 1.0
+    name = "bursty"
+
+    def __post_init__(self):
+        _require_positive(
+            on_rate=self.on_rate,
+            on_mean=self.on_mean,
+            off_mean=self.off_mean,
+            mu=self.mu,
+        )
+
+    @property
+    def mean_rate(self) -> float:
+        return self.on_rate * self.on_mean / (self.on_mean + self.off_mean)
+
+    def metadata(self) -> Dict[str, str]:
+        meta = super().metadata()
+        meta.update(
+            on_rate=repr(float(self.on_rate)),
+            on_mean=repr(float(self.on_mean)),
+            off_mean=repr(float(self.off_mean)),
+        )
+        return meta
+
+    def _arrival_chunks(self, horizon, rng, chunk_flows):
+        t = 0.0
+        buffer: List[np.ndarray] = []
+        buffered = 0
+        while t < horizon:
+            on_len = rng.exponential(self.on_mean)
+            window = min(on_len, horizon - t)
+            count = rng.poisson(self.on_rate * window)
+            if count:
+                arrivals = t + np.sort(rng.random(count)) * window
+                buffer.append(arrivals)
+                buffered += count
+            t += on_len + rng.exponential(self.off_mean)
+            while buffered >= chunk_flows:
+                merged = np.concatenate(buffer)
+                yield merged[:chunk_flows]
+                buffer = [merged[chunk_flows:]]
+                buffered = len(buffer[0])
+        if buffered:
+            yield np.concatenate(buffer)
+
+
+@dataclass(frozen=True)
+class BatchWorkload(Workload):
+    """Correlated batch arrivals: geometric batches at Poisson epochs.
+
+    Batch epochs form a Poisson process of rate ``batch_rate``; each
+    epoch brings a geometric number of simultaneous flows with mean
+    ``mean_batch``.  Mean rate is ``batch_rate * mean_batch``.
+    """
+
+    batch_rate: float
+    mean_batch: float = 4.0
+    mu: float = 1.0
+    name = "batch"
+
+    def __post_init__(self):
+        _require_positive(batch_rate=self.batch_rate, mu=self.mu)
+        if self.mean_batch < 1.0:
+            raise ModelError(
+                f"mean_batch must be >= 1, got {self.mean_batch!r}"
+            )
+
+    @property
+    def mean_rate(self) -> float:
+        return self.batch_rate * self.mean_batch
+
+    def metadata(self) -> Dict[str, str]:
+        meta = super().metadata()
+        meta.update(
+            batch_rate=repr(float(self.batch_rate)),
+            mean_batch=repr(float(self.mean_batch)),
+        )
+        return meta
+
+    def _arrival_chunks(self, horizon, rng, chunk_flows):
+        epochs_per_block = max(1, chunk_flows // max(1, int(self.mean_batch)))
+        t = 0.0
+        while True:
+            gaps = rng.exponential(1.0 / self.batch_rate, size=epochs_per_block)
+            epochs = t + np.cumsum(gaps)
+            sizes = rng.geometric(1.0 / self.mean_batch, size=epochs_per_block)
+            done = epochs[-1] >= horizon
+            keep = epochs < horizon
+            yield np.repeat(epochs[keep], sizes[keep])
+            if done:
+                return
+            t = float(epochs[-1])
+
+
+#: Shape-name registry for the CLI, experiments and golden pins.
+WORKLOADS = ("poisson", "diurnal", "bursty", "batch")
+
+
+def default_workload(name: str, rate: float, *, mu: float = 1.0) -> Workload:
+    """A canonically parameterised workload at a target mean rate.
+
+    The non-rate shape parameters are fixed by convention here so a
+    shape named anywhere (CLI flag, TR experiment, golden pin,
+    provenance summary) means exactly one process.
+    """
+    _require_positive(rate=rate, mu=mu)
+    if name == "poisson":
+        return PoissonWorkload(rate, mu=mu)
+    if name == "diurnal":
+        return DiurnalWorkload(rate, amplitude=0.6, period=100.0, mu=mu)
+    if name == "bursty":
+        # 50% duty cycle: double the on-rate to hit the target mean
+        return BurstyWorkload(2.0 * rate, on_mean=10.0, off_mean=10.0, mu=mu)
+    if name == "batch":
+        return BatchWorkload(rate / 4.0, mean_batch=4.0, mu=mu)
+    raise ModelError(
+        f"unknown workload {name!r}; known shapes: {', '.join(WORKLOADS)}"
+    )

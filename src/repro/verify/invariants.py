@@ -9,7 +9,8 @@ grouped by family:
   differential parity, ``C*`` continuum closed forms and limits,
   ``W*`` welfare, ``K*`` the EXPERIMENTS.md checkpoint table,
   ``S*`` ensemble Monte Carlo oracles, ``EM*`` certified emulator
-  surfaces, ``L*`` mean-field fluid-diffusion limits.
+  surfaces, ``L*`` mean-field fluid-diffusion limits, ``T*`` streaming
+  trace replay and frozen result provenance.
 
 Each entry cites where in Breslau & Shenker (SIGCOMM 1998) the
 property comes from; ``docs/VERIFY.md`` carries the longer catalogue.
@@ -1300,6 +1301,182 @@ def _l5(config: PaperConfig) -> CheckResult:
         ))
     residual, where = worst_over_domain(cases)
     return CheckResult(residual, f"worst case {where}")
+
+
+@REGISTRY.invariant(
+    "T1",
+    "Poisson-trace replay recovers the analytic delta",
+    paper_ref="S3.1 (delta = R - B) via the streaming replay estimators",
+    engines=("ensemble", "scalar"),
+    tolerance=MONTE_CARLO,
+)
+def _t1(config: PaperConfig) -> CheckResult:
+    from repro.traces.replay import sweep_occupancy
+    from repro.traces.workloads import PoissonWorkload
+
+    utility = config.utility("adaptive")
+    rate = float(config.sim_kbar)
+    capacity = float(config.sim_capacity)
+    stream = PoissonWorkload(rate).stream(
+        float(config.sim_horizon), seed=config.sim_seed
+    )
+    occupancy = sweep_occupancy(stream, warmup=float(config.sim_warmup))
+    replay = occupancy.evaluate(utility, capacity).summary()
+    model = VariableLoadModel(PoissonLoad(rate), utility)
+    analytic = float(model.reservation(capacity)) - float(
+        model.best_effort(capacity)
+    )
+    residual = MONTE_CARLO.residual(
+        replay["gap"], analytic, ci_halfwidth=replay["gap_ci"]
+    )
+    return CheckResult(
+        residual,
+        f"replayed gap {replay['gap']:.3e} +/- {replay['gap_ci']:.1e} vs "
+        f"analytic {analytic:.3e} over {replay['flows']} flows",
+    )
+
+
+@REGISTRY.invariant(
+    "T2",
+    "replayed-trace census distribution matches the ensemble census law",
+    paper_ref="S3 (the census process P(k) underlying B and R)",
+    engines=("ensemble",),
+    tolerance=TIGHT,
+)
+def _t2(config: PaperConfig) -> CheckResult:
+    from repro.simulation import (
+        BirthDeathProcess,
+        FlowSimulator,
+        Link,
+    )
+    from repro.traces.format import FlowTrace
+    from repro.traces.replay import sweep_occupancy
+    from repro.traces.stream import stream_trace
+
+    horizon = float(config.sim_horizon)
+    warmup = float(config.sim_warmup)
+    from repro.simulation.ensemble import EnsembleResult
+
+    sim = FlowSimulator(
+        BirthDeathProcess(PoissonLoad(config.sim_kbar)),
+        Link(config.sim_capacity),
+    )
+    result = sim.run(horizon, seed=config.sim_seed)
+    trace = FlowTrace.from_simulation(result)
+    occupancy = sweep_occupancy(stream_trace(trace), warmup=warmup)
+    values, pmf = occupancy.census_distribution()
+    # the same trajectory through the ensemble engine's accounting,
+    # as a single replication row
+    traj = result.trajectory
+    ens = EnsembleResult(
+        times=traj.times[None, :],
+        census=traj.census[None, :],
+        admitted=traj.admitted[None, :],
+        counts=np.asarray([len(traj.times)]),
+        arrivals=np.zeros(1, dtype=np.int64),
+        admissions=np.zeros(1, dtype=np.int64),
+        capacity=float(config.sim_capacity),
+        warmup=warmup,
+        horizon=horizon,
+    )
+    ens_values, ens_pmf = ens.census_distribution()
+    lookup = dict(zip((int(v) for v in ens_values), ens_pmf))
+    cases = [
+        (f"P({int(v)})", TIGHT.residual(p, lookup.get(int(v), 0.0)))
+        for v, p in zip(values, pmf)
+    ]
+    residual, where = worst_over_domain(cases)
+    return CheckResult(residual, f"worst case {where}")
+
+
+@REGISTRY.invariant(
+    "T3",
+    "streamed census and replay are byte-identical to in-memory results",
+    paper_ref="implementation invariant: chunking must not change results",
+    engines=("ensemble",),
+    tolerance=EXACT,
+)
+def _t3(config: PaperConfig) -> CheckResult:
+    from repro.traces.census import census_samples
+    from repro.traces.replay import replay_trace
+    from repro.traces.stream import stream_census_samples, stream_trace
+    from repro.traces.workloads import BurstyWorkload
+    from repro.traces.stream import materialize
+
+    utility = config.utility("adaptive")
+    trace = materialize(
+        BurstyWorkload(2.0 * config.sim_kbar).stream(
+            120.0, seed=config.sim_seed
+        )
+    )
+    capacity = float(config.sim_capacity)
+    reference = replay_trace(
+        trace, utility, capacity, warmup=12.0, chunk_flows=10**9
+    )
+    in_memory = census_samples(trace, 500, warmup=12.0, seed=config.sim_seed)
+    cases = []
+    for chunk_flows in (1, 137, 1000):
+        streamed = stream_census_samples(
+            stream_trace(trace, chunk_flows=chunk_flows),
+            500,
+            warmup=12.0,
+            seed=config.sim_seed,
+        )
+        cases.append(
+            (
+                f"census chunk={chunk_flows}",
+                0.0 if np.array_equal(streamed, in_memory) else float("inf"),
+            )
+        )
+        chunked = replay_trace(
+            trace, utility, capacity, warmup=12.0, chunk_flows=chunk_flows
+        )
+        identical = (
+            np.array_equal(chunked.paired.best_effort, reference.paired.best_effort)
+            and np.array_equal(
+                chunked.paired.reservation, reference.paired.reservation
+            )
+            and np.array_equal(chunked.census_pmf, reference.census_pmf)
+        )
+        cases.append(
+            (f"replay chunk={chunk_flows}", 0.0 if identical else float("inf"))
+        )
+    residual, where = worst_over_domain(cases)
+    return CheckResult(residual, f"worst case {where}")
+
+
+@REGISTRY.invariant(
+    "T4",
+    "provenance verify passes on a freshly frozen snapshot",
+    paper_ref="reproducibility invariant: freeze -> verify must close",
+    engines=("scalar",),
+    tolerance=STRUCTURAL,
+)
+def _t4(config: PaperConfig) -> CheckResult:
+    import tempfile
+
+    from repro.provenance import freeze, verify
+
+    spec = {
+        "workload": "diurnal",
+        "rate": float(config.sim_kbar) / 2.0,
+        "horizon": 60.0,
+        "seed": config.sim_seed,
+        "chunk_flows": 1024,
+        "capacity": float(config.sim_capacity) / 2.0,
+        "windows": 4,
+        "warmup": 10.0,
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        freeze(
+            tmp, config=config, include=("traces",), trace_specs=[spec]
+        )
+        report = verify(tmp, config=config)
+    failed = ", ".join(c.check_id for c in report.failures) or "none"
+    return CheckResult(
+        0.0 if report.ok else float("inf"),
+        f"{len(report.checks)} checks, failed: {failed}",
+    )
 
 
 def catalogue_size() -> int:

@@ -178,6 +178,75 @@ def populations(
     )
 
 
+@st.composite
+def traces(
+    draw,
+    max_flows: int = 60,
+    max_horizon: float = 50.0,
+    allow_empty: bool = True,
+    allow_open: bool = True,
+):
+    """A small valid :class:`~repro.traces.format.FlowTrace`.
+
+    Flows land anywhere in ``[0, horizon)`` in any order (the trace
+    format does not require sorting), durations include zero-length
+    flows (``departure == arrival``) and — when ``allow_open`` — flows
+    still open at the horizon (``departure = inf``), the two edge
+    shapes the census accounting must get right.
+    """
+    import numpy as np
+
+    from repro.traces.format import FlowTrace
+
+    horizon = draw(
+        st.floats(min_value=1.0, max_value=max_horizon, allow_nan=False)
+    )
+    n = draw(st.integers(min_value=0 if allow_empty else 1, max_value=max_flows))
+    arrivals = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=horizon * 0.999),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    flows = []
+    for arrival in arrivals:
+        kind = draw(
+            st.sampled_from(
+                ("normal", "zero", "open") if allow_open else ("normal", "zero")
+            )
+        )
+        if kind == "zero":
+            departure = arrival
+        elif kind == "open":
+            departure = float("inf")
+        else:
+            departure = arrival + draw(
+                st.floats(min_value=0.0, max_value=2.0 * max_horizon)
+            )
+        flows.append((arrival, departure))
+    return FlowTrace(
+        arrival=np.asarray([f[0] for f in flows]),
+        departure=np.asarray([f[1] for f in flows]),
+        horizon=float(horizon),
+    )
+
+
+def trace_chunk_sizes(max_value: int = 512) -> st.SearchStrategy[int]:
+    """A chunk size for streaming-parity properties.
+
+    Deliberately spans the degenerate (1 flow per chunk), the awkward
+    (primes smaller than typical traces) and the trivial (one chunk
+    holds everything) so chunk-boundary bugs cannot hide.
+    """
+    return st.one_of(
+        st.just(1),
+        st.sampled_from((2, 3, 7, 13, 61)),
+        st.integers(min_value=1, max_value=max_value),
+        st.just(10**9),
+    )
+
+
 def shared_model_cache_info() -> Dict[str, int]:
     """Visibility into the memo (for tests of the strategies themselves)."""
     return {"size": len(_model_cache)}

@@ -162,6 +162,13 @@ def main() -> int:
         ],
         "gap": [float(v) for v in meanfield.gap_batch(adaptive, CAPACITIES)],
     }
+    from repro.traces.summary import DEFAULT_REPLAY_SPECS, replay_summary
+
+    payload["traces"] = {
+        "tolerance": "rtol 1e-7",
+        "replays": [replay_summary(dict(spec)) for spec in DEFAULT_REPLAY_SPECS],
+    }
+
     OUT.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {OUT}")
     return 0

@@ -251,3 +251,30 @@ def test_meanfield_fluid_surfaces(quantity, golden):
         "gap": lambda: sim.gap_batch(adaptive, caps),
     }[quantity]()
     _assert_pointwise("meanfield", quantity, caps, batch, entry[quantity], "batch")
+
+
+def test_traces_replay_pins(golden):
+    # seeded workload generation + the occupancy sweep + the paired
+    # estimators are all deterministic, so a fresh replay must land on
+    # the pinned B-hat/R-hat/gap to rtol 1e-7 and the exact flow count
+    from repro.traces.summary import SPEC_KEYS, replay_summary
+
+    entry = golden["traces"]
+    assert entry["replays"], "golden traces section is empty"
+    for pinned in entry["replays"]:
+        spec = {key: pinned[key] for key in SPEC_KEYS}
+        fresh = replay_summary(spec)
+        label = f"traces:{pinned['workload']}"
+        assert fresh["flows"] == pinned["flows"], (
+            f"{label}: flow count drifted — got {fresh['flows']}, "
+            f"pinned {pinned['flows']}"
+        )
+        for quantity in ("best_effort", "reservation", "gap", "mean_census"):
+            _assert_pointwise(
+                label,
+                quantity,
+                [spec["seed"]],
+                [fresh[quantity]],
+                [pinned[quantity]],
+                "replay",
+            )

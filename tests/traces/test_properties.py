@@ -1,11 +1,27 @@
-"""Property-based tests for trace census derivation."""
+"""Property-based tests for trace census derivation and streaming parity."""
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.traces import FlowTrace, census_at, census_trajectory, mean_census
+from repro.traces import (
+    FlowTrace,
+    census_at,
+    census_samples,
+    census_trajectory,
+    materialize,
+    mean_census,
+    open_trace_csv,
+    open_trace_npz,
+    stream_census_at,
+    stream_census_samples,
+    stream_trace,
+    sweep_occupancy,
+    write_trace_csv,
+    write_trace_npz,
+)
+from repro.verify.strategies import trace_chunk_sizes, traces
 
 
 @st.composite
@@ -73,3 +89,83 @@ class TestCensusProperties:
         times, _ = census_trajectory(trace)
         assert times[0] == 0.0
         assert np.all(np.diff(times) > 0.0)
+
+
+class TestStreamingParity:
+    """Chunked-streamed results are byte-identical to in-memory ones."""
+
+    @given(trace=traces(), chunk_flows=trace_chunk_sizes(), seed=st.integers(0, 2**16))
+    @settings(max_examples=100, deadline=None)
+    def test_census_samples_identical_for_any_chunking(
+        self, trace, chunk_flows, seed
+    ):
+        expected = census_samples(trace, 64, seed=seed)
+        got = stream_census_samples(
+            stream_trace(trace, chunk_flows=chunk_flows), 64, seed=seed
+        )
+        np.testing.assert_array_equal(got, expected)
+
+    @given(
+        trace=traces(allow_empty=False),
+        chunk_flows=trace_chunk_sizes(),
+        frac=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_point_census_identical_for_any_chunking(
+        self, trace, chunk_flows, frac
+    ):
+        ts = [0.0, frac * trace.horizon, trace.horizon]
+        expected = census_at(trace, ts)
+        got = stream_census_at(stream_trace(trace, chunk_flows=chunk_flows), ts)
+        np.testing.assert_array_equal(got, expected)
+
+    @given(trace=traces(), chunk_flows=trace_chunk_sizes())
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_sweep_identical_for_any_chunking(self, trace, chunk_flows):
+        reference = sweep_occupancy(
+            stream_trace(trace, chunk_flows=10**9), windows=3
+        )
+        got = sweep_occupancy(
+            stream_trace(trace, chunk_flows=chunk_flows), windows=3
+        )
+        np.testing.assert_array_equal(got.occupancy, reference.occupancy)
+        assert got.flows == reference.flows
+        assert got.events == reference.events
+
+
+class TestPersistenceRoundTrips:
+    """CSV and npz round-trips preserve every flow bit-for-bit."""
+
+    @given(trace=traces(), chunk_flows=trace_chunk_sizes())
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_csv_round_trip_exact(self, tmp_path, trace, chunk_flows):
+        sorted_trace = materialize(stream_trace(trace))
+        path = write_trace_csv(
+            stream_trace(trace, chunk_flows=chunk_flows), tmp_path / "t.csv"
+        )
+        back = materialize(open_trace_csv(path, chunk_flows=chunk_flows))
+        np.testing.assert_array_equal(back.arrival, sorted_trace.arrival)
+        np.testing.assert_array_equal(back.departure, sorted_trace.departure)
+        assert back.horizon == trace.horizon
+
+    @given(trace=traces(), chunk_flows=trace_chunk_sizes())
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_npz_round_trip_exact(self, tmp_path, trace, chunk_flows):
+        sorted_trace = materialize(stream_trace(trace))
+        path = write_trace_npz(
+            stream_trace(trace, chunk_flows=chunk_flows), tmp_path / "seg"
+        )
+        stream = open_trace_npz(path)
+        assert stream.flows == len(trace)
+        back = materialize(stream)
+        np.testing.assert_array_equal(back.arrival, sorted_trace.arrival)
+        np.testing.assert_array_equal(back.departure, sorted_trace.departure)
+        assert back.horizon == trace.horizon

@@ -1,0 +1,257 @@
+"""Tests for streaming trace ingestion: chunks, census, CSV/npz."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.loads import PoissonLoad
+from repro.simulation import AdmitAll, BirthDeathProcess, FlowSimulator, Link
+from repro.traces import (
+    FlowTrace,
+    census_at,
+    census_samples,
+    materialize,
+    mean_census,
+    open_trace,
+    open_trace_csv,
+    open_trace_npz,
+    read_trace,
+    stream_census_at,
+    stream_census_samples,
+    stream_mean_census,
+    stream_trace,
+    write_trace,
+    write_trace_csv,
+    write_trace_npz,
+)
+from repro.traces.stream import SEGMENT_SCHEMA, TraceChunk, TraceStream
+
+
+@pytest.fixture
+def edge_trace():
+    # simultaneous arrivals, a zero-length flow, and an open flow
+    return FlowTrace(
+        arrival=np.array([0.0, 1.0, 1.0, 2.5, 4.0]),
+        departure=np.array([3.0, 1.0, 6.0, np.inf, 4.5]),
+        horizon=5.0,
+        metadata={"site": "pop1"},
+    )
+
+
+@pytest.fixture
+def sim_trace():
+    load = PoissonLoad(12.0)
+    res = FlowSimulator(BirthDeathProcess(load), Link(15.0), AdmitAll()).run(
+        120.0, warmup=12.0, seed=9
+    )
+    return FlowTrace.from_simulation(res)
+
+
+class TestTraceChunk:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            TraceChunk(np.array([[0.0]]), np.array([[1.0]]))
+        with pytest.raises(ModelError):
+            TraceChunk(np.array([0.0, 1.0]), np.array([1.0]))
+        with pytest.raises(ModelError):
+            TraceChunk(np.array([-1.0]), np.array([2.0]))
+        with pytest.raises(ModelError):
+            TraceChunk(np.array([2.0]), np.array([1.0]))
+
+    def test_zero_length_flows_are_valid(self):
+        chunk = TraceChunk(np.array([1.0]), np.array([1.0]))
+        assert len(chunk) == 1
+
+
+class TestTraceStream:
+    def test_header_before_first_chunk(self, edge_trace):
+        stream = stream_trace(edge_trace)
+        assert stream.horizon == edge_trace.horizon
+        assert stream.metadata == {"site": "pop1"}
+        assert stream.flows == len(edge_trace)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ModelError):
+            TraceStream([], horizon=0.0)
+
+    def test_streams_are_one_shot(self, edge_trace):
+        stream = stream_trace(edge_trace)
+        list(stream)
+        with pytest.raises(ModelError):
+            list(stream)
+
+    def test_empty_chunks_are_skipped(self):
+        chunks = [
+            TraceChunk(np.empty(0), np.empty(0)),
+            TraceChunk(np.array([1.0]), np.array([2.0])),
+        ]
+        stream = TraceStream(chunks, horizon=5.0)
+        assert sum(len(c) for c in stream) == 1
+
+    def test_stream_trace_chunks_and_sorts(self):
+        trace = FlowTrace(
+            arrival=np.array([3.0, 0.0, 2.0]),
+            departure=np.array([4.0, 1.0, 6.0]),
+            horizon=6.0,
+        )
+        chunks = list(stream_trace(trace, chunk_flows=2))
+        assert [len(c) for c in chunks] == [2, 1]
+        merged = np.concatenate([c.arrival for c in chunks])
+        np.testing.assert_array_equal(merged, [0.0, 2.0, 3.0])
+
+    def test_chunk_flows_must_be_positive(self, edge_trace):
+        with pytest.raises(ModelError):
+            stream_trace(edge_trace, chunk_flows=0)
+
+    def test_materialize_round_trip(self, edge_trace):
+        back = materialize(stream_trace(edge_trace, chunk_flows=2))
+        order = np.argsort(edge_trace.arrival, kind="stable")
+        np.testing.assert_array_equal(back.arrival, edge_trace.arrival[order])
+        np.testing.assert_array_equal(back.departure, edge_trace.departure[order])
+        assert back.horizon == edge_trace.horizon
+        assert back.metadata == edge_trace.metadata
+
+    def test_materialize_empty_stream(self):
+        trace = materialize(TraceStream([], horizon=3.0))
+        assert len(trace) == 0 and trace.horizon == 3.0
+
+
+class TestStreamingCensus:
+    def test_matches_in_memory_exactly(self, sim_trace):
+        ts = np.linspace(0.0, sim_trace.horizon, 101)
+        expected = census_at(sim_trace, ts)
+        for chunk_flows in (1, 7, 64, 10**9):
+            got = stream_census_at(stream_trace(sim_trace, chunk_flows=chunk_flows), ts)
+            np.testing.assert_array_equal(got, expected)
+
+    def test_edge_cases_match(self, edge_trace):
+        ts = np.array([0.0, 1.0, 2.5, 4.0, 5.0])
+        np.testing.assert_array_equal(
+            stream_census_at(stream_trace(edge_trace, chunk_flows=2), ts),
+            census_at(edge_trace, ts),
+        )
+
+    def test_query_outside_window_rejected(self, edge_trace):
+        with pytest.raises(ModelError):
+            stream_census_at(stream_trace(edge_trace), [6.0])
+
+    def test_samples_replay_the_same_rng(self, sim_trace):
+        expected = census_samples(sim_trace, 500, warmup=15.0, seed=42)
+        got = stream_census_samples(
+            stream_trace(sim_trace, chunk_flows=13), 500, warmup=15.0, seed=42
+        )
+        np.testing.assert_array_equal(got, expected)
+
+    def test_samples_validation(self, edge_trace):
+        with pytest.raises(ModelError):
+            stream_census_samples(stream_trace(edge_trace), 0)
+        with pytest.raises(ModelError):
+            stream_census_samples(stream_trace(edge_trace), 5, warmup=5.0)
+
+    def test_mean_census_matches(self, sim_trace):
+        got = stream_mean_census(stream_trace(sim_trace, chunk_flows=11), warmup=12.0)
+        assert got == pytest.approx(mean_census(sim_trace, warmup=12.0), rel=1e-12)
+
+    def test_mean_census_validation(self, edge_trace):
+        with pytest.raises(ModelError):
+            stream_mean_census(stream_trace(edge_trace), warmup=-1.0)
+
+
+class TestChunkedCsv:
+    def test_round_trip_is_exact(self, edge_trace, tmp_path):
+        path = write_trace_csv(stream_trace(edge_trace), tmp_path / "t.csv")
+        back = materialize(open_trace_csv(path, chunk_flows=2))
+        np.testing.assert_array_equal(back.arrival, edge_trace.arrival)
+        np.testing.assert_array_equal(back.departure, edge_trace.departure)
+        assert back.horizon == edge_trace.horizon
+        assert back.metadata == edge_trace.metadata
+
+    def test_reads_the_in_memory_writer_format(self, edge_trace, tmp_path):
+        path = write_trace(edge_trace, tmp_path / "w.csv")
+        stream = open_trace_csv(path)
+        np.testing.assert_array_equal(
+            materialize(stream).arrival, read_trace(path).arrival
+        )
+
+    def test_missing_horizon_header(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("arrival,departure\n0.0,1.0\n")
+        with pytest.raises(ModelError, match="horizon"):
+            open_trace_csv(bad)
+
+    def test_bad_horizon_value(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("# horizon=soon\narrival,departure\n0.0,1.0\n")
+        with pytest.raises(ModelError, match="bad horizon"):
+            open_trace_csv(bad)
+
+    @pytest.mark.parametrize(
+        "row",
+        ["0.5", "zero,one", "2.0,1.0", "-1.0,3.0"],
+        ids=["short", "non-numeric", "departure-before-arrival", "negative"],
+    )
+    def test_malformed_rows_name_file_and_line(self, tmp_path, row):
+        bad = tmp_path / "bad.csv"
+        bad.write_text(f"# horizon=5.0\narrival,departure\n0.0,1.0\n{row}\n")
+        with pytest.raises(ModelError, match=r"line 4"):
+            list(open_trace_csv(bad))
+
+    def test_chunk_flows_must_be_positive(self, tmp_path):
+        with pytest.raises(ModelError):
+            open_trace_csv(tmp_path / "x.csv", chunk_flows=0)
+
+
+class TestNpzSegments:
+    def test_round_trip_is_exact(self, edge_trace, tmp_path):
+        path = write_trace_npz(stream_trace(edge_trace, chunk_flows=2), tmp_path / "seg")
+        stream = open_trace_npz(path)
+        assert stream.flows == len(edge_trace)
+        back = materialize(stream)
+        np.testing.assert_array_equal(back.arrival, edge_trace.arrival)
+        np.testing.assert_array_equal(back.departure, edge_trace.departure)
+        assert back.metadata == edge_trace.metadata
+
+    def test_one_segment_per_chunk(self, edge_trace, tmp_path):
+        path = write_trace_npz(stream_trace(edge_trace, chunk_flows=2), tmp_path / "seg")
+        assert len(sorted(path.glob("segment-*.npz"))) == 3
+
+    def test_missing_index(self, tmp_path):
+        with pytest.raises(ModelError, match="index.json"):
+            open_trace_npz(tmp_path)
+
+    def test_corrupt_index(self, tmp_path):
+        (tmp_path / "index.json").write_text("{nope")
+        with pytest.raises(ModelError, match="corrupt"):
+            open_trace_npz(tmp_path)
+
+    def test_wrong_schema(self, tmp_path):
+        (tmp_path / "index.json").write_text('{"schema": "other/v9"}')
+        with pytest.raises(ModelError, match=SEGMENT_SCHEMA):
+            open_trace_npz(tmp_path)
+
+    def test_missing_segment_detected(self, edge_trace, tmp_path):
+        path = write_trace_npz(stream_trace(edge_trace, chunk_flows=2), tmp_path / "seg")
+        (path / "segment-00001.npz").unlink()
+        with pytest.raises(ModelError, match="missing"):
+            list(open_trace_npz(path))
+
+    def test_flow_count_mismatch_detected(self, edge_trace, tmp_path):
+        path = write_trace_npz(stream_trace(edge_trace, chunk_flows=2), tmp_path / "seg")
+        np.savez_compressed(
+            path / "segment-00000.npz",
+            arrival=np.array([0.0]),
+            departure=np.array([1.0]),
+        )
+        with pytest.raises(ModelError, match="index says"):
+            list(open_trace_npz(path))
+
+
+class TestOpenTraceDispatch:
+    def test_directory_opens_as_npz(self, edge_trace, tmp_path):
+        path = write_trace_npz(stream_trace(edge_trace), tmp_path / "seg")
+        assert open_trace(path).flows == len(edge_trace)
+
+    def test_file_opens_as_csv(self, edge_trace, tmp_path):
+        path = write_trace_csv(stream_trace(edge_trace), tmp_path / "t.csv")
+        got = materialize(open_trace(path))
+        np.testing.assert_array_equal(got.arrival, edge_trace.arrival)

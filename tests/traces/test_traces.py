@@ -71,6 +71,16 @@ class TestCensusTrajectory:
         # P(census == 2) = 2/5 of the window
         assert float(np.mean(draws == 2)) == pytest.approx(0.4, abs=0.02)
 
+    def test_empty_trace_census_is_identically_zero(self):
+        # regression: the simultaneous-event merge used to crash on a
+        # zero-flow trace instead of reporting the all-zero trajectory
+        empty = FlowTrace(np.empty(0), np.empty(0), horizon=4.0)
+        times, counts = census_trajectory(empty)
+        np.testing.assert_array_equal(times, [0.0])
+        np.testing.assert_array_equal(counts, [0.0])
+        assert census_at(empty, [2.0])[0] == 0
+        assert mean_census(empty) == 0.0
+
     def test_query_outside_window_rejected(self, tiny_trace):
         with pytest.raises(ModelError):
             census_at(tiny_trace, [6.0])
@@ -112,6 +122,50 @@ class TestPersistence:
         with pytest.raises(ModelError):
             read_trace(bad)
 
+    def test_bad_horizon_value_names_the_line(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("# horizon=never\narrival,departure\n0.0,1.0\n")
+        with pytest.raises(ModelError, match="line 1.*bad horizon"):
+            read_trace(bad)
+
+    @pytest.mark.parametrize(
+        "row, message",
+        [
+            ("0.5", "expected"),
+            ("a,b", "non-numeric"),
+            ("3.0,1.0", "0 <= arrival <= departure"),
+            ("-2.0,1.0", "0 <= arrival <= departure"),
+        ],
+        ids=["short-row", "non-numeric", "departs-early", "negative"],
+    )
+    def test_malformed_rows_name_file_and_line(self, tmp_path, row, message):
+        bad = tmp_path / "bad.csv"
+        bad.write_text(f"# horizon=9.0\narrival,departure\n0.0,1.0\n{row}\n")
+        with pytest.raises(ModelError, match=message) as err:
+            read_trace(bad)
+        assert "line 4" in str(err.value)
+        assert "bad.csv" in str(err.value)
+
+    def test_zero_length_flows_round_trip(self, tmp_path):
+        # departure == arrival is a valid (zero-duration) flow and must
+        # survive persistence bit-for-bit without perturbing the census
+        trace = FlowTrace(
+            arrival=np.array([0.5, 1.0, 1.0]),
+            departure=np.array([0.5, 1.0, 3.0]),
+            horizon=4.0,
+        )
+        loaded = read_trace(write_trace(trace, tmp_path / "z.csv"))
+        np.testing.assert_array_equal(loaded.arrival, trace.arrival)
+        np.testing.assert_array_equal(loaded.departure, trace.departure)
+        assert census_at(loaded, [1.0])[0] == 1
+
+    def test_awkward_floats_round_trip_exactly(self, tmp_path):
+        values = np.array([0.1 + 0.2, 1.0 / 3.0, np.pi])
+        trace = FlowTrace(values, values + np.e, horizon=10.0)
+        loaded = read_trace(write_trace(trace, tmp_path / "f.csv"))
+        np.testing.assert_array_equal(loaded.arrival, trace.arrival)
+        np.testing.assert_array_equal(loaded.departure, trace.departure)
+
 
 class TestPipeline:
     def test_trace_to_verdict_poisson(self):
@@ -123,6 +177,19 @@ class TestPipeline:
         rec = analyze_trace(trace, AdaptiveUtility(), price=0.02, samples=3000)
         assert rec.load_family == "poisson"
         assert not rec.reservations_recommended
+
+    def test_zero_flow_trace_is_a_clear_error(self):
+        empty = FlowTrace(np.empty(0), np.empty(0), horizon=10.0)
+        with pytest.raises(ModelError, match="zero-flow"):
+            analyze_trace(empty, AdaptiveUtility(), price=0.05)
+
+    def test_warmup_at_or_past_horizon_is_a_clear_error(self, tiny_trace):
+        with pytest.raises(ModelError, match="warmup"):
+            analyze_trace(tiny_trace, AdaptiveUtility(), price=0.05, warmup=5.0)
+        with pytest.raises(ModelError, match="warmup"):
+            analyze_trace(tiny_trace, AdaptiveUtility(), price=0.05, warmup=7.0)
+        with pytest.raises(ModelError, match="warmup"):
+            analyze_trace(tiny_trace, AdaptiveUtility(), price=0.05, warmup=-1.0)
 
     def test_trace_to_verdict_heavy_tail(self):
         load = AlgebraicLoad.from_mean(3.0, 40.0)

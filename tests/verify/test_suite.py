@@ -50,6 +50,10 @@ class TestCatalogue:
             assert inv.paper_ref, inv.inv_id
             assert inv.description, inv.inv_id
 
+    def test_trace_replay_invariants_ride_the_fast_suite(self):
+        fast = {inv.inv_id for inv in REGISTRY.select("fast")}
+        assert {"T1", "T2", "T3", "T4"} <= fast
+
 
 class TestFastSuite:
     def test_everything_passes(self, fast_report):
@@ -61,6 +65,10 @@ class TestFastSuite:
 
     def test_report_covers_all_engines(self, fast_report):
         assert fast_report.engines == tuple(sorted(ENGINES))
+
+    def test_trace_replay_invariants_ran(self, fast_report):
+        ran = {o.inv_id for o in fast_report.outcomes}
+        assert {"T1", "T2", "T3", "T4"} <= ran
 
     def test_residuals_are_reported_per_invariant(self, fast_report):
         assert len(fast_report.outcomes) >= 25
